@@ -1,0 +1,163 @@
+//! Dickey-style collector-invoked finalization (paper Section 2):
+//!
+//! > "The procedure `register-for-finalization` accepts two arguments: an
+//! > object and a thunk (zero-arity procedure). The thunk is invoked
+//! > automatically during garbage collection if the object has been
+//! > reclaimed. … the thunk is not permitted to cause heap allocation
+//! > since it is invoked as part of the garbage collection process …
+//! > Furthermore, since garbage collections happen at arbitrary times, the
+//! > programmer has no control over when the actions are invoked. Errors
+//! > that occur within the thunk are problematic as well."
+//!
+//! This registry reproduces those restrictions faithfully: thunks run
+//! immediately after the collection that proved the object dead, with
+//! **allocation forbidden** (an allocating thunk panics, as the tests
+//! demonstrate), and thunk errors are collected rather than propagated,
+//! "suppressed or somehow delayed until all finalization is complete."
+
+use guardians_gc::{Heap, Value};
+use std::collections::HashMap;
+
+/// A clean-up thunk. It receives the heap read-only — it cannot even see
+/// the dead object (the mechanism "discards the object and leaves behind"
+/// only what the thunk captured), and must not allocate.
+pub type FinalizeThunk = Box<dyn FnMut(&Heap) -> Result<(), String>>;
+
+/// The `register-for-finalization` registry.
+#[derive(Default)]
+pub struct FinalizationRegistry {
+    thunks: HashMap<u64, FinalizeThunk>,
+    next_id: u64,
+    /// Thunks run so far.
+    pub runs: u64,
+    /// Errors raised by thunks, suppressed and accumulated.
+    pub suppressed_errors: Vec<String>,
+}
+
+impl FinalizationRegistry {
+    /// An empty registry.
+    pub fn new() -> FinalizationRegistry {
+        FinalizationRegistry::default()
+    }
+
+    /// Registers `obj` for finalization by `thunk`.
+    pub fn register_for_finalization(
+        &mut self,
+        heap: &mut Heap,
+        obj: Value,
+        thunk: impl FnMut(&Heap) -> Result<(), String> + 'static,
+    ) {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.thunks.insert(id, Box::new(thunk));
+        heap.register_for_finalization(obj, id);
+    }
+
+    /// Runs the thunks for every object the most recent collection proved
+    /// dead. In the original design this happens *inside* the collector;
+    /// call this immediately after `collect` to reproduce that timing.
+    /// Returns how many thunks ran.
+    pub fn run_pending(&mut self, heap: &mut Heap) -> usize {
+        let ids: Vec<u64> = heap.last_report().map(|r| r.finalized_ids.clone()).unwrap_or_default();
+        let mut ran = 0;
+        // The collector is still conceptually "running": allocation from
+        // a finalization thunk must not trigger a nested collection.
+        heap.set_allocation_forbidden(true);
+        for id in ids {
+            if let Some(mut thunk) = self.thunks.remove(&id) {
+                if let Err(e) = thunk(heap) {
+                    // "error signals must be suppressed or somehow delayed
+                    // until all finalization is complete."
+                    self.suppressed_errors.push(e);
+                }
+                ran += 1;
+                self.runs += 1;
+            }
+        }
+        heap.set_allocation_forbidden(false);
+        ran
+    }
+
+    /// Objects still awaiting death.
+    pub fn pending(&self) -> usize {
+        self.thunks.len()
+    }
+}
+
+impl std::fmt::Debug for FinalizationRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FinalizationRegistry")
+            .field("pending", &self.thunks.len())
+            .field("runs", &self.runs)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    #[test]
+    fn thunks_run_after_death() {
+        let mut heap = Heap::default();
+        let mut reg = FinalizationRegistry::new();
+        let ran = Rc::new(Cell::new(0));
+        let a = heap.cons(Value::fixnum(1), Value::NIL);
+        let b = heap.cons(Value::fixnum(2), Value::NIL);
+        let keep = heap.root(b);
+        for obj in [a, b] {
+            let ran = Rc::clone(&ran);
+            reg.register_for_finalization(&mut heap, obj, move |_| {
+                ran.set(ran.get() + 1);
+                Ok(())
+            });
+        }
+        heap.collect(heap.config().max_generation());
+        assert_eq!(reg.run_pending(&mut heap), 1, "only the dead object's thunk");
+        assert_eq!(ran.get(), 1);
+        assert_eq!(reg.pending(), 1);
+        drop(keep);
+        heap.collect(heap.config().max_generation());
+        reg.run_pending(&mut heap);
+        assert_eq!(ran.get(), 2);
+    }
+
+    #[test]
+    fn thunk_errors_are_suppressed_not_raised() {
+        let mut heap = Heap::default();
+        let mut reg = FinalizationRegistry::new();
+        let a = heap.cons(Value::NIL, Value::NIL);
+        let b = heap.cons(Value::NIL, Value::NIL);
+        reg.register_for_finalization(&mut heap, a, |_| Err("fd already closed".into()));
+        let ran = Rc::new(Cell::new(false));
+        let r2 = Rc::clone(&ran);
+        reg.register_for_finalization(&mut heap, b, move |_| {
+            r2.set(true);
+            Ok(())
+        });
+        heap.collect(heap.config().max_generation());
+        reg.run_pending(&mut heap);
+        assert_eq!(reg.suppressed_errors, vec!["fd already closed".to_string()]);
+        assert!(ran.get(), "later thunks still ran despite the earlier error");
+    }
+
+    #[test]
+    fn finalization_happens_at_collector_timing_not_program_timing() {
+        // The contrast with guardians: the program cannot defer this.
+        let mut heap = Heap::default();
+        let mut reg = FinalizationRegistry::new();
+        let seen = Rc::new(Cell::new(false));
+        let s = Rc::clone(&seen);
+        let a = heap.cons(Value::NIL, Value::NIL);
+        reg.register_for_finalization(&mut heap, a, move |_| {
+            s.set(true);
+            Ok(())
+        });
+        // Some library code happens to trigger a collection...
+        heap.collect(heap.config().max_generation());
+        reg.run_pending(&mut heap);
+        assert!(seen.get(), "...and the clean-up ran right there, mid-'collection'");
+    }
+}

@@ -1,0 +1,153 @@
+//! MIT-Scheme / T style weak hashing, paper Section 2:
+//!
+//! > "The primitive `hash` accepts an object and returns an integer that
+//! > is unique to that object … The primitive `unhash` accepts an integer
+//! > and returns the associated object, if the object has not been
+//! > reclaimed by the garbage collector. If the object has been reclaimed,
+//! > `unhash` returns false. The integer can be used as a weak pointer to
+//! > the object."
+
+use guardians_gc::{Heap, Rooted, Value};
+use std::collections::HashMap;
+
+/// The `hash`/`unhash` weak-pointer registry.
+#[derive(Debug)]
+pub struct WeakHasher {
+    /// Heap list of weak pairs `(object . id-fixnum)`.
+    entries: Rooted,
+    next_id: u64,
+    /// id → weak pair, for O(1) unhash. The weak pairs are reachable from
+    /// `entries`, so storing their (relocating) values here would go
+    /// stale; instead unhash walks from a per-collection index.
+    index: HashMap<u64, Value>,
+    stamp: u64,
+    /// Entries touched while rebuilding the index after collections.
+    pub entries_reindexed: u64,
+}
+
+impl WeakHasher {
+    /// An empty registry.
+    pub fn new(heap: &mut Heap) -> WeakHasher {
+        WeakHasher {
+            entries: heap.root(Value::NIL),
+            next_id: 1,
+            index: HashMap::new(),
+            stamp: heap.collection_count(),
+            entries_reindexed: 0,
+        }
+    }
+
+    fn refresh(&mut self, heap: &mut Heap) {
+        if heap.collection_count() == self.stamp {
+            return;
+        }
+        // Rebuild the id index and prune broken entries — a full
+        // traversal, as the paper observes for all weak-pointer schemes.
+        self.index.clear();
+        let mut live = Vec::new();
+        let mut cur = self.entries.get();
+        while !cur.is_nil() {
+            self.entries_reindexed += 1;
+            let pair = heap.car(cur);
+            let obj = heap.car(pair);
+            if !obj.is_false() {
+                live.push(pair);
+            }
+            cur = heap.cdr(cur);
+        }
+        let mut list = Value::NIL;
+        for &pair in live.iter().rev() {
+            list = heap.cons(pair, list);
+        }
+        self.entries.set(list);
+        let mut cur = self.entries.get();
+        while !cur.is_nil() {
+            let pair = heap.car(cur);
+            let id = heap.cdr(pair).as_fixnum() as u64;
+            self.index.insert(id, pair);
+            cur = heap.cdr(cur);
+        }
+        self.stamp = heap.collection_count();
+    }
+
+    /// Returns the unique integer for `obj`, assigning one on first use.
+    pub fn hash(&mut self, heap: &mut Heap, obj: Value) -> u64 {
+        self.refresh(heap);
+        // Existing assignment? (linear scan: ids are object-keyed and
+        // addresses are unstable, so there is no cheap reverse index).
+        let mut cur = self.entries.get();
+        while !cur.is_nil() {
+            let pair = heap.car(cur);
+            if heap.car(pair) == obj {
+                return heap.cdr(pair).as_fixnum() as u64;
+            }
+            cur = heap.cdr(cur);
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let pair = heap.weak_cons(obj, Value::fixnum(id as i64));
+        let cell = heap.cons(pair, self.entries.get());
+        self.entries.set(cell);
+        self.index.insert(id, pair);
+        id
+    }
+
+    /// Returns the object for `id`, or `None` if it was reclaimed (the
+    /// paper's `unhash` returning false).
+    pub fn unhash(&mut self, heap: &mut Heap, id: u64) -> Option<Value> {
+        self.refresh(heap);
+        let pair = *self.index.get(&id)?;
+        let obj = heap.car(pair);
+        obj.is_truthy().then_some(obj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_stable_and_unique() {
+        let mut heap = Heap::default();
+        let mut wh = WeakHasher::new(&mut heap);
+        let a = heap.cons(Value::fixnum(1), Value::NIL);
+        let b = heap.cons(Value::fixnum(2), Value::NIL);
+        let (ra, rb) = (heap.root(a), heap.root(b));
+        let ha = wh.hash(&mut heap, a);
+        let hb = wh.hash(&mut heap, b);
+        assert_ne!(ha, hb, "never the same integer for a different object");
+        heap.collect(0);
+        assert_eq!(wh.hash(&mut heap, ra.get()), ha, "stable across moves");
+        assert_eq!(wh.hash(&mut heap, rb.get()), hb);
+    }
+
+    #[test]
+    fn unhash_returns_object_while_alive_then_none() {
+        let mut heap = Heap::default();
+        let mut wh = WeakHasher::new(&mut heap);
+        let a = heap.cons(Value::fixnum(7), Value::NIL);
+        let ra = heap.root(a);
+        let id = wh.hash(&mut heap, a);
+        heap.collect(0);
+        assert_eq!(wh.unhash(&mut heap, id), Some(ra.get()));
+        drop(ra);
+        heap.collect(heap.config().max_generation());
+        assert_eq!(wh.unhash(&mut heap, id), None, "reclaimed → false");
+        assert_eq!(wh.unhash(&mut heap, 999), None, "unknown id");
+        heap.verify().unwrap();
+    }
+
+    #[test]
+    fn ids_are_weak_pointers_not_retainers() {
+        let mut heap = Heap::default();
+        let mut wh = WeakHasher::new(&mut heap);
+        for i in 0..100 {
+            let v = heap.cons(Value::fixnum(i), Value::NIL);
+            wh.hash(&mut heap, v);
+        }
+        heap.collect(heap.config().max_generation());
+        // Any access rebuilds the index — counting the full-traversal cost.
+        assert_eq!(wh.unhash(&mut heap, 1), None);
+        assert_eq!(wh.entries_reindexed, 100);
+    }
+}

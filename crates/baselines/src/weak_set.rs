@@ -1,0 +1,160 @@
+//! T-style weak sets ("populations"), paper Section 2:
+//!
+//! > "A weak set is a data structure containing a set of objects.
+//! > Operations are provided to add new objects, remove objects, and
+//! > retrieve a list of the objects in the set. … an object that is not
+//! > accessible except by way of one or more weak sets is ultimately
+//! > discarded and removed from the weak sets to which it belonged."
+//!
+//! The paper's criticism, reproduced here as counters: "if a list of weak
+//! pointers is maintained …, the entire list must be traversed to find
+//! the pointers that have been broken, even if none or only a few of the
+//! elements have been dropped by the collector."
+
+use guardians_gc::{Heap, Rooted, Value};
+
+/// A weak set over heap objects.
+#[derive(Debug)]
+pub struct WeakSet {
+    /// Heap list of weak pairs `(element . #f)`.
+    items: Rooted,
+    len: usize,
+    /// Entries touched by traversals — the proportionality metric.
+    pub entries_traversed: u64,
+    /// Broken entries discarded by traversals.
+    pub entries_dropped: u64,
+}
+
+impl WeakSet {
+    /// An empty weak set.
+    pub fn new(heap: &mut Heap) -> WeakSet {
+        WeakSet { items: heap.root(Value::NIL), len: 0, entries_traversed: 0, entries_dropped: 0 }
+    }
+
+    /// Adds an object (weakly).
+    pub fn add(&mut self, heap: &mut Heap, v: Value) {
+        let cell = heap.weak_cons(v, self.items.get());
+        self.items.set(cell);
+        self.len += 1;
+    }
+
+    /// Removes one occurrence of `v` (by `eq?`); returns whether found.
+    /// Requires a full traversal, like every weak-set operation.
+    pub fn remove(&mut self, heap: &mut Heap, v: Value) -> bool {
+        let mut kept = Vec::new();
+        let mut found = false;
+        let mut cur = self.items.get();
+        while !cur.is_nil() {
+            self.entries_traversed += 1;
+            let car = heap.car(cur);
+            if !found && car == v {
+                found = true;
+            } else {
+                kept.push(car);
+            }
+            cur = heap.cdr(cur);
+        }
+        self.rebuild(heap, &kept);
+        found
+    }
+
+    /// The members still alive. **Traverses the entire list** (counting
+    /// the work), pruning broken entries as a side effect.
+    pub fn members(&mut self, heap: &mut Heap) -> Vec<Value> {
+        let mut live = Vec::new();
+        let mut cur = self.items.get();
+        while !cur.is_nil() {
+            self.entries_traversed += 1;
+            let car = heap.car(cur);
+            if car.is_false() {
+                self.entries_dropped += 1;
+            } else {
+                live.push(car);
+            }
+            cur = heap.cdr(cur);
+        }
+        self.rebuild(heap, &live);
+        live
+    }
+
+    fn rebuild(&mut self, heap: &mut Heap, live: &[Value]) {
+        let mut list = Value::NIL;
+        for &v in live.iter().rev() {
+            list = heap.weak_cons(v, list);
+        }
+        self.items.set(list);
+        self.len = live.len();
+    }
+
+    /// Physical entries currently in the list (broken ones included until
+    /// the next traversal).
+    pub fn physical_len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn members_drop_dead_objects() {
+        let mut heap = Heap::default();
+        let mut set = WeakSet::new(&mut heap);
+        let a = heap.cons(Value::fixnum(1), Value::NIL);
+        let b = heap.cons(Value::fixnum(2), Value::NIL);
+        let keep = heap.root(b);
+        set.add(&mut heap, a);
+        set.add(&mut heap, b);
+        heap.collect(heap.config().max_generation());
+        let live = set.members(&mut heap);
+        assert_eq!(live, vec![keep.get()]);
+        assert_eq!(set.entries_dropped, 1);
+        heap.verify().unwrap();
+    }
+
+    #[test]
+    fn remove_is_by_identity() {
+        let mut heap = Heap::default();
+        let mut set = WeakSet::new(&mut heap);
+        let a = heap.cons(Value::fixnum(1), Value::NIL);
+        let b = heap.cons(Value::fixnum(1), Value::NIL);
+        let (ra, rb) = (heap.root(a), heap.root(b));
+        set.add(&mut heap, a);
+        set.add(&mut heap, b);
+        assert!(set.remove(&mut heap, ra.get()));
+        assert!(!set.remove(&mut heap, ra.get()), "only one occurrence existed");
+        let live = set.members(&mut heap);
+        assert_eq!(live, vec![rb.get()]);
+    }
+
+    #[test]
+    fn traversal_cost_scales_with_set_size() {
+        let mut heap = Heap::default();
+        let mut set = WeakSet::new(&mut heap);
+        let mut roots = Vec::new();
+        for i in 0..100 {
+            let v = heap.cons(Value::fixnum(i), Value::NIL);
+            roots.push(heap.root(v));
+            set.add(&mut heap, v);
+        }
+        roots.pop(); // exactly one death
+        heap.collect(heap.config().max_generation());
+        set.entries_traversed = 0;
+        let live = set.members(&mut heap);
+        assert_eq!(live.len(), 99);
+        assert_eq!(set.entries_traversed, 100, "paid for all 100 to find 1 — the paper's point");
+    }
+
+    #[test]
+    fn weak_set_membership_does_not_retain() {
+        let mut heap = Heap::default();
+        let mut set = WeakSet::new(&mut heap);
+        for i in 0..50 {
+            let v = heap.cons(Value::fixnum(i), Value::NIL);
+            set.add(&mut heap, v);
+        }
+        heap.collect(heap.config().max_generation());
+        assert!(set.members(&mut heap).is_empty(), "nothing retained by the set alone");
+    }
+}

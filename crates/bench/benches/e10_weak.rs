@@ -1,0 +1,62 @@
+//! E10 wall-clock: collections over heaps with many weak pairs — young
+//! (all scanned) vs parked-old-and-clean (none scanned).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use guardians_gc::{Heap, Value};
+use std::time::Duration;
+
+const PAIRS: usize = 10_000;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_weak");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+
+    group.bench_function("young_gc_with_10k_young_weak_pairs", |b| {
+        b.iter_batched(
+            || {
+                let mut heap = Heap::default();
+                let mut roots = Vec::new();
+                for i in 0..PAIRS {
+                    let obj = heap.cons(Value::fixnum(i as i64), Value::NIL);
+                    if i % 2 == 0 {
+                        roots.push(heap.root(obj));
+                    }
+                    let w = heap.weak_cons(obj, Value::NIL);
+                    roots.push(heap.root(w));
+                }
+                (heap, roots)
+            },
+            |(mut heap, roots)| {
+                heap.collect(0);
+                (heap, roots)
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.bench_function("young_gc_with_10k_parked_weak_pairs", |b| {
+        let mut heap = Heap::default();
+        let mut roots = Vec::new();
+        for i in 0..PAIRS {
+            let obj = heap.cons(Value::fixnum(i as i64), Value::NIL);
+            roots.push(heap.root(obj));
+            let w = heap.weak_cons(obj, Value::NIL);
+            roots.push(heap.root(w));
+        }
+        heap.collect(0);
+        heap.collect(1); // all weak pairs clean in generation 2
+        b.iter(|| {
+            for _ in 0..100 {
+                let _ = heap.cons(Value::NIL, Value::NIL);
+            }
+            { heap.collect(0); }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E11 wall-clock: the whole-collector characterisation — the lifetime
+//! workload under different generation counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use guardians_gc::{GcConfig, Heap};
+use guardians_workloads::{run_lifetime_workload, LifetimeParams};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_collector");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(4))
+        .sample_size(10);
+
+    for generations in [1u8, 4] {
+        group.bench_function(format!("lifetime_workload_{generations}gen"), |b| {
+            b.iter(|| {
+                let config = GcConfig {
+                    generations,
+                    trigger_bytes: 128 * 1024,
+                    frequency: (0..generations as usize).map(|i| 4u64.pow(i as u32)).collect(),
+                    ..GcConfig::new()
+                };
+                let mut heap = Heap::new(config);
+                let params = LifetimeParams { allocations: 20_000, ..LifetimeParams::default() };
+                run_lifetime_workload(&mut heap, &params)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

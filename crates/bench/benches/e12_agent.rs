@@ -1,0 +1,60 @@
+//! E12 wall-clock: finalizing 100 large objects — classic registration
+//! (objects resurrected and copied) vs agent registration (only tokens
+//! survive).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use guardians_gc::{Guardian, Heap, Value};
+use std::time::Duration;
+
+const OBJECTS: usize = 100;
+const OBJECT_BYTES: usize = 64 * 1024;
+
+fn setup(use_agent: bool) -> (Heap, Guardian) {
+    let mut heap = Heap::default();
+    let g = heap.make_guardian();
+    for i in 0..OBJECTS {
+        let big = heap.make_bytevector(OBJECT_BYTES, 0);
+        if use_agent {
+            g.register_with_agent(&mut heap, big, Value::fixnum(i as i64));
+        } else {
+            g.register(&mut heap, big);
+        }
+    }
+    (heap, g)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_agent");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+
+    group.bench_function("finalize_100_large_classic", |b| {
+        b.iter_batched(
+            || setup(false),
+            |(mut heap, g)| {
+                heap.collect(heap.config().max_generation());
+                while g.poll(&mut heap).is_some() {}
+                (heap, g)
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.bench_function("finalize_100_large_agent", |b| {
+        b.iter_batched(
+            || setup(true),
+            |(mut heap, g)| {
+                heap.collect(heap.config().max_generation());
+                while g.poll(&mut heap).is_some() {}
+                (heap, g)
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E1 wall-clock: steady-state access cost of the guarded hash table
+//! (Figure 1) vs the weak-only table, at identical sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use guardians_gc::{Heap, Rooted, Value};
+use guardians_runtime::hashtab::content_hash;
+use guardians_runtime::{GuardedHashTable, WeakKeyTable};
+use guardians_workloads::KeyGen;
+use std::time::Duration;
+
+const ENTRIES: usize = 1_000;
+
+fn fill_keys(heap: &mut Heap) -> Vec<Rooted> {
+    (0..ENTRIES)
+        .map(|i| {
+            let k = heap.make_string(&KeyGen::name(i as u64));
+            heap.root(k)
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_guarded_table");
+    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+
+    let mut heap = Heap::default();
+    let mut guarded = GuardedHashTable::new(&mut heap, 256, content_hash);
+    let keys = fill_keys(&mut heap);
+    for (i, k) in keys.iter().enumerate() {
+        guarded.access(&mut heap, k.get(), Value::fixnum(i as i64));
+    }
+    let mut i = 0usize;
+    group.bench_function("guarded_access_hit", |b| {
+        b.iter(|| {
+            i = (i + 7) % ENTRIES;
+            guarded.access(&mut heap, keys[i].get(), Value::fixnum(0))
+        })
+    });
+
+    let mut heap = Heap::default();
+    let mut weak = WeakKeyTable::new(&mut heap, 256, content_hash);
+    let keys = fill_keys(&mut heap);
+    for (i, k) in keys.iter().enumerate() {
+        weak.access(&mut heap, k.get(), Value::fixnum(i as i64));
+    }
+    let mut i = 0usize;
+    group.bench_function("weak_access_hit", |b| {
+        b.iter(|| {
+            i = (i + 7) % ENTRIES;
+            weak.access(&mut heap, keys[i].get(), Value::fixnum(0))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E2 wall-clock: the tconc protocol's mutator-side operations
+//! (Figures 2–4) — append, pop, and the empty test.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use guardians_gc::{Heap, Value};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_tconc");
+    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+
+    let mut heap = Heap::default();
+    let tc = heap.make_tconc();
+    group.bench_function("append_then_pop", |b| {
+        b.iter(|| {
+            heap.tconc_append(tc, Value::fixnum(1));
+            heap.tconc_pop(tc)
+        })
+    });
+    group.bench_function("pop_empty", |b| b.iter(|| heap.tconc_pop(tc)));
+    group.bench_function("is_empty", |b| b.iter(|| heap.tconc_is_empty(tc)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E3 wall-clock: cost of one young collection with 10,000 guardian
+//! entries parked in generation 2 — per-generation protected lists vs the
+//! flat-list ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use guardians_gc::{GcConfig, Heap, Rooted, Value};
+use std::time::Duration;
+
+const PARKED: usize = 10_000;
+
+fn setup(flat: bool) -> (Heap, Vec<Rooted>, guardians_gc::Guardian) {
+    let mut heap = Heap::new(GcConfig { flat_protected: flat, ..GcConfig::new() });
+    let g = heap.make_guardian();
+    let mut roots = Vec::with_capacity(PARKED);
+    for i in 0..PARKED {
+        let obj = heap.cons(Value::fixnum(i as i64), Value::NIL);
+        roots.push(heap.root(obj));
+        g.register(&mut heap, obj);
+    }
+    heap.collect(0);
+    heap.collect(1); // entries parked in generation 2
+    (heap, roots, g)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_genfriendly");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+
+    let (mut heap, _roots, _g) = setup(false);
+    group.bench_function("young_gc_per_generation_lists", |b| {
+        b.iter(|| {
+            for _ in 0..100 {
+                let _ = heap.cons(Value::NIL, Value::NIL);
+            }
+            { heap.collect(0); }
+        })
+    });
+
+    let (mut heap, _roots2, _g2) = setup(true);
+    group.bench_function("young_gc_flat_list_ablation", |b| {
+        b.iter(|| {
+            for _ in 0..100 {
+                let _ = heap.cons(Value::NIL, Value::NIL);
+            }
+            { heap.collect(0); }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

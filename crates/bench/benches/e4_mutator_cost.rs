@@ -1,0 +1,64 @@
+//! E4 wall-clock: clean-up cost after a handful of key deaths — guarded
+//! scrub (proportional to deaths) vs full scan (proportional to table).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use guardians_gc::{Heap, Rooted, Value};
+use guardians_runtime::hashtab::content_hash;
+use guardians_runtime::{GuardedHashTable, WeakKeyTable};
+use guardians_workloads::KeyGen;
+use std::time::Duration;
+
+const TABLE: usize = 5_000;
+const DEATHS: usize = 10;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_mutator_cost");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+
+    group.bench_function("guarded_scrub_after_10_deaths", |b| {
+        b.iter_batched(
+            || {
+                let mut heap = Heap::default();
+                let mut t = GuardedHashTable::new(&mut heap, 256, content_hash);
+                let mut keys: Vec<Rooted> = Vec::new();
+                for i in 0..TABLE {
+                    let k = heap.make_string(&KeyGen::name(i as u64));
+                    keys.push(heap.root(k));
+                    t.access(&mut heap, k, Value::fixnum(i as i64));
+                }
+                keys.truncate(TABLE - DEATHS);
+                heap.collect(heap.config().max_generation());
+                (heap, t, keys)
+            },
+            |(mut heap, mut t, _keys)| t.scrub(&mut heap),
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.bench_function("weak_full_scan_after_10_deaths", |b| {
+        b.iter_batched(
+            || {
+                let mut heap = Heap::default();
+                let mut t = WeakKeyTable::new(&mut heap, 256, content_hash);
+                let mut keys: Vec<Rooted> = Vec::new();
+                for i in 0..TABLE {
+                    let k = heap.make_string(&KeyGen::name(i as u64));
+                    keys.push(heap.root(k));
+                    t.access(&mut heap, k, Value::fixnum(i as i64));
+                }
+                keys.truncate(TABLE - DEATHS);
+                heap.collect(heap.config().max_generation());
+                (heap, t, keys)
+            },
+            |(mut heap, mut t, _keys)| t.scrub_full_scan(&mut heap),
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E5 wall-clock: per-character I/O cost — direct port vs through an
+//! Atkins forwarding header (the indirection the paper calls too
+//! expensive for ports), plus the guarded open path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use guardians_baselines::IndirectPorts;
+use guardians_gc::Heap;
+use guardians_runtime::{ports, GuardedPorts, SimOs};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_ports");
+    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+
+    let mut heap = Heap::default();
+    let mut os = SimOs::new();
+    let out = ports::open_output_port(&mut heap, &mut os, "/direct").unwrap();
+    let _keep = heap.root(out);
+    group.bench_function("write_char_direct", |b| {
+        b.iter(|| ports::write_byte(&mut heap, &mut os, out, b'x'))
+    });
+
+    let mut ip = IndirectPorts::new(&mut heap);
+    let header = ip.open_output(&mut heap, &mut os, "/indirect").unwrap();
+    let _keep2 = heap.root(header);
+    group.bench_function("write_char_indirect_header", |b| {
+        b.iter(|| ip.write_byte(&mut heap, &mut os, header, b'x'))
+    });
+
+    let mut gp = GuardedPorts::new(&mut heap);
+    let mut n = 0u32;
+    group.bench_function("guarded_open_close_cycle", |b| {
+        b.iter(|| {
+            n += 1;
+            let p = gp.open_output(&mut heap, &mut os, &format!("/g{}", n % 8)).unwrap();
+            ports::close_port(&mut heap, &mut os, p).unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

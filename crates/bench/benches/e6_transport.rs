@@ -1,0 +1,59 @@
+//! E6 wall-clock: eq-table access after a young collection — the
+//! rehash-everything policy vs the transport-guardian table with its
+//! entries parked in an old generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use guardians_gc::{Heap, Rooted, Value};
+use guardians_runtime::{EqHashTable, TransportEqHashTable};
+use std::time::Duration;
+
+const ENTRIES: usize = 2_000;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_transport");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+
+    group.bench_function("rehash_all_young_gc_then_get", |b| {
+        let mut heap = Heap::default();
+        let mut t = EqHashTable::new(&mut heap, 256);
+        let mut keys: Vec<Rooted> = Vec::new();
+        for i in 0..ENTRIES {
+            let k = heap.cons(Value::fixnum(i as i64), Value::NIL);
+            keys.push(heap.root(k));
+            t.insert(&mut heap, k, Value::fixnum(i as i64));
+        }
+        heap.collect(0);
+        heap.collect(1);
+        let _ = t.get(&mut heap, keys[0].get());
+        b.iter(|| {
+            heap.collect(0);
+            t.get(&mut heap, keys[0].get())
+        })
+    });
+
+    group.bench_function("transport_young_gc_then_get", |b| {
+        let mut heap = Heap::default();
+        let mut t = TransportEqHashTable::new(&mut heap, 256);
+        let mut keys: Vec<Rooted> = Vec::new();
+        for i in 0..ENTRIES {
+            let k = heap.cons(Value::fixnum(i as i64), Value::NIL);
+            keys.push(heap.root(k));
+            t.insert(&mut heap, k, Value::fixnum(i as i64));
+        }
+        for _ in 0..3 {
+            heap.collect(1);
+            let _ = t.get(&mut heap, keys[0].get());
+        }
+        b.iter(|| {
+            heap.collect(0);
+            t.get(&mut heap, keys[0].get())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E7 wall-clock: acquire-use-drop cycle of an expensive bitmap — the
+//! guarded pool (recycling via the guardian) vs building fresh each time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use guardians_gc::{Heap, Value};
+use guardians_runtime::GuardedPool;
+use std::time::Duration;
+
+const BITMAP_BYTES: usize = 64 * 1024;
+
+fn expensive_factory(heap: &mut Heap) -> Value {
+    let bm = heap.make_bytevector(BITMAP_BYTES, 0);
+    for i in 0..BITMAP_BYTES {
+        heap.bytevector_set(bm, i, (i.wrapping_mul(2654435761) >> 7) as u8);
+    }
+    bm
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_pool");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+
+    group.bench_function("pooled_cycle", |b| {
+        let mut heap = Heap::default();
+        let mut pool = GuardedPool::new(&mut heap, expensive_factory);
+        b.iter(|| {
+            let bm = pool.acquire(&mut heap);
+            heap.bytevector_set(bm, 0, 1);
+            heap.collect(heap.config().max_generation());
+        })
+    });
+
+    group.bench_function("fresh_cycle", |b| {
+        let mut heap = Heap::default();
+        b.iter(|| {
+            let bm = expensive_factory(&mut heap);
+            heap.bytevector_set(bm, 0, 1);
+            heap.collect(heap.config().max_generation());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E8 wall-clock: guardian registration and retrieval throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use guardians_gc::{Heap, Value};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_register");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+
+    group.bench_function("register_1000", |b| {
+        b.iter_batched(
+            || {
+                let mut heap = Heap::default();
+                let g = heap.make_guardian();
+                let obj = heap.cons(Value::fixnum(1), Value::NIL);
+                let keep = heap.root(obj);
+                (heap, g, keep)
+            },
+            |(mut heap, g, keep)| {
+                for _ in 0..1_000 {
+                    g.register(&mut heap, keep.get());
+                }
+                (heap, g)
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.bench_function("poll_1000_dead", |b| {
+        b.iter_batched(
+            || {
+                let mut heap = Heap::default();
+                let g = heap.make_guardian();
+                for i in 0..1_000 {
+                    let obj = heap.cons(Value::fixnum(i), Value::NIL);
+                    g.register(&mut heap, obj);
+                }
+                heap.collect(heap.config().max_generation());
+                (heap, g)
+            },
+            |(mut heap, g)| {
+                while g.poll(&mut heap).is_some() {}
+                (heap, g)
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

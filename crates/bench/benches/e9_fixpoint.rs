@@ -1,0 +1,50 @@
+//! E9 wall-clock: a full collection resolving a chain of guardians each
+//! registered with the previous one (the pend-final fixpoint).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use guardians_gc::{Heap, Value};
+use std::time::Duration;
+
+fn setup(chain: usize) -> Heap {
+    let mut heap = Heap::default();
+    let keeper = heap.make_guardian();
+    let mut guardians = Vec::new();
+    for _ in 0..chain {
+        guardians.push(heap.make_guardian());
+    }
+    keeper.register(&mut heap, guardians[0].tconc());
+    for i in 1..chain {
+        let inner = guardians[i].tconc();
+        guardians[i - 1].register(&mut heap, inner);
+    }
+    let obj = heap.cons(Value::fixnum(chain as i64), Value::NIL);
+    guardians[chain - 1].register(&mut heap, obj);
+    drop(guardians);
+    std::mem::forget(keeper); // keep the chain head alive through the bench
+    heap
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_fixpoint");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+
+    for chain in [8usize, 64, 256] {
+        group.bench_function(format!("collect_chain_{chain}"), |b| {
+            b.iter_batched(
+                || setup(chain),
+                |mut heap| {
+                    heap.collect(heap.config().max_generation());
+                    heap
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Regenerates every experiment table (E1..E12) — the artifact behind
+//! EXPERIMENTS.md.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p guardians-bench --bin experiments          # full
+//! cargo run -p guardians-bench --bin experiments -- --quick         # small
+//! cargo run -p guardians-bench --bin experiments -- --only e3 e4   # subset
+//! ```
+
+use guardians_bench::experiments as ex;
+use guardians_workloads::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let only: Vec<String> = match args.iter().position(|a| a == "--only") {
+        Some(i) => args[i + 1..].iter().filter(|a| !a.starts_with("--")).map(|s| s.to_lowercase()).collect(),
+        None => Vec::new(),
+    };
+    let wanted = |name: &str| only.is_empty() || only.iter().any(|o| o == name);
+
+    println!("Guardians in a Generation-Based Garbage Collector (PLDI 1993)");
+    println!("Reproduction experiment suite{}", if quick { " (quick mode)" } else { "" });
+    println!();
+
+    type Runner = fn(bool) -> Table;
+    let suite: Vec<(&str, Runner)> = vec![
+        ("e1", |q| ex::e1::run(q).0),
+        ("e2", |q| ex::e2::run(q).0),
+        ("e3", |q| ex::e3::run(q).0),
+        ("e4", |q| ex::e4::run(q).0),
+        ("e5", |q| ex::e5::run(q).0),
+        ("e6", |q| ex::e6::run(q).0),
+        ("e7", |q| ex::e7::run(q).0),
+        ("e8", |q| ex::e8::run(q).0),
+        ("e9", |q| ex::e9::run(q).0),
+        ("e10", |q| ex::e10::run(q).0),
+        ("e11", |q| ex::e11::run(q).0),
+        ("e12", |q| ex::e12::run(q).0),
+    ];
+    for (name, run) in suite {
+        if wanted(name) {
+            let table = run(quick);
+            println!("{}", table.render());
+        }
+    }
+}

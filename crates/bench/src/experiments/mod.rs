@@ -1,0 +1,36 @@
+//! The experiment suite: one module per entry of DESIGN.md's
+//! per-experiment index. Each `run(quick)` returns a rendered
+//! [`Table`](guardians_workloads::Table) plus structured rows; the
+//! module's unit test asserts the paper's claimed *shape* on the quick
+//! configuration, so `cargo test` re-checks every claim.
+
+pub mod e1;
+pub mod e10;
+pub mod e11;
+pub mod e12;
+pub mod e2;
+pub mod e3;
+pub mod e4;
+pub mod e5;
+pub mod e6;
+pub mod e7;
+pub mod e8;
+pub mod e9;
+
+/// Runs every experiment, returning the rendered tables in order.
+pub fn run_all(quick: bool) -> Vec<guardians_workloads::Table> {
+    vec![
+        e1::run(quick).0,
+        e2::run(quick).0,
+        e3::run(quick).0,
+        e4::run(quick).0,
+        e5::run(quick).0,
+        e6::run(quick).0,
+        e7::run(quick).0,
+        e8::run(quick).0,
+        e9::run(quick).0,
+        e10::run(quick).0,
+        e11::run(quick).0,
+        e12::run(quick).0,
+    ]
+}

@@ -1,0 +1,19 @@
+//! Benchmark and experiment harness for the guardians reproduction.
+//!
+//! The paper (PLDI 1993) has no numeric tables; its evaluation is four
+//! figures and a set of complexity claims. This crate regenerates all of
+//! them:
+//!
+//! * [`experiments`] — E1..E12, one per entry in DESIGN.md's experiment
+//!   index. Each returns a printable table of deterministic work counters
+//!   and carries a unit test asserting the claimed shape.
+//! * [`replay`] — churn-script replayer comparing table mechanisms on
+//!   identical inputs.
+//! * The `experiments` binary (`cargo run -p guardians-bench --bin
+//!   experiments [--quick]`) prints every table — the artifact behind
+//!   EXPERIMENTS.md.
+//! * Criterion benches (`cargo bench`) measure the mutator-visible
+//!   operations' wall-clock costs.
+
+pub mod experiments;
+pub mod replay;

@@ -1,0 +1,182 @@
+//! Replays churn scripts against the table implementations under
+//! comparison, mapping abstract key ids to rooted heap keys.
+
+use guardians_gc::{Heap, Rooted, Value};
+use guardians_runtime::hashtab::content_hash;
+use guardians_runtime::{GuardedHashTable, WeakKeyTable};
+use guardians_workloads::{KeyGen, TableOp};
+use std::collections::HashMap;
+
+/// The mechanisms E1/E4 compare.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TableKind {
+    /// Figure 1's guarded hash table.
+    Guarded,
+    /// Weak-key table, never scrubbed (the leak).
+    WeakNoScrub,
+    /// Weak-key table with a full scan after every collection.
+    WeakFullScan,
+}
+
+/// What a replay observed.
+#[derive(Clone, Debug, Default)]
+pub struct ReplayOutcome {
+    /// Entries physically in the table at the end (dead included).
+    pub physical_entries: usize,
+    /// Live keys at the end.
+    pub live_keys: usize,
+    /// Clean-up work: entries touched while removing dead associations.
+    pub cleanup_entries_touched: u64,
+    /// Dead entries actually removed.
+    pub removed: u64,
+    /// Peak physical entries over the run (the leak metric over time).
+    pub peak_physical_entries: usize,
+    /// Lookups that found their key.
+    pub hits: u64,
+    /// Lookups that missed (a correctness failure for live keys).
+    pub misses: u64,
+}
+
+/// Replays `script` against a fresh table of the given kind on `heap`.
+pub fn replay(heap: &mut Heap, kind: TableKind, buckets: usize, script: &[TableOp]) -> ReplayOutcome {
+    let mut keys: HashMap<u64, Rooted> = HashMap::new();
+    let mut out = ReplayOutcome::default();
+    let mut guarded = match kind {
+        TableKind::Guarded => Some(GuardedHashTable::new(heap, buckets, content_hash)),
+        _ => None,
+    };
+    let mut weak = match kind {
+        TableKind::Guarded => None,
+        _ => Some(WeakKeyTable::new(heap, buckets, content_hash)),
+    };
+
+    for op in script {
+        match *op {
+            TableOp::Insert(id) => {
+                let key = heap.make_string(&KeyGen::name(id));
+                keys.insert(id, heap.root(key));
+                match (&mut guarded, &mut weak) {
+                    (Some(t), _) => {
+                        t.access(heap, key, Value::fixnum(id as i64));
+                    }
+                    (_, Some(t)) => {
+                        t.access(heap, key, Value::fixnum(id as i64));
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            TableOp::DropKey(id) => {
+                keys.remove(&id);
+            }
+            TableOp::Lookup(id) => {
+                let key = keys[&id].get();
+                let found = match (&mut guarded, &mut weak) {
+                    (Some(t), _) => t.get(heap, key),
+                    (_, Some(t)) => t.get(heap, key),
+                    _ => unreachable!(),
+                };
+                if found == Some(Value::fixnum(id as i64)) {
+                    out.hits += 1;
+                } else {
+                    out.misses += 1;
+                }
+            }
+            TableOp::Collect(g) => {
+                heap.collect(g);
+                if kind == TableKind::WeakFullScan {
+                    if let Some(t) = weak.as_mut() {
+                        out.removed += t.scrub_full_scan(heap) as u64;
+                    }
+                }
+            }
+        }
+        let physical = match (&guarded, &weak) {
+            (Some(t), _) => t.len(),
+            (_, Some(t)) => t.physical_len(),
+            _ => unreachable!(),
+        };
+        out.peak_physical_entries = out.peak_physical_entries.max(physical);
+    }
+
+    match (guarded, weak) {
+        (Some(t), _) => {
+            out.physical_entries = t.len();
+            out.cleanup_entries_touched = t.removals; // guarded: touched == removed
+            out.removed = t.removals;
+        }
+        (_, Some(t)) => {
+            out.physical_entries = t.physical_len();
+            out.cleanup_entries_touched = t.entries_scanned;
+        }
+        _ => unreachable!(),
+    }
+    out.live_keys = keys.len();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guardians_workloads::{table_script, ChurnParams};
+
+    fn small_params() -> ChurnParams {
+        ChurnParams {
+            ops: 2_000,
+            live_target: 200,
+            collect_every: 250,
+            collect_generation: 3,
+            ..ChurnParams::default()
+        }
+    }
+
+    #[test]
+    fn all_mechanisms_answer_lookups_correctly() {
+        let script = table_script(&small_params());
+        for kind in [TableKind::Guarded, TableKind::WeakNoScrub, TableKind::WeakFullScan] {
+            let mut heap = Heap::default();
+            let out = replay(&mut heap, kind, 64, &script);
+            assert_eq!(out.misses, 0, "{kind:?} lost a live key");
+            assert!(out.hits > 0);
+            heap.verify().unwrap();
+        }
+    }
+
+    #[test]
+    fn guarded_table_tracks_live_keys_but_unscrubbed_weak_table_leaks() {
+        let script = table_script(&small_params());
+        let mut h1 = Heap::default();
+        let guarded = replay(&mut h1, TableKind::Guarded, 64, &script);
+        let mut h2 = Heap::default();
+        let leaky = replay(&mut h2, TableKind::WeakNoScrub, 64, &script);
+
+        // Scrubbing lags by one collection window, so allow some slack
+        // over the live population — but nowhere near the leak.
+        assert!(
+            guarded.physical_entries < leaky.physical_entries / 2,
+            "guarded table stays near the live population: {} vs leak {}",
+            guarded.physical_entries,
+            leaky.physical_entries
+        );
+        assert!(
+            leaky.physical_entries > guarded.physical_entries * 2,
+            "unscrubbed table accumulates garbage: {} vs {}",
+            leaky.physical_entries,
+            guarded.physical_entries
+        );
+    }
+
+    #[test]
+    fn full_scan_pays_far_more_cleanup_work_than_guarded() {
+        let script = table_script(&small_params());
+        let mut h1 = Heap::default();
+        let guarded = replay(&mut h1, TableKind::Guarded, 64, &script);
+        let mut h2 = Heap::default();
+        let scanned = replay(&mut h2, TableKind::WeakFullScan, 64, &script);
+        assert!(
+            scanned.cleanup_entries_touched > guarded.cleanup_entries_touched * 3,
+            "full scans touch {} entries vs guarded {}",
+            scanned.cleanup_entries_touched,
+            guarded.cleanup_entries_touched
+        );
+    }
+}

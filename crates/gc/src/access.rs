@@ -1,0 +1,425 @@
+//! Typed accessors and the mutator write barrier.
+//!
+//! All dereferencing goes through the [`Heap`]. Accessors validate their
+//! argument's type dynamically and panic with a descriptive message on
+//! misuse (the Scheme layer checks predicates first and reports proper
+//! Scheme errors).
+//!
+//! Every store of a value into a heap object passes the **write barrier**:
+//! if the containing segment belongs to an older generation, the segment
+//! is marked dirty so the next collection's remembered-set scan finds
+//! potential old→young pointers. With the paper's promotion policy
+//! (collecting a generation collects all younger ones too), mutation is
+//! the *only* source of old→young pointers, so dirty segments are a
+//! complete remembered set.
+
+use crate::header::{Header, ObjKind};
+use crate::heap::{read_bytes, Heap};
+use crate::value::Value;
+use guardians_segments::Space;
+
+impl Heap {
+    // ------------------------------------------------------------------
+    // Predicates
+    // ------------------------------------------------------------------
+
+    /// Whether `v` is a pair — ordinary *or* weak, matching the paper:
+    /// "weak pairs are like normal pairs" and are manipulated with the
+    /// normal list operations.
+    pub fn is_pair(&self, v: Value) -> bool {
+        v.is_pair_ptr()
+    }
+
+    /// Whether `v` is a weak pair (determined by its segment's space, as
+    /// in the paper's implementation — there is no per-object tag).
+    pub fn is_weak_pair(&self, v: Value) -> bool {
+        v.is_pair_ptr() && self.segs.info(v.addr().seg()).space == Space::WeakPair
+    }
+
+    /// The kind of a typed heap object, or `None` for pairs, fixnums and
+    /// immediates.
+    pub fn kind_of(&self, v: Value) -> Option<ObjKind> {
+        if !v.is_obj_ptr() {
+            return None;
+        }
+        Some(self.header_of(v).kind)
+    }
+
+    /// Whether `v` is a vector.
+    pub fn is_vector(&self, v: Value) -> bool {
+        self.kind_of(v) == Some(ObjKind::Vector)
+    }
+
+    /// Whether `v` is a string.
+    pub fn is_string(&self, v: Value) -> bool {
+        self.kind_of(v) == Some(ObjKind::String)
+    }
+
+    /// Whether `v` is a symbol.
+    pub fn is_symbol(&self, v: Value) -> bool {
+        self.kind_of(v) == Some(ObjKind::Symbol)
+    }
+
+    /// Whether `v` is a bytevector.
+    pub fn is_bytevector(&self, v: Value) -> bool {
+        self.kind_of(v) == Some(ObjKind::Bytevector)
+    }
+
+    /// Whether `v` is a box.
+    pub fn is_box(&self, v: Value) -> bool {
+        self.kind_of(v) == Some(ObjKind::Box)
+    }
+
+    /// Whether `v` is a flonum.
+    pub fn is_flonum(&self, v: Value) -> bool {
+        self.kind_of(v) == Some(ObjKind::Flonum)
+    }
+
+    /// Whether `v` is a record.
+    pub fn is_record(&self, v: Value) -> bool {
+        self.kind_of(v) == Some(ObjKind::Record)
+    }
+
+    pub(crate) fn header_of(&self, v: Value) -> Header {
+        debug_assert!(v.is_obj_ptr(), "not a typed object: {v:?}");
+        Header::decode(self.segs.word(v.addr()))
+            .unwrap_or_else(|| panic!("corrupt or stale object header at {:?}", v.addr()))
+    }
+
+    fn expect_kind(&self, v: Value, kind: ObjKind, op: &str) -> Header {
+        assert!(v.is_obj_ptr(), "{op}: not a {kind:?}: {v:?}");
+        let h = self.header_of(v);
+        assert!(h.kind == kind, "{op}: expected {kind:?}, found {:?}", h.kind);
+        h
+    }
+
+    // ------------------------------------------------------------------
+    // Write barrier
+    // ------------------------------------------------------------------
+
+    /// Marks `container`'s segment dirty if it lives in an older
+    /// generation and `stored` is a heap pointer.
+    #[inline]
+    pub(crate) fn barrier(&mut self, container: Value, stored: Value) {
+        if !stored.is_ptr() {
+            return;
+        }
+        let info = self.segs.info_mut(container.addr().seg());
+        if info.generation > 0 {
+            info.dirty = true;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Pairs
+    // ------------------------------------------------------------------
+
+    fn expect_pair(&self, v: Value, op: &str) {
+        assert!(v.is_pair_ptr(), "{op}: not a pair: {v:?}");
+    }
+
+    /// The car of a pair. For a weak pair whose referent was reclaimed,
+    /// this is `#f` (the paper's broken-pointer value).
+    pub fn car(&self, v: Value) -> Value {
+        self.expect_pair(v, "car");
+        Value(self.segs.word(v.addr()))
+    }
+
+    /// The cdr of a pair.
+    pub fn cdr(&self, v: Value) -> Value {
+        self.expect_pair(v, "cdr");
+        Value(self.segs.word(v.addr().add(1)))
+    }
+
+    /// Sets the car of a pair (barriered).
+    pub fn set_car(&mut self, v: Value, x: Value) {
+        self.expect_pair(v, "set-car!");
+        self.segs.set_word(v.addr(), x.raw());
+        self.barrier(v, x);
+    }
+
+    /// Sets the cdr of a pair (barriered).
+    pub fn set_cdr(&mut self, v: Value, x: Value) {
+        self.expect_pair(v, "set-cdr!");
+        self.segs.set_word(v.addr().add(1), x.raw());
+        self.barrier(v, x);
+    }
+
+    // ------------------------------------------------------------------
+    // Vectors
+    // ------------------------------------------------------------------
+
+    /// A vector's length.
+    pub fn vector_len(&self, v: Value) -> usize {
+        self.expect_kind(v, ObjKind::Vector, "vector-length").len
+    }
+
+    /// Reads vector element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn vector_ref(&self, v: Value, i: usize) -> Value {
+        let h = self.expect_kind(v, ObjKind::Vector, "vector-ref");
+        assert!(i < h.len, "vector-ref: index {i} out of range (len {})", h.len);
+        Value(self.segs.word(v.addr().add(1 + i)))
+    }
+
+    /// Writes vector element `i` (barriered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn vector_set(&mut self, v: Value, i: usize, x: Value) {
+        let h = self.expect_kind(v, ObjKind::Vector, "vector-set!");
+        assert!(i < h.len, "vector-set!: index {i} out of range (len {})", h.len);
+        self.segs.set_word(v.addr().add(1 + i), x.raw());
+        self.barrier(v, x);
+    }
+
+    // ------------------------------------------------------------------
+    // Strings
+    // ------------------------------------------------------------------
+
+    /// A string's length in bytes.
+    pub fn string_len(&self, v: Value) -> usize {
+        self.expect_kind(v, ObjKind::String, "string-length").len
+    }
+
+    /// Copies a string's contents out as an owned `String`.
+    pub fn string_value(&self, v: Value) -> String {
+        let h = self.expect_kind(v, ObjKind::String, "string-value");
+        let bytes = read_bytes(&self.segs, v.addr().add(1), h.len);
+        String::from_utf8(bytes).expect("heap strings are always valid UTF-8")
+    }
+
+    // ------------------------------------------------------------------
+    // Symbols
+    // ------------------------------------------------------------------
+
+    /// A symbol's print name.
+    pub fn symbol_name(&self, v: Value) -> String {
+        self.expect_kind(v, ObjKind::Symbol, "symbol-name");
+        let name = Value(self.segs.word(v.addr().add(1)));
+        self.string_value(name)
+    }
+
+    /// A symbol's extra slot (used by the runtime for property lists /
+    /// top-level values). Initially `#f`.
+    pub fn symbol_extra(&self, v: Value) -> Value {
+        self.expect_kind(v, ObjKind::Symbol, "symbol-extra");
+        Value(self.segs.word(v.addr().add(2)))
+    }
+
+    /// Writes a symbol's extra slot (barriered).
+    pub fn set_symbol_extra(&mut self, v: Value, x: Value) {
+        self.expect_kind(v, ObjKind::Symbol, "set-symbol-extra!");
+        self.segs.set_word(v.addr().add(2), x.raw());
+        self.barrier(v, x);
+    }
+
+    // ------------------------------------------------------------------
+    // Bytevectors
+    // ------------------------------------------------------------------
+
+    /// A bytevector's length.
+    pub fn bytevector_len(&self, v: Value) -> usize {
+        self.expect_kind(v, ObjKind::Bytevector, "bytevector-length").len
+    }
+
+    /// Reads byte `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn bytevector_ref(&self, v: Value, i: usize) -> u8 {
+        let h = self.expect_kind(v, ObjKind::Bytevector, "bytevector-ref");
+        assert!(i < h.len, "bytevector-ref: index {i} out of range (len {})", h.len);
+        let word = self.segs.word(v.addr().add(1 + i / 8));
+        word.to_le_bytes()[i % 8]
+    }
+
+    /// Writes byte `i` (no barrier needed — bytes are not pointers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn bytevector_set(&mut self, v: Value, i: usize, byte: u8) {
+        let h = self.expect_kind(v, ObjKind::Bytevector, "bytevector-set!");
+        assert!(i < h.len, "bytevector-set!: index {i} out of range (len {})", h.len);
+        let addr = v.addr().add(1 + i / 8);
+        let mut bytes = self.segs.word(addr).to_le_bytes();
+        bytes[i % 8] = byte;
+        self.segs.set_word(addr, u64::from_le_bytes(bytes));
+    }
+
+    /// Copies a bytevector's contents out.
+    pub fn bytevector_value(&self, v: Value) -> Vec<u8> {
+        let h = self.expect_kind(v, ObjKind::Bytevector, "bytevector-value");
+        read_bytes(&self.segs, v.addr().add(1), h.len)
+    }
+
+    // ------------------------------------------------------------------
+    // Boxes
+    // ------------------------------------------------------------------
+
+    /// Reads a box.
+    pub fn box_ref(&self, v: Value) -> Value {
+        self.expect_kind(v, ObjKind::Box, "unbox");
+        Value(self.segs.word(v.addr().add(1)))
+    }
+
+    /// Writes a box (barriered).
+    pub fn box_set(&mut self, v: Value, x: Value) {
+        self.expect_kind(v, ObjKind::Box, "set-box!");
+        self.segs.set_word(v.addr().add(1), x.raw());
+        self.barrier(v, x);
+    }
+
+    // ------------------------------------------------------------------
+    // Flonums
+    // ------------------------------------------------------------------
+
+    /// A flonum's value.
+    pub fn flonum_value(&self, v: Value) -> f64 {
+        self.expect_kind(v, ObjKind::Flonum, "flonum-value");
+        f64::from_bits(self.segs.word(v.addr().add(1)))
+    }
+
+    // ------------------------------------------------------------------
+    // Records
+    // ------------------------------------------------------------------
+
+    /// A record's descriptor value.
+    pub fn record_descriptor(&self, v: Value) -> Value {
+        self.expect_kind(v, ObjKind::Record, "record-descriptor");
+        Value(self.segs.word(v.addr().add(1)))
+    }
+
+    /// Number of fields (excluding the descriptor).
+    pub fn record_len(&self, v: Value) -> usize {
+        self.expect_kind(v, ObjKind::Record, "record-length").len - 1
+    }
+
+    /// Reads record field `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn record_ref(&self, v: Value, i: usize) -> Value {
+        let h = self.expect_kind(v, ObjKind::Record, "record-ref");
+        assert!(i + 1 < h.len, "record-ref: field {i} out of range (fields {})", h.len - 1);
+        Value(self.segs.word(v.addr().add(2 + i)))
+    }
+
+    /// Writes record field `i` (barriered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn record_set(&mut self, v: Value, i: usize, x: Value) {
+        let h = self.expect_kind(v, ObjKind::Record, "record-set!");
+        assert!(i + 1 < h.len, "record-set!: field {i} out of range (fields {})", h.len - 1);
+        self.segs.set_word(v.addr().add(2 + i), x.raw());
+        self.barrier(v, x);
+    }
+
+    // ------------------------------------------------------------------
+    // eqv?-style structural helpers
+    // ------------------------------------------------------------------
+
+    /// `eqv?`: pointer identity, plus value identity for fixnums,
+    /// characters, immediates, and flonums.
+    pub fn eqv(&self, a: Value, b: Value) -> bool {
+        if a == b {
+            return true;
+        }
+        if self.is_flonum(a) && self.is_flonum(b) {
+            return self.flonum_value(a).to_bits() == self.flonum_value(b).to_bits();
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_car_into_young_pair_does_not_dirty() {
+        let mut h = Heap::default();
+        let p = h.cons(Value::NIL, Value::NIL);
+        let q = h.cons(Value::NIL, Value::NIL);
+        h.set_car(p, q);
+        assert!(!h.segs.info(p.addr().seg()).dirty, "gen-0 writes need no barrier");
+    }
+
+    #[test]
+    #[should_panic(expected = "car: not a pair")]
+    fn car_of_non_pair_panics() {
+        let h = Heap::default();
+        let _ = h.car(Value::fixnum(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vector_ref_bounds_checked() {
+        let mut h = Heap::default();
+        let v = h.make_vector(3, Value::NIL);
+        let _ = h.vector_ref(v, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Vector")]
+    fn kind_mismatch_panics() {
+        let mut h = Heap::default();
+        let s = h.make_string("not a vector");
+        let _ = h.vector_ref(s, 0);
+    }
+
+    #[test]
+    fn kind_of_classifies_everything() {
+        let mut h = Heap::default();
+        let cases = [
+            (h.make_vector(1, Value::NIL), ObjKind::Vector),
+            (h.make_string("s"), ObjKind::String),
+            (h.make_symbol("s"), ObjKind::Symbol),
+            (h.make_bytevector(1, 0), ObjKind::Bytevector),
+            (h.make_box(Value::NIL), ObjKind::Box),
+            (h.make_flonum(1.0), ObjKind::Flonum),
+        ];
+        for (v, kind) in cases {
+            assert_eq!(h.kind_of(v), Some(kind));
+        }
+        let d = h.make_symbol("d");
+        let r = h.make_record(d, &[]);
+        assert_eq!(h.kind_of(r), Some(ObjKind::Record));
+        let p = h.cons(Value::NIL, Value::NIL);
+        assert_eq!(h.kind_of(p), None);
+        assert_eq!(h.kind_of(Value::fixnum(1)), None);
+    }
+
+    #[test]
+    fn eqv_distinguishes_identity_from_structure() {
+        let mut h = Heap::default();
+        let a = h.cons(Value::fixnum(1), Value::NIL);
+        let b = h.cons(Value::fixnum(1), Value::NIL);
+        assert!(h.eqv(a, a));
+        assert!(!h.eqv(a, b), "structurally equal pairs are not eqv?");
+        let f1 = h.make_flonum(2.5);
+        let f2 = h.make_flonum(2.5);
+        assert!(h.eqv(f1, f2), "equal flonums are eqv?");
+        assert!(h.eqv(Value::fixnum(3), Value::fixnum(3)));
+    }
+
+    #[test]
+    fn bytevector_edge_bytes() {
+        let mut h = Heap::default();
+        let bv = h.make_bytevector(9, 1);
+        h.bytevector_set(bv, 7, 0xFE);
+        h.bytevector_set(bv, 8, 0xFF);
+        assert_eq!(h.bytevector_ref(bv, 7), 0xFE);
+        assert_eq!(h.bytevector_ref(bv, 8), 0xFF);
+        assert_eq!(h.bytevector_value(bv), vec![1, 1, 1, 1, 1, 1, 1, 0xFE, 0xFF]);
+    }
+}

@@ -1,0 +1,314 @@
+//! The generation-based stop-and-copy collector (paper Section 4).
+//!
+//! A collection of generation `g` collects all generations `0..=g` (the
+//! paper's policy: "when a generation is collected, all younger
+//! generations are collected as well") into the *target generation*
+//! `min(g+1, n)`. The phases, in order:
+//!
+//! 1. **Flip** — snapshot the from-space (every segment in a collected
+//!    generation) and reset allocation cursors for the collected and
+//!    target generations.
+//! 2. **Roots** — forward every registered root slot.
+//! 3. **Remembered set** — scan dirty older-generation segments for
+//!    pointers into the from-space (see [`remset`]).
+//! 4. **Kleene sweep** — Cheney-style iterative scan of copied objects
+//!    until no newly copied objects remain (the paper's `kleene-sweep`).
+//! 5. **Guardian pass** — the paper's three-block protected-list
+//!    algorithm, including the `pend-final-list` fixpoint loop (see
+//!    [`guardian_pass`]).
+//! 6. **Finalizer pass** — the Dickey-style baseline watch lists.
+//! 7. **Weak pass** — break or forward weak-pair cars; runs after the
+//!    guardian pass "so if the car field of a weak pair points to an
+//!    object that has been salvaged, the object will still be in the car
+//!    field after collection" (see [`weak_pass`]).
+//! 8. **Reclaim** — return every from-space segment to the free pool.
+
+pub(crate) mod guardian_pass;
+pub(crate) mod remset;
+pub(crate) mod weak_pass;
+
+use crate::header::Header;
+use crate::heap::Heap;
+use crate::stats::CollectionReport;
+use crate::value::{fwd, Value};
+use guardians_segments::{SegIndex, Space};
+use std::time::Instant;
+
+/// Collector-local scratch state for one collection.
+pub(crate) struct Scratch {
+    /// Highest generation being collected.
+    pub g: u8,
+    /// Generation survivors are copied into.
+    pub target: u8,
+    /// `from_space[i]` — segment `i` is part of the from-space. Segments
+    /// created during the collection are beyond the vector and therefore
+    /// not in the from-space.
+    pub from_space: Vec<bool>,
+    /// Head segments to free at the end.
+    pub from_heads: Vec<SegIndex>,
+    /// To-space segments with their scan progress (Cheney scan state).
+    pub worklist: Vec<(SegIndex, usize)>,
+    /// To-space weak-pair segments, for the weak pass.
+    pub weak_tospace: Vec<SegIndex>,
+    /// Dirty old-generation weak-pair segments, for the weak pass.
+    pub old_weak_dirty: Vec<SegIndex>,
+    /// The report under construction.
+    pub report: CollectionReport,
+}
+
+impl Scratch {
+    #[inline]
+    pub fn in_from(&self, seg: SegIndex) -> bool {
+        self.from_space.get(seg.index()).copied().unwrap_or(false)
+    }
+}
+
+/// Runs a full collection of generations `0..=g`.
+pub(crate) fn run(heap: &mut Heap, g: u8) -> CollectionReport {
+    let start = Instant::now();
+    let target = heap.config.promotion.target(g, heap.config.max_generation());
+
+    // Phase 1: flip.
+    let mut from_space = vec![false; heap.segs.segments_total()];
+    let mut from_heads = Vec::new();
+    for (idx, info) in heap.segs.iter() {
+        if info.generation <= g {
+            from_space[idx.index()] = true;
+            if info.is_head() {
+                from_heads.push(idx);
+            }
+        }
+    }
+    heap.reset_cursors(g, target);
+    heap.tospace_log = Some(Vec::new());
+
+    let mut s = Scratch {
+        g,
+        target,
+        from_space,
+        from_heads,
+        worklist: Vec::new(),
+        weak_tospace: Vec::new(),
+        old_weak_dirty: Vec::new(),
+        report: CollectionReport {
+            collection_index: heap.collections,
+            collected_generation: g,
+            target_generation: target,
+            ..CollectionReport::default()
+        },
+    };
+
+    // Phase 2: roots.
+    let mut roots = std::mem::take(&mut heap.roots);
+    let traced = roots.for_each_slot(|slot| {
+        let v = *slot;
+        if v.is_ptr() {
+            *slot = forward(heap, &mut s, v);
+        }
+    });
+    heap.roots = roots;
+    s.report.roots_traced = traced;
+
+    // Phase 3: remembered set.
+    remset::scan_dirty(heap, &mut s);
+
+    // Phase 4: kleene sweep.
+    kleene_sweep(heap, &mut s);
+
+    if heap.config.ablate_weak_pass_first {
+        // Ablation: break weak cars BEFORE the guardian pass gets to
+        // salvage their referents — the ordering bug the paper's Section 4
+        // warns against. A second pass below keeps the heap valid for
+        // weak pairs copied during the guardian pass itself.
+        weak_pass::run(heap, &mut s);
+    }
+
+    // Phase 5: guardians.
+    guardian_pass::run(heap, &mut s);
+
+    // Phase 6: Dickey-baseline finalizers.
+    finalizer_pass(heap, &mut s);
+
+    // Phase 7: weak pairs — after the guardian pass, "so if the car field
+    // of a weak pair points to an object that has been salvaged, the
+    // object will still be in the car field after collection."
+    weak_pass::run(heap, &mut s);
+
+    // Phase 8: reclaim the from-space.
+    let heads = std::mem::take(&mut s.from_heads);
+    for head in heads {
+        s.report.segments_freed += heap.segs.run_len(head) as u64;
+        heap.segs.free(head);
+    }
+    heap.tospace_log = None;
+
+    s.report.duration = start.elapsed();
+    s.report
+}
+
+/// The paper's `forwarded?` predicate: "true when obj has been forwarded
+/// during this collection or when it resides in a generation older than
+/// those being collected". Non-pointers (fixnums, immediates) are
+/// trivially "accessible".
+pub(crate) fn forwarded_p(heap: &Heap, s: &Scratch, v: Value) -> bool {
+    if !v.is_ptr() {
+        return true;
+    }
+    if !s.in_from(v.addr().seg()) {
+        return true;
+    }
+    fwd::decode(heap.segs.word(v.addr())).is_some()
+}
+
+/// The paper's `get-fwd-addr`: "returns either the forwarding address of
+/// obj or the address of obj itself". The caller must know the object is
+/// accessible (`forwarded_p`).
+pub(crate) fn get_fwd(heap: &Heap, s: &Scratch, v: Value) -> Value {
+    if !v.is_ptr() || !s.in_from(v.addr().seg()) {
+        return v;
+    }
+    match fwd::decode(heap.segs.word(v.addr())) {
+        Some(new) => v.retag_at(new),
+        None => panic!("get_fwd of an unforwarded from-space object: {v:?}"),
+    }
+}
+
+/// Copies `v` to the target generation if it is an unforwarded from-space
+/// object; returns the (possibly updated) pointer. Leaves a broken heart
+/// behind.
+pub(crate) fn forward(heap: &mut Heap, s: &mut Scratch, v: Value) -> Value {
+    if !v.is_ptr() {
+        return v;
+    }
+    let addr = v.addr();
+    if !s.in_from(addr.seg()) {
+        return v;
+    }
+    let first = heap.segs.word(addr);
+    if let Some(new) = fwd::decode(first) {
+        return v.retag_at(new);
+    }
+    let new_addr = if v.is_pair_ptr() {
+        // Pairs keep their space: a weak pair is copied into the target
+        // generation's weak-pair space and stays weak.
+        let space = heap.segs.info(addr.seg()).space;
+        let to = heap.alloc_words_internal(space, s.target, 2);
+        heap.segs.set_word(to, first);
+        let cdr = heap.segs.word(addr.add(1));
+        heap.segs.set_word(to.add(1), cdr);
+        s.report.pairs_copied += 1;
+        s.report.words_copied += 2;
+        to
+    } else {
+        let header = Header::decode(first)
+            .unwrap_or_else(|| panic!("corrupt header while forwarding {v:?}"));
+        let total = header.total_words();
+        let space = heap.segs.info(addr.seg()).space;
+        let to = heap.alloc_words_internal(space, s.target, total);
+        for i in 0..total {
+            let w = heap.segs.word(addr.add(i));
+            heap.segs.set_word(to.add(i), w);
+        }
+        s.report.objects_copied += 1;
+        s.report.words_copied += total as u64;
+        to
+    };
+    heap.segs.set_word(addr, fwd::encode(new_addr));
+    v.retag_at(new_addr)
+}
+
+/// Scans one to-space segment (or run) from `off`, forwarding every traced
+/// field that points into the from-space. Returns the new scan offset.
+/// `used` is re-read after every object because scanning may copy further
+/// objects into this very segment.
+fn scan_segment(heap: &mut Heap, s: &mut Scratch, seg: SegIndex, mut off: usize) -> usize {
+    let space = heap.segs.info(seg).space;
+    loop {
+        let used = heap.segs.info(seg).used as usize;
+        if off >= used {
+            return off;
+        }
+        let base = heap.segs.base_addr(seg);
+        match space {
+            Space::Pair => {
+                scan_word(heap, s, base.add(off));
+                scan_word(heap, s, base.add(off + 1));
+                off += 2;
+            }
+            Space::WeakPair => {
+                // Weak treatment: "the car field is not touched" during
+                // the normal trace; the weak pass fixes it afterwards.
+                scan_word(heap, s, base.add(off + 1));
+                off += 2;
+            }
+            Space::Typed => {
+                let header = Header::decode(heap.segs.word(base.add(off)))
+                    .unwrap_or_else(|| panic!("corrupt header while scanning {seg:?}@{off}"));
+                for i in 0..header.traced_words() {
+                    scan_word(heap, s, base.add(off + 1 + i));
+                }
+                off += header.total_words();
+            }
+            Space::Pure => {
+                // Pointer-free objects: nothing to scan — skip the
+                // segment wholesale.
+                s.report.pure_words_skipped += (used - off) as u64;
+                off = used;
+            }
+        }
+    }
+}
+
+#[inline]
+fn scan_word(heap: &mut Heap, s: &mut Scratch, addr: guardians_segments::WordAddr) {
+    let v = Value(heap.segs.word(addr));
+    if v.is_ptr() && s.in_from(v.addr().seg()) {
+        let nv = forward(heap, s, v);
+        heap.segs.set_word(addr, nv.raw());
+    }
+}
+
+/// The paper's `kleene-sweep(g)`: "iteratively sweeps copied objects until
+/// there are no newly copied objects to sweep."
+pub(crate) fn kleene_sweep(heap: &mut Heap, s: &mut Scratch) {
+    loop {
+        for seg in heap.drain_tospace_log() {
+            s.report.segments_allocated += heap.segs.run_len(seg) as u64;
+            if heap.segs.info(seg).space == Space::WeakPair {
+                s.weak_tospace.push(seg);
+            }
+            s.worklist.push((seg, 0));
+        }
+        let mut progress = false;
+        for i in 0..s.worklist.len() {
+            let (seg, off) = s.worklist[i];
+            let new_off = scan_segment(heap, s, seg, off);
+            if new_off != off {
+                progress = true;
+                s.worklist[i].1 = new_off;
+            }
+        }
+        if !progress && heap.tospace_log_is_empty() {
+            return;
+        }
+    }
+}
+
+/// Processes the Dickey-baseline watch lists: dead objects are *not*
+/// preserved — their ids are reported so the embedding can run thunks.
+/// Runs after the guardian pass, so an object that is both guarded and
+/// watched is seen alive here (guardians win; documented in DESIGN.md).
+fn finalizer_pass(heap: &mut Heap, s: &mut Scratch) {
+    let mut migrated = Vec::new();
+    for i in 0..=s.g as usize {
+        for mut e in std::mem::take(&mut heap.finalize_watch[i]) {
+            if forwarded_p(heap, s, e.obj) {
+                e.obj = get_fwd(heap, s, e.obj);
+                migrated.push(e);
+            } else {
+                s.report.finalized_ids.push(e.id);
+            }
+        }
+    }
+    heap.finalize_watch[s.target as usize].extend(migrated);
+}

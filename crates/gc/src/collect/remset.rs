@@ -1,0 +1,115 @@
+//! Remembered-set scanning over dirty old-generation segments.
+//!
+//! With the paper's promotion policy (collecting generation `g` collects
+//! all younger generations and promotes survivors together), a pointer
+//! from an older generation into a younger one can only be created by
+//! *mutation*, and every mutating store passes the write barrier, which
+//! marks the containing segment dirty. Scanning exactly the dirty
+//! segments of uncollected generations therefore finds every old→young
+//! pointer.
+//!
+//! Weak-pair segments get weak treatment here too: only cdr fields are
+//! traced; the segment is queued for the weak pass, which decides whether
+//! each car is forwarded or broken *after* the guardian pass has saved
+//! what it is going to save.
+
+use super::{forward, Scratch};
+use crate::header::Header;
+use crate::heap::Heap;
+use crate::value::Value;
+use guardians_segments::{SegIndex, Space, WordAddr};
+
+pub(crate) fn scan_dirty(heap: &mut Heap, s: &mut Scratch) {
+    let dirty: Vec<(SegIndex, Space, u8)> = heap
+        .segs
+        .iter()
+        .filter(|(_, info)| info.generation > s.g && info.dirty && info.is_head())
+        .map(|(idx, info)| (idx, info.space, info.generation))
+        .collect();
+    for (seg, space, gen) in dirty {
+        s.report.dirty_segments_scanned += 1;
+        match space {
+            Space::Pair | Space::Typed => {
+                let still_dirty = scan_strong_segment(heap, s, seg, space, gen);
+                heap.segs.info_mut(seg).dirty = still_dirty;
+            }
+            Space::WeakPair => {
+                // Trace the cdrs now; defer the cars (and the dirty-flag
+                // recomputation) to the weak pass.
+                scan_weak_cdrs(heap, s, seg);
+                s.old_weak_dirty.push(seg);
+            }
+            Space::Pure => {
+                // No pointers: a pure segment cannot hold old->young
+                // edges; just clear the (spurious) flag.
+                heap.segs.info_mut(seg).dirty = false;
+            }
+        }
+    }
+}
+
+/// Scans every traced field of a dirty Pair/Typed segment, forwarding
+/// from-space referents. Returns whether the segment still contains an
+/// old→young pointer (and must stay dirty).
+fn scan_strong_segment(
+    heap: &mut Heap,
+    s: &mut Scratch,
+    seg: SegIndex,
+    space: Space,
+    gen: u8,
+) -> bool {
+    let base = heap.segs.base_addr(seg);
+    let used = heap.segs.info(seg).used as usize;
+    let mut still_dirty = false;
+    let mut off = 0;
+    while off < used {
+        match space {
+            Space::Pair => {
+                still_dirty |= fix_word(heap, s, base.add(off), gen);
+                still_dirty |= fix_word(heap, s, base.add(off + 1), gen);
+                off += 2;
+            }
+            Space::Typed => {
+                let header = Header::decode(heap.segs.word(base.add(off)))
+                    .unwrap_or_else(|| panic!("corrupt header in dirty {seg:?}@{off}"));
+                for i in 0..header.traced_words() {
+                    still_dirty |= fix_word(heap, s, base.add(off + 1 + i), gen);
+                }
+                off += header.total_words();
+            }
+            Space::WeakPair | Space::Pure => {
+                unreachable!("weak and pure segments take their own paths")
+            }
+        }
+    }
+    still_dirty
+}
+
+fn scan_weak_cdrs(heap: &mut Heap, s: &mut Scratch, seg: SegIndex) {
+    let base = heap.segs.base_addr(seg);
+    let used = heap.segs.info(seg).used as usize;
+    let mut off = 0;
+    while off < used {
+        // Only the cdr; the car is weak.
+        let gen = heap.segs.info(seg).generation;
+        fix_word(heap, s, base.add(off + 1), gen);
+        off += 2;
+    }
+}
+
+/// Forwards the word at `addr` if it points into the from-space; returns
+/// whether it (still) points into a generation younger than `holder_gen`.
+fn fix_word(heap: &mut Heap, s: &mut Scratch, addr: WordAddr, holder_gen: u8) -> bool {
+    let v = Value(heap.segs.word(addr));
+    if !v.is_ptr() {
+        return false;
+    }
+    let v = if s.in_from(v.addr().seg()) {
+        let nv = forward(heap, s, v);
+        heap.segs.set_word(addr, nv.raw());
+        nv
+    } else {
+        v
+    };
+    heap.segs.info(v.addr().seg()).generation < holder_gen
+}

@@ -1,0 +1,213 @@
+//! Collector configuration.
+//!
+//! The paper notes that "the number of generations and the promotion and
+//! tenure strategies supported by the collector are under programmer
+//! control", then assumes a simple fixed policy for exposition. This
+//! configuration captures the same knobs: generation count, collection
+//! frequency per generation, the allocation trigger, and (for the
+//! experiments) an ablation switch that disables the per-generation
+//! protected lists.
+
+use guardians_segments::SEGMENT_BYTES;
+
+/// Promotion strategy: where survivors of a collection go. The paper
+/// notes that "the number of generations and the promotion and tenure
+/// strategies supported by the collector are under programmer control",
+/// then assumes the simple advance-by-one policy for exposition.
+///
+/// Every strategy here promotes all survivors of one collection
+/// *uniformly*, which preserves the invariant the remembered set relies
+/// on: an old-to-young pointer can only be created by mutation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Promotion {
+    /// The paper's policy: survivors of collecting generation `g` move to
+    /// `min(g + 1, max_generation)`.
+    NextGeneration,
+    /// Advance by one but never beyond `cap`: a tenure ceiling below the
+    /// oldest generation, keeping long-lived data where it is still
+    /// collected reasonably often.
+    Capped(u8),
+    /// Survivors stay in the generation collected (`max(g, 1)` so fresh
+    /// data still leaves the nursery): a two-speed heap.
+    SameGeneration,
+}
+
+impl Promotion {
+    /// The target generation for a collection of `0..=g`.
+    pub fn target(self, g: u8, max_generation: u8) -> u8 {
+        match self {
+            Promotion::NextGeneration => (g + 1).min(max_generation),
+            Promotion::Capped(cap) => (g + 1).min(cap).min(max_generation),
+            Promotion::SameGeneration => g.max(1).min(max_generation),
+        }
+    }
+}
+
+/// Configuration for a [`Heap`](crate::Heap).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GcConfig {
+    /// Number of generations (`>= 1`). Generation `0` is youngest; objects
+    /// surviving a collection of generation `g` are placed in generation
+    /// `min(g + 1, generations - 1)` (the paper's promotion strategy).
+    pub generations: u8,
+    /// `frequency[i]` controls how often generation `i` is collected by
+    /// [`Heap::maybe_collect`](crate::Heap::maybe_collect): collection
+    /// number `c` (counting from 1) collects the highest generation whose
+    /// frequency divides `c`. `frequency[0]` should be 1. Missing entries
+    /// default to 4× the previous one ("the older the generation, the less
+    /// frequently it is collected").
+    pub frequency: Vec<u64>,
+    /// `maybe_collect` triggers once this many bytes have been allocated
+    /// since the previous collection.
+    pub trigger_bytes: usize,
+    /// Ablation switch for experiment E3: when set, guardian entries are
+    /// kept on a single flat list that is visited in its entirety on every
+    /// collection, instead of the paper's per-generation protected lists.
+    /// This reproduces the "generation-unfriendly" behaviour the paper's
+    /// design eliminates.
+    pub flat_protected: bool,
+    /// Where survivors are promoted (see [`Promotion`]).
+    pub promotion: Promotion,
+    /// Ablation switch for the weak-pass ordering requirement (paper §4):
+    /// when set, the weak-pair pass runs *before* the guardian pass
+    /// instead of after it, so weak pointers to guardian-salvaged objects
+    /// are wrongly broken — the bug the paper's ordering rule prevents.
+    /// (A second weak pass still runs afterwards for pairs copied during
+    /// the guardian pass, so the heap stays structurally valid.) For
+    /// tests only.
+    pub ablate_weak_pass_first: bool,
+}
+
+impl GcConfig {
+    /// The default configuration: 4 generations, frequencies 1/4/16/64,
+    /// 1 MB allocation trigger, paper-faithful protected lists.
+    pub fn new() -> GcConfig {
+        GcConfig {
+            generations: 4,
+            frequency: vec![1, 4, 16, 64],
+            trigger_bytes: 256 * SEGMENT_BYTES,
+            flat_protected: false,
+            promotion: Promotion::NextGeneration,
+            ablate_weak_pass_first: false,
+        }
+    }
+
+    /// A configuration with `n` generations and default frequencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_generations(n: u8) -> GcConfig {
+        assert!(n >= 1, "at least one generation is required");
+        GcConfig { generations: n, ..GcConfig::new() }
+    }
+
+    /// The oldest generation number.
+    pub fn max_generation(&self) -> u8 {
+        self.generations - 1
+    }
+
+    /// The frequency for generation `g`, applying the 4× default rule for
+    /// generations beyond the explicit `frequency` list.
+    pub fn frequency_of(&self, g: u8) -> u64 {
+        let g = g as usize;
+        if let Some(&f) = self.frequency.get(g) {
+            return f.max(1);
+        }
+        let last = self.frequency.last().copied().unwrap_or(1).max(1);
+        let extra = (g + 1).saturating_sub(self.frequency.len().max(1)) as u32;
+        last.saturating_mul(4u64.saturating_pow(extra))
+    }
+
+    /// The generation `maybe_collect` would pick for collection number `c`
+    /// (1-based): the highest generation whose frequency divides `c`.
+    pub fn generation_for_collection(&self, c: u64) -> u8 {
+        let mut pick = 0;
+        for g in 0..self.generations {
+            if c.is_multiple_of(self.frequency_of(g)) {
+                pick = g;
+            }
+        }
+        pick
+    }
+}
+
+impl Default for GcConfig {
+    fn default() -> Self {
+        GcConfig::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_schedule_collects_young_most_often() {
+        let c = GcConfig::new();
+        assert_eq!(c.generation_for_collection(1), 0);
+        assert_eq!(c.generation_for_collection(4), 1);
+        assert_eq!(c.generation_for_collection(16), 2);
+        assert_eq!(c.generation_for_collection(64), 3);
+        assert_eq!(c.generation_for_collection(65), 0);
+        assert_eq!(c.generation_for_collection(68), 1);
+    }
+
+    #[test]
+    fn frequencies_extend_by_quadrupling() {
+        let c = GcConfig { generations: 6, frequency: vec![1, 4], ..GcConfig::new() };
+        assert_eq!(c.frequency_of(1), 4);
+        assert_eq!(c.frequency_of(2), 16);
+        assert_eq!(c.frequency_of(3), 64);
+    }
+
+    #[test]
+    fn single_generation_always_collects_zero() {
+        let c = GcConfig::with_generations(1);
+        for i in 1..100 {
+            assert_eq!(c.generation_for_collection(i), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one generation")]
+    fn zero_generations_rejected() {
+        let _ = GcConfig::with_generations(0);
+    }
+
+    #[test]
+    fn zero_frequency_is_treated_as_one() {
+        let c = GcConfig { generations: 2, frequency: vec![0, 0], ..GcConfig::new() };
+        assert_eq!(c.frequency_of(0), 1);
+        assert_eq!(c.generation_for_collection(3), 1);
+    }
+}
+
+#[cfg(test)]
+mod promotion_tests {
+    use super::*;
+
+    #[test]
+    fn next_generation_matches_the_paper() {
+        let p = Promotion::NextGeneration;
+        assert_eq!(p.target(0, 3), 1);
+        assert_eq!(p.target(2, 3), 3);
+        assert_eq!(p.target(3, 3), 3, "oldest collects into itself");
+    }
+
+    #[test]
+    fn capped_promotion_stops_at_the_ceiling() {
+        let p = Promotion::Capped(2);
+        assert_eq!(p.target(0, 3), 1);
+        assert_eq!(p.target(1, 3), 2);
+        assert_eq!(p.target(2, 3), 2, "never beyond the cap");
+        assert_eq!(p.target(3, 3), 2);
+    }
+
+    #[test]
+    fn same_generation_keeps_survivors_put() {
+        let p = Promotion::SameGeneration;
+        assert_eq!(p.target(0, 3), 1, "nursery still empties");
+        assert_eq!(p.target(2, 3), 2);
+    }
+}

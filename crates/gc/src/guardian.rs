@@ -1,0 +1,142 @@
+//! The user-level guardian interface (paper Section 3).
+//!
+//! At the user level a guardian is "a procedure that encapsulates a group
+//! of objects registered for preservation"; calling it with an argument
+//! registers the object, calling it with none retrieves an object that has
+//! been proven inaccessible (or `#f`). In this embedding the procedure
+//! becomes a [`Guardian`] handle with [`register`](Guardian::register) and
+//! [`poll`](Guardian::poll) methods; the Scheme layer restores the exact
+//! procedural interface.
+
+use crate::heap::Heap;
+use crate::roots::Rooted;
+use crate::value::Value;
+
+/// A guardian: registers objects for preservation and yields them back
+/// after the collector proves them inaccessible.
+///
+/// The handle roots the guardian's internal tconc, so *dropping every
+/// clone of the handle* (and every heap reference to the tconc) makes the
+/// guardian itself collectable — which, per the paper, cancels
+/// finalization of all objects registered with it: "Finalization of a
+/// group of objects can be canceled by simply dropping all references to
+/// the guardian."
+///
+/// # Example
+///
+/// ```
+/// use guardians_gc::{Heap, Value};
+///
+/// let mut heap = Heap::default();
+/// let g = heap.make_guardian();
+/// let x = heap.cons(Value::fixnum(1), Value::fixnum(2));
+/// g.register(&mut heap, x);
+/// assert_eq!(g.poll(&mut heap), None); // still accessible? not proven dead
+/// heap.collect(0); // x was never rooted: proven inaccessible, saved
+/// let back = g.poll(&mut heap).expect("saved from destruction");
+/// assert_eq!(heap.car(back), Value::fixnum(1));
+/// assert_eq!(g.poll(&mut heap), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Guardian {
+    tconc: Rooted,
+}
+
+impl Guardian {
+    pub(crate) fn new(tconc: Rooted) -> Guardian {
+        Guardian { tconc }
+    }
+
+    /// Reconstructs a guardian handle from a tconc stored in the heap
+    /// (used by the Scheme layer, which keeps the tconc inside a guardian
+    /// record). The handle roots the tconc.
+    pub fn from_tconc(heap: &mut Heap, tconc: Value) -> Guardian {
+        assert!(heap.is_pair(tconc), "guardian tconc must be a pair");
+        Guardian { tconc: heap.root(tconc) }
+    }
+
+    /// The guardian's tconc value, for embedding into heap structures.
+    /// The current address may change at every collection; read it fresh.
+    pub fn tconc(&self) -> Value {
+        self.tconc.get()
+    }
+
+    /// Registers `obj` with this guardian — the paper's `(G obj)`. An
+    /// object may be registered any number of times, with any number of
+    /// guardians, and is retrievable once per registration.
+    pub fn register(&self, heap: &mut Heap, obj: Value) {
+        heap.guardian_register(self.tconc.get(), obj, obj);
+    }
+
+    /// Registers `obj`, arranging for `agent` to be returned in its place
+    /// when `obj` is proven inaccessible — the generalised interface of
+    /// the paper's Section 5. When `agent` is not `obj` itself, `obj` is
+    /// *not* preserved: "it allows objects to be discarded if something
+    /// less than the object is needed to perform the finalization."
+    pub fn register_with_agent(&self, heap: &mut Heap, obj: Value, agent: Value) {
+        heap.guardian_register(self.tconc.get(), obj, agent);
+    }
+
+    /// Retrieves one object (or agent) proven inaccessible since
+    /// registration — the paper's `(G)`. Returns `None` (the paper's
+    /// `#f`) when the inaccessible group is empty.
+    ///
+    /// Objects returned "have no special status": they may be used
+    /// normally, re-registered, let loose into the system, or dropped
+    /// again.
+    pub fn poll(&self, heap: &mut Heap) -> Option<Value> {
+        heap.tconc_pop(self.tconc.get())
+    }
+
+    /// Whether the inaccessible group is currently empty.
+    pub fn is_empty(&self, heap: &Heap) -> bool {
+        heap.tconc_is_empty(self.tconc.get())
+    }
+
+    /// Number of objects currently in the inaccessible group.
+    pub fn pending(&self, heap: &Heap) -> usize {
+        heap.tconc_len(self.tconc.get())
+    }
+
+    /// Drains every currently retrievable object into a vector.
+    pub fn drain(&self, heap: &mut Heap) -> Vec<Value> {
+        let mut out = Vec::new();
+        while let Some(v) = self.poll(heap) {
+            out.push(v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_guardian_is_empty() {
+        let mut h = Heap::default();
+        let g = h.make_guardian();
+        assert!(g.is_empty(&h));
+        assert_eq!(g.poll(&mut h), None);
+        assert_eq!(g.pending(&h), 0);
+    }
+
+    #[test]
+    fn registration_counts_into_stats() {
+        let mut h = Heap::default();
+        let g = h.make_guardian();
+        let x = h.cons(Value::NIL, Value::NIL);
+        g.register(&mut h, x);
+        g.register(&mut h, x);
+        assert_eq!(h.stats().guardian_registrations, 2);
+        assert_eq!(h.guardian_watched(g.tconc()), 2);
+    }
+
+    #[test]
+    fn clones_share_the_same_tconc() {
+        let mut h = Heap::default();
+        let g = h.make_guardian();
+        let g2 = g.clone();
+        assert_eq!(g.tconc(), g2.tconc());
+    }
+}

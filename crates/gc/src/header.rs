@@ -1,0 +1,172 @@
+//! Headers for typed (non-pair) heap objects.
+//!
+//! The first word of every object in [`Space::Typed`] is a header encoding
+//! the object kind and its length. Pairs (and weak pairs) have no header;
+//! their kind is implied by the space of their segment, exactly as in the
+//! paper's description of Chez Scheme's heap.
+//!
+//! [`Space::Typed`]: guardians_segments::Space::Typed
+
+use crate::value::{TAG_BITS, TAG_HEADER, TAG_MASK};
+
+/// The kind of a typed heap object.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ObjKind {
+    /// A vector of `len` traced values.
+    Vector,
+    /// An immutable UTF-8 string of `len` bytes (untraced payload).
+    String,
+    /// A symbol: a traced name (string) and a traced extra slot.
+    Symbol,
+    /// A byte vector of `len` bytes (untraced payload).
+    Bytevector,
+    /// A single traced cell.
+    Box,
+    /// A 64-bit float (untraced payload).
+    Flonum,
+    /// A record: a traced descriptor followed by `len - 1` traced fields.
+    Record,
+}
+
+impl ObjKind {
+    const ALL: [ObjKind; 7] = [
+        ObjKind::Vector,
+        ObjKind::String,
+        ObjKind::Symbol,
+        ObjKind::Bytevector,
+        ObjKind::Box,
+        ObjKind::Flonum,
+        ObjKind::Record,
+    ];
+
+    fn code(self) -> u64 {
+        match self {
+            ObjKind::Vector => 1,
+            ObjKind::String => 2,
+            ObjKind::Symbol => 3,
+            ObjKind::Bytevector => 4,
+            ObjKind::Box => 5,
+            ObjKind::Flonum => 6,
+            ObjKind::Record => 7,
+        }
+    }
+
+    fn from_code(code: u64) -> Option<ObjKind> {
+        ObjKind::ALL.into_iter().find(|k| k.code() == code)
+    }
+}
+
+/// A decoded object header.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Header {
+    /// Object kind.
+    pub kind: ObjKind,
+    /// Length in kind-specific units: values for `Vector`, total content
+    /// words (descriptor + fields) for `Record`, bytes for `String` and
+    /// `Bytevector`, and ignored (1) for `Box` and `Flonum`.
+    pub len: usize,
+}
+
+const KIND_SHIFT: u32 = TAG_BITS;
+const KIND_MASK: u64 = 0x1F;
+const LEN_SHIFT: u32 = 8;
+
+impl Header {
+    /// Creates a header.
+    pub fn new(kind: ObjKind, len: usize) -> Header {
+        Header { kind, len }
+    }
+
+    /// Encodes the header into a heap word.
+    pub fn encode(self) -> u64 {
+        ((self.len as u64) << LEN_SHIFT) | (self.kind.code() << KIND_SHIFT) | TAG_HEADER
+    }
+
+    /// Decodes a heap word as a header, if it is one.
+    pub fn decode(word: u64) -> Option<Header> {
+        if word & TAG_MASK != TAG_HEADER {
+            return None;
+        }
+        let kind = ObjKind::from_code((word >> KIND_SHIFT) & KIND_MASK)?;
+        Some(Header { kind, len: (word >> LEN_SHIFT) as usize })
+    }
+
+    /// Content words following the header (total object size is this + 1).
+    pub fn content_words(self) -> usize {
+        match self.kind {
+            ObjKind::Vector | ObjKind::Record => self.len,
+            ObjKind::String | ObjKind::Bytevector => self.len.div_ceil(8),
+            ObjKind::Box | ObjKind::Flonum => 1,
+            ObjKind::Symbol => 2,
+        }
+    }
+
+    /// Number of leading content words holding traced values.
+    pub fn traced_words(self) -> usize {
+        match self.kind {
+            ObjKind::Vector | ObjKind::Record => self.len,
+            ObjKind::Box => 1,
+            ObjKind::Symbol => 2,
+            ObjKind::String | ObjKind::Bytevector | ObjKind::Flonum => 0,
+        }
+    }
+
+    /// Total object size in words (header included).
+    pub fn total_words(self) -> usize {
+        1 + self.content_words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_all_kinds() {
+        for kind in ObjKind::ALL {
+            for len in [0usize, 1, 7, 8, 9, 1000] {
+                let h = Header::new(kind, len);
+                assert_eq!(Header::decode(h.encode()), Some(h), "{kind:?} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_headers() {
+        assert_eq!(Header::decode(0), None); // fixnum 0
+        assert_eq!(Header::decode(crate::Value::FALSE.raw()), None);
+        // Valid header tag but bogus kind code.
+        assert_eq!(Header::decode(TAG_HEADER | (31 << KIND_SHIFT)), None);
+    }
+
+    #[test]
+    fn byte_lengths_round_up_to_words() {
+        assert_eq!(Header::new(ObjKind::String, 0).content_words(), 0);
+        assert_eq!(Header::new(ObjKind::String, 1).content_words(), 1);
+        assert_eq!(Header::new(ObjKind::String, 8).content_words(), 1);
+        assert_eq!(Header::new(ObjKind::String, 9).content_words(), 2);
+    }
+
+    #[test]
+    fn traced_words_never_exceed_content() {
+        for kind in ObjKind::ALL {
+            for len in [0usize, 3, 64] {
+                let h = Header::new(kind, len);
+                assert!(h.traced_words() <= h.content_words(), "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn strings_and_flonums_are_untraced() {
+        assert_eq!(Header::new(ObjKind::String, 100).traced_words(), 0);
+        assert_eq!(Header::new(ObjKind::Flonum, 1).traced_words(), 0);
+        assert_eq!(Header::new(ObjKind::Bytevector, 64).traced_words(), 0);
+    }
+
+    #[test]
+    fn vectors_and_records_trace_everything() {
+        assert_eq!(Header::new(ObjKind::Vector, 12).traced_words(), 12);
+        assert_eq!(Header::new(ObjKind::Record, 4).traced_words(), 4);
+    }
+}

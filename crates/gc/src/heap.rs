@@ -1,0 +1,563 @@
+//! The heap: segment-backed storage, bump allocation per space ×
+//! generation, roots, guardians' protected lists, and collection entry
+//! points.
+//!
+//! # Safe points
+//!
+//! Unlike Chez Scheme, which may collect at any allocation, this embedding
+//! collects **only** inside explicit [`Heap::collect`] /
+//! [`Heap::maybe_collect`] calls. Allocation grows the heap instead. This
+//! makes the API sound without a conservative stack scanner: a [`Value`]
+//! in a Rust local is safe across any call except the two collection entry
+//! points, across which it must be held in a [`Rooted`] cell or reachable
+//! from one.
+
+use crate::collect;
+use crate::config::GcConfig;
+use crate::guardian::Guardian;
+use crate::header::{Header, ObjKind};
+use crate::roots::{RootSet, Rooted, RootedVec};
+use crate::stats::{CollectionReport, HeapStats};
+use crate::value::Value;
+use guardians_segments::{SegIndex, SegmentTable, Space, WordAddr, SEGMENT_WORDS};
+use std::collections::HashMap;
+
+/// A guardian protected-list entry: the paper's "object/guardian pair",
+/// extended with the Section 5 *agent* generalisation (`rep` is what gets
+/// enqueued when `obj` is proven inaccessible; in the simple interface
+/// `rep == obj`).
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct GuardEntry {
+    pub obj: Value,
+    pub rep: Value,
+    pub tconc: Value,
+}
+
+/// An entry for the Dickey-style `register-for-finalization` baseline.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct FinEntry {
+    pub obj: Value,
+    pub id: u64,
+}
+
+/// A generation-based copying heap with guardians and weak pairs.
+pub struct Heap {
+    pub(crate) segs: SegmentTable,
+    pub(crate) config: GcConfig,
+    /// Open allocation segment per (space, generation).
+    cursors: HashMap<(Space, u8), SegIndex>,
+    pub(crate) roots: RootSet,
+    /// Protected lists, one per generation (a single flat list when the
+    /// `flat_protected` ablation is enabled).
+    pub(crate) protected: Vec<Vec<GuardEntry>>,
+    /// Dickey-baseline watch lists, one per generation.
+    pub(crate) finalize_watch: Vec<Vec<FinEntry>>,
+    /// When a collection is running, newly allocated (to-space) segments
+    /// are logged here for the Cheney sweep.
+    pub(crate) tospace_log: Option<Vec<SegIndex>>,
+    pub(crate) stats: HeapStats,
+    last_report: Option<CollectionReport>,
+    pub(crate) collections: u64,
+    bytes_since_gc: usize,
+    alloc_forbidden: bool,
+}
+
+impl Heap {
+    /// Creates a heap with the given configuration.
+    pub fn new(config: GcConfig) -> Heap {
+        let gens = config.generations as usize;
+        let lists = if config.flat_protected { 1 } else { gens };
+        Heap {
+            segs: SegmentTable::new(),
+            cursors: HashMap::new(),
+            roots: RootSet::default(),
+            protected: (0..lists).map(|_| Vec::new()).collect(),
+            finalize_watch: (0..gens).map(|_| Vec::new()).collect(),
+            tospace_log: None,
+            stats: HeapStats::default(),
+            last_report: None,
+            collections: 0,
+            bytes_since_gc: 0,
+            alloc_forbidden: false,
+            config,
+        }
+    }
+
+    /// The heap's configuration.
+    pub fn config(&self) -> &GcConfig {
+        &self.config
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    /// Raw bump allocation of `words` words in (`space`, `gen`). Does not
+    /// touch mutator accounting; used by both the mutator wrappers and the
+    /// collector's to-space copying.
+    pub(crate) fn alloc_words_internal(&mut self, space: Space, gen: u8, words: usize) -> WordAddr {
+        debug_assert!(words > 0);
+        if words > SEGMENT_WORDS {
+            let nsegs = words.div_ceil(SEGMENT_WORDS);
+            let head = self.segs.allocate_run(space, gen, nsegs);
+            self.segs.info_mut(head).used = words as u32;
+            if let Some(log) = self.tospace_log.as_mut() {
+                log.push(head);
+            }
+            return self.segs.base_addr(head);
+        }
+        let key = (space, gen);
+        if let Some(&seg) = self.cursors.get(&key) {
+            let used = self.segs.info(seg).used as usize;
+            if used + words <= SEGMENT_WORDS {
+                self.segs.info_mut(seg).used = (used + words) as u32;
+                return WordAddr::new(seg, used);
+            }
+        }
+        let seg = self.segs.allocate(space, gen);
+        if let Some(log) = self.tospace_log.as_mut() {
+            log.push(seg);
+        }
+        self.cursors.insert(key, seg);
+        self.segs.info_mut(seg).used = words as u32;
+        WordAddr::new(seg, 0)
+    }
+
+    /// Mutator allocation: generation 0, with accounting and the
+    /// allocation-forbidden check.
+    fn alloc_mutator(&mut self, space: Space, words: usize) -> WordAddr {
+        assert!(
+            !self.alloc_forbidden,
+            "heap allocation is forbidden here (e.g. inside a collector-invoked \
+             finalization thunk — one of the restrictions guardians remove)"
+        );
+        self.bytes_since_gc += words * 8;
+        self.stats.words_allocated += words as u64;
+        self.alloc_words_internal(space, 0, words)
+    }
+
+    /// Allocates a pair `(car . cdr)`.
+    pub fn cons(&mut self, car: Value, cdr: Value) -> Value {
+        let addr = self.alloc_mutator(Space::Pair, 2);
+        self.stats.pairs_allocated += 1;
+        self.segs.set_word(addr, car.raw());
+        self.segs.set_word(addr.add(1), cdr.raw());
+        Value::pair_at(addr)
+    }
+
+    /// Allocates a weak pair: like [`Heap::cons`], but the car field holds
+    /// a weak pointer (it is replaced by `#f` if its referent is reclaimed;
+    /// see the paper's Section 4).
+    pub fn weak_cons(&mut self, car: Value, cdr: Value) -> Value {
+        let addr = self.alloc_mutator(Space::WeakPair, 2);
+        self.stats.pairs_allocated += 1;
+        self.segs.set_word(addr, car.raw());
+        self.segs.set_word(addr.add(1), cdr.raw());
+        Value::pair_at(addr)
+    }
+
+    fn alloc_typed(&mut self, header: Header) -> WordAddr {
+        // Pointer-free kinds go to the pure space, which the collector
+        // copies without scanning.
+        let space = if header.traced_words() == 0 && header.kind != ObjKind::Vector
+            && header.kind != ObjKind::Record
+        {
+            Space::Pure
+        } else {
+            Space::Typed
+        };
+        let addr = self.alloc_mutator(space, header.total_words());
+        self.stats.objects_allocated += 1;
+        self.segs.set_word(addr, header.encode());
+        addr
+    }
+
+    /// Allocates a vector of `len` copies of `fill`.
+    pub fn make_vector(&mut self, len: usize, fill: Value) -> Value {
+        let addr = self.alloc_typed(Header::new(ObjKind::Vector, len));
+        for i in 0..len {
+            self.segs.set_word(addr.add(1 + i), fill.raw());
+        }
+        Value::obj_at(addr)
+    }
+
+    /// Allocates an immutable string.
+    pub fn make_string(&mut self, s: &str) -> Value {
+        let bytes = s.as_bytes();
+        let addr = self.alloc_typed(Header::new(ObjKind::String, bytes.len()));
+        write_bytes(&mut self.segs, addr.add(1), bytes);
+        Value::obj_at(addr)
+    }
+
+    /// Allocates a bytevector of `len` copies of `fill`.
+    pub fn make_bytevector(&mut self, len: usize, fill: u8) -> Value {
+        let addr = self.alloc_typed(Header::new(ObjKind::Bytevector, len));
+        write_bytes(&mut self.segs, addr.add(1), &vec![fill; len]);
+        Value::obj_at(addr)
+    }
+
+    /// Allocates a box holding `v`.
+    pub fn make_box(&mut self, v: Value) -> Value {
+        let addr = self.alloc_typed(Header::new(ObjKind::Box, 1));
+        self.segs.set_word(addr.add(1), v.raw());
+        Value::obj_at(addr)
+    }
+
+    /// Allocates a flonum.
+    pub fn make_flonum(&mut self, f: f64) -> Value {
+        let addr = self.alloc_typed(Header::new(ObjKind::Flonum, 1));
+        self.segs.set_word(addr.add(1), f.to_bits());
+        Value::obj_at(addr)
+    }
+
+    /// Allocates an (uninterned) symbol with the given name. Interning is
+    /// the runtime layer's job.
+    pub fn make_symbol(&mut self, name: &str) -> Value {
+        let name_v = self.make_string(name);
+        let addr = self.alloc_typed(Header::new(ObjKind::Symbol, 2));
+        self.segs.set_word(addr.add(1), name_v.raw());
+        self.segs.set_word(addr.add(2), Value::FALSE.raw());
+        Value::obj_at(addr)
+    }
+
+    /// Allocates a record with a descriptor and fields.
+    pub fn make_record(&mut self, descriptor: Value, fields: &[Value]) -> Value {
+        let addr = self.alloc_typed(Header::new(ObjKind::Record, 1 + fields.len()));
+        self.segs.set_word(addr.add(1), descriptor.raw());
+        for (i, f) in fields.iter().enumerate() {
+            self.segs.set_word(addr.add(2 + i), f.raw());
+        }
+        Value::obj_at(addr)
+    }
+
+    /// Drops allocation cursors for the collected generations (their
+    /// segments are about to be freed) and the target generation (so the
+    /// Cheney scan sees only freshly copied objects in to-space segments).
+    pub(crate) fn reset_cursors(&mut self, g: u8, target: u8) {
+        self.cursors.retain(|&(_, gen), _| gen > g && gen != target);
+    }
+
+    /// Takes the to-space segments logged since the last drain.
+    pub(crate) fn drain_tospace_log(&mut self) -> Vec<SegIndex> {
+        self.tospace_log.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Whether the to-space log is empty.
+    pub(crate) fn tospace_log_is_empty(&self) -> bool {
+        self.tospace_log.as_ref().is_none_or(Vec::is_empty)
+    }
+
+    // ------------------------------------------------------------------
+    // Roots
+    // ------------------------------------------------------------------
+
+    /// Registers `v` as a GC root; the returned handle tracks relocation.
+    pub fn root(&mut self, v: Value) -> Rooted {
+        self.roots.root(v)
+    }
+
+    /// Creates a rooted shadow stack (used by interpreters and tests that
+    /// juggle many live values).
+    pub fn root_vec(&mut self) -> RootedVec {
+        self.roots.root_vec()
+    }
+
+    // ------------------------------------------------------------------
+    // Guardians
+    // ------------------------------------------------------------------
+
+    /// Creates a guardian (the paper's `make-guardian`). The returned
+    /// handle roots the guardian's tconc; dropping every handle (and every
+    /// heap reference to the tconc) cancels finalization of the registered
+    /// group, as described in the paper's introduction.
+    pub fn make_guardian(&mut self) -> Guardian {
+        let tconc = self.make_tconc();
+        Guardian::new(self.roots.root(tconc))
+    }
+
+    /// Registers `obj` with the guardian represented by `tconc` (low-level
+    /// interface; see [`Guardian::register`]). `rep` is the value enqueued
+    /// when `obj` is proven inaccessible — pass `obj` itself for the
+    /// paper's simple interface, or an *agent* for the Section 5
+    /// generalisation.
+    pub fn guardian_register(&mut self, tconc: Value, obj: Value, rep: Value) {
+        assert!(self.is_pair(tconc), "guardian tconc must be a pair: {tconc:?}");
+        self.stats.guardian_registrations += 1;
+        // "Each time an object is registered with a guardian, a new pair
+        // (of the object and guardian) is added to the protected list for
+        // generation 0."
+        self.protected[0].push(GuardEntry { obj, rep, tconc });
+    }
+
+    /// Number of registered-but-not-yet-finalized entries watching
+    /// objects for this tconc (diagnostic; O(total registrations)).
+    pub fn guardian_watched(&self, tconc: Value) -> usize {
+        self.protected.iter().flatten().filter(|e| e.tconc == tconc).count()
+    }
+
+    // ------------------------------------------------------------------
+    // Dickey-style finalization baseline
+    // ------------------------------------------------------------------
+
+    /// Registers `obj` for collector-invoked finalization (the baseline
+    /// mechanism the paper's Section 2 attributes to Dickey). When a
+    /// collection proves `obj` inaccessible it is **not** preserved; `id`
+    /// is reported in [`CollectionReport::finalized_ids`] so an external
+    /// table can run the associated thunk — under the allocation
+    /// restriction the paper criticises (see
+    /// [`Heap::set_allocation_forbidden`]).
+    pub fn register_for_finalization(&mut self, obj: Value, id: u64) {
+        self.finalize_watch[0].push(FinEntry { obj, id });
+    }
+
+    /// Forbids (or re-allows) mutator allocation. Used to enforce the
+    /// "finalization thunks must not allocate" restriction of the
+    /// collector-invoked baseline; guardians need no such restriction.
+    pub fn set_allocation_forbidden(&mut self, forbidden: bool) {
+        self.alloc_forbidden = forbidden;
+    }
+
+    // ------------------------------------------------------------------
+    // Collection
+    // ------------------------------------------------------------------
+
+    /// Collects generations `0..=gen`, returning the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gen` is not a valid generation or if allocation is
+    /// currently forbidden (a collection moves objects, which a
+    /// collector-invoked finalizer must never trigger).
+    pub fn collect(&mut self, gen: u8) -> &CollectionReport {
+        assert!(gen < self.config.generations, "no such generation: {gen}");
+        assert!(!self.alloc_forbidden, "cannot collect while allocation is forbidden");
+        self.collections += 1;
+        let report = collect::run(self, gen);
+        self.stats.absorb(&report);
+        self.bytes_since_gc = 0;
+        self.last_report = Some(report);
+        self.last_report.as_ref().expect("just set")
+    }
+
+    /// Collects if at least `trigger_bytes` have been allocated since the
+    /// last collection, choosing the generation from the configured
+    /// schedule. Call this at safe points (no unrooted live values).
+    pub fn maybe_collect(&mut self) -> Option<&CollectionReport> {
+        if self.bytes_since_gc < self.config.trigger_bytes {
+            return None;
+        }
+        let gen = self.config.generation_for_collection(self.collections + 1);
+        Some(self.collect(gen))
+    }
+
+    /// Number of collections performed so far.
+    pub fn collection_count(&self) -> u64 {
+        self.collections
+    }
+
+    /// The report of the most recent collection, if any.
+    pub fn last_report(&self) -> Option<&CollectionReport> {
+        self.last_report.as_ref()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &HeapStats {
+        &self.stats
+    }
+
+    /// Bytes allocated by the mutator since the last collection.
+    pub fn bytes_since_collection(&self) -> usize {
+        self.bytes_since_gc
+    }
+
+    /// Current heap capacity in bytes (allocated segments).
+    pub fn capacity_bytes(&self) -> usize {
+        self.segs.words_allocated() * 8
+    }
+
+    // ------------------------------------------------------------------
+    // Identity and placement
+    // ------------------------------------------------------------------
+
+    /// The current word address of a heap object, or `None` for
+    /// non-pointers. The address changes when a collection moves the
+    /// object — which is exactly what eq hash tables and the transport
+    /// guardian experiments need to observe.
+    pub fn address_of(&self, v: Value) -> Option<u64> {
+        v.is_ptr().then(|| v.addr().raw())
+    }
+
+    /// The generation a heap object currently resides in, or `None` for
+    /// non-pointers.
+    pub fn generation_of(&self, v: Value) -> Option<u8> {
+        if !v.is_ptr() {
+            return None;
+        }
+        Some(self.segs.info(v.addr().seg()).generation)
+    }
+}
+
+impl Default for Heap {
+    /// A heap with the default [`GcConfig`].
+    fn default() -> Self {
+        Heap::new(GcConfig::default())
+    }
+}
+
+impl std::fmt::Debug for Heap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Heap")
+            .field("segments", &self.segs.segments_allocated())
+            .field("collections", &self.collections)
+            .field("generations", &self.config.generations)
+            .finish()
+    }
+}
+
+/// Packs `bytes` into consecutive words starting at `addr` (little-endian
+/// within each word, zero-padded).
+fn write_bytes(segs: &mut SegmentTable, addr: WordAddr, bytes: &[u8]) {
+    for (i, chunk) in bytes.chunks(8).enumerate() {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        segs.set_word(addr.add(i), u64::from_le_bytes(word));
+    }
+}
+
+/// Reads `len` bytes from consecutive words starting at `addr`.
+pub(crate) fn read_bytes(segs: &SegmentTable, addr: WordAddr, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let words = len.div_ceil(8);
+    for i in 0..words {
+        let bytes = segs.word(addr.add(i)).to_le_bytes();
+        let take = (len - out.len()).min(8);
+        out.extend_from_slice(&bytes[..take]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cons_allocates_readable_pairs() {
+        let mut h = Heap::default();
+        let p = h.cons(Value::fixnum(1), Value::fixnum(2));
+        assert!(h.is_pair(p));
+        assert!(!h.is_weak_pair(p));
+        assert_eq!(h.car(p), Value::fixnum(1));
+        assert_eq!(h.cdr(p), Value::fixnum(2));
+    }
+
+    #[test]
+    fn weak_cons_is_a_pair_in_the_weak_space() {
+        let mut h = Heap::default();
+        let p = h.weak_cons(Value::fixnum(1), Value::NIL);
+        assert!(h.is_pair(p), "weak pairs answer true to pair?");
+        assert!(h.is_weak_pair(p));
+    }
+
+    #[test]
+    fn bump_allocation_packs_pairs_into_segments() {
+        let mut h = Heap::default();
+        let a = h.cons(Value::NIL, Value::NIL);
+        let b = h.cons(Value::NIL, Value::NIL);
+        assert_eq!(b.addr().raw() - a.addr().raw(), 2, "consecutive pairs are adjacent");
+    }
+
+    #[test]
+    fn large_objects_get_multi_segment_runs() {
+        let mut h = Heap::default();
+        let v = h.make_vector(2000, Value::fixnum(7));
+        assert_eq!(h.vector_len(v), 2000);
+        assert_eq!(h.vector_ref(v, 0), Value::fixnum(7));
+        assert_eq!(h.vector_ref(v, 1999), Value::fixnum(7));
+    }
+
+    #[test]
+    fn strings_round_trip() {
+        let mut h = Heap::default();
+        for s in ["", "a", "hello world", "exactly8", "nine bytes", "λambda 🦀"] {
+            let v = h.make_string(s);
+            assert_eq!(h.string_value(v), s, "round trip of {s:?}");
+        }
+    }
+
+    #[test]
+    fn symbols_carry_their_names() {
+        let mut h = Heap::default();
+        let s = h.make_symbol("port-guardian");
+        assert!(h.is_symbol(s));
+        assert_eq!(h.symbol_name(s), "port-guardian");
+    }
+
+    #[test]
+    fn records_store_descriptor_and_fields() {
+        let mut h = Heap::default();
+        let d = h.make_symbol("point");
+        let r = h.make_record(d, &[Value::fixnum(3), Value::fixnum(4)]);
+        assert!(h.is_record(r));
+        assert_eq!(h.record_descriptor(r), d);
+        assert_eq!(h.record_len(r), 2);
+        assert_eq!(h.record_ref(r, 1), Value::fixnum(4));
+    }
+
+    #[test]
+    fn flonums_round_trip() {
+        let mut h = Heap::default();
+        for f in [0.0, -1.5, std::f64::consts::PI, f64::INFINITY] {
+            let v = h.make_flonum(f);
+            assert_eq!(h.flonum_value(v), f);
+        }
+    }
+
+    #[test]
+    fn bytevectors_are_mutable() {
+        let mut h = Heap::default();
+        let bv = h.make_bytevector(20, 0xAB);
+        assert_eq!(h.bytevector_len(bv), 20);
+        assert_eq!(h.bytevector_ref(bv, 19), 0xAB);
+        h.bytevector_set(bv, 3, 7);
+        assert_eq!(h.bytevector_ref(bv, 3), 7);
+        assert_eq!(h.bytevector_ref(bv, 2), 0xAB);
+    }
+
+    #[test]
+    fn boxes_hold_one_value() {
+        let mut h = Heap::default();
+        let b = h.make_box(Value::fixnum(10));
+        assert_eq!(h.box_ref(b), Value::fixnum(10));
+        h.box_set(b, Value::TRUE);
+        assert_eq!(h.box_ref(b), Value::TRUE);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocation is forbidden")]
+    fn forbidden_allocation_panics() {
+        let mut h = Heap::default();
+        h.set_allocation_forbidden(true);
+        let _ = h.cons(Value::NIL, Value::NIL);
+    }
+
+    #[test]
+    fn addresses_and_generations_of_fresh_objects() {
+        let mut h = Heap::default();
+        let p = h.cons(Value::NIL, Value::NIL);
+        assert!(h.address_of(p).is_some());
+        assert_eq!(h.generation_of(p), Some(0));
+        assert_eq!(h.address_of(Value::fixnum(1)), None);
+        assert_eq!(h.generation_of(Value::FALSE), None);
+    }
+
+    #[test]
+    fn byte_packing_round_trips() {
+        let mut t = SegmentTable::new();
+        let seg = t.allocate(Space::Typed, 0);
+        let addr = t.base_addr(seg);
+        let data: Vec<u8> = (0..23).collect();
+        write_bytes(&mut t, addr, &data);
+        assert_eq!(read_bytes(&t, addr, 23), data);
+        assert_eq!(read_bytes(&t, addr, 0), Vec::<u8>::new());
+    }
+}

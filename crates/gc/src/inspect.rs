@@ -1,0 +1,151 @@
+//! Heap introspection: per-generation occupancy and human-readable
+//! summaries, for diagnostics, tests, and the experiment harness.
+
+use crate::heap::Heap;
+use crate::stats::CollectionReport;
+use guardians_segments::Space;
+use std::fmt;
+
+/// Occupancy of one generation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GenerationUsage {
+    /// Segments assigned to the generation (run tails included).
+    pub segments: usize,
+    /// Words actually in use (bump-allocated).
+    pub used_words: usize,
+    /// Of which, words in pair segments.
+    pub pair_words: usize,
+    /// Of which, words in weak-pair segments.
+    pub weak_pair_words: usize,
+    /// Guardian protected-list entries parked at this generation.
+    pub protected_entries: usize,
+}
+
+impl Heap {
+    /// Per-generation occupancy, youngest first.
+    pub fn generation_usage(&self) -> Vec<GenerationUsage> {
+        let mut out = vec![GenerationUsage::default(); self.config.generations as usize];
+        for (_idx, info) in self.segs.iter() {
+            let slot = &mut out[info.generation as usize];
+            slot.segments += 1;
+            if info.is_head() {
+                let used = info.used as usize;
+                slot.used_words += used;
+                match info.space {
+                    Space::Pair => slot.pair_words += used,
+                    Space::WeakPair => slot.weak_pair_words += used,
+                    Space::Typed | Space::Pure => {}
+                }
+            }
+        }
+        for (i, list) in self.protected.iter().enumerate() {
+            if let Some(slot) = out.get_mut(i) {
+                slot.protected_entries = list.len();
+            }
+        }
+        out
+    }
+
+    /// A multi-line textual summary of the heap's current shape.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "heap: {} segments ({} KB), {} collections",
+            self.segs.segments_allocated(),
+            self.capacity_bytes() / 1024,
+            self.collections
+        );
+        for (g, usage) in self.generation_usage().iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  gen {g}: {:>5} segs, {:>9} words used ({} pair / {} weak), {} guarded entries",
+                usage.segments,
+                usage.used_words,
+                usage.pair_words,
+                usage.weak_pair_words,
+                usage.protected_entries
+            );
+        }
+        s
+    }
+}
+
+impl fmt::Display for CollectionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gc#{}: gen {}→{}, copied {} words ({} pairs, {} objects), \
+             roots {}, dirty segs {}, guardians {}/{}/{} (visited/finalized/held), \
+             weak {}+{} (fwd/broken), {}us",
+            self.collection_index,
+            self.collected_generation,
+            self.target_generation,
+            self.words_copied,
+            self.pairs_copied,
+            self.objects_copied,
+            self.roots_traced,
+            self.dirty_segments_scanned,
+            self.guardian_entries_visited,
+            self.guardian_entries_finalized,
+            self.guardian_entries_held,
+            self.weak_cars_forwarded,
+            self.weak_cars_broken,
+            self.duration.as_micros()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn usage_tracks_aging() {
+        let mut h = Heap::default();
+        let mut list = Value::NIL;
+        for i in 0..1000 {
+            list = h.cons(Value::fixnum(i), list);
+        }
+        let r = h.root(list);
+        let g = h.make_guardian();
+        g.register(&mut h, r.get());
+
+        let usage = h.generation_usage();
+        assert!(usage[0].used_words >= 2000, "young data present");
+        assert_eq!(usage[1].used_words, 0);
+        assert_eq!(usage[0].protected_entries, 1);
+
+        h.collect(0);
+        let usage = h.generation_usage();
+        assert_eq!(usage[0].used_words, 0, "young space emptied");
+        assert!(usage[1].used_words >= 2000, "data promoted to gen 1");
+        assert_eq!(usage[1].protected_entries, 1, "entry parked with its object");
+        assert_eq!(usage[0].protected_entries, 0);
+    }
+
+    #[test]
+    fn weak_words_are_counted_separately() {
+        let mut h = Heap::default();
+        let w = h.weak_cons(Value::NIL, Value::NIL);
+        let _r = h.root(w);
+        let usage = h.generation_usage();
+        assert_eq!(usage[0].weak_pair_words, 2);
+    }
+
+    #[test]
+    fn dump_and_report_display_are_informative() {
+        let mut h = Heap::default();
+        let x = h.cons(Value::NIL, Value::NIL);
+        let _r = h.root(x);
+        h.collect(0);
+        let dump = h.dump();
+        assert!(dump.contains("gen 0:"), "{dump}");
+        assert!(dump.contains("gen 3:"), "{dump}");
+        let line = h.last_report().unwrap().to_string();
+        assert!(line.contains("gen 0→1"), "{line}");
+        assert!(line.contains("copied"), "{line}");
+    }
+}

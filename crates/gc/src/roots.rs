@@ -1,0 +1,229 @@
+//! Root registration.
+//!
+//! [`Value`]s held in Rust variables are invisible to the collector, so a
+//! value that must survive a collection is placed in a [`Rooted`] cell (or
+//! a [`RootedVec`] shadow stack, which is what the Scheme interpreter
+//! uses). The heap keeps weak references to the cells; dropping a cell
+//! unregisters it automatically — this is exactly how dropping a
+//! [`Guardian`](crate::Guardian) handle "cancels finalization of a group
+//! of objects by simply dropping all references to the guardian".
+
+use crate::value::Value;
+use std::cell::RefCell;
+use std::rc::{Rc, Weak};
+
+/// An owning handle to a GC root holding a single value.
+///
+/// The collector updates the cell in place when the referent moves. Clones
+/// share the same cell.
+#[derive(Clone, Debug)]
+pub struct Rooted {
+    cell: Rc<RefCell<Value>>,
+}
+
+impl Rooted {
+    /// The current (possibly relocated) value.
+    pub fn get(&self) -> Value {
+        *self.cell.borrow()
+    }
+
+    /// Replaces the rooted value.
+    pub fn set(&self, v: Value) {
+        *self.cell.borrow_mut() = v;
+    }
+}
+
+/// An owning handle to a GC-rooted vector of values — a shadow stack.
+///
+/// Clones share the same underlying vector.
+#[derive(Clone, Debug, Default)]
+pub struct RootedVec {
+    cells: Rc<RefCell<Vec<Value>>>,
+}
+
+impl RootedVec {
+    /// Pushes a value; returns its index.
+    pub fn push(&self, v: Value) -> usize {
+        let mut cells = self.cells.borrow_mut();
+        cells.push(v);
+        cells.len() - 1
+    }
+
+    /// Pops the most recent value.
+    pub fn pop(&self) -> Option<Value> {
+        self.cells.borrow_mut().pop()
+    }
+
+    /// Reads the value at `index` (values may have been relocated since
+    /// they were pushed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn get(&self, index: usize) -> Value {
+        self.cells.borrow()[index]
+    }
+
+    /// Overwrites the value at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn set(&self, index: usize, v: Value) {
+        self.cells.borrow_mut()[index] = v;
+    }
+
+    /// Current stack depth.
+    pub fn len(&self) -> usize {
+        self.cells.borrow().len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.borrow().is_empty()
+    }
+
+    /// Truncates the stack to `len` entries (for unwinding scopes).
+    pub fn truncate(&self, len: usize) {
+        self.cells.borrow_mut().truncate(len);
+    }
+}
+
+/// The heap-side registry of root cells.
+#[derive(Default, Debug)]
+pub(crate) struct RootSet {
+    cells: Vec<Weak<RefCell<Value>>>,
+    vecs: Vec<Weak<RefCell<Vec<Value>>>>,
+}
+
+impl RootSet {
+    pub(crate) fn root(&mut self, v: Value) -> Rooted {
+        let cell = Rc::new(RefCell::new(v));
+        self.cells.push(Rc::downgrade(&cell));
+        Rooted { cell }
+    }
+
+    pub(crate) fn root_vec(&mut self) -> RootedVec {
+        let cells: Rc<RefCell<Vec<Value>>> = Rc::new(RefCell::new(Vec::new()));
+        self.vecs.push(Rc::downgrade(&cells));
+        RootedVec { cells }
+    }
+
+    /// Applies `f` to every live root slot, dropping registrations whose
+    /// owning handles are gone. Returns the number of slots visited.
+    pub(crate) fn for_each_slot(&mut self, mut f: impl FnMut(&mut Value)) -> u64 {
+        let mut visited = 0;
+        self.cells.retain(|weak| match weak.upgrade() {
+            Some(cell) => {
+                f(&mut cell.borrow_mut());
+                visited += 1;
+                true
+            }
+            None => false,
+        });
+        self.vecs.retain(|weak| match weak.upgrade() {
+            Some(cells) => {
+                for slot in cells.borrow_mut().iter_mut() {
+                    f(slot);
+                    visited += 1;
+                }
+                true
+            }
+            None => false,
+        });
+        visited
+    }
+
+    /// Read-only snapshot of every live root value (for the verifier).
+    pub(crate) fn snapshot(&self) -> Vec<Value> {
+        let mut out = Vec::new();
+        for weak in &self.cells {
+            if let Some(cell) = weak.upgrade() {
+                out.push(*cell.borrow());
+            }
+        }
+        for weak in &self.vecs {
+            if let Some(cells) = weak.upgrade() {
+                out.extend(cells.borrow().iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Number of registered single-value roots still alive (test hook).
+    #[cfg(test)]
+    pub(crate) fn live_cells(&self) -> usize {
+        self.cells.iter().filter(|w| w.upgrade().is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rooted_get_set_round_trip() {
+        let mut set = RootSet::default();
+        let r = set.root(Value::fixnum(1));
+        assert_eq!(r.get(), Value::fixnum(1));
+        r.set(Value::fixnum(2));
+        assert_eq!(r.get(), Value::fixnum(2));
+    }
+
+    #[test]
+    fn dropping_handle_unregisters() {
+        let mut set = RootSet::default();
+        let r = set.root(Value::fixnum(1));
+        assert_eq!(set.live_cells(), 1);
+        drop(r);
+        assert_eq!(set.live_cells(), 0);
+        // A sweep prunes the dead weak reference.
+        let visited = set.for_each_slot(|_| {});
+        assert_eq!(visited, 0);
+        assert!(set.cells.is_empty());
+    }
+
+    #[test]
+    fn clones_share_a_cell_and_keep_it_alive() {
+        let mut set = RootSet::default();
+        let a = set.root(Value::fixnum(1));
+        let b = a.clone();
+        drop(a);
+        b.set(Value::fixnum(9));
+        let mut seen = Vec::new();
+        set.for_each_slot(|v| seen.push(*v));
+        assert_eq!(seen, vec![Value::fixnum(9)]);
+    }
+
+    #[test]
+    fn for_each_slot_updates_in_place() {
+        let mut set = RootSet::default();
+        let r = set.root(Value::fixnum(1));
+        let stack = set.root_vec();
+        stack.push(Value::fixnum(10));
+        stack.push(Value::fixnum(20));
+        let visited = set.for_each_slot(|v| {
+            if v.is_fixnum() {
+                *v = Value::fixnum(v.as_fixnum() + 1);
+            }
+        });
+        assert_eq!(visited, 3);
+        assert_eq!(r.get(), Value::fixnum(2));
+        assert_eq!(stack.get(0), Value::fixnum(11));
+        assert_eq!(stack.get(1), Value::fixnum(21));
+    }
+
+    #[test]
+    fn rooted_vec_stack_discipline() {
+        let mut set = RootSet::default();
+        let stack = set.root_vec();
+        assert!(stack.is_empty());
+        let i = stack.push(Value::fixnum(5));
+        assert_eq!(i, 0);
+        assert_eq!(stack.len(), 1);
+        stack.push(Value::TRUE);
+        stack.truncate(1);
+        assert_eq!(stack.pop(), Some(Value::fixnum(5)));
+        assert_eq!(stack.pop(), None);
+    }
+}

@@ -1,0 +1,394 @@
+//! Generational behaviour: aging, promotion, remembered sets, and the
+//! generation-friendliness of guardian processing (the paper's central
+//! implementation claim).
+
+use guardians_gc::{GcConfig, Heap, Value};
+
+#[test]
+fn survivors_age_one_generation_per_collection() {
+    let mut h = Heap::default();
+    let x = h.cons(Value::fixnum(1), Value::NIL);
+    let r = h.root(x);
+    assert_eq!(h.generation_of(r.get()), Some(0));
+    h.collect(0);
+    assert_eq!(h.generation_of(r.get()), Some(1));
+    h.collect(1);
+    assert_eq!(h.generation_of(r.get()), Some(2));
+    h.collect(2);
+    assert_eq!(h.generation_of(r.get()), Some(3));
+    // Generation 3 is the oldest: survivors of collecting it stay there.
+    h.collect(3);
+    assert_eq!(h.generation_of(r.get()), Some(3));
+    assert_eq!(h.car(r.get()), Value::fixnum(1));
+    h.verify().unwrap();
+}
+
+#[test]
+fn young_collection_does_not_move_old_objects() {
+    let mut h = Heap::default();
+    let x = h.cons(Value::fixnum(1), Value::NIL);
+    let r = h.root(x);
+    h.collect(0);
+    let addr = h.address_of(r.get()).unwrap();
+    h.collect(0);
+    h.collect(0);
+    assert_eq!(h.address_of(r.get()), Some(addr), "gen-1 object untouched by gen-0 GCs");
+}
+
+#[test]
+fn old_to_young_pointer_survives_via_write_barrier() {
+    let mut h = Heap::default();
+    let vec = h.make_vector(4, Value::NIL);
+    let vr = h.root(vec);
+    h.collect(0);
+    h.collect(1); // vector now in generation 2
+    assert_eq!(h.generation_of(vr.get()), Some(2));
+
+    // Mutate the old vector to point at a brand-new pair.
+    let young = h.cons(Value::fixnum(77), Value::NIL);
+    let v = vr.get();
+    h.vector_set(v, 0, young);
+    h.collect(0);
+    h.verify().unwrap();
+    let survivor = h.vector_ref(vr.get(), 0);
+    assert_eq!(h.car(survivor), Value::fixnum(77), "remembered set saved the young pair");
+    assert_eq!(h.generation_of(survivor), Some(1));
+    let report = h.last_report().unwrap();
+    assert!(report.dirty_segments_scanned >= 1, "the dirtied segment was scanned");
+}
+
+#[test]
+fn clean_old_segments_are_never_scanned() {
+    let mut h = Heap::default();
+    // Build a large old structure, never mutated afterwards.
+    let mut head = Value::NIL;
+    for i in 0..1000 {
+        head = h.cons(Value::fixnum(i), head);
+    }
+    let r = h.root(head);
+    h.collect(0);
+    h.collect(1); // structure parked in generation 2
+    // Churn some young garbage and collect generation 0 repeatedly.
+    for _ in 0..5 {
+        for _ in 0..100 {
+            let _ = h.cons(Value::NIL, Value::NIL);
+        }
+        h.collect(0);
+        let report = h.last_report().unwrap();
+        assert_eq!(report.dirty_segments_scanned, 0, "no mutation → no dirty scans");
+        assert!(report.words_copied < 100, "old structure is not being re-copied");
+    }
+    assert_eq!(h.car(r.get()), Value::fixnum(999));
+}
+
+#[test]
+fn guardian_entries_park_with_their_objects() {
+    // THE generation-friendliness property (experiment E3's correctness
+    // core): entries whose objects live in old generations are not even
+    // visited by young collections.
+    let mut h = Heap::default();
+    let g = h.make_guardian();
+    let x = h.cons(Value::fixnum(1), Value::NIL);
+    let r = h.root(x);
+    g.register(&mut h, x);
+
+    h.collect(0); // entry migrates to protected[1]
+    assert_eq!(h.last_report().unwrap().guardian_entries_visited, 1);
+    h.collect(0); // protected[1] untouched
+    assert_eq!(h.last_report().unwrap().guardian_entries_visited, 0);
+    h.collect(0);
+    assert_eq!(h.last_report().unwrap().guardian_entries_visited, 0);
+
+    // Drop the object: a young collection cannot prove it dead...
+    r.set(Value::FALSE);
+    h.collect(0);
+    assert_eq!(g.poll(&mut h), None);
+    // ...but a collection of its generation can.
+    h.collect(1);
+    assert_eq!(h.last_report().unwrap().guardian_entries_visited, 1);
+    let saved = g.poll(&mut h).expect("proven dead by gen-1 collection");
+    assert_eq!(h.car(saved), Value::fixnum(1));
+    h.verify().unwrap();
+}
+
+#[test]
+fn flat_ablation_visits_every_entry_every_collection() {
+    let mut h = Heap::new(GcConfig { flat_protected: true, ..GcConfig::new() });
+    let g = h.make_guardian();
+    let mut roots = Vec::new();
+    for i in 0..50 {
+        let x = h.cons(Value::fixnum(i), Value::NIL);
+        roots.push(h.root(x));
+        g.register(&mut h, x);
+    }
+    h.collect(0);
+    assert_eq!(h.last_report().unwrap().guardian_entries_visited, 50);
+    h.collect(0);
+    // The flat list pays for all 50 entries on every single collection —
+    // the overhead the paper's design eliminates.
+    assert_eq!(h.last_report().unwrap().guardian_entries_visited, 50);
+    h.verify().unwrap();
+}
+
+#[test]
+fn flat_ablation_still_finalizes_correctly() {
+    let mut h = Heap::new(GcConfig { flat_protected: true, ..GcConfig::new() });
+    let g = h.make_guardian();
+    let x = h.cons(Value::fixnum(9), Value::NIL);
+    let r = h.root(x);
+    g.register(&mut h, x);
+    h.collect(0);
+    h.collect(0);
+    r.set(Value::FALSE);
+    h.collect(3);
+    assert_eq!(g.poll(&mut h).map(|v| h.car(v)), Some(Value::fixnum(9)));
+}
+
+#[test]
+fn maybe_collect_fires_on_the_allocation_trigger() {
+    let mut h = Heap::new(GcConfig { trigger_bytes: 4096, ..GcConfig::new() });
+    assert!(h.maybe_collect().is_none(), "nothing allocated yet");
+    for _ in 0..300 {
+        let _ = h.cons(Value::NIL, Value::NIL); // 300 * 16 bytes > 4096
+    }
+    let report = h.maybe_collect().expect("trigger crossed");
+    assert_eq!(report.collected_generation, 0);
+    assert!(h.maybe_collect().is_none(), "counter reset");
+}
+
+#[test]
+fn maybe_collect_follows_the_generation_schedule() {
+    let mut h = Heap::new(GcConfig {
+        trigger_bytes: 0,
+        frequency: vec![1, 2, 4, 8],
+        ..GcConfig::new()
+    });
+    let mut gens = Vec::new();
+    for _ in 0..8 {
+        let _ = h.cons(Value::NIL, Value::NIL);
+        gens.push(h.maybe_collect().unwrap().collected_generation);
+    }
+    assert_eq!(gens, vec![0, 1, 0, 2, 0, 1, 0, 3]);
+}
+
+#[test]
+fn garbage_is_actually_reclaimed() {
+    let mut h = Heap::default();
+    for _ in 0..10_000 {
+        let _ = h.cons(Value::NIL, Value::NIL);
+    }
+    let before = h.capacity_bytes();
+    h.collect(0);
+    let after = h.capacity_bytes();
+    assert!(after < before / 2, "dead segments returned to the pool: {before} -> {after}");
+    assert!(h.last_report().unwrap().segments_freed > 0);
+}
+
+#[test]
+fn large_objects_survive_and_die_correctly() {
+    let mut h = Heap::default();
+    let big = h.make_vector(5000, Value::fixnum(3)); // ~10 segments
+    let r = h.root(big);
+    h.collect(0);
+    h.verify().unwrap();
+    let big = r.get();
+    assert_eq!(h.vector_len(big), 5000);
+    assert_eq!(h.vector_ref(big, 4999), Value::fixnum(3));
+    assert_eq!(h.generation_of(big), Some(1));
+
+    let occupied = h.capacity_bytes();
+    drop(r);
+    h.collect(1);
+    h.verify().unwrap();
+    assert!(h.capacity_bytes() < occupied, "large run reclaimed");
+}
+
+#[test]
+fn deep_structure_survives_collection() {
+    let mut h = Heap::default();
+    let mut head = Value::NIL;
+    for i in 0..50_000 {
+        head = h.cons(Value::fixnum(i), head);
+    }
+    let r = h.root(head);
+    h.collect(0);
+    h.verify().unwrap();
+    // Walk the whole copied list.
+    let mut cur = r.get();
+    let mut expected = 49_999;
+    while !cur.is_nil() {
+        assert_eq!(h.car(cur).as_fixnum(), expected);
+        expected -= 1;
+        cur = h.cdr(cur);
+    }
+    assert_eq!(expected, -1);
+}
+
+#[test]
+fn all_object_kinds_survive_collection_with_contents() {
+    let mut h = Heap::default();
+    let s = h.make_string("the quick brown fox");
+    let sym = h.make_symbol("state");
+    let bv = h.make_bytevector(13, 0x5A);
+    let fl = h.make_flonum(6.25);
+    let bx = h.make_box(Value::fixnum(-4));
+    let vec = h.make_vector(2, s);
+    let rec = h.make_record(sym, &[bv, fl, bx, vec]);
+    let weak = h.weak_cons(rec, Value::fixnum(1));
+    let r = h.root(rec);
+    let w = h.root(weak);
+
+    h.collect(0);
+    h.collect(1);
+    h.verify().unwrap();
+
+    let rec = r.get();
+    assert_eq!(h.symbol_name(h.record_descriptor(rec)), "state");
+    let bv = h.record_ref(rec, 0);
+    assert_eq!(h.bytevector_value(bv), vec![0x5A; 13]);
+    assert_eq!(h.flonum_value(h.record_ref(rec, 1)), 6.25);
+    assert_eq!(h.box_ref(h.record_ref(rec, 2)), Value::fixnum(-4));
+    let v = h.record_ref(rec, 3);
+    assert_eq!(h.string_value(h.vector_ref(v, 1)), "the quick brown fox");
+    // The weak pair's referent survived: the weak car was forwarded.
+    assert_eq!(h.car(w.get()), rec);
+}
+
+#[test]
+fn collecting_the_oldest_generation_reclaims_old_garbage() {
+    let mut h = Heap::default();
+    let x = h.cons(Value::fixnum(1), Value::NIL);
+    let r = h.root(x);
+    for g in [0u8, 1, 2, 3] {
+        h.collect(g);
+    }
+    assert_eq!(h.generation_of(r.get()), Some(3));
+    let before = h.capacity_bytes();
+    drop(r);
+    h.collect(3);
+    h.verify().unwrap();
+    assert!(h.capacity_bytes() <= before);
+}
+
+#[test]
+fn guardian_entry_for_old_object_crawls_up_to_it() {
+    // Registering an already-old object puts the entry on protected[0];
+    // the entry must migrate upward collection by collection without ever
+    // falsely finalizing the (live) object.
+    let mut h = Heap::default();
+    let x = h.cons(Value::fixnum(6), Value::NIL);
+    let r = h.root(x);
+    h.collect(0);
+    h.collect(1); // x in generation 2
+    let g = h.make_guardian();
+    g.register(&mut h, r.get());
+
+    h.collect(0);
+    h.collect(0);
+    assert_eq!(g.poll(&mut h), None);
+    h.verify().unwrap();
+
+    drop(r);
+    h.collect(2);
+    let saved = g.poll(&mut h).expect("found dead once its generation was collected");
+    assert_eq!(h.car(saved), Value::fixnum(6));
+}
+
+#[test]
+fn pointer_free_objects_are_copied_without_scanning() {
+    // Strings, bytevectors, and flonums live in the pure space (the
+    // paper's cited segregate-by-characteristics design): the collector
+    // copies them but never scans their payloads.
+    let mut h = Heap::default();
+    let mut keep = Vec::new();
+    for i in 0..200 {
+        let s = h.make_string(&format!("payload string number {i:03}"));
+        keep.push(h.root(s));
+    }
+    let bv = h.make_bytevector(10_000, 0xEE);
+    keep.push(h.root(bv));
+    h.collect(0);
+    h.verify().unwrap();
+    let report = h.last_report().unwrap();
+    assert!(
+        report.pure_words_skipped > 1_000,
+        "the pure-space scan skip did real work: {}",
+        report.pure_words_skipped
+    );
+    // Contents intact after the unscanned copy.
+    for (i, r) in keep[..200].iter().enumerate() {
+        assert_eq!(h.string_value(r.get()), format!("payload string number {i:03}"));
+    }
+    assert_eq!(h.bytevector_ref(keep[200].get(), 9_999), 0xEE);
+}
+
+#[test]
+fn pure_space_objects_interlink_correctly_with_typed_ones() {
+    // A vector (typed, scanned) holding strings (pure, unscanned): the
+    // scan of the vector forwards the strings; the strings' segments are
+    // never scanned.
+    let mut h = Heap::default();
+    let v = h.make_vector(50, Value::NIL);
+    for i in 0..50 {
+        let s = h.make_string(&format!("{i}"));
+        h.vector_set(v, i, s);
+    }
+    let r = h.root(v);
+    h.collect(0);
+    h.collect(1);
+    h.verify().unwrap();
+    for i in 0..50 {
+        let s = h.vector_ref(r.get(), i);
+        assert_eq!(h.string_value(s), format!("{i}"));
+    }
+}
+
+#[test]
+fn capped_promotion_is_a_tenure_ceiling() {
+    use guardians_gc::Promotion;
+    let mut h = Heap::new(GcConfig { promotion: Promotion::Capped(2), ..GcConfig::new() });
+    let x = h.cons(Value::fixnum(1), Value::NIL);
+    let r = h.root(x);
+    for g in [0u8, 1, 2, 3, 3] {
+        h.collect(g);
+        h.verify().unwrap();
+    }
+    assert_eq!(h.generation_of(r.get()), Some(2), "never promoted past the cap");
+    assert_eq!(h.car(r.get()), Value::fixnum(1));
+
+    // Guardian entries park at the cap too and stay generation-friendly.
+    let g = h.make_guardian();
+    let y = h.cons(Value::fixnum(2), Value::NIL);
+    let yr = h.root(y);
+    g.register(&mut h, y);
+    h.collect(0);
+    h.collect(1);
+    h.collect(2);
+    h.collect(0);
+    assert_eq!(h.last_report().unwrap().guardian_entries_visited, 0, "parked at gen 2");
+    yr.set(Value::FALSE);
+    h.collect(2);
+    assert_eq!(g.poll(&mut h).map(|v| h.car(v)), Some(Value::fixnum(2)));
+}
+
+#[test]
+fn same_generation_promotion_works_end_to_end() {
+    use guardians_gc::Promotion;
+    let mut h = Heap::new(GcConfig { promotion: Promotion::SameGeneration, ..GcConfig::new() });
+    let x = h.cons(Value::fixnum(7), Value::NIL);
+    let r = h.root(x);
+    h.collect(0);
+    assert_eq!(h.generation_of(r.get()), Some(1), "leaves the nursery once");
+    for _ in 0..3 {
+        h.collect(1);
+        h.verify().unwrap();
+        assert_eq!(h.generation_of(r.get()), Some(1), "then stays put");
+    }
+    // Guardians still work under the two-speed policy.
+    let g = h.make_guardian();
+    g.register(&mut h, r.get());
+    r.set(Value::FALSE);
+    h.collect(1);
+    assert_eq!(g.poll(&mut h).map(|v| h.car(v)), Some(Value::fixnum(7)));
+    h.verify().unwrap();
+}

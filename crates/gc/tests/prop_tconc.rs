@@ -1,0 +1,70 @@
+//! Property test: the tconc queue against a `VecDeque` model, with
+//! collections of random generations interleaved between operations. The
+//! queue's contents are fixnums (collection-immune values), so any
+//! divergence is a structural failure of the tconc pairs surviving the
+//! copying collector.
+
+use guardians_gc::{GcConfig, Heap, Value};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Append(i64),
+    Pop,
+    Len,
+    Collect(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => any::<i64>().prop_map(|v| Op::Append(v % 1_000_000)),
+        3 => Just(Op::Pop),
+        1 => Just(Op::Len),
+        2 => (0u8..4).prop_map(Op::Collect),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn tconc_matches_a_vecdeque_across_collections(
+        ops in proptest::collection::vec(op_strategy(), 1..200)
+    ) {
+        let mut heap = Heap::new(GcConfig::new());
+        let tc_root = {
+            let tc = heap.make_tconc();
+            heap.root(tc)
+        };
+        let mut model: VecDeque<i64> = VecDeque::new();
+        for op in ops {
+            let tc = tc_root.get();
+            match op {
+                Op::Append(v) => {
+                    heap.tconc_append(tc, Value::fixnum(v));
+                    model.push_back(v);
+                }
+                Op::Pop => {
+                    let got = heap.tconc_pop(tc).map(|v| v.as_fixnum());
+                    prop_assert_eq!(got, model.pop_front(), "pop diverged");
+                }
+                Op::Len => {
+                    prop_assert_eq!(heap.tconc_len(tc), model.len(), "len diverged");
+                    prop_assert_eq!(heap.tconc_is_empty(tc), model.is_empty());
+                }
+                Op::Collect(g) => {
+                    let g = g.min(heap.config().max_generation());
+                    heap.collect(g);
+                    heap.verify().expect("heap valid after collection");
+                }
+            }
+        }
+        // Drain both: they must agree to the end.
+        let tc = tc_root.get();
+        while let Some(v) = heap.tconc_pop(tc) {
+            prop_assert_eq!(Some(v.as_fixnum()), model.pop_front(), "final drain diverged");
+        }
+        prop_assert!(model.is_empty(), "model has leftovers the tconc lost");
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests: value representation round trips and data integrity
+//! across collections for every object kind.
+
+use guardians_gc::{GcConfig, Heap, Value, FIXNUM_MAX, FIXNUM_MIN};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fixnums_round_trip(n in FIXNUM_MIN..=FIXNUM_MAX) {
+        let v = Value::fixnum(n);
+        prop_assert!(v.is_fixnum());
+        prop_assert_eq!(v.as_fixnum(), n);
+        prop_assert!(!v.is_ptr());
+    }
+
+    #[test]
+    fn chars_round_trip(c in any::<char>()) {
+        prop_assert_eq!(Value::char(c).as_char(), Some(c));
+    }
+
+    #[test]
+    fn strings_round_trip_and_survive(s in ".{0,100}") {
+        let mut heap = Heap::default();
+        let v = heap.make_string(&s);
+        prop_assert_eq!(heap.string_value(v), s.clone());
+        prop_assert_eq!(heap.string_len(v), s.len());
+        let r = heap.root(v);
+        heap.collect(0);
+        heap.collect(1);
+        prop_assert_eq!(heap.string_value(r.get()), s);
+    }
+
+    #[test]
+    fn bytevectors_round_trip_and_survive(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let mut heap = Heap::default();
+        let v = heap.make_bytevector(bytes.len(), 0);
+        for (i, b) in bytes.iter().enumerate() {
+            heap.bytevector_set(v, i, *b);
+        }
+        prop_assert_eq!(heap.bytevector_value(v), bytes.clone());
+        let r = heap.root(v);
+        heap.collect(0);
+        prop_assert_eq!(heap.bytevector_value(r.get()), bytes);
+    }
+
+    #[test]
+    fn flonums_round_trip(f in any::<f64>()) {
+        let mut heap = Heap::default();
+        let v = heap.make_flonum(f);
+        prop_assert_eq!(heap.flonum_value(v).to_bits(), f.to_bits());
+    }
+
+    #[test]
+    fn vectors_of_random_fixnums_survive_full_aging(
+        items in proptest::collection::vec(FIXNUM_MIN..=FIXNUM_MAX, 0..600)
+    ) {
+        let mut heap = Heap::new(GcConfig::with_generations(3));
+        let v = heap.make_vector(items.len(), Value::NIL);
+        for (i, n) in items.iter().enumerate() {
+            heap.vector_set(v, i, Value::fixnum(*n));
+        }
+        let r = heap.root(v);
+        for g in [0u8, 1, 2, 2] {
+            heap.collect(g);
+            heap.verify().expect("valid after collection");
+        }
+        let v = r.get();
+        prop_assert_eq!(heap.vector_len(v), items.len());
+        for (i, n) in items.iter().enumerate() {
+            prop_assert_eq!(heap.vector_ref(v, i).as_fixnum(), *n);
+        }
+    }
+}

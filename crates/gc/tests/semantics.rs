@@ -1,0 +1,323 @@
+//! The paper's Section 3 semantics, transcript by transcript.
+//!
+//! Every test ends with a full heap verification.
+
+use guardians_gc::{GcConfig, Guardian, Heap, Value};
+
+fn heap() -> Heap {
+    Heap::default()
+}
+
+/// Collects every generation so "inaccessible" is always proven.
+fn full_collect(h: &mut Heap) {
+    h.collect(h.config().max_generation());
+    h.verify().expect("heap valid after collection");
+}
+
+#[test]
+fn basic_save_and_retrieve() {
+    // > (define G (make-guardian))
+    // > (define x (cons 'a 'b))
+    // > (G x)
+    // > (G)         => #f
+    // > (set! x #f)
+    // > (G)         => (a . b)
+    // > (G)         => #f
+    let mut h = heap();
+    let g = h.make_guardian();
+    let a = h.make_symbol("a");
+    let b = h.make_symbol("b");
+    let x = h.cons(a, b);
+    let x_root = h.root(x);
+    g.register(&mut h, x);
+
+    full_collect(&mut h);
+    assert_eq!(g.poll(&mut h), None, "(G) => #f while accessible");
+
+    x_root.set(Value::FALSE);
+    full_collect(&mut h);
+    let saved = g.poll(&mut h).expect("(G) => (a . b)");
+    assert_eq!(h.symbol_name(h.car(saved)), "a");
+    assert_eq!(h.symbol_name(h.cdr(saved)), "b");
+    assert_eq!(g.poll(&mut h), None, "(G) => #f after retrieval");
+    h.verify().unwrap();
+}
+
+#[test]
+fn multiple_registration_is_retrievable_multiple_times() {
+    // > (G x) (G x) ... => (a . b) (a . b)
+    let mut h = heap();
+    let g = h.make_guardian();
+    let x = h.cons(Value::fixnum(1), Value::fixnum(2));
+    g.register(&mut h, x);
+    g.register(&mut h, x);
+
+    full_collect(&mut h);
+    let first = g.poll(&mut h).expect("first retrieval");
+    let second = g.poll(&mut h).expect("second retrieval");
+    assert_eq!(first, second, "both retrievals yield the same (moved) pair");
+    assert_eq!(h.car(first), Value::fixnum(1));
+    assert_eq!(g.poll(&mut h), None);
+}
+
+#[test]
+fn registration_with_two_guardians() {
+    // > (G x) (H x) ... => both return (a . b)
+    let mut h = heap();
+    let g = h.make_guardian();
+    let g2 = h.make_guardian();
+    let x = h.cons(Value::fixnum(7), Value::NIL);
+    g.register(&mut h, x);
+    g2.register(&mut h, x);
+
+    full_collect(&mut h);
+    let from_g = g.poll(&mut h).expect("(G) => (a . b)");
+    let from_h = g2.poll(&mut h).expect("(H) => (a . b)");
+    assert_eq!(from_g, from_h);
+    assert_eq!(h.car(from_g), Value::fixnum(7));
+}
+
+#[test]
+fn guardian_registered_with_another_guardian() {
+    // The paper's nested example:
+    // > (define G (make-guardian))
+    // > (define H (make-guardian))
+    // > (define x (cons 'a 'b))
+    // > (G H)  (H x)  (set! x #f)  (set! H #f)
+    // > ((G))  => (a . b)
+    let mut h = heap();
+    let g = h.make_guardian();
+    let g_h = h.make_guardian();
+    let x = h.cons(Value::fixnum(1), Value::fixnum(2));
+
+    // (G H): register H (its tconc) with G.
+    g.register(&mut h, g_h.tconc());
+    // (H x)
+    g_h.register(&mut h, x);
+    // (set! H #f): drop the Rust handle — the only strong reference.
+    drop(g_h);
+
+    full_collect(&mut h);
+
+    // ((G)): retrieving from G yields the dead guardian H, which can then
+    // itself be polled for x. This exercises the pend-final fixpoint: H's
+    // tconc became reachable only by being resurrected for G.
+    let h_tconc = g.poll(&mut h).expect("(G) yields the dropped guardian");
+    let revived = Guardian::from_tconc(&mut h, h_tconc);
+    let saved = revived.poll(&mut h).expect("((G)) => (a . b)");
+    assert_eq!(h.car(saved), Value::fixnum(1));
+    assert_eq!(h.cdr(saved), Value::fixnum(2));
+    let report = h.last_report().unwrap();
+    assert!(
+        report.guardian_loop_iterations >= 2,
+        "the nested guardian requires at least two fixpoint iterations, got {}",
+        report.guardian_loop_iterations
+    );
+}
+
+#[test]
+fn retrieved_objects_have_no_special_status() {
+    // "objects that have been retrieved from a guardian have no special
+    // status": they may be used, re-registered, and dropped again.
+    let mut h = heap();
+    let g = h.make_guardian();
+    let x = h.cons(Value::fixnum(1), Value::NIL);
+    g.register(&mut h, x);
+    full_collect(&mut h);
+    let x = g.poll(&mut h).expect("first death");
+
+    // Use it normally.
+    h.set_car(x, Value::fixnum(99));
+    // Re-register it for a second round of finalization.
+    g.register(&mut h, x);
+    full_collect(&mut h);
+    let x2 = g.poll(&mut h).expect("second death after re-registration");
+    assert_eq!(h.car(x2), Value::fixnum(99));
+}
+
+#[test]
+fn dropping_the_guardian_cancels_finalization() {
+    // "Finalization of a group of objects can be canceled by simply
+    // dropping all references to the guardian." The entries must also be
+    // dropped so the objects are reclaimed immediately (Section 4).
+    let mut h = heap();
+    let keeper = h.make_guardian();
+    let dropped = h.make_guardian();
+    let x = h.cons(Value::fixnum(5), Value::NIL);
+    keeper.register(&mut h, x);
+    dropped.register(&mut h, x);
+    drop(dropped);
+
+    full_collect(&mut h);
+    let report = h.last_report().unwrap();
+    assert!(report.guardian_entries_dropped >= 1, "dead guardian's entry dropped");
+    assert_eq!(keeper.poll(&mut h).map(|v| h.car(v)), Some(Value::fixnum(5)));
+}
+
+#[test]
+fn dropping_the_guardian_lets_objects_die_unpreserved() {
+    // With no surviving guardian, the object must actually be reclaimed —
+    // observable through a weak pair.
+    let mut h = heap();
+    let g = h.make_guardian();
+    let x = h.cons(Value::fixnum(5), Value::NIL);
+    let w = h.weak_cons(x, Value::NIL);
+    let w_root = h.root(w);
+    g.register(&mut h, x);
+    drop(g);
+
+    full_collect(&mut h);
+    let w = w_root.get();
+    assert_eq!(h.car(w), Value::FALSE, "object died with its guardian; weak pointer broken");
+}
+
+#[test]
+fn cyclic_structures_are_preserved_in_their_entirety() {
+    // "A shared or cyclic structure consisting of inaccessible objects is
+    // preserved in its entirety and each piece registered for preservation
+    // with any guardian is placed in the inaccessible set for that
+    // guardian. The programmer then has complete control over the order in
+    // which pieces of the structure are processed."
+    let mut h = heap();
+    let g = h.make_guardian();
+    let a = h.cons(Value::fixnum(1), Value::NIL);
+    let b = h.cons(Value::fixnum(2), Value::NIL);
+    h.set_cdr(a, b);
+    h.set_cdr(b, a); // cycle
+    g.register(&mut h, a);
+    g.register(&mut h, b);
+
+    full_collect(&mut h);
+    let first = g.poll(&mut h).expect("piece one");
+    let second = g.poll(&mut h).expect("piece two");
+    assert_eq!(g.poll(&mut h), None);
+    // The cycle is intact: each piece's cdr is the other piece.
+    assert_eq!(h.cdr(first), second);
+    assert_eq!(h.cdr(second), first);
+    let (c1, c2) = (h.car(first).as_fixnum(), h.car(second).as_fixnum());
+    assert_eq!((c1.min(c2), c1.max(c2)), (1, 2));
+}
+
+#[test]
+fn shared_substructure_of_saved_objects_is_intact() {
+    let mut h = heap();
+    let g = h.make_guardian();
+    let shared = h.make_vector(3, Value::fixnum(9));
+    let x = h.cons(shared, Value::NIL);
+    let y = h.cons(shared, Value::TRUE);
+    g.register(&mut h, x);
+    g.register(&mut h, y);
+
+    full_collect(&mut h);
+    let p1 = g.poll(&mut h).unwrap();
+    let p2 = g.poll(&mut h).unwrap();
+    assert_eq!(h.car(p1), h.car(p2), "sharing preserved, not duplicated");
+    assert_eq!(h.vector_ref(h.car(p1), 2), Value::fixnum(9));
+}
+
+#[test]
+fn saved_objects_stay_until_last_reference_drops() {
+    // "Although an object returned from a guardian has been proven
+    // otherwise inaccessible, it has not yet been reclaimed … and will not
+    // be reclaimed until after the last reference to it within or outside
+    // of the guardian system has been dropped."
+    let mut h = heap();
+    let g = h.make_guardian();
+    let x = h.cons(Value::fixnum(8), Value::NIL);
+    g.register(&mut h, x);
+    full_collect(&mut h);
+
+    // Not yet polled: the object sits in the inaccessible group, alive.
+    full_collect(&mut h);
+    full_collect(&mut h);
+    let saved = g.poll(&mut h).expect("still retrievable after more collections");
+    assert_eq!(h.car(saved), Value::fixnum(8));
+
+    // Now hold it via a root: further collections must keep it.
+    let root = h.root(saved);
+    full_collect(&mut h);
+    assert_eq!(h.car(root.get()), Value::fixnum(8));
+}
+
+#[test]
+fn registering_immediates_is_harmless() {
+    // Fixnums and immediates can never become inaccessible; the entry is
+    // simply held forever.
+    let mut h = heap();
+    let g = h.make_guardian();
+    g.register(&mut h, Value::fixnum(42));
+    g.register(&mut h, Value::FALSE);
+    full_collect(&mut h);
+    full_collect(&mut h);
+    assert_eq!(g.poll(&mut h), None);
+    assert_eq!(h.guardian_watched(g.tconc()), 2, "entries persist");
+}
+
+#[test]
+fn guardian_accessible_only_from_heap_structure_still_works() {
+    // A guardian's tconc stored inside a live vector (no Rust handle)
+    // keeps the guardian alive.
+    let mut h = heap();
+    let g = h.make_guardian();
+    let holder = h.make_vector(1, g.tconc());
+    let holder_root = h.root(holder);
+    let x = h.cons(Value::fixnum(3), Value::NIL);
+    g.register(&mut h, x);
+    drop(g); // only the heap reference remains
+
+    full_collect(&mut h);
+    let tconc = h.vector_ref(holder_root.get(), 0);
+    let revived = Guardian::from_tconc(&mut h, tconc);
+    let saved = revived.poll(&mut h).expect("guardian alive via heap reference");
+    assert_eq!(h.car(saved), Value::fixnum(3));
+}
+
+#[test]
+fn poll_order_is_fifo_per_collection() {
+    let mut h = heap();
+    let g = h.make_guardian();
+    // Two rounds of deaths: round 1 objects must come out before round 2.
+    let a = h.cons(Value::fixnum(1), Value::NIL);
+    g.register(&mut h, a);
+    full_collect(&mut h);
+
+    let b = h.cons(Value::fixnum(2), Value::NIL);
+    g.register(&mut h, b);
+    full_collect(&mut h);
+
+    let first = g.poll(&mut h).unwrap();
+    let second = g.poll(&mut h).unwrap();
+    assert_eq!(h.car(first), Value::fixnum(1));
+    assert_eq!(h.car(second), Value::fixnum(2));
+}
+
+#[test]
+fn single_generation_heap_works() {
+    let mut h = Heap::new(GcConfig::with_generations(1));
+    let g = h.make_guardian();
+    let x = h.cons(Value::fixnum(1), Value::NIL);
+    let keep = h.make_vector(100, Value::fixnum(2));
+    let keep_root = h.root(keep);
+    g.register(&mut h, x);
+    h.collect(0);
+    h.verify().unwrap();
+    assert_eq!(g.poll(&mut h).map(|v| h.car(v)), Some(Value::fixnum(1)));
+    assert_eq!(h.vector_ref(keep_root.get(), 99), Value::fixnum(2));
+}
+
+#[test]
+fn drain_returns_everything_pending() {
+    let mut h = heap();
+    let g = h.make_guardian();
+    for i in 0..10 {
+        let p = h.cons(Value::fixnum(i), Value::NIL);
+        g.register(&mut h, p);
+    }
+    full_collect(&mut h);
+    let dead = g.drain(&mut h);
+    assert_eq!(dead.len(), 10);
+    let mut values: Vec<i64> = dead.iter().map(|v| h.car(*v).as_fixnum()).collect();
+    values.sort_unstable();
+    assert_eq!(values, (0..10).collect::<Vec<_>>());
+    assert!(g.is_empty(&h));
+}

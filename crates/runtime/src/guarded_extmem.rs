@@ -1,0 +1,127 @@
+//! Guarded external memory (paper Section 1):
+//!
+//! > "In order to simplify deallocation of external memory, a Scheme
+//! > header can be created for each block of storage, and a clean-up
+//! > action associated with the Scheme header could then be used to free
+//! > the storage."
+//!
+//! Each external block gets a heap *header record* holding its id; the
+//! header is registered with a guardian **using the block id as the
+//! agent** (the Section 5 generalisation) — "something less than the
+//! object is needed to perform the finalization", so the header itself
+//! need not be preserved.
+
+use crate::extmem::{BlockId, ExtArena, ExtMemError};
+use crate::rtags;
+use guardians_gc::{Guardian, Heap, Value};
+
+/// Allocates external blocks whose lifetime is tied to heap headers.
+#[derive(Debug)]
+pub struct GuardedArena {
+    /// The underlying malloc/free simulation, exposed for inspection.
+    pub arena: ExtArena,
+    guardian: Guardian,
+    /// Blocks freed by clean-up actions.
+    pub auto_freed: u64,
+}
+
+impl GuardedArena {
+    /// Creates the arena and its guardian.
+    pub fn new(heap: &mut Heap) -> GuardedArena {
+        GuardedArena { arena: ExtArena::new(), guardian: heap.make_guardian(), auto_freed: 0 }
+    }
+
+    /// Allocates `size` external bytes and returns the heap header that
+    /// owns them. Dropping the header (and collecting) frees the block at
+    /// the next [`GuardedArena::free_dropped`].
+    pub fn alloc(&mut self, heap: &mut Heap, size: usize) -> Value {
+        self.free_dropped(heap).expect("clean-up of well-formed ids cannot fail");
+        let id = self.arena.malloc(size);
+        let header = heap.make_record(rtags::extblock(), &[Value::fixnum(id.0 as i64)]);
+        // Agent = the block id: the header can be discarded entirely.
+        self.guardian.register_with_agent(heap, header, Value::fixnum(id.0 as i64));
+        header
+    }
+
+    /// The block id owned by a header.
+    pub fn block_of(&self, heap: &Heap, header: Value) -> BlockId {
+        debug_assert!(heap.record_descriptor(header) == rtags::extblock());
+        BlockId(heap.record_ref(header, 0).as_fixnum() as u64)
+    }
+
+    /// Frees every block whose header was proven inaccessible. Returns
+    /// how many were freed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExtMemError`] (cannot happen unless blocks were freed
+    /// behind the guardian's back).
+    pub fn free_dropped(&mut self, heap: &mut Heap) -> Result<usize, ExtMemError> {
+        let mut n = 0;
+        while let Some(agent) = self.guardian.poll(heap) {
+            let id = BlockId(agent.as_fixnum() as u64);
+            self.arena.free(id)?;
+            self.auto_freed += 1;
+            n += 1;
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dropped_headers_free_their_blocks() {
+        let mut heap = Heap::default();
+        let mut ga = GuardedArena::new(&mut heap);
+        let kept = ga.alloc(&mut heap, 100);
+        let kept_root = heap.root(kept);
+        let kept_id = ga.block_of(&heap, kept);
+        for _ in 0..10 {
+            let _ = ga.alloc(&mut heap, 64); // dropped immediately
+        }
+        assert_eq!(ga.arena.live_blocks(), 11);
+
+        heap.collect(heap.config().max_generation());
+        let freed = ga.free_dropped(&mut heap).unwrap();
+        assert_eq!(freed, 10);
+        assert_eq!(ga.arena.live_blocks(), 1, "only the kept block survives");
+        assert!(ga.arena.is_live(kept_id));
+        assert_eq!(ga.block_of(&heap, kept_root.get()), kept_id);
+        heap.verify().unwrap();
+    }
+
+    #[test]
+    fn headers_are_not_preserved_only_agents() {
+        let mut heap = Heap::default();
+        let mut ga = GuardedArena::new(&mut heap);
+        let header = ga.alloc(&mut heap, 8);
+        let w = heap.weak_cons(header, Value::NIL);
+        let wr = heap.root(w);
+        heap.collect(heap.config().max_generation());
+        ga.free_dropped(&mut heap).unwrap();
+        assert_eq!(heap.car(wr.get()), Value::FALSE, "the header itself was reclaimed");
+        assert_eq!(ga.arena.live_blocks(), 0);
+    }
+
+    #[test]
+    fn no_leaks_under_churn() {
+        let mut heap = Heap::default();
+        let mut ga = GuardedArena::new(&mut heap);
+        for round in 0..20 {
+            for _ in 0..50 {
+                let _ = ga.alloc(&mut heap, 32);
+            }
+            if round % 3 == 0 {
+                heap.collect(heap.config().max_generation());
+            }
+        }
+        heap.collect(heap.config().max_generation());
+        ga.free_dropped(&mut heap).unwrap();
+        assert_eq!(ga.arena.live_blocks(), 0, "every block eventually freed");
+        assert_eq!(ga.arena.total_allocs, 1000);
+        assert_eq!(ga.arena.total_frees, 1000);
+    }
+}

@@ -1,0 +1,226 @@
+//! Temporary files and subprocesses (paper Section 1): "Similar
+//! mechanisms can be used to free other external resources, such as
+//! temporary files and subprocesses."
+//!
+//! Both resources follow the external-memory pattern: a heap handle owns
+//! the resource; a guardian with a **fixnum agent** (Section 5) performs
+//! the clean-up — deleting the temp file or reaping the subprocess —
+//! without preserving the handle itself.
+
+use crate::rtags;
+use crate::simos::SimOs;
+use guardians_gc::{Guardian, Heap, Value};
+use std::collections::HashMap;
+
+/// Temp files that delete themselves after their handles are dropped.
+#[derive(Debug)]
+pub struct GuardedTempFiles {
+    guardian: Guardian,
+    /// agent id -> path (the clean-up needs only the path, not the handle).
+    paths: HashMap<u64, String>,
+    next: u64,
+    /// Files deleted by clean-up.
+    pub deleted: u64,
+}
+
+impl GuardedTempFiles {
+    /// Creates the temp-file manager.
+    pub fn new(heap: &mut Heap) -> GuardedTempFiles {
+        GuardedTempFiles { guardian: heap.make_guardian(), paths: HashMap::new(), next: 0, deleted: 0 }
+    }
+
+    /// Creates a temp file with the given contents; returns the heap
+    /// handle that owns it. The path is readable via [`Self::path_of`].
+    pub fn create(&mut self, heap: &mut Heap, os: &mut SimOs, contents: &[u8]) -> Value {
+        self.clean_dropped(heap, os);
+        let id = self.next;
+        self.next += 1;
+        let path = format!("/tmp/guarded-{id}");
+        os.create_file(&path, contents);
+        self.paths.insert(id, path.clone());
+        let path_v = heap.make_string(&path);
+        let handle = heap.make_record(rtags::extblock(), &[Value::fixnum(id as i64), path_v]);
+        self.guardian.register_with_agent(heap, handle, Value::fixnum(id as i64));
+        handle
+    }
+
+    /// The path a handle owns.
+    pub fn path_of(&self, heap: &Heap, handle: Value) -> String {
+        heap.string_value(heap.record_ref(handle, 1))
+    }
+
+    /// Deletes every temp file whose handle was proven dropped. Returns
+    /// how many were deleted.
+    pub fn clean_dropped(&mut self, heap: &mut Heap, os: &mut SimOs) -> usize {
+        let mut n = 0;
+        while let Some(agent) = self.guardian.poll(heap) {
+            let id = agent.as_fixnum() as u64;
+            if let Some(path) = self.paths.remove(&id) {
+                // The file may have been deleted explicitly already.
+                let _ = os.delete_file(&path);
+                self.deleted += 1;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Temp files still owned by live handles.
+    pub fn live(&self) -> usize {
+        self.paths.len()
+    }
+}
+
+/// A tiny subprocess simulation: spawn/kill with a live count, standing
+/// in for the OS process table.
+#[derive(Debug, Default)]
+pub struct SimProcs {
+    live: HashMap<u64, String>,
+    next: u64,
+    /// Processes reaped (killed).
+    pub reaped: u64,
+}
+
+impl SimProcs {
+    /// An empty process table.
+    pub fn new() -> SimProcs {
+        SimProcs::default()
+    }
+
+    /// Spawns a process; returns its pid.
+    pub fn spawn(&mut self, command: &str) -> u64 {
+        let pid = self.next;
+        self.next += 1;
+        self.live.insert(pid, command.to_string());
+        pid
+    }
+
+    /// Kills a process. Idempotent.
+    pub fn kill(&mut self, pid: u64) {
+        if self.live.remove(&pid).is_some() {
+            self.reaped += 1;
+        }
+    }
+
+    /// Whether the pid is running.
+    pub fn is_running(&self, pid: u64) -> bool {
+        self.live.contains_key(&pid)
+    }
+
+    /// Number of running processes — the leak metric.
+    pub fn running(&self) -> usize {
+        self.live.len()
+    }
+}
+
+/// Subprocess handles whose processes are reaped once dropped.
+#[derive(Debug)]
+pub struct GuardedProcs {
+    guardian: Guardian,
+}
+
+impl GuardedProcs {
+    /// Creates the subprocess manager.
+    pub fn new(heap: &mut Heap) -> GuardedProcs {
+        GuardedProcs { guardian: heap.make_guardian() }
+    }
+
+    /// Spawns a process and returns the owning heap handle.
+    pub fn spawn(&mut self, heap: &mut Heap, procs: &mut SimProcs, command: &str) -> Value {
+        let pid = procs.spawn(command);
+        let cmd_v = heap.make_string(command);
+        let handle = heap.make_record(rtags::extblock(), &[Value::fixnum(pid as i64), cmd_v]);
+        // Agent = the pid; the handle itself need not be preserved.
+        self.guardian.register_with_agent(heap, handle, Value::fixnum(pid as i64));
+        handle
+    }
+
+    /// The pid a handle owns.
+    pub fn pid_of(&self, heap: &Heap, handle: Value) -> u64 {
+        heap.record_ref(handle, 0).as_fixnum() as u64
+    }
+
+    /// Reaps every process whose handle was proven dropped.
+    pub fn reap_dropped(&mut self, heap: &mut Heap, procs: &mut SimProcs) -> usize {
+        let mut n = 0;
+        while let Some(agent) = self.guardian.poll(heap) {
+            procs.kill(agent.as_fixnum() as u64);
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dropped_temp_files_are_deleted() {
+        let mut heap = Heap::default();
+        let mut os = SimOs::new();
+        let mut tf = GuardedTempFiles::new(&mut heap);
+        let kept = tf.create(&mut heap, &mut os, b"keep me");
+        let kept_root = heap.root(kept);
+        let kept_path = tf.path_of(&heap, kept);
+        for i in 0..10 {
+            let _ = tf.create(&mut heap, &mut os, format!("scratch {i}").as_bytes());
+        }
+        assert_eq!(tf.live(), 11);
+
+        heap.collect(heap.config().max_generation());
+        let deleted = tf.clean_dropped(&mut heap, &mut os);
+        assert_eq!(deleted, 10);
+        assert_eq!(tf.live(), 1);
+        assert!(os.file_exists(&kept_path), "kept handle's file survives");
+        assert!(!os.file_exists("/tmp/guarded-1"), "dropped file deleted");
+        assert_eq!(tf.path_of(&heap, kept_root.get()), kept_path);
+        heap.verify().unwrap();
+    }
+
+    #[test]
+    fn explicit_deletion_does_not_confuse_cleanup() {
+        let mut heap = Heap::default();
+        let mut os = SimOs::new();
+        let mut tf = GuardedTempFiles::new(&mut heap);
+        let h = tf.create(&mut heap, &mut os, b"x");
+        let path = tf.path_of(&heap, h);
+        os.delete_file(&path).unwrap(); // user beat the guardian to it
+        heap.collect(heap.config().max_generation());
+        let deleted = tf.clean_dropped(&mut heap, &mut os);
+        assert_eq!(deleted, 1, "clean-up still retires the entry");
+    }
+
+    #[test]
+    fn dropped_subprocesses_are_reaped() {
+        let mut heap = Heap::default();
+        let mut procs = SimProcs::new();
+        let mut gp = GuardedProcs::new(&mut heap);
+        let daemon = gp.spawn(&mut heap, &mut procs, "daemon --serve");
+        let daemon_root = heap.root(daemon);
+        for i in 0..5 {
+            let _ = gp.spawn(&mut heap, &mut procs, &format!("worker {i}"));
+        }
+        assert_eq!(procs.running(), 6);
+
+        heap.collect(heap.config().max_generation());
+        let reaped = gp.reap_dropped(&mut heap, &mut procs);
+        assert_eq!(reaped, 5);
+        assert_eq!(procs.running(), 1);
+        assert!(procs.is_running(gp.pid_of(&heap, daemon_root.get())));
+        heap.verify().unwrap();
+    }
+
+    #[test]
+    fn kill_is_idempotent_under_double_reap() {
+        let mut heap = Heap::default();
+        let mut procs = SimProcs::new();
+        let mut gp = GuardedProcs::new(&mut heap);
+        let h = gp.spawn(&mut heap, &mut procs, "once");
+        let pid = gp.pid_of(&heap, h);
+        procs.kill(pid); // killed explicitly first
+        heap.collect(heap.config().max_generation());
+        gp.reap_dropped(&mut heap, &mut procs);
+        assert_eq!(procs.reaped, 1, "no double counting");
+    }
+}

@@ -1,0 +1,358 @@
+//! Eq hash tables — address-hashed, as in the paper's Section 3
+//! discussion:
+//!
+//! > "Eq hash tables permit arbitrary objects to be used as keys with fast
+//! > hashing based on the virtual memory address … Since an object may be
+//! > moved during a garbage collection, however, its address and hence its
+//! > hash value may change. This problem is often solved by rehashing such
+//! > tables after a collection or, more commonly, after a lookup has
+//! > failed following a collection. In a generation-based collector much
+//! > of this work is wasted for keys that are no longer forwarded during
+//! > every collection…"
+//!
+//! [`EqHashTable`] implements the classic rehash-after-collection policy;
+//! [`TransportEqHashTable`] implements the paper's fix — rehash only the
+//! entries a conservative [`TransportGuardian`] reports as (possibly)
+//! moved. Both count the entries they rehash so experiment E6 can compare
+//! the work directly.
+
+use crate::transport::TransportGuardian;
+use guardians_gc::{Heap, Rooted, Value};
+
+fn addr_hash(heap: &Heap, key: Value, size: usize) -> usize {
+    match heap.address_of(key) {
+        Some(a) => (a % size as u64) as usize,
+        None => (key.raw() % size as u64) as usize,
+    }
+}
+
+/// An eq (pointer-identity) hash table that lazily rehashes the whole
+/// table at the first access after any collection.
+#[derive(Debug)]
+pub struct EqHashTable {
+    /// Bucket vector; each bucket is an assq list of `(key . value)`.
+    buckets: Rooted,
+    size: usize,
+    len: usize,
+    stamp: u64,
+    /// Full rehashes performed.
+    pub rehash_count: u64,
+    /// Total entries moved between buckets by rehashing — the E6 metric.
+    pub entries_rehashed: u64,
+}
+
+impl EqHashTable {
+    /// Creates a table with `size` buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(heap: &mut Heap, size: usize) -> EqHashTable {
+        assert!(size > 0, "table size must be positive");
+        let v = heap.make_vector(size, Value::NIL);
+        EqHashTable {
+            buckets: heap.root(v),
+            size,
+            len: 0,
+            stamp: heap.collection_count(),
+            rehash_count: 0,
+            entries_rehashed: 0,
+        }
+    }
+
+    fn maybe_rehash(&mut self, heap: &mut Heap) {
+        if heap.collection_count() == self.stamp {
+            return;
+        }
+        // Collect every entry, then re-bucket by current address.
+        let v = self.buckets.get();
+        let mut entries = Vec::new();
+        for i in 0..self.size {
+            let mut cur = heap.vector_ref(v, i);
+            while !cur.is_nil() {
+                entries.push(heap.car(cur));
+                cur = heap.cdr(cur);
+            }
+            heap.vector_set(v, i, Value::NIL);
+        }
+        for entry in entries {
+            let key = heap.car(entry);
+            let b = addr_hash(heap, key, self.size);
+            let v = self.buckets.get();
+            let bucket = heap.vector_ref(v, b);
+            let cell = heap.cons(entry, bucket);
+            heap.vector_set(v, b, cell);
+            self.entries_rehashed += 1;
+        }
+        self.rehash_count += 1;
+        self.stamp = heap.collection_count();
+    }
+
+    /// Inserts or updates; returns the previous value if any.
+    pub fn insert(&mut self, heap: &mut Heap, key: Value, value: Value) -> Option<Value> {
+        self.maybe_rehash(heap);
+        let b = addr_hash(heap, key, self.size);
+        let v = self.buckets.get();
+        let bucket = heap.vector_ref(v, b);
+        let a = crate::lists::assq(heap, key, bucket);
+        if a.is_truthy() {
+            let old = heap.cdr(a);
+            heap.set_cdr(a, value);
+            return Some(old);
+        }
+        let entry = heap.cons(key, value);
+        let cell = heap.cons(entry, bucket);
+        heap.vector_set(self.buckets.get(), b, cell);
+        self.len += 1;
+        None
+    }
+
+    /// Looks up by pointer identity.
+    pub fn get(&mut self, heap: &mut Heap, key: Value) -> Option<Value> {
+        self.maybe_rehash(heap);
+        let b = addr_hash(heap, key, self.size);
+        let bucket = heap.vector_ref(self.buckets.get(), b);
+        let a = crate::lists::assq(heap, key, bucket);
+        a.is_truthy().then(|| heap.cdr(a))
+    }
+
+    /// Number of associations.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// An eq hash table that rehashes **only the entries whose keys a
+/// transport guardian reports as (conservatively) moved** — the paper's
+/// generation-friendly alternative.
+#[derive(Debug)]
+pub struct TransportEqHashTable {
+    /// Bucket vector; each bucket is a list of entry vectors
+    /// `[key, value, bucket-index]`.
+    buckets: Rooted,
+    size: usize,
+    len: usize,
+    tg: TransportGuardian,
+    /// Entries re-bucketed — compare with [`EqHashTable::entries_rehashed`].
+    pub entries_rehashed: u64,
+}
+
+impl TransportEqHashTable {
+    /// Creates a table with `size` buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(heap: &mut Heap, size: usize) -> TransportEqHashTable {
+        assert!(size > 0, "table size must be positive");
+        let v = heap.make_vector(size, Value::NIL);
+        TransportEqHashTable {
+            buckets: heap.root(v),
+            size,
+            len: 0,
+            tg: TransportGuardian::new(heap),
+            entries_rehashed: 0,
+        }
+    }
+
+    /// Re-buckets the entries whose keys the transport guardian reports.
+    fn fix_moved(&mut self, heap: &mut Heap) {
+        while let Some(entry) = self.tg.poll(heap) {
+            let old_b = heap.vector_ref(entry, 2).as_fixnum() as usize;
+            let key = heap.vector_ref(entry, 0);
+            let new_b = addr_hash(heap, key, self.size);
+            self.entries_rehashed += 1;
+            if new_b == old_b {
+                continue; // conservative report; nothing to do
+            }
+            let v = self.buckets.get();
+            let old_bucket = heap.vector_ref(v, old_b);
+            let pruned = crate::lists::remq(heap, entry, old_bucket);
+            heap.vector_set(v, old_b, pruned);
+            let v = self.buckets.get();
+            let new_bucket = heap.vector_ref(v, new_b);
+            let cell = heap.cons(entry, new_bucket);
+            heap.vector_set(v, new_b, cell);
+            heap.vector_set(entry, 2, Value::fixnum(new_b as i64));
+        }
+    }
+
+    fn find(&self, heap: &Heap, key: Value, b: usize) -> Option<Value> {
+        let mut cur = heap.vector_ref(self.buckets.get(), b);
+        while !cur.is_nil() {
+            let entry = heap.car(cur);
+            if heap.vector_ref(entry, 0) == key {
+                return Some(entry);
+            }
+            cur = heap.cdr(cur);
+        }
+        None
+    }
+
+    /// Inserts or updates; returns the previous value if any.
+    pub fn insert(&mut self, heap: &mut Heap, key: Value, value: Value) -> Option<Value> {
+        self.fix_moved(heap);
+        let b = addr_hash(heap, key, self.size);
+        if let Some(entry) = self.find(heap, key, b) {
+            let old = heap.vector_ref(entry, 1);
+            heap.vector_set(entry, 1, value);
+            return Some(old);
+        }
+        let entry = heap.make_vector(3, Value::FALSE);
+        heap.vector_set(entry, 0, key);
+        heap.vector_set(entry, 1, value);
+        heap.vector_set(entry, 2, Value::fixnum(b as i64));
+        let v = self.buckets.get();
+        let bucket = heap.vector_ref(v, b);
+        let cell = heap.cons(entry, bucket);
+        heap.vector_set(v, b, cell);
+        // Track the ENTRY (it holds key, value, and cached bucket): when
+        // the key moves, so does everything reachable with it; the
+        // guardian is conservative either way.
+        self.tg.register(heap, entry);
+        self.len += 1;
+        None
+    }
+
+    /// Looks up by pointer identity.
+    pub fn get(&mut self, heap: &mut Heap, key: Value) -> Option<Value> {
+        self.fix_moved(heap);
+        let b = addr_hash(heap, key, self.size);
+        self.find(heap, key, b).map(|e| heap.vector_ref(e, 1))
+    }
+
+    /// Number of associations.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_table_survives_moves_by_rehashing() {
+        let mut heap = Heap::default();
+        let mut t = EqHashTable::new(&mut heap, 16);
+        let mut keys = Vec::new();
+        for i in 0..100 {
+            let k = heap.cons(Value::fixnum(i), Value::NIL);
+            keys.push(heap.root(k));
+            t.insert(&mut heap, k, Value::fixnum(i * 10));
+        }
+        heap.collect(0); // every key moves
+        for (i, kr) in keys.iter().enumerate() {
+            assert_eq!(t.get(&mut heap, kr.get()), Some(Value::fixnum(i as i64 * 10)));
+        }
+        assert_eq!(t.rehash_count, 1, "one lazy rehash after the collection");
+        assert_eq!(t.entries_rehashed, 100, "rehash touched every entry");
+    }
+
+    #[test]
+    fn eq_table_rehashes_even_when_nothing_moved() {
+        // The wasted work the paper points out: keys parked in an old
+        // generation don't move during young collections, but the classic
+        // policy rehashes the whole table anyway.
+        let mut heap = Heap::default();
+        let mut t = EqHashTable::new(&mut heap, 16);
+        let mut keys = Vec::new();
+        for i in 0..50 {
+            let k = heap.cons(Value::fixnum(i), Value::NIL);
+            keys.push(heap.root(k));
+            t.insert(&mut heap, k, Value::fixnum(i));
+        }
+        heap.collect(0);
+        heap.collect(1);
+        let _ = t.get(&mut heap, keys[0].get()); // rehash after the moves
+        let baseline = t.entries_rehashed;
+        heap.collect(0); // nothing in the table moves now
+        let _ = t.get(&mut heap, keys[0].get());
+        assert_eq!(t.entries_rehashed, baseline + 50, "50 more entries touched for nothing");
+    }
+
+    #[test]
+    fn transport_table_survives_moves() {
+        let mut heap = Heap::default();
+        let mut t = TransportEqHashTable::new(&mut heap, 16);
+        let mut keys = Vec::new();
+        for i in 0..100 {
+            let k = heap.cons(Value::fixnum(i), Value::NIL);
+            keys.push(heap.root(k));
+            t.insert(&mut heap, k, Value::fixnum(i * 10));
+        }
+        heap.collect(0);
+        heap.collect(1);
+        for (i, kr) in keys.iter().enumerate() {
+            assert_eq!(t.get(&mut heap, kr.get()), Some(Value::fixnum(i as i64 * 10)));
+        }
+        heap.verify().unwrap();
+    }
+
+    #[test]
+    fn transport_table_skips_parked_entries() {
+        let mut heap = Heap::default();
+        let mut t = TransportEqHashTable::new(&mut heap, 16);
+        let mut keys = Vec::new();
+        for i in 0..50 {
+            let k = heap.cons(Value::fixnum(i), Value::NIL);
+            keys.push(heap.root(k));
+            t.insert(&mut heap, k, Value::fixnum(i));
+        }
+        // Age everything (entries, keys, markers) into generation 2+.
+        heap.collect(0);
+        let _ = t.get(&mut heap, keys[0].get());
+        heap.collect(1);
+        let _ = t.get(&mut heap, keys[0].get());
+        heap.collect(1);
+        let _ = t.get(&mut heap, keys[0].get());
+        let settled = t.entries_rehashed;
+        // Young collections now touch nothing in the table.
+        for _ in 0..3 {
+            heap.collect(0);
+            let _ = t.get(&mut heap, keys[7].get());
+        }
+        assert_eq!(
+            t.entries_rehashed, settled,
+            "no entry work during young collections once parked — the paper's win"
+        );
+        for (i, kr) in keys.iter().enumerate() {
+            assert_eq!(t.get(&mut heap, kr.get()), Some(Value::fixnum(i as i64)));
+        }
+    }
+
+    #[test]
+    fn insert_updates_existing_entries() {
+        let mut heap = Heap::default();
+        let mut t = EqHashTable::new(&mut heap, 4);
+        let k = heap.cons(Value::NIL, Value::NIL);
+        let kr = heap.root(k);
+        assert_eq!(t.insert(&mut heap, k, Value::fixnum(1)), None);
+        assert_eq!(t.insert(&mut heap, kr.get(), Value::fixnum(2)), Some(Value::fixnum(1)));
+        assert_eq!(t.len(), 1);
+
+        let mut tt = TransportEqHashTable::new(&mut heap, 4);
+        assert_eq!(tt.insert(&mut heap, kr.get(), Value::fixnum(1)), None);
+        assert_eq!(tt.insert(&mut heap, kr.get(), Value::fixnum(2)), Some(Value::fixnum(1)));
+        assert_eq!(tt.len(), 1);
+    }
+
+    #[test]
+    fn fixnum_keys_need_no_rehash() {
+        let mut heap = Heap::default();
+        let mut t = EqHashTable::new(&mut heap, 8);
+        t.insert(&mut heap, Value::fixnum(5), Value::fixnum(50));
+        heap.collect(0);
+        assert_eq!(t.get(&mut heap, Value::fixnum(5)), Some(Value::fixnum(50)));
+    }
+}

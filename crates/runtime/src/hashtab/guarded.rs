@@ -1,0 +1,238 @@
+//! Figure 1 of the paper: the guarded hash table.
+//!
+//! ```scheme
+//! (define make-guarded-hash-table
+//!   (lambda (hash size)
+//!     (let ([g (make-guardian)] [v (make-vector size '())])
+//!       (lambda (key value)
+//!         (let loop ([z (g)])                       ; ┐ shaded: clean-up
+//!           (when z                                 ; │ of entries whose
+//!             (let ([h (hash z size)])              ; │ keys were proven
+//!               (let ([bucket (vector-ref v h)])    ; │ inaccessible
+//!                 (vector-set! v h
+//!                   (remq (assq z bucket) bucket)) ; │
+//!                 (loop (g))))))                    ; ┘
+//!         (let ([h (hash key size)])
+//!           (let ([bucket (vector-ref v h)])
+//!             (let ([a (assq key bucket)])
+//!               (if a
+//!                   (cdr a)
+//!                   (let ([a (weak-cons key value)])
+//!                     (vector-set! v h (cons a bucket))
+//!                     value)))))))))
+//! ```
+//!
+//! Each key/value association is a **weak pair**, so the table does not
+//! keep keys alive; each key is also **registered with the guardian**, so
+//! after the key dies the (resurrected) key comes back through the
+//! guardian, where its hash still identifies the bucket and `assq` still
+//! finds its weak pair — because the weak pass runs after the guardian
+//! pass and therefore did *not* break the pointer. Support for removal is
+//! "entirely contained within the shaded areas": deleting it yields the
+//! plain (leaky) table, which is exactly what
+//! [`weak_table::WeakKeyTable`](super::weak_table::WeakKeyTable) measures
+//! against.
+
+use crate::lists::{assq, remq};
+use guardians_gc::{Guardian, Heap, Rooted, Value};
+
+/// A hash function for table keys; must be stable across collections
+/// (content-based), e.g. [`content_hash`](super::content_hash).
+pub type HashFn = fn(&Heap, Value) -> u64;
+
+/// A guarded hash table (Figure 1).
+#[derive(Debug)]
+pub struct GuardedHashTable {
+    buckets: Rooted,
+    size: usize,
+    guardian: Guardian,
+    hash: HashFn,
+    len: usize,
+    /// Dead-key entries removed so far — the "clean-up actions actually
+    /// performed" that mutator overhead is proportional to.
+    pub removals: u64,
+}
+
+impl GuardedHashTable {
+    /// `(make-guarded-hash-table hash size)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(heap: &mut Heap, size: usize, hash: HashFn) -> GuardedHashTable {
+        assert!(size > 0, "table size must be positive");
+        let v = heap.make_vector(size, Value::NIL);
+        GuardedHashTable {
+            buckets: heap.root(v),
+            size,
+            guardian: heap.make_guardian(),
+            hash,
+            len: 0,
+            removals: 0,
+        }
+    }
+
+    fn bucket_of(&self, heap: &Heap, key: Value) -> usize {
+        ((self.hash)(heap, key) % self.size as u64) as usize
+    }
+
+    /// The shaded clean-up loop: drains the guardian and removes each dead
+    /// key's association. Called automatically by every access, as in
+    /// Figure 1; also callable directly. Returns entries removed.
+    pub fn scrub(&mut self, heap: &mut Heap) -> usize {
+        let mut removed = 0;
+        while let Some(z) = self.guardian.poll(heap) {
+            let h = self.bucket_of(heap, z);
+            let v = self.buckets.get();
+            let bucket = heap.vector_ref(v, h);
+            let a = assq(heap, z, bucket);
+            if a.is_truthy() {
+                let pruned = remq(heap, a, bucket);
+                heap.vector_set(v, h, pruned);
+                self.len -= 1;
+                self.removals += 1;
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Figure 1's access procedure: "accepts a key and a value. If the key
+    /// is already present in the table, the existing value is returned;
+    /// otherwise, the key is added to the table along with the value
+    /// provided."
+    pub fn access(&mut self, heap: &mut Heap, key: Value, value: Value) -> Value {
+        self.scrub(heap);
+        let h = self.bucket_of(heap, key);
+        let v = self.buckets.get();
+        let bucket = heap.vector_ref(v, h);
+        let a = assq(heap, key, bucket);
+        if a.is_truthy() {
+            heap.cdr(a)
+        } else {
+            let a = heap.weak_cons(key, value);
+            let extended = heap.cons(a, bucket);
+            let v = self.buckets.get(); // re-read: conses cannot collect, but stay uniform
+            heap.vector_set(v, h, extended);
+            self.guardian.register(heap, key);
+            self.len += 1;
+            value
+        }
+    }
+
+    /// Looks up `key` without inserting.
+    pub fn get(&mut self, heap: &mut Heap, key: Value) -> Option<Value> {
+        self.scrub(heap);
+        let h = self.bucket_of(heap, key);
+        let bucket = heap.vector_ref(self.buckets.get(), h);
+        let a = assq(heap, key, bucket);
+        a.is_truthy().then(|| heap.cdr(a))
+    }
+
+    /// Current number of associations (dead-but-unscrubbed keys included
+    /// until the next access).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::content_hash;
+    use super::*;
+
+    #[test]
+    fn access_inserts_then_returns_existing() {
+        let mut heap = Heap::default();
+        let mut t = GuardedHashTable::new(&mut heap, 16, content_hash);
+        let k = heap.make_string("key");
+        let kr = heap.root(k);
+        let v1 = t.access(&mut heap, k, Value::fixnum(1));
+        assert_eq!(v1, Value::fixnum(1));
+        let v2 = t.access(&mut heap, kr.get(), Value::fixnum(2));
+        assert_eq!(v2, Value::fixnum(1), "existing value wins, as in Figure 1");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn dead_keys_entries_are_removed_on_next_access() {
+        let mut heap = Heap::default();
+        let mut t = GuardedHashTable::new(&mut heap, 16, content_hash);
+        let mut keep = Vec::new();
+        for i in 0..50 {
+            let k = heap.make_string(&format!("key-{i}"));
+            if i % 2 == 0 {
+                keep.push(heap.root(k));
+            }
+            t.access(&mut heap, k, Value::fixnum(i));
+        }
+        assert_eq!(t.len(), 50);
+        heap.collect(heap.config().max_generation());
+        // One access triggers the scrub of all 25 dead entries.
+        let probe = keep[0].get();
+        assert_eq!(t.get(&mut heap, probe), Some(Value::fixnum(0)));
+        assert_eq!(t.len(), 25);
+        assert_eq!(t.removals, 25);
+        // Live keys all still present.
+        for (j, r) in keep.iter().enumerate() {
+            assert_eq!(t.get(&mut heap, r.get()), Some(Value::fixnum(2 * j as i64)));
+        }
+        heap.verify().unwrap();
+    }
+
+    #[test]
+    fn table_survives_collections_between_accesses() {
+        let mut heap = Heap::default();
+        let mut t = GuardedHashTable::new(&mut heap, 4, content_hash);
+        let k = heap.make_string("persistent");
+        let kr = heap.root(k);
+        t.access(&mut heap, k, Value::fixnum(7));
+        for g in [0u8, 1, 0, 2, 0, 3] {
+            heap.collect(g);
+        }
+        assert_eq!(t.get(&mut heap, kr.get()), Some(Value::fixnum(7)));
+    }
+
+    #[test]
+    fn values_do_not_keep_keys_alive() {
+        // The key is weakly held even though the value strongly refers to
+        // the key (a classic leak shape for naive weak tables).
+        let mut heap = Heap::default();
+        let mut t = GuardedHashTable::new(&mut heap, 8, content_hash);
+        let k = heap.make_string("self");
+        let value = heap.cons(k, Value::NIL); // value -> key edge
+        t.access(&mut heap, k, value);
+        heap.collect(heap.config().max_generation());
+        t.scrub(&mut heap);
+        // NOTE: because the *bucket* strongly holds the value and the
+        // value holds the key, this particular shape keeps the key alive —
+        // the paper's design does not claim to break value->key cycles
+        // (ephemerons do). Verify the documented behaviour:
+        assert_eq!(t.len(), 1, "value->key edge keeps the entry (documented non-ephemeron)");
+    }
+
+    #[test]
+    fn scrub_cost_is_proportional_to_deaths_not_size() {
+        let mut heap = Heap::default();
+        let mut t = GuardedHashTable::new(&mut heap, 64, content_hash);
+        let mut keep = Vec::new();
+        for i in 0..1000 {
+            let k = heap.make_string(&format!("k{i}"));
+            keep.push(heap.root(k));
+            t.access(&mut heap, k, Value::fixnum(i));
+        }
+        // Kill exactly three keys.
+        keep.remove(500);
+        keep.remove(250);
+        keep.remove(100);
+        heap.collect(heap.config().max_generation());
+        let removed = t.scrub(&mut heap);
+        assert_eq!(removed, 3, "exactly the three dead keys were processed");
+        assert_eq!(t.len(), 997);
+    }
+}

@@ -1,0 +1,91 @@
+//! Hash tables, in the paper's three flavours:
+//!
+//! * [`eq::EqHashTable`] — address-hashed eq table that rehashes after
+//!   collections (the classic approach the paper calls wasteful in a
+//!   generational setting), plus [`eq::TransportEqHashTable`], which uses
+//!   a conservative transport guardian to rehash *only moved* entries.
+//! * [`guarded::GuardedHashTable`] — Figure 1: guardians + weak pairs
+//!   remove an entry when its key becomes inaccessible, at mutator cost
+//!   proportional to the removals actually performed.
+//! * [`weak_table::WeakKeyTable`] — the weak-pairs-only baseline: dead
+//!   keys break, but reclaiming their values requires "a periodic scan of
+//!   the entire table", which the paper deems unacceptable.
+
+pub mod eq;
+pub mod guarded;
+pub mod weak_table;
+
+use guardians_gc::{Heap, Value};
+
+/// A content-based hash usable as the `hash` argument of Figure 1's
+/// `make-guarded-hash-table`: stable across collections (it never looks at
+/// addresses) for the key types the paper's examples use.
+///
+/// Keys of kinds with no stable content (pairs, vectors, boxes, records)
+/// hash to a single bucket; use an eq table (address-hashed) for those.
+pub fn content_hash(heap: &Heap, v: Value) -> u64 {
+    use guardians_gc::ObjKind;
+    if v.is_fixnum() {
+        return mix(v.raw());
+    }
+    if !v.is_ptr() {
+        return mix(v.raw() ^ 0x9E37);
+    }
+    match heap.kind_of(v) {
+        Some(ObjKind::String) => fnv(heap.string_value(v).as_bytes()),
+        Some(ObjKind::Symbol) => fnv(heap.symbol_name(v).as_bytes()) ^ 0x5f5f,
+        Some(ObjKind::Flonum) => mix(heap.flonum_value(v).to_bits()),
+        Some(ObjKind::Bytevector) => fnv(&heap.bytevector_value(v)),
+        _ => 0,
+    }
+}
+
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51afd7ed558ccd);
+    x ^= x >> 33;
+    x
+}
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_hash_is_stable_across_collections() {
+        let mut h = Heap::default();
+        let s = h.make_string("stable");
+        let r = h.root(s);
+        let before = content_hash(&h, r.get());
+        h.collect(0);
+        h.collect(1);
+        assert_eq!(content_hash(&h, r.get()), before);
+    }
+
+    #[test]
+    fn content_hash_spreads_fixnums() {
+        let h = Heap::default();
+        let a = content_hash(&h, Value::fixnum(1));
+        let b = content_hash(&h, Value::fixnum(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn equal_strings_hash_alike_distinct_strings_differ() {
+        let mut h = Heap::default();
+        let a = h.make_string("x");
+        let b = h.make_string("x");
+        let c = h.make_string("y");
+        assert_eq!(content_hash(&h, a), content_hash(&h, b));
+        assert_ne!(content_hash(&h, a), content_hash(&h, c));
+    }
+}

@@ -1,0 +1,176 @@
+//! The weak-pairs-only baseline table (paper Sections 1–2).
+//!
+//! Weak pairs "can be used to construct the hash table in such a way that
+//! the keys are dropped automatically by the collector, but they do not
+//! support removal of the values associated with dropped keys without a
+//! periodic scan of the entire table" — and in a generation-based system
+//! that scan touches entries "located in older generations not recently
+//! subject to collection", which is exactly the overhead the guarded
+//! table avoids. [`WeakKeyTable::scrub_full_scan`] counts the entries it
+//! touches so experiment E4 can compare.
+
+use crate::lists::assq;
+use guardians_gc::{Heap, Rooted, Value};
+
+use super::guarded::HashFn;
+
+/// A weak-key hash table with no guardian: entries with dead keys linger
+/// (their weak cars broken to `#f`, values still strongly held) until a
+/// full-table scan removes them.
+#[derive(Debug)]
+pub struct WeakKeyTable {
+    buckets: Rooted,
+    size: usize,
+    hash: HashFn,
+    entries: usize,
+    /// Full scans performed.
+    pub scans: u64,
+    /// Total entries touched by full scans — the E4 cost metric.
+    pub entries_scanned: u64,
+}
+
+impl WeakKeyTable {
+    /// Creates a table with `size` buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(heap: &mut Heap, size: usize, hash: HashFn) -> WeakKeyTable {
+        assert!(size > 0, "table size must be positive");
+        let v = heap.make_vector(size, Value::NIL);
+        WeakKeyTable {
+            buckets: heap.root(v),
+            size,
+            hash,
+            entries: 0,
+            scans: 0,
+            entries_scanned: 0,
+        }
+    }
+
+    fn bucket_of(&self, heap: &Heap, key: Value) -> usize {
+        ((self.hash)(heap, key) % self.size as u64) as usize
+    }
+
+    /// Inserts (or returns the existing value of) `key` — same interface
+    /// as Figure 1's access procedure, minus the shaded clean-up.
+    pub fn access(&mut self, heap: &mut Heap, key: Value, value: Value) -> Value {
+        let h = self.bucket_of(heap, key);
+        let v = self.buckets.get();
+        let bucket = heap.vector_ref(v, h);
+        let a = assq(heap, key, bucket);
+        if a.is_truthy() {
+            heap.cdr(a)
+        } else {
+            let a = heap.weak_cons(key, value);
+            let extended = heap.cons(a, bucket);
+            heap.vector_set(self.buckets.get(), h, extended);
+            self.entries += 1;
+            value
+        }
+    }
+
+    /// Looks up `key` without inserting.
+    pub fn get(&mut self, heap: &mut Heap, key: Value) -> Option<Value> {
+        let h = self.bucket_of(heap, key);
+        let bucket = heap.vector_ref(self.buckets.get(), h);
+        let a = assq(heap, key, bucket);
+        a.is_truthy().then(|| heap.cdr(a))
+    }
+
+    /// Number of entries physically in the table, dead ones included —
+    /// the leak metric for E1.
+    pub fn physical_len(&self) -> usize {
+        self.entries
+    }
+
+    /// The periodic full-table scan: walks *every* bucket and every entry,
+    /// removing associations whose weak key broke. Returns the number
+    /// removed; [`Self::entries_scanned`] accumulates the touched count.
+    pub fn scrub_full_scan(&mut self, heap: &mut Heap) -> usize {
+        self.scans += 1;
+        let mut removed = 0;
+        let v = self.buckets.get();
+        for h in 0..self.size {
+            let mut kept = Vec::new();
+            let mut cur = heap.vector_ref(v, h);
+            while !cur.is_nil() {
+                let entry = heap.car(cur);
+                self.entries_scanned += 1;
+                if heap.car(entry).is_false() {
+                    removed += 1;
+                } else {
+                    kept.push(entry);
+                }
+                cur = heap.cdr(cur);
+            }
+            let mut rebuilt = Value::NIL;
+            for &e in kept.iter().rev() {
+                rebuilt = heap.cons(e, rebuilt);
+            }
+            let v = self.buckets.get();
+            heap.vector_set(v, h, rebuilt);
+        }
+        self.entries -= removed;
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::content_hash;
+    use super::*;
+
+    #[test]
+    fn behaves_like_a_table_for_live_keys() {
+        let mut heap = Heap::default();
+        let mut t = WeakKeyTable::new(&mut heap, 8, content_hash);
+        let k = heap.make_string("k");
+        let kr = heap.root(k);
+        assert_eq!(t.access(&mut heap, k, Value::fixnum(1)), Value::fixnum(1));
+        assert_eq!(t.access(&mut heap, kr.get(), Value::fixnum(2)), Value::fixnum(1));
+        assert_eq!(t.get(&mut heap, kr.get()), Some(Value::fixnum(1)));
+    }
+
+    #[test]
+    fn dead_entries_linger_until_the_full_scan() {
+        let mut heap = Heap::default();
+        let mut t = WeakKeyTable::new(&mut heap, 8, content_hash);
+        let mut keep = Vec::new();
+        for i in 0..40 {
+            let k = heap.make_string(&format!("k{i}"));
+            if i % 4 == 0 {
+                keep.push(heap.root(k));
+            }
+            t.access(&mut heap, k, Value::fixnum(i));
+        }
+        heap.collect(heap.config().max_generation());
+        assert_eq!(t.physical_len(), 40, "the leak: dead entries still occupy the table");
+
+        let removed = t.scrub_full_scan(&mut heap);
+        assert_eq!(removed, 30);
+        assert_eq!(t.physical_len(), 10);
+        assert_eq!(t.entries_scanned, 40, "the scan touched EVERY entry, dead or not");
+        for (j, r) in keep.iter().enumerate() {
+            assert_eq!(t.get(&mut heap, r.get()), Some(Value::fixnum(4 * j as i64)));
+        }
+        heap.verify().unwrap();
+    }
+
+    #[test]
+    fn scan_cost_scales_with_table_size_not_death_count() {
+        let mut heap = Heap::default();
+        let mut t = WeakKeyTable::new(&mut heap, 16, content_hash);
+        let mut keep = Vec::new();
+        for i in 0..500 {
+            let k = heap.make_string(&format!("k{i}"));
+            keep.push(heap.root(k));
+            t.access(&mut heap, k, Value::fixnum(i));
+        }
+        keep.pop(); // kill exactly one key
+        heap.collect(heap.config().max_generation());
+        let removed = t.scrub_full_scan(&mut heap);
+        assert_eq!(removed, 1);
+        assert_eq!(t.entries_scanned, 500, "touched 500 entries to reclaim 1 — the E4 contrast");
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! Runtime library for the guardians reproduction: every worked example
+//! and application from the paper, built on [`guardians_gc`], plus the
+//! simulated substrates (OS, external memory) the examples need.
+//!
+//! | Paper artifact | Here |
+//! |---|---|
+//! | Ports; guarded `open-input-file` / `close-dropped-ports` (§1, §3) | [`ports`], [`guarded_ports::GuardedPorts`], over [`simos::SimOs`] |
+//! | External memory clean-up (§1) | [`guarded_extmem::GuardedArena`] over [`extmem::ExtArena`] |
+//! | Temp files and subprocesses (§1) | [`guarded_temp::GuardedTempFiles`], [`guarded_temp::GuardedProcs`] |
+//! | Figure 1: `make-guarded-hash-table` | [`hashtab::guarded::GuardedHashTable`] |
+//! | Weak-pairs-only table needing full scans (§1, §2) | [`hashtab::weak_table::WeakKeyTable`] |
+//! | Eq tables rehashed after GC; rehash-only-moved (§3) | [`hashtab::eq`] |
+//! | Conservative transport guardians (§3) | [`transport::TransportGuardian`] |
+//! | Free lists of expensive objects (§1) | [`pool::GuardedPool`] |
+//! | Oblist pruning, Friedman–Wise (§2) | [`symtab::WeakSymbolTable`] |
+//! | Shared/cyclic structure printing (§1) | [`printer`] |
+
+pub mod extmem;
+pub mod guarded_extmem;
+pub mod guarded_ports;
+pub mod guarded_temp;
+pub mod hashtab;
+pub mod lists;
+pub mod pool;
+pub mod ports;
+pub mod printer;
+pub mod rtags;
+pub mod simos;
+pub mod symtab;
+pub mod transport;
+
+pub use extmem::{BlockId, ExtArena, ExtMemError};
+pub use guarded_extmem::GuardedArena;
+pub use guarded_ports::GuardedPorts;
+pub use guarded_temp::{GuardedProcs, GuardedTempFiles, SimProcs};
+pub use hashtab::eq::{EqHashTable, TransportEqHashTable};
+pub use hashtab::guarded::GuardedHashTable;
+pub use hashtab::weak_table::WeakKeyTable;
+pub use pool::GuardedPool;
+pub use printer::{display_value, write_value};
+pub use simos::{Fd, OsError, OsStats, SimOs};
+pub use symtab::{SymbolTable, WeakSymbolTable};
+pub use transport::TransportGuardian;

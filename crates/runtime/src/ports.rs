@@ -1,0 +1,298 @@
+//! Buffered ports over the simulated OS.
+//!
+//! "Files in Scheme are represented by ports. Ports encapsulate a file
+//! identifier, used to perform operating system requests, a buffer
+//! containing unread or unwritten data, and various other items of
+//! information relating to the file or buffer." (paper, Section 1)
+//!
+//! A port is a heap [`Record`](guardians_gc::ObjKind::Record) so that the
+//! collector (and therefore guardians) manage its lifetime. Reading or
+//! writing a buffered character touches only two or three heap words —
+//! the property the paper uses to argue that an extra level of
+//! indirection (the weak-pointer workaround) is unacceptably expensive
+//! for ports.
+
+use crate::rtags;
+use crate::simos::{Fd, OsError, SimOs};
+use guardians_gc::{Heap, Value};
+
+/// Buffer capacity in bytes.
+pub const BUFFER_SIZE: usize = 256;
+
+// Field indices within a port record.
+const F_FD: usize = 0;
+const F_DIR: usize = 1;
+const F_BUF: usize = 2;
+const F_INDEX: usize = 3;
+const F_LIMIT: usize = 4;
+const F_OPEN: usize = 5;
+const F_PATH: usize = 6;
+
+const DIR_INPUT: i64 = 0;
+const DIR_OUTPUT: i64 = 1;
+
+fn make_port(heap: &mut Heap, fd: Fd, dir: i64, path: &str) -> Value {
+    let buf = heap.make_bytevector(BUFFER_SIZE, 0);
+    let path_s = heap.make_string(path);
+    heap.make_record(
+        rtags::port(),
+        &[
+            Value::fixnum(fd.0 as i64),
+            Value::fixnum(dir),
+            buf,
+            Value::fixnum(0),
+            Value::fixnum(0),
+            Value::TRUE,
+            path_s,
+        ],
+    )
+}
+
+/// Opens an existing file for buffered reading; returns a port.
+///
+/// # Errors
+///
+/// Propagates [`OsError`] from the simulated OS.
+pub fn open_input_port(heap: &mut Heap, os: &mut SimOs, path: &str) -> Result<Value, OsError> {
+    let fd = os.open_input(path)?;
+    Ok(make_port(heap, fd, DIR_INPUT, path))
+}
+
+/// Creates/truncates a file and opens a buffered output port.
+///
+/// # Errors
+///
+/// Propagates [`OsError`] from the simulated OS.
+pub fn open_output_port(heap: &mut Heap, os: &mut SimOs, path: &str) -> Result<Value, OsError> {
+    let fd = os.open_output(path)?;
+    Ok(make_port(heap, fd, DIR_OUTPUT, path))
+}
+
+/// Whether `v` is a port.
+pub fn is_port(heap: &Heap, v: Value) -> bool {
+    heap.is_record(v) && heap.record_descriptor(v) == rtags::port()
+}
+
+/// Whether `v` is an input port.
+pub fn is_input_port(heap: &Heap, v: Value) -> bool {
+    is_port(heap, v) && heap.record_ref(v, F_DIR) == Value::fixnum(DIR_INPUT)
+}
+
+/// Whether `v` is an output port.
+pub fn is_output_port(heap: &Heap, v: Value) -> bool {
+    is_port(heap, v) && heap.record_ref(v, F_DIR) == Value::fixnum(DIR_OUTPUT)
+}
+
+/// Whether the port is still open.
+pub fn is_open(heap: &Heap, port: Value) -> bool {
+    heap.record_ref(port, F_OPEN).is_truthy()
+}
+
+/// The port's file descriptor.
+pub fn port_fd(heap: &Heap, port: Value) -> Fd {
+    Fd(heap.record_ref(port, F_FD).as_fixnum() as u32)
+}
+
+/// The path the port was opened on.
+pub fn port_path(heap: &Heap, port: Value) -> String {
+    heap.string_value(heap.record_ref(port, F_PATH))
+}
+
+/// Bytes sitting in an output port's buffer, not yet written to the OS —
+/// the data that is *lost* if the port is dropped without a flush.
+pub fn unflushed_bytes(heap: &Heap, port: Value) -> usize {
+    if is_output_port(heap, port) && is_open(heap, port) {
+        heap.record_ref(port, F_INDEX).as_fixnum() as usize
+    } else {
+        0
+    }
+}
+
+/// Reads one byte through the buffer; `None` at end of file.
+///
+/// # Errors
+///
+/// [`OsError::BadFd`] if the port was closed, plus OS read errors.
+pub fn read_byte(heap: &mut Heap, os: &mut SimOs, port: Value) -> Result<Option<u8>, OsError> {
+    debug_assert!(is_input_port(heap, port), "read-byte: not an input port");
+    let index = heap.record_ref(port, F_INDEX).as_fixnum() as usize;
+    let limit = heap.record_ref(port, F_LIMIT).as_fixnum() as usize;
+    if index < limit {
+        // Fast path: the two or three memory references the paper counts.
+        let buf = heap.record_ref(port, F_BUF);
+        let byte = heap.bytevector_ref(buf, index);
+        heap.record_set(port, F_INDEX, Value::fixnum(index as i64 + 1));
+        return Ok(Some(byte));
+    }
+    if !is_open(heap, port) {
+        return Err(OsError::BadFd(port_fd(heap, port)));
+    }
+    // Refill.
+    let mut tmp = [0u8; BUFFER_SIZE];
+    let n = os.read(port_fd(heap, port), &mut tmp)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    let buf = heap.record_ref(port, F_BUF);
+    for (i, b) in tmp[..n].iter().enumerate() {
+        heap.bytevector_set(buf, i, *b);
+    }
+    heap.record_set(port, F_LIMIT, Value::fixnum(n as i64));
+    heap.record_set(port, F_INDEX, Value::fixnum(1));
+    Ok(Some(tmp[0]))
+}
+
+/// Writes one byte through the buffer, flushing when full.
+///
+/// # Errors
+///
+/// [`OsError::BadFd`] if the port was closed, plus OS write errors.
+pub fn write_byte(heap: &mut Heap, os: &mut SimOs, port: Value, byte: u8) -> Result<(), OsError> {
+    debug_assert!(is_output_port(heap, port), "write-byte: not an output port");
+    if !is_open(heap, port) {
+        return Err(OsError::BadFd(port_fd(heap, port)));
+    }
+    let index = heap.record_ref(port, F_INDEX).as_fixnum() as usize;
+    let buf = heap.record_ref(port, F_BUF);
+    heap.bytevector_set(buf, index, byte);
+    let index = index + 1;
+    heap.record_set(port, F_INDEX, Value::fixnum(index as i64));
+    if index == BUFFER_SIZE {
+        flush_output_port(heap, os, port)?;
+    }
+    Ok(())
+}
+
+/// Writes every byte of `s`.
+///
+/// # Errors
+///
+/// As for [`write_byte`].
+pub fn write_string(heap: &mut Heap, os: &mut SimOs, port: Value, s: &str) -> Result<(), OsError> {
+    for b in s.as_bytes() {
+        write_byte(heap, os, port, *b)?;
+    }
+    Ok(())
+}
+
+/// Reads the remainder of the port's data.
+///
+/// # Errors
+///
+/// As for [`read_byte`].
+pub fn read_to_end(heap: &mut Heap, os: &mut SimOs, port: Value) -> Result<Vec<u8>, OsError> {
+    let mut out = Vec::new();
+    while let Some(b) = read_byte(heap, os, port)? {
+        out.push(b);
+    }
+    Ok(out)
+}
+
+/// Flushes an output port's buffer to the OS.
+///
+/// # Errors
+///
+/// OS write errors.
+pub fn flush_output_port(heap: &mut Heap, os: &mut SimOs, port: Value) -> Result<(), OsError> {
+    debug_assert!(is_output_port(heap, port), "flush: not an output port");
+    let index = heap.record_ref(port, F_INDEX).as_fixnum() as usize;
+    if index == 0 {
+        return Ok(());
+    }
+    let buf = heap.record_ref(port, F_BUF);
+    let bytes = heap.bytevector_value(buf);
+    os.write(port_fd(heap, port), &bytes[..index])?;
+    heap.record_set(port, F_INDEX, Value::fixnum(0));
+    Ok(())
+}
+
+/// Closes a port, flushing output first. Closing twice is an error, as in
+/// the OS; callers that may race with finalization check [`is_open`].
+///
+/// # Errors
+///
+/// OS close errors.
+pub fn close_port(heap: &mut Heap, os: &mut SimOs, port: Value) -> Result<(), OsError> {
+    if is_output_port(heap, port) {
+        flush_output_port(heap, os, port)?;
+    }
+    os.close(port_fd(heap, port))?;
+    heap.record_set(port, F_OPEN, Value::FALSE);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffered_write_and_read() {
+        let mut h = Heap::default();
+        let mut os = SimOs::new();
+        let out = open_output_port(&mut h, &mut os, "/f").unwrap();
+        write_string(&mut h, &mut os, out, "hello, ports").unwrap();
+        // Data is buffered, not yet durable.
+        assert_eq!(os.file_contents("/f").unwrap(), b"");
+        assert_eq!(unflushed_bytes(&h, out), 12);
+        close_port(&mut h, &mut os, out).unwrap();
+        assert_eq!(os.file_contents("/f").unwrap(), b"hello, ports");
+        assert_eq!(os.open_count(), 0);
+
+        let inp = open_input_port(&mut h, &mut os, "/f").unwrap();
+        assert!(is_input_port(&h, inp) && !is_output_port(&h, inp));
+        let data = read_to_end(&mut h, &mut os, inp).unwrap();
+        assert_eq!(data, b"hello, ports");
+        assert_eq!(read_byte(&mut h, &mut os, inp).unwrap(), None, "stays at EOF");
+        close_port(&mut h, &mut os, inp).unwrap();
+    }
+
+    #[test]
+    fn buffer_flushes_automatically_when_full() {
+        let mut h = Heap::default();
+        let mut os = SimOs::new();
+        let out = open_output_port(&mut h, &mut os, "/big").unwrap();
+        for i in 0..(BUFFER_SIZE + 10) {
+            write_byte(&mut h, &mut os, out, (i % 251) as u8).unwrap();
+        }
+        assert_eq!(os.file_contents("/big").unwrap().len(), BUFFER_SIZE, "one full buffer");
+        assert_eq!(unflushed_bytes(&h, out), 10);
+        close_port(&mut h, &mut os, out).unwrap();
+        assert_eq!(os.file_contents("/big").unwrap().len(), BUFFER_SIZE + 10);
+    }
+
+    #[test]
+    fn large_reads_cross_buffer_refills() {
+        let mut h = Heap::default();
+        let mut os = SimOs::new();
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 256) as u8).collect();
+        os.create_file("/data", &data);
+        let inp = open_input_port(&mut h, &mut os, "/data").unwrap();
+        assert_eq!(read_to_end(&mut h, &mut os, inp).unwrap(), data);
+    }
+
+    #[test]
+    fn ports_survive_collection() {
+        let mut h = Heap::default();
+        let mut os = SimOs::new();
+        os.create_file("/data", b"abcdef");
+        let inp = open_input_port(&mut h, &mut os, "/data").unwrap();
+        assert_eq!(read_byte(&mut h, &mut os, inp).unwrap(), Some(b'a'));
+        let r = h.root(inp);
+        h.collect(0);
+        h.verify().unwrap();
+        let inp = r.get();
+        assert!(is_port(&h, inp));
+        assert_eq!(port_path(&h, inp), "/data");
+        assert_eq!(read_byte(&mut h, &mut os, inp).unwrap(), Some(b'b'), "buffer state moved");
+    }
+
+    #[test]
+    fn closed_port_rejects_io() {
+        let mut h = Heap::default();
+        let mut os = SimOs::new();
+        let out = open_output_port(&mut h, &mut os, "/x").unwrap();
+        close_port(&mut h, &mut os, out).unwrap();
+        assert!(!is_open(&h, out));
+        assert!(write_byte(&mut h, &mut os, out, 1).is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! Property test: Figure 1's guarded hash table against a `HashMap`
+//! model under random insert/lookup/drop/collect sequences. Live keys
+//! must always resolve to the model's value; dead keys' entries must be
+//! gone after a full collection plus one scrub.
+
+use guardians_gc::{GcConfig, Heap, Rooted, Value};
+use guardians_runtime::hashtab::content_hash;
+use guardians_runtime::GuardedHashTable;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u16),
+    Lookup(usize),
+    DropKey(usize),
+    Collect(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => any::<u16>().prop_map(Op::Insert),
+        3 => any::<usize>().prop_map(Op::Lookup),
+        2 => any::<usize>().prop_map(Op::DropKey),
+        1 => (0u8..4).prop_map(Op::Collect),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn guarded_table_matches_a_hashmap(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut heap = Heap::new(GcConfig::new());
+        let mut table = GuardedHashTable::new(&mut heap, 16, content_hash);
+        // Model: name -> value; live roots keep guarded keys alive.
+        let mut model: HashMap<String, i64> = HashMap::new();
+        let mut live: HashMap<String, Rooted> = HashMap::new();
+        let mut next = 0i64;
+        let mut dropped = 0usize;
+
+        for op in ops {
+            match op {
+                Op::Insert(tag) => {
+                    let name = format!("k{:04x}", tag % 512);
+                    if model.contains_key(&name) {
+                        continue; // same content-name would alias content_hash
+                    }
+                    let key = heap.make_string(&name);
+                    let value = next;
+                    next += 1;
+                    let got = table.access(&mut heap, key, Value::fixnum(value));
+                    prop_assert_eq!(got, Value::fixnum(value), "fresh insert returns the value");
+                    model.insert(name.clone(), value);
+                    live.insert(name, heap.root(key));
+                }
+                Op::Lookup(pick) => {
+                    let mut names: Vec<&String> = live.keys().collect();
+                    names.sort();
+                    if names.is_empty() { continue; }
+                    let name = names[pick % names.len()].clone();
+                    let key = live[&name].get();
+                    let got = table.get(&mut heap, key);
+                    prop_assert_eq!(got, Some(Value::fixnum(model[&name])), "lookup of {}", name);
+                }
+                Op::DropKey(pick) => {
+                    let mut names: Vec<String> = live.keys().cloned().collect();
+                    names.sort();
+                    if names.is_empty() { continue; }
+                    let name = names[pick % names.len()].clone();
+                    live.remove(&name);
+                    model.remove(&name);
+                    dropped += 1;
+                }
+                Op::Collect(g) => {
+                    let g = g.min(heap.config().max_generation());
+                    heap.collect(g);
+                    heap.verify().expect("valid after collection");
+                }
+            }
+        }
+
+        // Finale: prove every dropped key dead, scrub, and compare.
+        heap.collect(heap.config().max_generation());
+        heap.verify().expect("valid after final collection");
+        table.scrub(&mut heap);
+        prop_assert_eq!(table.len(), model.len(), "table size equals live population");
+        prop_assert_eq!(table.removals as usize, dropped, "one removal per dropped key");
+        for (name, value) in &model {
+            let key = live[name].get();
+            prop_assert_eq!(table.get(&mut heap, key), Some(Value::fixnum(*value)));
+        }
+    }
+}

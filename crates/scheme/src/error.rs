@@ -1,0 +1,56 @@
+//! Scheme-level errors.
+//!
+//! The paper makes a point of error behaviour: with collector-invoked
+//! finalizers, "errors that occur within the thunk are problematic …
+//! error signals must be suppressed or somehow delayed". With guardians,
+//! clean-up runs as ordinary mutator code, so an error is an ordinary
+//! [`SchemeError`] propagating to the ordinary handler — one of the
+//! properties the integration tests demonstrate.
+
+use std::fmt;
+
+/// An error raised while reading or evaluating Scheme code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemeError {
+    message: String,
+}
+
+impl SchemeError {
+    /// Creates an error with a message.
+    pub fn new(message: impl Into<String>) -> SchemeError {
+        SchemeError { message: message.into() }
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for SchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scheme error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SchemeError {}
+
+/// Convenience alias.
+pub type SResult<T> = Result<T, SchemeError>;
+
+/// Builds an error.
+pub fn err<T>(message: impl Into<String>) -> SResult<T> {
+    Err(SchemeError::new(message))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = SchemeError::new("car: not a pair");
+        assert_eq!(e.to_string(), "scheme error: car: not a pair");
+        assert_eq!(e.message(), "car: not a pair");
+    }
+}

@@ -1,0 +1,149 @@
+//! The standard prelude: the paper's own library code, loaded into every
+//! interpreter so `make-guarded-hash-table`, `make-transport-guardian`,
+//! and the guarded port operations are available out of the box — the
+//! embedded language ships with the paper's Section 3 toolkit.
+
+/// Scheme source evaluated by [`Interp::new`](crate::Interp::new).
+pub const PRELUDE: &str = r#"
+;; ----------------------------------------------------------------------
+;; Figure 1: guarded hash tables.
+;; (hash is a one-argument procedure, e.g. equal-hash or string-hash.)
+;; ----------------------------------------------------------------------
+(define make-guarded-hash-table
+  (lambda (hash size)
+    (let ([g (make-guardian)]
+          [v (make-vector size '())])
+      (lambda (key value)
+        (let loop ([z (g)])
+          (if z
+              (begin
+                (let ([h (remainder (hash z) size)])
+                  (let ([bucket (vector-ref v h)])
+                    (vector-set! v h (remq (assq z bucket) bucket))))
+                (loop (g)))
+              #f))
+        (let ([h (remainder (hash key) size)])
+          (let ([bucket (vector-ref v h)])
+            (let ([a (assq key bucket)])
+              (if a
+                  (cdr a)
+                  (let ([a (weak-cons key value)])
+                    (vector-set! v h (cons a bucket))
+                    value)))))))))
+
+;; ----------------------------------------------------------------------
+;; Section 3: conservative transport guardians.
+;; ----------------------------------------------------------------------
+(define make-transport-guardian
+  (lambda ()
+    (let ([g (make-guardian)])
+      (case-lambda
+        [(x) (g (weak-cons x #f))]
+        [() (let loop ([m (g)])
+              (if m
+                  (if (car m)
+                      (begin (g m) (car m))
+                      (loop (g)))
+                  #f))]))))
+
+;; ----------------------------------------------------------------------
+;; Section 3: the guarded port library.
+;; ----------------------------------------------------------------------
+(define port-guardian (make-guardian))
+
+(define close-dropped-ports
+  (lambda ()
+    (let ([p (port-guardian)])
+      (if p
+          (begin
+            (when (port-open? p)
+              (if (output-port? p)
+                  (begin (flush-output-port p) (close-output-port p))
+                  (close-input-port p)))
+            (close-dropped-ports))
+          #f))))
+
+(define guarded-open-input-file
+  (lambda (pathname)
+    (close-dropped-ports)
+    (let ([p (open-input-file pathname)])
+      (port-guardian p)
+      p)))
+
+(define guarded-open-output-file
+  (lambda (pathname)
+    (close-dropped-ports)
+    (let ([p (open-output-file pathname)])
+      (port-guardian p)
+      p)))
+
+(define guarded-exit
+  (lambda ()
+    (collect 3)
+    (close-dropped-ports)))
+"#;
+
+#[cfg(test)]
+mod tests {
+    use crate::Interp;
+
+    #[test]
+    fn prelude_library_is_preloaded() {
+        let mut i = Interp::new();
+        for name in [
+            "make-guarded-hash-table",
+            "make-transport-guardian",
+            "port-guardian",
+            "close-dropped-ports",
+            "guarded-open-input-file",
+            "guarded-open-output-file",
+            "guarded-exit",
+        ] {
+            assert_eq!(
+                i.eval_to_string(&format!("(procedure? {name})")).unwrap(),
+                "#t",
+                "{name} missing from the prelude"
+            );
+        }
+    }
+
+    #[test]
+    fn preloaded_guarded_table_works() {
+        let mut i = Interp::new();
+        let out = i
+            .eval_to_string(
+                "(define t (make-guarded-hash-table equal-hash 8))
+                 (define k (cons 'a 'b))
+                 (t k 'val)
+                 (t k 'other)",
+            )
+            .unwrap();
+        assert_eq!(out, "val");
+    }
+
+    #[test]
+    fn preloaded_guarded_ports_work() {
+        let mut i = Interp::new();
+        i.eval_str(
+            r#"
+(define p (guarded-open-output-file "/pre"))
+(write-string "hello" p)
+(set! p #f)
+(guarded-exit)
+"#,
+        )
+        .unwrap();
+        assert_eq!(i.os().open_count(), 0);
+        assert_eq!(i.os().file_contents("/pre").unwrap(), b"hello");
+    }
+
+    #[test]
+    fn preloaded_transport_guardian_works() {
+        let mut i = Interp::new();
+        i.eval_str("(define tg (make-transport-guardian)) (define x (cons 1 2)) (tg x)")
+            .unwrap();
+        assert_eq!(i.eval_to_string("(tg)").unwrap(), "#f");
+        i.eval_str("(collect 0)").unwrap();
+        assert_eq!(i.eval_to_string("(tg)").unwrap(), "(1 . 2)");
+    }
+}

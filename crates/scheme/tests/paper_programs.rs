@@ -1,0 +1,321 @@
+//! The paper's Scheme programs, run as written (modulo 1993 typesetting)
+//! on the reproduced collector.
+
+use guardians_scheme::Interp;
+
+fn ev(i: &mut Interp, src: &str) -> String {
+    i.eval_to_string(src).unwrap_or_else(|e| panic!("eval of {src:?} failed: {e}"))
+}
+
+/// Section 3, first transcript.
+#[test]
+fn transcript_basic() {
+    let mut i = Interp::new();
+    ev(&mut i, "(define G (make-guardian))");
+    ev(&mut i, "(define x (cons 'a 'b))");
+    ev(&mut i, "(G x)");
+    assert_eq!(ev(&mut i, "(G)"), "#f");
+    ev(&mut i, "(set! x #f)");
+    ev(&mut i, "(collect 3)");
+    assert_eq!(ev(&mut i, "(G)"), "(a . b)");
+    assert_eq!(ev(&mut i, "(G)"), "#f");
+}
+
+/// Section 3: "An object may be registered with a guardian more than
+/// once, in which case it is retrievable more than once."
+#[test]
+fn transcript_double_registration() {
+    let mut i = Interp::new();
+    ev(&mut i, "(define G (make-guardian))");
+    ev(&mut i, "(define x (cons 'a 'b))");
+    ev(&mut i, "(G x) (G x)");
+    ev(&mut i, "(set! x #f)");
+    ev(&mut i, "(collect 3)");
+    assert_eq!(ev(&mut i, "(G)"), "(a . b)");
+    assert_eq!(ev(&mut i, "(G)"), "(a . b)");
+    assert_eq!(ev(&mut i, "(G)"), "#f");
+}
+
+/// Section 3: "It may also be registered with more than one guardian."
+#[test]
+fn transcript_two_guardians() {
+    let mut i = Interp::new();
+    ev(&mut i, "(define G (make-guardian)) (define H (make-guardian))");
+    ev(&mut i, "(define x (cons 'a 'b))");
+    ev(&mut i, "(G x) (H x)");
+    ev(&mut i, "(set! x #f)");
+    ev(&mut i, "(collect 3)");
+    assert_eq!(ev(&mut i, "(G)"), "(a . b)");
+    assert_eq!(ev(&mut i, "(H)"), "(a . b)");
+}
+
+/// Section 3: "One can even register one guardian with another" — the
+/// `((G))` transcript, including the paper's own warning that the double
+/// call is "dangerous" unless the inner retrieval is known to succeed.
+#[test]
+fn transcript_guardian_in_guardian() {
+    let mut i = Interp::new();
+    ev(&mut i, "(define G (make-guardian))");
+    ev(&mut i, "(define H (make-guardian))");
+    ev(&mut i, "(define x (cons 'a 'b))");
+    ev(&mut i, "(G H)");
+    ev(&mut i, "(H x)");
+    ev(&mut i, "(set! x #f)");
+    ev(&mut i, "(set! H #f)");
+    ev(&mut i, "(collect 3)");
+    assert_eq!(ev(&mut i, "((G))"), "(a . b)");
+}
+
+/// The Section 3 guarded-port library, verbatim (with `collect` standing
+/// in for Chez's automatic collections).
+#[test]
+fn guarded_ports_library() {
+    let mut i = Interp::new();
+    i.eval_str(
+        r#"
+(define port-guardian (make-guardian))
+
+(define close-dropped-ports
+  (lambda ()
+    (let ([p (port-guardian)])
+      (if p
+          (begin
+            (if (output-port? p)
+                (begin (flush-output-port p) (close-output-port p))
+                (close-input-port p))
+            (close-dropped-ports))
+          #f))))
+
+(define guarded-open-input-file
+  (lambda (pathname)
+    (close-dropped-ports)
+    (let ([p (open-input-file pathname)])
+      (port-guardian p)
+      p)))
+
+(define guarded-open-output-file
+  (lambda (pathname)
+    (close-dropped-ports)
+    (let ([p (open-output-file pathname)])
+      (port-guardian p)
+      p)))
+
+(define guarded-exit
+  (lambda ()
+    (close-dropped-ports)))
+"#,
+    )
+    .unwrap();
+
+    // Open a port, write, and drop the reference without closing.
+    i.eval_str(
+        r#"
+(define p (guarded-open-output-file "/log"))
+(write-string "precious bytes" p)
+(set! p #f)
+"#,
+    )
+    .unwrap();
+    assert_eq!(i.os().open_count(), 1, "port leaked for now");
+    assert_eq!(i.os().file_contents("/log").unwrap(), b"", "data still buffered");
+
+    // A collection proves it dropped; the next guarded open cleans up.
+    i.eval_str("(collect 3)").unwrap();
+    i.eval_str(r#"(define q (guarded-open-output-file "/other"))"#).unwrap();
+    assert_eq!(i.os().open_count(), 1, "dropped port closed, new port open");
+    assert_eq!(
+        i.os().file_contents("/log").unwrap(),
+        b"precious bytes",
+        "flushed by close-dropped-ports"
+    );
+
+    // guarded-exit flushes the rest.
+    i.eval_str(r#"(write-string "bye" q) (set! q #f) (collect 3) (guarded-exit)"#).unwrap();
+    assert_eq!(i.os().open_count(), 0);
+    assert_eq!(i.os().file_contents("/other").unwrap(), b"bye");
+}
+
+/// Figure 1: `make-guarded-hash-table`, verbatim except for OCR repairs
+/// and `(remainder (hash z) size)` in place of the two-argument `hash`.
+#[test]
+fn figure_1_guarded_hash_table() {
+    let mut i = Interp::new();
+    i.eval_str(
+        r#"
+(define make-guarded-hash-table
+  (lambda (hash size)
+    (let ([g (make-guardian)]
+          [v (make-vector size '())])
+      (lambda (key value)
+        (let loop ([z (g)])
+          (if z
+              (begin
+                (let ([h (remainder (hash z) size)])
+                  (let ([bucket (vector-ref v h)])
+                    (vector-set! v h (remq (assq z bucket) bucket))))
+                (loop (g)))
+              #f))
+        (let ([h (remainder (hash key) size)])
+          (let ([bucket (vector-ref v h)])
+            (let ([a (assq key bucket)])
+              (if a
+                  (cdr a)
+                  (let ([a (weak-cons key value)])
+                    (vector-set! v h (cons a bucket))
+                    value)))))))))
+
+(define table (make-guarded-hash-table equal-hash 8))
+"#,
+    )
+    .unwrap();
+
+    // Insert entries with keys we keep and keys we drop.
+    i.eval_str(
+        r#"
+(define k1 (cons 'key 1))
+(define k2 (cons 'key 2))
+(define k3 (cons 'key 3))
+(table k1 'v1)
+(table k2 'v2)
+(table k3 'v3)
+"#,
+    )
+    .unwrap();
+    // Existing key returns the existing value.
+    assert_eq!(ev(&mut i, "(table k1 'other)"), "v1");
+
+    // Drop k2; after a collection the next access scrubs its entry.
+    i.eval_str("(set! k2 #f) (collect 3)").unwrap();
+    assert_eq!(ev(&mut i, "(table k1 'probe)"), "v1");
+    assert_eq!(ev(&mut i, "(table k3 'probe)"), "v3");
+    // k2's association is gone: a fresh key with the same contents gets
+    // the new value (eq-based table).
+    assert_eq!(ev(&mut i, "(table (cons 'key 2) 'fresh)"), "fresh");
+}
+
+/// Section 3: `make-transport-guardian`, verbatim (the `*` don't-care in
+/// the paper's weak-cons becomes `#f`).
+#[test]
+fn transport_guardian_program() {
+    let mut i = Interp::new();
+    i.eval_str(
+        r#"
+(define make-transport-guardian
+  (lambda ()
+    (let ([g (make-guardian)])
+      (case-lambda
+        [(x) (g (weak-cons x #f))]
+        [() (let loop ([m (g)])
+              (if m
+                  (if (car m)
+                      (begin (g m) (car m))
+                      (loop (g)))
+                  #f))]))))
+
+(define tg (make-transport-guardian))
+(define obj (cons 'tracked 42))
+(tg obj)
+"#,
+    )
+    .unwrap();
+    // Before any collection, nothing has moved.
+    assert_eq!(ev(&mut i, "(tg)"), "#f");
+    // A collection moves obj (it is still referenced): reported.
+    i.eval_str("(collect 0)").unwrap();
+    assert_eq!(ev(&mut i, "(tg)"), "(tracked . 42)");
+    assert_eq!(ev(&mut i, "(tg)"), "#f");
+    // Dead objects are never reported.
+    i.eval_str("(set! obj #f) (collect 3)").unwrap();
+    assert_eq!(ev(&mut i, "(tg)"), "#f");
+}
+
+/// The Section 5 agent interface, via the interpreter's `(G obj agent)`.
+#[test]
+fn agent_registration_in_scheme() {
+    let mut i = Interp::new();
+    ev(&mut i, "(define G (make-guardian))");
+    ev(&mut i, "(define x (cons 'resource 7))");
+    ev(&mut i, "(G x (cdr x))"); // agent: just the number
+    ev(&mut i, "(set! x #f)");
+    ev(&mut i, "(collect 3)");
+    assert_eq!(ev(&mut i, "(G)"), "7", "the agent, not the object");
+}
+
+/// "The program has full control over the timing of clean-up actions":
+/// clean-up code may allocate freely and raise ordinary errors — the two
+/// restrictions the paper's Section 2 pins on collector-invoked
+/// finalizers.
+#[test]
+fn cleanup_actions_may_allocate_and_raise() {
+    let mut i = Interp::new();
+    i.eval_str(
+        r#"
+(define G (make-guardian))
+(define x (cons 'a 'b))
+(G x)
+(set! x #f)
+(collect 3)
+(define cleaned
+  (let ([dead (G)])
+    ;; allocation inside a clean-up action: build a report structure
+    (list 'finalized dead (make-vector 100 'fill))))
+"#,
+    )
+    .unwrap();
+    assert_eq!(ev(&mut i, "(car cleaned)"), "finalized");
+
+    // Errors in clean-up propagate normally and do not corrupt anything.
+    i.eval_str("(define y (cons 1 2)) (G y) (set! y #f) (collect 3)").unwrap();
+    let e = i.eval_str("(let ([dead (G)]) (error \"cleanup failed for\" dead))").unwrap_err();
+    assert!(e.to_string().contains("cleanup failed"), "got {e}");
+    assert_eq!(ev(&mut i, "(+ 1 1)"), "2", "interpreter healthy after the error");
+    i.heap().verify().unwrap();
+}
+
+/// Guarded hash table under churn with collections forced mid-run.
+#[test]
+fn guarded_table_under_churn() {
+    let mut i = Interp::new();
+    i.eval_str(
+        r#"
+(define make-guarded-hash-table
+  (lambda (hash size)
+    (let ([g (make-guardian)]
+          [v (make-vector size '())])
+      (lambda (key value)
+        (let loop ([z (g)])
+          (if z
+              (begin
+                (let ([h (remainder (hash z) size)])
+                  (let ([bucket (vector-ref v h)])
+                    (vector-set! v h (remq (assq z bucket) bucket))))
+                (loop (g)))
+              #f))
+        (let ([h (remainder (hash key) size)])
+          (let ([bucket (vector-ref v h)])
+            (let ([a (assq key bucket)])
+              (if a
+                  (cdr a)
+                  (let ([a (weak-cons key value)])
+                    (vector-set! v h (cons a bucket))
+                    value)))))))))
+(define table (make-guarded-hash-table equal-hash 16))
+(define keep '())
+(let loop ([n 0])
+  (if (= n 200)
+      'done
+      (begin
+        (let ([k (cons 'k n)])
+          (table k n)
+          (when (zero? (remainder n 10))
+            (set! keep (cons k keep))))
+        (when (zero? (remainder n 50)) (collect))
+        (loop (+ n 1)))))
+(collect 3)
+"#,
+    )
+    .unwrap();
+    // Kept keys still map to their values (access returns existing).
+    assert_eq!(ev(&mut i, "(table (car keep) 'probe)"), "190");
+    i.heap().verify().unwrap();
+}

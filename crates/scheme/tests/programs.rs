@@ -1,0 +1,170 @@
+//! Classic Scheme programs as interpreter (and collector) stress tests —
+//! each run both normally and with a tiny GC trigger that forces
+//! collections throughout evaluation.
+
+use guardians_gc::GcConfig;
+use guardians_scheme::Interp;
+
+fn run_both(src: &str, expected: &str) {
+    let mut normal = Interp::new();
+    assert_eq!(normal.eval_to_string(src).unwrap(), expected, "normal heap");
+
+    let mut stressed = Interp::with_config(GcConfig { trigger_bytes: 8192, ..GcConfig::new() });
+    assert_eq!(stressed.eval_to_string(src).unwrap(), expected, "stressed heap");
+    assert!(stressed.heap().collection_count() > 0, "stress collections really ran");
+    stressed.heap().verify().unwrap();
+}
+
+#[test]
+fn tak() {
+    run_both(
+        "(define (tak x y z)
+           (if (not (< y x))
+               z
+               (tak (tak (- x 1) y z)
+                    (tak (- y 1) z x)
+                    (tak (- z 1) x y))))
+         (tak 14 10 4)",
+        "5",
+    );
+}
+
+#[test]
+fn fibonacci() {
+    run_both(
+        "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+         (fib 15)",
+        "610",
+    );
+}
+
+#[test]
+fn ackermann_small() {
+    run_both(
+        "(define (ack m n)
+           (cond [(= m 0) (+ n 1)]
+                 [(= n 0) (ack (- m 1) 1)]
+                 [else (ack (- m 1) (ack m (- n 1)))]))
+         (ack 2 3)",
+        "9",
+    );
+}
+
+#[test]
+fn merge_sort() {
+    run_both(
+        "(define (merge a b)
+           (cond [(null? a) b]
+                 [(null? b) a]
+                 [(< (car a) (car b)) (cons (car a) (merge (cdr a) b))]
+                 [else (cons (car b) (merge a (cdr b)))]))
+         (define (split ls)
+           (if (or (null? ls) (null? (cdr ls)))
+               (cons ls '())
+               (let ([rest (split (cddr ls))])
+                 (cons (cons (car ls) (car rest))
+                       (cons (cadr ls) (cdr rest))))))
+         (define (msort ls)
+           (if (or (null? ls) (null? (cdr ls)))
+               ls
+               (let ([halves (split ls)])
+                 (merge (msort (car halves)) (msort (cdr halves))))))
+         (msort '(5 3 8 1 9 2 7 4 6 0))",
+        "(0 1 2 3 4 5 6 7 8 9)",
+    );
+}
+
+#[test]
+fn quicksort_with_filter() {
+    run_both(
+        "(define (filter p ls)
+           (cond [(null? ls) '()]
+                 [(p (car ls)) (cons (car ls) (filter p (cdr ls)))]
+                 [else (filter p (cdr ls))]))
+         (define (qsort ls)
+           (if (null? ls)
+               '()
+               (let ([pivot (car ls)] [rest (cdr ls)])
+                 (append
+                   (qsort (filter (lambda (x) (< x pivot)) rest))
+                   (list pivot)
+                   (qsort (filter (lambda (x) (not (< x pivot))) rest))))))
+         (qsort '(3 1 4 1 5 9 2 6 5 3 5))",
+        "(1 1 2 3 3 4 5 5 5 6 9)",
+    );
+}
+
+#[test]
+fn church_encoding() {
+    run_both(
+        "(define zero (lambda (f) (lambda (x) x)))
+         (define (succ n) (lambda (f) (lambda (x) (f ((n f) x)))))
+         (define (church->int n) ((n (lambda (k) (+ k 1))) 0))
+         (define (plus a b) (lambda (f) (lambda (x) ((a f) ((b f) x)))))
+         (define three (succ (succ (succ zero))))
+         (church->int (plus three (succ three)))",
+        "7",
+    );
+}
+
+#[test]
+fn association_list_interpreter() {
+    // A meta-circular-flavoured expression evaluator over assq
+    // environments — the shape real symbol-table clients take.
+    run_both(
+        "(define (lookup x env)
+           (let ([hit (assq x env)])
+             (if hit (cdr hit) (error \"unbound\" x))))
+         (define (ev e env)
+           (cond [(number? e) e]
+                 [(symbol? e) (lookup e env)]
+                 [(eq? (car e) 'add) (+ (ev (cadr e) env) (ev (caddr e) env))]
+                 [(eq? (car e) 'mul) (* (ev (cadr e) env) (ev (caddr e) env))]
+                 [(eq? (car e) 'let1)
+                  (ev (car (cdddr e))
+                      (cons (cons (cadr e) (ev (caddr e) env)) env))]
+                 [else (error \"bad form\")]))
+         (define (cdddr x) (cdr (cddr x)))
+         (ev '(let1 a 7 (add (mul a a) a)) '())",
+        "56",
+    );
+}
+
+#[test]
+fn string_building_churn() {
+    run_both(
+        "(define (repeat s n)
+           (do ([i 0 (+ i 1)] [acc \"\" (string-append acc s)])
+               ((= i n) acc)))
+         (string-length (repeat \"abcde\" 100))",
+        "500",
+    );
+}
+
+#[test]
+fn higher_order_pipeline() {
+    run_both(
+        "(define (compose f g) (lambda (x) (f (g x))))
+         (define inc (lambda (x) (+ x 1)))
+         (define dbl (lambda (x) (* x 2)))
+         (map (compose inc dbl) '(1 2 3 4 5))",
+        "(3 5 7 9 11)",
+    );
+}
+
+#[test]
+fn guardians_inside_a_recursive_workload() {
+    // Guardians registered deep inside a recursion, polled at the top.
+    run_both(
+        "(define G (make-guardian))
+         (define (work n)
+           (if (zero? n)
+               'done
+               (begin (G (cons n n)) (work (- n 1)))))
+         (work 300)
+         (collect 3)
+         (let drain ([n 0])
+           (if (G) (drain (+ n 1)) n))",
+        "300",
+    );
+}

@@ -1,0 +1,301 @@
+//! The extended primitive library: higher-order procedures, list
+//! utilities, and the collect-request-handler hook.
+
+use guardians_gc::GcConfig;
+use guardians_scheme::Interp;
+
+fn eval(src: &str) -> String {
+    let mut i = Interp::new();
+    i.eval_to_string(src).unwrap_or_else(|e| panic!("eval of {src:?} failed: {e}"))
+}
+
+#[test]
+fn map_and_for_each() {
+    assert_eq!(eval("(map (lambda (x) (* x x)) '(1 2 3 4))"), "(1 4 9 16)");
+    assert_eq!(eval("(map + '(1 2 3) '(10 20 30))"), "(11 22 33)");
+    assert_eq!(eval("(map cons '(a b) '(1 2 3))"), "((a . 1) (b . 2))");
+    assert_eq!(eval("(map car '())"), "()");
+    assert_eq!(
+        eval("(define sum 0) (for-each (lambda (x) (set! sum (+ sum x))) '(1 2 3)) sum"),
+        "6"
+    );
+    // map over a primitive that allocates, to exercise rooting.
+    assert_eq!(eval("(map list '(1 2) '(3 4))"), "((1 3) (2 4))");
+}
+
+#[test]
+fn map_survives_collections_mid_walk() {
+    let mut i = Interp::with_config(GcConfig { trigger_bytes: 4096, ..GcConfig::new() });
+    let out = i
+        .eval_to_string(
+            "(define (iota n)
+               (let loop ([i 0] [acc '()])
+                 (if (= i n) (reverse acc) (loop (+ i 1) (cons i acc)))))
+             (length (map (lambda (x) (cons x (iota 5))) (iota 500)))",
+        )
+        .unwrap();
+    assert_eq!(out, "500");
+    assert!(i.heap().collection_count() > 0, "collections happened mid-map");
+    i.heap().verify().unwrap();
+}
+
+#[test]
+fn assoc_family() {
+    assert_eq!(eval("(assv 2 '((1 . a) (2 . b)))"), "(2 . b)");
+    assert_eq!(eval("(assoc \"k\" (list (cons \"k\" 1)))"), "(\"k\" . 1)");
+    assert_eq!(eval("(assq \"k\" (list (cons \"k\" 1)))"), "#f", "assq is eq?");
+    assert_eq!(eval("(member \"b\" '(\"a\" \"b\"))"), "(\"b\")");
+    assert_eq!(eval("(memv 1.5 '(1.0 1.5))"), "(1.5)");
+}
+
+#[test]
+fn cxr_and_list_utilities() {
+    assert_eq!(eval("(cadr '(1 2 3))"), "2");
+    assert_eq!(eval("(caddr '(1 2 3))"), "3");
+    assert_eq!(eval("(caar '((1 2)))"), "1");
+    assert_eq!(eval("(cdar '((1 2)))"), "(2)");
+    assert_eq!(eval("(cddr '(1 2 3))"), "(3)");
+    assert_eq!(eval("(list-tail '(1 2 3 4) 2)"), "(3 4)");
+    assert_eq!(eval("(list? '(1 2))"), "#t");
+    assert_eq!(eval("(list? '(1 . 2))"), "#f");
+    assert_eq!(eval("(list? 5)"), "#f");
+    assert_eq!(
+        eval("(define l (list 1)) (set-cdr! l l) (list? l)"),
+        "#f",
+        "cycle-safe list?"
+    );
+    assert_eq!(eval("(vector->list #(1 2 3))"), "(1 2 3)");
+    assert_eq!(eval("(list->vector '(a b))"), "#(a b)");
+    assert_eq!(eval("(even? 4)"), "#t");
+    assert_eq!(eval("(odd? 4)"), "#f");
+    assert_eq!(eval("(string<? \"abc\" \"abd\")"), "#t");
+    assert_eq!(eval("(char=? #\\a #\\a)"), "#t");
+}
+
+#[test]
+fn collect_request_handler_runs_after_automatic_collections() {
+    // The paper's Chez idiom: "(collect-request-handler (lambda ()
+    // (collect) (close-dropped-ports)))" — here the handler counts its
+    // invocations and drains a guardian automatically.
+    let mut i = Interp::with_config(GcConfig { trigger_bytes: 16 * 1024, ..GcConfig::new() });
+    let out = i
+        .eval_to_string(
+            r#"
+(define G (make-guardian))
+(define cleaned 0)
+(define handler-runs 0)
+(collect-request-handler
+  (lambda ()
+    (set! handler-runs (+ handler-runs 1))
+    (let loop ([x (G)])
+      (if x
+          (begin (set! cleaned (+ cleaned 1)) (loop (G)))
+          #f))))
+;; Register garbage and churn until automatic collections fire.
+(let loop ([n 0])
+  (if (= n 2000)
+      'done
+      (begin
+        (G (cons n n))
+        (loop (+ n 1)))))
+(list (> handler-runs 0) (> cleaned 0))
+"#,
+        )
+        .unwrap();
+    assert_eq!(out, "(#t #t)");
+    assert!(i.heap().collection_count() > 0);
+    i.heap().verify().unwrap();
+}
+
+#[test]
+fn collect_request_handler_can_be_uninstalled() {
+    let mut i = Interp::with_config(GcConfig { trigger_bytes: 8 * 1024, ..GcConfig::new() });
+    i.eval_str(
+        "(define runs 0)
+         (collect-request-handler (lambda () (set! runs (+ runs 1))))
+         (let loop ([n 0]) (if (= n 1000) 'ok (begin (cons n n) (loop (+ n 1)))))",
+    )
+    .unwrap();
+    let runs_with: i64 = i.eval_str("runs").unwrap().as_fixnum();
+    assert!(runs_with > 0);
+    // The uninstall call itself crosses one safe point where the handler
+    // may still fire; baseline after it completes.
+    i.eval_str("(collect-request-handler #f)").unwrap();
+    let baseline: i64 = i.eval_str("runs").unwrap().as_fixnum();
+    i.eval_str(
+        "(let loop ([n 0]) (if (= n 2000) 'ok (begin (cons n n) (loop (+ n 1)))))",
+    )
+    .unwrap();
+    let runs_after: i64 = i.eval_str("runs").unwrap().as_fixnum();
+    assert_eq!(baseline, runs_after, "no more runs after uninstalling");
+}
+
+#[test]
+fn handler_errors_propagate_as_ordinary_errors() {
+    let mut i = Interp::with_config(GcConfig { trigger_bytes: 4096, ..GcConfig::new() });
+    let e = i
+        .eval_str(
+            "(collect-request-handler (lambda () (error \"handler failed\")))
+             (let loop ([n 0]) (if (= n 5000) 'ok (begin (cons n n) (loop (+ n 1)))))",
+        )
+        .unwrap_err();
+    assert!(e.to_string().contains("handler failed"), "got {e}");
+    // The interpreter survives; uninstall and continue.
+    i.eval_str("(collect-request-handler #f)").unwrap();
+    assert_eq!(i.eval_to_string("(+ 1 2)").unwrap(), "3");
+    i.heap().verify().unwrap();
+}
+
+#[test]
+fn case_special_form() {
+    assert_eq!(eval("(case 2 [(1) 'one] [(2 3) 'few] [else 'many])"), "few");
+    assert_eq!(eval("(case 9 [(1) 'one] [else 'many])"), "many");
+    assert_eq!(eval("(case 9 [(1) 'one])"), "#<void>");
+    assert_eq!(eval("(case 'b [(a) 1] [(b) 2])"), "2");
+    // eqv? comparison: flonums match by value.
+    assert_eq!(eval("(case 1.5 [(1.5) 'hit] [else 'miss])"), "hit");
+    // Tail position: a million-iteration loop through case.
+    assert_eq!(
+        eval("(define (spin n) (case n [(0) 'done] [else (spin (- n 1))])) (spin 100000)"),
+        "done"
+    );
+}
+
+#[test]
+fn do_special_form() {
+    assert_eq!(eval("(do ([i 0 (+ i 1)] [acc 1 (* acc 2)]) ((= i 5) acc))"), "32");
+    assert_eq!(
+        eval("(define v (make-vector 4 0))
+              (do ([i 0 (+ i 1)]) ((= i 4) v) (vector-set! v i (* i i)))"),
+        "#(0 1 4 9)"
+    );
+    // Variables without steps keep their values.
+    assert_eq!(eval("(do ([i 0 (+ i 1)] [x 'fixed]) ((= i 2) x))"), "fixed");
+    // Constant-stack iteration.
+    assert_eq!(eval("(do ([i 0 (+ i 1)]) ((= i 200000) 'done))"), "done");
+}
+
+#[test]
+fn cond_arrow() {
+    assert_eq!(eval("(cond [(assq 'b '((a . 1) (b . 2))) => cdr] [else 'none])"), "2");
+    assert_eq!(eval("(cond [(assq 'z '((a . 1))) => cdr] [else 'none])"), "none");
+    assert_eq!(eval("(cond [(memq 'c '(a b c)) => car])"), "c");
+}
+
+#[test]
+fn quasiquote() {
+    assert_eq!(eval("`(1 2 3)"), "(1 2 3)");
+    assert_eq!(eval("(define x 5) `(a ,x c)"), "(a 5 c)");
+    assert_eq!(eval("`(1 ,(+ 1 1) ,@(list 3 4) 5)"), "(1 2 3 4 5)");
+    assert_eq!(eval("`(a . ,(+ 1 2))"), "(a . 3)");
+    assert_eq!(eval("(define xs '(b c)) `(a ,@xs d)"), "(a b c d)");
+    assert_eq!(eval("`#(1 ,(+ 2 3))"), "#(1 5)");
+    // Nesting: inner quasiquote shields one level of unquote.
+    assert_eq!(eval("`(a `(b ,(c)))"), "(a (quasiquote (b (unquote (c)))))");
+    assert_eq!(eval("(define y 7) `(a `(b ,,y))"), "(a (quasiquote (b (unquote 7))))");
+    // Splicing an empty list vanishes.
+    assert_eq!(eval("`(1 ,@'() 2)"), "(1 2)");
+    // Errors.
+    let mut i = Interp::new();
+    assert!(i.eval_str(",x").is_err(), "unquote outside quasiquote");
+    assert!(i.eval_str("`(1 ,@2)").is_err(), "splicing a non-list");
+}
+
+#[test]
+fn quasiquote_under_gc_stress() {
+    let mut i = Interp::with_config(GcConfig { trigger_bytes: 4096, ..GcConfig::new() });
+    let out = i
+        .eval_to_string(
+            "(define (iota n)
+               (let loop ([i 0] [acc '()])
+                 (if (= i n) (reverse acc) (loop (+ i 1) (cons i acc)))))
+             (length `(start ,@(iota 500) ,(length (iota 100)) end))",
+        )
+        .unwrap();
+    assert_eq!(out, "503");
+    assert!(i.heap().collection_count() > 0);
+    i.heap().verify().unwrap();
+}
+
+#[test]
+fn define_record_type() {
+    assert_eq!(
+        eval(
+            "(define-record-type point
+               (make-point x y)
+               point?
+               (x point-x set-point-x!)
+               (y point-y))
+             (define p (make-point 3 4))
+             (list (point? p) (point? 5) (point-x p) (point-y p))"
+        ),
+        "(#t #f 3 4)"
+    );
+    assert_eq!(
+        eval(
+            "(define-record-type point
+               (make-point x y) point?
+               (x point-x set-point-x!) (y point-y))
+             (define p (make-point 3 4))
+             (set-point-x! p 30)
+             (point-x p)"
+        ),
+        "30"
+    );
+    // Constructor argument order may differ from field order.
+    assert_eq!(
+        eval(
+            "(define-record-type pair-ish
+               (kons kdr kar) pair-ish?
+               (kar kar-of) (kdr kdr-of))
+             (define k (kons 'second 'first))
+             (list (kar-of k) (kdr-of k))"
+        ),
+        "(first second)"
+    );
+    // Fields not in the constructor start as #f.
+    assert_eq!(
+        eval(
+            "(define-record-type cell (make-cell a) cell? (a cell-a) (b cell-b set-cell-b!))
+             (define c (make-cell 1))
+             (list (cell-a c) (cell-b c))"
+        ),
+        "(1 #f)"
+    );
+    // Distinct record types do not satisfy each other's predicates.
+    assert_eq!(
+        eval(
+            "(define-record-type t1 (mk1 v) t1? (v v1))
+             (define-record-type t2 (mk2 v) t2? (v v2))
+             (list (t1? (mk2 9)) (t2? (mk2 9)))"
+        ),
+        "(#f #t)"
+    );
+    // Wrong-type access errors.
+    let mut i = Interp::new();
+    let e = i
+        .eval_str(
+            "(define-record-type t1 (mk1 v) t1? (v v1))
+             (v1 (cons 1 2))",
+        )
+        .unwrap_err();
+    assert!(e.to_string().contains("wrong record type"), "got {e}");
+}
+
+#[test]
+fn records_interact_with_guardians() {
+    // The paper's external-memory pattern written in Scheme with records:
+    // a handle record guarding an external id.
+    assert_eq!(
+        eval(
+            "(define-record-type extmem (make-extmem id) extmem? (id extmem-id))
+             (define G (make-guardian))
+             (define h (make-extmem 42))
+             (G h (extmem-id h))  ; agent = just the id
+             (set! h #f)
+             (collect 3)
+             (G)"
+        ),
+        "42"
+    );
+}

@@ -1,0 +1,70 @@
+//! Raw segment storage: a boxed array of words.
+
+use crate::addr::SEGMENT_WORDS;
+
+/// Poison pattern written into freed segments in debug builds so dangling
+/// pointers are caught loudly rather than silently reading stale data.
+pub(crate) const POISON: u64 = 0xDEAD_BEEF_DEAD_BEEF;
+
+/// A single heap segment: [`SEGMENT_WORDS`] 64-bit words.
+pub struct Segment {
+    words: Box<[u64; SEGMENT_WORDS]>,
+}
+
+impl Segment {
+    /// A zero-filled segment.
+    pub fn new() -> Self {
+        Segment { words: Box::new([0; SEGMENT_WORDS]) }
+    }
+
+    /// Reads the word at `offset`.
+    #[inline]
+    pub fn word(&self, offset: usize) -> u64 {
+        self.words[offset]
+    }
+
+    /// Writes the word at `offset`.
+    #[inline]
+    pub fn set_word(&mut self, offset: usize, value: u64) {
+        self.words[offset] = value;
+    }
+
+    /// Fills the whole segment with `value`.
+    pub fn fill(&mut self, value: u64) {
+        self.words.fill(value);
+    }
+}
+
+impl Default for Segment {
+    fn default() -> Self {
+        Segment::new()
+    }
+}
+
+impl std::fmt::Debug for Segment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Segment[{} words]", SEGMENT_WORDS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_zeroed_and_is_writable() {
+        let mut s = Segment::new();
+        assert_eq!(s.word(0), 0);
+        assert_eq!(s.word(SEGMENT_WORDS - 1), 0);
+        s.set_word(100, 7);
+        assert_eq!(s.word(100), 7);
+    }
+
+    #[test]
+    fn fill_overwrites_everything() {
+        let mut s = Segment::new();
+        s.fill(POISON);
+        assert_eq!(s.word(0), POISON);
+        assert_eq!(s.word(SEGMENT_WORDS / 2), POISON);
+    }
+}

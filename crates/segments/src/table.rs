@@ -1,0 +1,312 @@
+//! The segment table: owns all segment storage plus the segment
+//! information table, hands out (and recycles) segments tagged with a
+//! space and generation, and resolves [`WordAddr`]s to storage.
+
+use crate::addr::{SegIndex, WordAddr, SEGMENT_WORDS};
+use crate::info::{SegInfo, SegKind, Space};
+use crate::seg::{Segment, POISON};
+
+/// Owner of all heap segments and their metadata.
+///
+/// Segment indices are stable for the lifetime of the table; freed
+/// segments keep their storage and are reissued by later allocations (the
+/// recycling the paper relies on when from-space segments are returned
+/// after a collection).
+pub struct SegmentTable {
+    segs: Vec<Segment>,
+    info: Vec<Option<SegInfo>>,
+    free: Vec<SegIndex>,
+    allocated: usize,
+}
+
+impl SegmentTable {
+    /// An empty table with no segments.
+    pub fn new() -> Self {
+        SegmentTable { segs: Vec::new(), info: Vec::new(), free: Vec::new(), allocated: 0 }
+    }
+
+    /// Allocates one segment belonging to `space` / `generation`.
+    pub fn allocate(&mut self, space: Space, generation: u8) -> SegIndex {
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.segs[idx.index()].fill(0);
+                idx
+            }
+            None => {
+                let idx = SegIndex(self.segs.len() as u32);
+                self.segs.push(Segment::new());
+                self.info.push(None);
+                idx
+            }
+        };
+        self.info[idx.index()] = Some(SegInfo::head(space, generation));
+        self.allocated += 1;
+        idx
+    }
+
+    /// Allocates `n` *contiguous* segments (a run) for a large object. The
+    /// first is the head, the rest tails. Returns the head index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn allocate_run(&mut self, space: Space, generation: u8, n: usize) -> SegIndex {
+        assert!(n > 0, "empty run requested");
+        if n == 1 {
+            return self.allocate(space, generation);
+        }
+        // Contiguity in index space is required, so runs always come from
+        // fresh indices at the end of the table; singleton free segments
+        // cannot be stitched together.
+        let head = SegIndex(self.segs.len() as u32);
+        for i in 0..n {
+            self.segs.push(Segment::new());
+            let info = if i == 0 {
+                SegInfo::head(space, generation)
+            } else {
+                SegInfo::tail(space, generation, head)
+            };
+            self.info.push(Some(info));
+        }
+        self.allocated += n;
+        head
+    }
+
+    /// Returns a segment (single or run head) to the free pool.
+    ///
+    /// Freeing a run head frees the whole run. In debug builds the storage
+    /// is poisoned so stale pointers are detected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg` is not currently allocated or is a tail segment.
+    pub fn free(&mut self, seg: SegIndex) {
+        let info = self.info[seg.index()].expect("freeing unallocated segment");
+        assert!(info.is_head(), "cannot free a tail segment directly");
+        let run = self.run_len(seg);
+        for i in 0..run {
+            let idx = SegIndex(seg.0 + i as u32);
+            self.info[idx.index()] = None;
+            if cfg!(debug_assertions) {
+                self.segs[idx.index()].fill(POISON);
+            }
+            // Tails are only usable as part of their run; recycling them as
+            // singles is fine since runs never come from the free pool.
+            self.free.push(idx);
+        }
+        self.allocated -= run;
+    }
+
+    /// Number of segments (including tails) in the run headed by `seg`.
+    pub fn run_len(&self, seg: SegIndex) -> usize {
+        let mut n = 1;
+        while let Some(Some(info)) = self.info.get(seg.index() + n) {
+            match info.kind {
+                SegKind::Tail { head } if head == seg => n += 1,
+                _ => break,
+            }
+        }
+        n
+    }
+
+    /// Metadata for an allocated segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment is not allocated.
+    #[inline]
+    pub fn info(&self, seg: SegIndex) -> &SegInfo {
+        self.info[seg.index()].as_ref().expect("segment not allocated")
+    }
+
+    /// Mutable metadata for an allocated segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment is not allocated.
+    #[inline]
+    pub fn info_mut(&mut self, seg: SegIndex) -> &mut SegInfo {
+        self.info[seg.index()].as_mut().expect("segment not allocated")
+    }
+
+    /// Metadata if the segment is allocated, else `None`. Also returns
+    /// `None` for indices beyond the table.
+    #[inline]
+    pub fn try_info(&self, seg: SegIndex) -> Option<&SegInfo> {
+        self.info.get(seg.index()).and_then(|i| i.as_ref())
+    }
+
+    /// The address of the first word of a segment.
+    #[inline]
+    pub fn base_addr(&self, seg: SegIndex) -> WordAddr {
+        WordAddr::new(seg, 0)
+    }
+
+    /// Reads the word at `addr`.
+    #[inline]
+    pub fn word(&self, addr: WordAddr) -> u64 {
+        self.segs[addr.seg().index()].word(addr.offset())
+    }
+
+    /// Writes the word at `addr`.
+    #[inline]
+    pub fn set_word(&mut self, addr: WordAddr, value: u64) {
+        self.segs[addr.seg().index()].set_word(addr.offset(), value);
+    }
+
+    /// Whether `addr` falls inside an allocated segment.
+    pub fn contains(&self, addr: WordAddr) -> bool {
+        self.try_info(addr.seg()).is_some()
+    }
+
+    /// Iterates over all allocated segments with their metadata.
+    pub fn iter(&self) -> impl Iterator<Item = (SegIndex, &SegInfo)> {
+        self.info
+            .iter()
+            .enumerate()
+            .filter_map(|(i, info)| info.as_ref().map(|info| (SegIndex(i as u32), info)))
+    }
+
+    /// All allocated head segments in `space` whose generation satisfies
+    /// `pred`, in index order.
+    pub fn heads_in(&self, space: Space, mut pred: impl FnMut(u8) -> bool) -> Vec<SegIndex> {
+        self.iter()
+            .filter(|(_, info)| info.space == space && info.is_head() && pred(info.generation))
+            .map(|(idx, _)| idx)
+            .collect()
+    }
+
+    /// Number of currently allocated segments (including run tails).
+    pub fn segments_allocated(&self) -> usize {
+        self.allocated
+    }
+
+    /// Number of currently allocated words of capacity.
+    pub fn words_allocated(&self) -> usize {
+        self.allocated * SEGMENT_WORDS
+    }
+
+    /// Total segments ever created (allocated + free pool).
+    pub fn segments_total(&self) -> usize {
+        self.segs.len()
+    }
+}
+
+impl Default for SegmentTable {
+    fn default() -> Self {
+        SegmentTable::new()
+    }
+}
+
+impl std::fmt::Debug for SegmentTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentTable")
+            .field("allocated", &self.allocated)
+            .field("total", &self.segs.len())
+            .field("free", &self.free.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_tags_space_and_generation() {
+        let mut t = SegmentTable::new();
+        let a = t.allocate(Space::Pair, 0);
+        let b = t.allocate(Space::WeakPair, 3);
+        assert_eq!(t.info(a).space, Space::Pair);
+        assert_eq!(t.info(b).space, Space::WeakPair);
+        assert_eq!(t.info(b).generation, 3);
+        assert_eq!(t.segments_allocated(), 2);
+    }
+
+    #[test]
+    fn freed_segments_are_recycled() {
+        let mut t = SegmentTable::new();
+        let a = t.allocate(Space::Pair, 0);
+        t.free(a);
+        assert_eq!(t.segments_allocated(), 0);
+        let b = t.allocate(Space::Typed, 1);
+        assert_eq!(a, b, "storage should be reissued");
+        assert_eq!(t.segments_total(), 1);
+        // Recycled segments come back zeroed.
+        assert_eq!(t.word(t.base_addr(b)), 0);
+    }
+
+    #[test]
+    fn words_read_back() {
+        let mut t = SegmentTable::new();
+        let a = t.allocate(Space::Pair, 0);
+        let addr = t.base_addr(a).add(17);
+        t.set_word(addr, 0xFEED);
+        assert_eq!(t.word(addr), 0xFEED);
+    }
+
+    #[test]
+    fn runs_are_contiguous_and_freed_together() {
+        let mut t = SegmentTable::new();
+        let _pad = t.allocate(Space::Pair, 0);
+        let head = t.allocate_run(Space::Typed, 2, 3);
+        assert_eq!(t.run_len(head), 3);
+        assert_eq!(t.segments_allocated(), 4);
+        // Words are addressable across the run.
+        let far = t.base_addr(head).add(SEGMENT_WORDS + 5);
+        t.set_word(far, 99);
+        assert_eq!(t.word(far), 99);
+        // Tail metadata points back at the head.
+        let tail = SegIndex(head.0 + 1);
+        assert_eq!(t.info(tail).kind, SegKind::Tail { head });
+        t.free(head);
+        assert_eq!(t.segments_allocated(), 1);
+    }
+
+    #[test]
+    fn run_len_stops_at_foreign_tail() {
+        let mut t = SegmentTable::new();
+        let r1 = t.allocate_run(Space::Typed, 0, 2);
+        let r2 = t.allocate_run(Space::Typed, 0, 2);
+        assert_eq!(t.run_len(r1), 2);
+        assert_eq!(t.run_len(r2), 2);
+    }
+
+    #[test]
+    fn heads_in_filters_by_space_and_generation() {
+        let mut t = SegmentTable::new();
+        let a = t.allocate(Space::Pair, 0);
+        let _b = t.allocate(Space::Pair, 2);
+        let _c = t.allocate(Space::Typed, 0);
+        let young_pairs = t.heads_in(Space::Pair, |g| g == 0);
+        assert_eq!(young_pairs, vec![a]);
+    }
+
+    #[test]
+    fn contains_rejects_freed_and_out_of_range() {
+        let mut t = SegmentTable::new();
+        let a = t.allocate(Space::Pair, 0);
+        let addr = t.base_addr(a);
+        assert!(t.contains(addr));
+        t.free(a);
+        assert!(!t.contains(addr));
+        assert!(!t.contains(WordAddr::new(SegIndex(400), 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing unallocated segment")]
+    fn double_free_panics() {
+        let mut t = SegmentTable::new();
+        let a = t.allocate(Space::Pair, 0);
+        t.free(a);
+        t.free(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "tail segment")]
+    fn freeing_tail_panics() {
+        let mut t = SegmentTable::new();
+        let head = t.allocate_run(Space::Typed, 0, 2);
+        t.free(SegIndex(head.0 + 1));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property test: the segment table against a simple ownership model
+//! under random allocate/free/write sequences.
+
+use guardians_segments::{SegIndex, SegmentTable, Space, SEGMENT_WORDS};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Alloc { space: u8, gen: u8 },
+    AllocRun { space: u8, gen: u8, len: u8 },
+    Free { pick: usize },
+    Write { pick: usize, offset: u16, value: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u8..3, 0u8..4).prop_map(|(space, gen)| Op::Alloc { space, gen }),
+        1 => (0u8..3, 0u8..4, 2u8..5).prop_map(|(space, gen, len)| Op::AllocRun { space, gen, len }),
+        3 => any::<usize>().prop_map(|pick| Op::Free { pick }),
+        3 => (any::<usize>(), any::<u16>(), any::<u64>())
+            .prop_map(|(pick, offset, value)| Op::Write { pick, offset, value }),
+    ]
+}
+
+fn space_of(code: u8) -> Space {
+    match code {
+        0 => Space::Pair,
+        1 => Space::WeakPair,
+        _ => Space::Typed,
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Owned {
+    space: Space,
+    gen: u8,
+    run: usize,
+    /// Our mirror of written words: (global offset) -> value.
+    writes: HashMap<usize, u64>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn table_matches_ownership_model(ops in proptest::collection::vec(op_strategy(), 1..150)) {
+        let mut table = SegmentTable::new();
+        let mut owned: HashMap<SegIndex, Owned> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Alloc { space, gen } => {
+                    let space = space_of(space);
+                    let seg = table.allocate(space, gen);
+                    prop_assert!(!owned.contains_key(&seg), "issued a segment twice");
+                    owned.insert(seg, Owned { space, gen, run: 1, writes: HashMap::new() });
+                }
+                Op::AllocRun { space, gen, len } => {
+                    let space = space_of(space);
+                    let head = table.allocate_run(space, gen, len as usize);
+                    prop_assert!(!owned.contains_key(&head));
+                    prop_assert_eq!(table.run_len(head), len as usize);
+                    owned.insert(head, Owned { space, gen, run: len as usize, writes: HashMap::new() });
+                }
+                Op::Free { pick } => {
+                    let mut keys: Vec<SegIndex> = owned.keys().copied().collect();
+                    keys.sort_unstable();
+                    if keys.is_empty() { continue; }
+                    let seg = keys[pick % keys.len()];
+                    table.free(seg);
+                    owned.remove(&seg);
+                    prop_assert!(table.try_info(seg).is_none(), "freed segment still has info");
+                }
+                Op::Write { pick, offset, value } => {
+                    let mut keys: Vec<SegIndex> = owned.keys().copied().collect();
+                    keys.sort_unstable();
+                    if keys.is_empty() { continue; }
+                    let seg = keys[pick % keys.len()];
+                    let entry = owned.get_mut(&seg).expect("model entry");
+                    let span = entry.run * SEGMENT_WORDS;
+                    let off = offset as usize % span;
+                    let addr = table.base_addr(seg).add(off);
+                    table.set_word(addr, value);
+                    entry.writes.insert(off, value);
+                }
+            }
+            // Invariants after every step.
+            let live: usize = owned.values().map(|o| o.run).sum();
+            prop_assert_eq!(table.segments_allocated(), live, "allocation count diverged");
+            for (seg, o) in &owned {
+                let info = table.info(*seg);
+                prop_assert_eq!(info.space, o.space);
+                prop_assert_eq!(info.gen_tuple(), (o.gen,), "generation diverged");
+            }
+        }
+        // Every recorded write is still readable.
+        for (seg, o) in &owned {
+            for (off, value) in &o.writes {
+                let addr = table.base_addr(*seg).add(*off);
+                prop_assert_eq!(table.word(addr), *value, "written word lost");
+            }
+        }
+    }
+}
+
+/// Small extension trait so the proptest can compare generations without
+/// exposing internals.
+trait GenTuple {
+    fn gen_tuple(&self) -> (u8,);
+}
+
+impl GenTuple for guardians_segments::SegInfo {
+    fn gen_tuple(&self) -> (u8,) {
+        (self.generation,)
+    }
+}

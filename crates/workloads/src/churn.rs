@@ -1,0 +1,129 @@
+//! Hash-table churn scripts: a deterministic stream of inserts, key
+//! drops, lookups, and collections, replayed identically against every
+//! table implementation under comparison (experiments E1 and E4).
+
+use crate::keys::KeyGen;
+
+/// Parameters for a table-churn script.
+#[derive(Clone, Debug)]
+pub struct ChurnParams {
+    /// Total operations to generate.
+    pub ops: usize,
+    /// Steady-state number of live keys.
+    pub live_target: usize,
+    /// Probability an operation is a lookup (vs. an insert).
+    pub lookup_fraction: f64,
+    /// Probability that an insert is paired with dropping one live key
+    /// once the live target is reached (1.0 = strict steady state).
+    pub death_rate: f64,
+    /// Insert a `Collect` op every this many operations (0 = never).
+    pub collect_every: usize,
+    /// Generation to collect (paper schedule if you vary it externally).
+    pub collect_generation: u8,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ChurnParams {
+    fn default() -> Self {
+        ChurnParams {
+            ops: 10_000,
+            live_target: 1_000,
+            lookup_fraction: 0.6,
+            death_rate: 1.0,
+            collect_every: 500,
+            collect_generation: 0,
+            seed: 0xD17B,
+        }
+    }
+}
+
+/// One scripted operation. Key ids are abstract; the replayer maps them
+/// to heap keys.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TableOp {
+    /// Create key `id` and insert it.
+    Insert(u64),
+    /// Drop every reference to key `id` (making it collectable).
+    DropKey(u64),
+    /// Look up live key `id`.
+    Lookup(u64),
+    /// Run a collection of the given generation.
+    Collect(u8),
+}
+
+/// Generates the churn script for `params`. Deterministic in the seed.
+pub fn table_script(params: &ChurnParams) -> Vec<TableOp> {
+    let mut ops = Vec::with_capacity(params.ops + params.ops / params.collect_every.max(1));
+    let mut gen = KeyGen::new(params.seed, 0.6);
+    let mut live: Vec<u64> = Vec::new();
+    let mut next_id = 0u64;
+    for i in 0..params.ops {
+        if params.collect_every > 0 && i > 0 && i % params.collect_every == 0 {
+            ops.push(TableOp::Collect(params.collect_generation));
+        }
+        let do_lookup = !live.is_empty() && gen.flip(params.lookup_fraction);
+        if do_lookup {
+            let idx = gen.pick(live.len());
+            ops.push(TableOp::Lookup(live[idx]));
+            continue;
+        }
+        let id = next_id;
+        next_id += 1;
+        ops.push(TableOp::Insert(id));
+        live.push(id);
+        if live.len() > params.live_target && gen.flip(params.death_rate) {
+            let idx = gen.uniform(live.len());
+            let dead = live.swap_remove(idx);
+            ops.push(TableOp::DropKey(dead));
+        }
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn scripts_are_deterministic() {
+        let p = ChurnParams::default();
+        assert_eq!(table_script(&p), table_script(&p));
+        let p2 = ChurnParams { seed: 1, ..p };
+        assert_ne!(table_script(&p2), table_script(&ChurnParams::default()));
+    }
+
+    #[test]
+    fn script_is_well_formed() {
+        let p = ChurnParams { ops: 2_000, live_target: 100, ..ChurnParams::default() };
+        let script = table_script(&p);
+        let mut live: HashSet<u64> = HashSet::new();
+        let mut inserted: HashSet<u64> = HashSet::new();
+        let mut collects = 0;
+        for op in &script {
+            match op {
+                TableOp::Insert(id) => {
+                    assert!(inserted.insert(*id), "ids are never reused");
+                    live.insert(*id);
+                }
+                TableOp::DropKey(id) => {
+                    assert!(live.remove(id), "only live keys are dropped");
+                }
+                TableOp::Lookup(id) => {
+                    assert!(live.contains(id), "only live keys are looked up");
+                }
+                TableOp::Collect(_) => collects += 1,
+            }
+        }
+        assert!(collects > 0);
+        // Steady state: live population close to the target.
+        assert!(live.len() <= p.live_target + 1, "live = {}", live.len());
+    }
+
+    #[test]
+    fn no_collects_when_disabled() {
+        let p = ChurnParams { collect_every: 0, ops: 500, ..ChurnParams::default() };
+        assert!(!table_script(&p).iter().any(|o| matches!(o, TableOp::Collect(_))));
+    }
+}

@@ -1,0 +1,94 @@
+//! Key-stream generation with skewed (approximately Zipfian) popularity,
+//! the shape real symbol tables and caches see.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Generates string keys and skewed choices among live keys.
+#[derive(Debug)]
+pub struct KeyGen {
+    rng: SmallRng,
+    /// Zipf skew: 0.0 = uniform, ~1.0 = strongly skewed.
+    pub skew: f64,
+}
+
+impl KeyGen {
+    /// A key generator with the given seed and skew.
+    pub fn new(seed: u64, skew: f64) -> KeyGen {
+        KeyGen { rng: crate::rng(seed), skew }
+    }
+
+    /// The canonical name of key `id`.
+    pub fn name(id: u64) -> String {
+        format!("key-{id:08x}")
+    }
+
+    /// Picks an index in `0..n` with the configured skew toward low
+    /// indices (the "popular" keys).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn pick(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot pick from an empty population");
+        if self.skew <= 0.0 {
+            return self.rng.gen_range(0..n);
+        }
+        // Inverse-power sampling: u^(1/(1-s)) concentrates near 0.
+        let u: f64 = self.rng.gen_range(0.0f64..1.0);
+        let exponent = 1.0 / (1.0 - self.skew.min(0.99));
+        let idx = (u.powf(exponent) * n as f64) as usize;
+        idx.min(n - 1)
+    }
+
+    /// Uniform random boolean with probability `p`.
+    pub fn flip(&mut self, p: f64) -> bool {
+        self.rng.gen_range(0.0f64..1.0) < p
+    }
+
+    /// Uniform integer in `0..n`.
+    pub fn uniform(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct_and_stable() {
+        assert_eq!(KeyGen::name(1), KeyGen::name(1));
+        assert_ne!(KeyGen::name(1), KeyGen::name(2));
+    }
+
+    #[test]
+    fn skewed_picks_prefer_low_indices() {
+        let mut g = KeyGen::new(42, 0.9);
+        let mut low = 0;
+        for _ in 0..1000 {
+            if g.pick(1000) < 100 {
+                low += 1;
+            }
+        }
+        assert!(low > 500, "90% skew should send most picks to the low decile, got {low}");
+    }
+
+    #[test]
+    fn uniform_picks_spread_out() {
+        let mut g = KeyGen::new(42, 0.0);
+        let mut low = 0;
+        for _ in 0..1000 {
+            if g.pick(1000) < 100 {
+                low += 1;
+            }
+        }
+        assert!((50..200).contains(&low), "roughly 10% expected, got {low}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty population")]
+    fn pick_from_empty_panics() {
+        KeyGen::new(1, 0.0).pick(0);
+    }
+}

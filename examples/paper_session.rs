@@ -1,0 +1,114 @@
+//! Runs the paper's Section 3 Scheme transcripts, verbatim, on the
+//! embedded interpreter — printing each interaction as a REPL session.
+//!
+//! Run with: `cargo run --example paper_session`
+
+use guardians::scheme::Interp;
+
+fn session(interp: &mut Interp, title: &str, interactions: &[&str]) {
+    println!(";;; {title}");
+    for src in interactions {
+        match interp.eval_str(src) {
+            Ok(v) => {
+                let shown = interp.write(v);
+                if shown == "#<void>" {
+                    println!("> {src}");
+                } else {
+                    println!("> {src}\n{shown}");
+                }
+            }
+            Err(e) => println!("> {src}\nerror: {e}"),
+        }
+        let output = interp.take_output();
+        if !output.is_empty() {
+            print!("{output}");
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let mut interp = Interp::new();
+
+    session(
+        &mut interp,
+        "Section 3, basic registration and retrieval",
+        &[
+            "(define G (make-guardian))",
+            "(define x (cons 'a 'b))",
+            "(G x)",
+            "(G)",
+            "(set! x #f)",
+            "(collect 3)",
+            "(G)",
+            "(G)",
+        ],
+    );
+
+    session(
+        &mut interp,
+        "Section 3, multiple registration",
+        &[
+            "(define G (make-guardian))",
+            "(define x (cons 'a 'b))",
+            "(G x)",
+            "(G x)",
+            "(set! x #f)",
+            "(collect 3)",
+            "(G)",
+            "(G)",
+        ],
+    );
+
+    session(
+        &mut interp,
+        "Section 3, two guardians",
+        &[
+            "(define G (make-guardian))",
+            "(define H (make-guardian))",
+            "(define x (cons 'a 'b))",
+            "(G x)",
+            "(H x)",
+            "(set! x #f)",
+            "(collect 3)",
+            "(G)",
+            "(H)",
+        ],
+    );
+
+    session(
+        &mut interp,
+        "Section 3, a guardian registered with another guardian",
+        &[
+            "(define G (make-guardian))",
+            "(define H (make-guardian))",
+            "(define x (cons 'a 'b))",
+            "(G H)",
+            "(H x)",
+            "(set! x #f)",
+            "(set! H #f)",
+            "(collect 3)",
+            "((G))",
+        ],
+    );
+
+    session(
+        &mut interp,
+        "Section 5, the agent generalisation",
+        &[
+            "(define G (make-guardian))",
+            "(define x (cons 'resource 7))",
+            "(G x (cdr x))",
+            "(set! x #f)",
+            "(collect 3)",
+            "(G)",
+        ],
+    );
+
+    println!(
+        ";;; heap after the sessions: {} collections, {} registrations",
+        interp.heap().collection_count(),
+        interp.heap().stats().guardian_registrations
+    );
+    interp.heap().verify().expect("heap intact");
+}

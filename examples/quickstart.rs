@@ -1,0 +1,63 @@
+//! Quickstart: the guardian mechanism in five minutes.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use guardians::gc::{Heap, Value};
+use guardians::runtime::printer::write_value;
+
+fn main() {
+    let mut heap = Heap::default();
+
+    // The paper's Section 3 session, as Rust:
+    //
+    // > (define G (make-guardian))
+    let g = heap.make_guardian();
+
+    // > (define x (cons 'a 'b))
+    let a = heap.make_symbol("a");
+    let b = heap.make_symbol("b");
+    let x = heap.cons(a, b);
+    let x_binding = heap.root(x); // the "x" binding
+
+    // > (G x)
+    g.register(&mut heap, x);
+    println!("registered {} with the guardian", write_value(&heap, x));
+
+    // > (G)  =>  #f — still accessible through the binding.
+    heap.collect(heap.config().max_generation());
+    println!("while accessible, (G) => {:?}", g.poll(&mut heap));
+
+    // > (set! x #f) — drop the only reference.
+    x_binding.set(Value::FALSE);
+
+    // After a collection proves the pair inaccessible, the guardian
+    // yields it back — intact, "saved from destruction".
+    heap.collect(heap.config().max_generation());
+    let saved = g.poll(&mut heap).expect("proven inaccessible");
+    println!("after dropping it, (G) => {}", write_value(&heap, saved));
+
+    // The retrieved object has no special status: use it, re-register it.
+    let recycled = heap.make_symbol("recycled");
+    heap.set_car(saved, recycled);
+    g.register(&mut heap, saved);
+    heap.collect(heap.config().max_generation());
+    let again = g.poll(&mut heap).expect("second life, second death");
+    println!("re-registered and re-retrieved: {}", write_value(&heap, again));
+
+    // Weak pairs: the complementary mechanism.
+    let obj = heap.cons(Value::fixnum(1), Value::fixnum(2));
+    let weak = heap.weak_cons(obj, Value::NIL);
+    let weak_root = heap.root(weak);
+    println!("\nweak pair before collection: {}", write_value(&heap, weak_root.get()));
+    heap.collect(heap.config().max_generation());
+    println!("weak pair after its referent died: {}", write_value(&heap, weak_root.get()));
+
+    let report = heap.last_report().unwrap();
+    println!(
+        "\nlast collection: gen {} -> gen {}, {} words copied, {} guardian entries visited",
+        report.collected_generation,
+        report.target_generation,
+        report.words_copied,
+        report.guardian_entries_visited
+    );
+}

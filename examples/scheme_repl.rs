@@ -1,0 +1,56 @@
+//! A minimal REPL over the embedded Scheme — try the paper's examples
+//! interactively.
+//!
+//! Run with: `cargo run --example scheme_repl`
+//!
+//! ```text
+//! guardians> (define G (make-guardian))
+//! guardians> (define x (cons 'a 'b))
+//! guardians> (G x)
+//! guardians> (set! x #f)
+//! guardians> (collect 3)
+//! guardians> (G)
+//! (a . b)
+//! ```
+
+use guardians::scheme::Interp;
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    let mut interp = Interp::new();
+    let stdin = io::stdin();
+    let mut stdout = io::stdout();
+    println!("guardians scheme — the PLDI'93 reproduction. Ctrl-D to exit.");
+    println!("primitives include: make-guardian, weak-cons, collect, open-output-file, ...");
+    loop {
+        print!("guardians> ");
+        stdout.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let src = line.trim();
+        if src.is_empty() {
+            continue;
+        }
+        match interp.eval_str(src) {
+            Ok(v) => {
+                let out = interp.take_output();
+                if !out.is_empty() {
+                    print!("{out}");
+                }
+                let shown = interp.write(v);
+                if shown != "#<void>" {
+                    println!("{shown}");
+                }
+            }
+            Err(e) => println!("{e}"),
+        }
+    }
+    println!();
+}

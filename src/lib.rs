@@ -1,0 +1,38 @@
+//! Umbrella crate for the reproduction of *Guardians in a Generation-Based
+//! Garbage Collector* (Dybvig, Bruggeman, Eby — PLDI 1993).
+//!
+//! This crate re-exports the workspace members so the examples and
+//! integration tests can use a single dependency. See the individual crates
+//! for the real APIs:
+//!
+//! * [`gc`] — the collector, heap, values, guardians, and weak pairs.
+//! * [`runtime`] — ports, hash tables, transport guardians, object pools,
+//!   and the simulated OS / external-memory substrates.
+//! * [`scheme`] — an embedded Scheme interpreter running on the collected
+//!   heap, able to execute the paper's examples verbatim.
+//! * [`baselines`] — the Background-section mechanisms used as comparison
+//!   points (weak sets, weak hashing, collector-invoked finalizers,
+//!   indirection headers).
+//! * [`workloads`] — deterministic workload generators for the benchmarks.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use guardians::gc::{Heap, Value};
+//!
+//! let mut heap = Heap::default();
+//! let guardian = heap.make_guardian();
+//! let pair = heap.cons(Value::fixnum(1), Value::fixnum(2));
+//! guardian.register(&mut heap, pair);
+//! // `pair` is not rooted, so a collection proves it inaccessible:
+//! heap.collect(0);
+//! let saved = guardian.poll(&mut heap).expect("pair was saved for us");
+//! assert_eq!(heap.car(saved), Value::fixnum(1));
+//! ```
+
+pub use guardians_baselines as baselines;
+pub use guardians_gc as gc;
+pub use guardians_runtime as runtime;
+pub use guardians_scheme as scheme;
+pub use guardians_segments as segments;
+pub use guardians_workloads as workloads;
