@@ -58,7 +58,10 @@ impl FinalizationRegistry {
     /// call this immediately after `collect` to reproduce that timing.
     /// Returns how many thunks ran.
     pub fn run_pending(&mut self, heap: &mut Heap) -> usize {
-        let ids: Vec<u64> = heap.last_report().map(|r| r.finalized_ids.clone()).unwrap_or_default();
+        let ids: Vec<u64> = heap
+            .last_report()
+            .map(|r| r.finalized_ids.clone())
+            .unwrap_or_default();
         let mut ran = 0;
         // The collector is still conceptually "running": allocation from
         // a finalization thunk must not trigger a nested collection.
@@ -115,7 +118,11 @@ mod tests {
             });
         }
         heap.collect(heap.config().max_generation());
-        assert_eq!(reg.run_pending(&mut heap), 1, "only the dead object's thunk");
+        assert_eq!(
+            reg.run_pending(&mut heap),
+            1,
+            "only the dead object's thunk"
+        );
         assert_eq!(ran.get(), 1);
         assert_eq!(reg.pending(), 1);
         drop(keep);
@@ -140,7 +147,10 @@ mod tests {
         heap.collect(heap.config().max_generation());
         reg.run_pending(&mut heap);
         assert_eq!(reg.suppressed_errors, vec!["fd already closed".to_string()]);
-        assert!(ran.get(), "later thunks still ran despite the earlier error");
+        assert!(
+            ran.get(),
+            "later thunks still ran despite the earlier error"
+        );
     }
 
     #[test]
@@ -158,6 +168,9 @@ mod tests {
         // Some library code happens to trigger a collection...
         heap.collect(heap.config().max_generation());
         reg.run_pending(&mut heap);
-        assert!(seen.get(), "...and the clean-up ran right there, mid-'collection'");
+        assert!(
+            seen.get(),
+            "...and the clean-up ran right there, mid-'collection'"
+        );
     }
 }

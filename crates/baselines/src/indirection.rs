@@ -42,7 +42,11 @@ pub struct IndirectPorts {
 impl IndirectPorts {
     /// An empty registry.
     pub fn new(heap: &mut Heap) -> IndirectPorts {
-        IndirectPorts { registry: heap.root(Value::NIL), entries_scanned: 0, dropped_closed: 0 }
+        IndirectPorts {
+            registry: heap.root(Value::NIL),
+            entries_scanned: 0,
+            dropped_closed: 0,
+        }
     }
 
     /// Opens an output port and returns its forwarding **header**; the
@@ -193,7 +197,9 @@ mod tests {
         let kept = ip.open_output(&mut heap, &mut os, "/keep").unwrap();
         let keep_root = heap.root(kept);
         for i in 0..5 {
-            let h = ip.open_output(&mut heap, &mut os, &format!("/drop{i}")).unwrap();
+            let h = ip
+                .open_output(&mut heap, &mut os, &format!("/drop{i}"))
+                .unwrap();
             ip.write_byte(&mut heap, &mut os, h, b'x').unwrap();
         }
         assert_eq!(os.open_count(), 6);
@@ -201,7 +207,11 @@ mod tests {
         let closed = ip.scan_and_close(&mut heap, &mut os).unwrap();
         assert_eq!(closed, 5);
         assert_eq!(os.open_count(), 1);
-        assert_eq!(os.file_contents("/drop0").unwrap(), b"x", "flushed on close");
+        assert_eq!(
+            os.file_contents("/drop0").unwrap(),
+            b"x",
+            "flushed on close"
+        );
         assert!(ports::is_open(&heap, ip.deref(&heap, keep_root.get())));
         heap.verify().unwrap();
     }
@@ -235,7 +245,9 @@ mod tests {
         let mut ip = IndirectPorts::new(&mut heap);
         let mut keep = Vec::new();
         for i in 0..100 {
-            let h = ip.open_output(&mut heap, &mut os, &format!("/p{i}")).unwrap();
+            let h = ip
+                .open_output(&mut heap, &mut os, &format!("/p{i}"))
+                .unwrap();
             keep.push(heap.root(h));
         }
         keep.pop(); // one drop
@@ -243,6 +255,9 @@ mod tests {
         ip.entries_scanned = 0;
         let closed = ip.scan_and_close(&mut heap, &mut os).unwrap();
         assert_eq!(closed, 1);
-        assert_eq!(ip.entries_scanned, 100, "touched every live port to find one drop");
+        assert_eq!(
+            ip.entries_scanned, 100,
+            "touched every live port to find one drop"
+        );
     }
 }

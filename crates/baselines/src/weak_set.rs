@@ -28,7 +28,12 @@ pub struct WeakSet {
 impl WeakSet {
     /// An empty weak set.
     pub fn new(heap: &mut Heap) -> WeakSet {
-        WeakSet { items: heap.root(Value::NIL), len: 0, entries_traversed: 0, entries_dropped: 0 }
+        WeakSet {
+            items: heap.root(Value::NIL),
+            len: 0,
+            entries_traversed: 0,
+            entries_dropped: 0,
+        }
     }
 
     /// Adds an object (weakly).
@@ -123,7 +128,10 @@ mod tests {
         set.add(&mut heap, a);
         set.add(&mut heap, b);
         assert!(set.remove(&mut heap, ra.get()));
-        assert!(!set.remove(&mut heap, ra.get()), "only one occurrence existed");
+        assert!(
+            !set.remove(&mut heap, ra.get()),
+            "only one occurrence existed"
+        );
         let live = set.members(&mut heap);
         assert_eq!(live, vec![rb.get()]);
     }
@@ -143,7 +151,10 @@ mod tests {
         set.entries_traversed = 0;
         let live = set.members(&mut heap);
         assert_eq!(live.len(), 99);
-        assert_eq!(set.entries_traversed, 100, "paid for all 100 to find 1 — the paper's point");
+        assert_eq!(
+            set.entries_traversed, 100,
+            "paid for all 100 to find 1 — the paper's point"
+        );
     }
 
     #[test]
@@ -155,6 +166,9 @@ mod tests {
             set.add(&mut heap, v);
         }
         heap.collect(heap.config().max_generation());
-        assert!(set.members(&mut heap).is_empty(), "nothing retained by the set alone");
+        assert!(
+            set.members(&mut heap).is_empty(),
+            "nothing retained by the set alone"
+        );
     }
 }

@@ -52,7 +52,9 @@ fn bench(c: &mut Criterion) {
             for _ in 0..100 {
                 let _ = heap.cons(Value::NIL, Value::NIL);
             }
-            { heap.collect(0); }
+            {
+                heap.collect(0);
+            }
         })
     });
     group.finish();

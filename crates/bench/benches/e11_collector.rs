@@ -19,11 +19,16 @@ fn bench(c: &mut Criterion) {
                 let config = GcConfig {
                     generations,
                     trigger_bytes: 128 * 1024,
-                    frequency: (0..generations as usize).map(|i| 4u64.pow(i as u32)).collect(),
+                    frequency: (0..generations as usize)
+                        .map(|i| 4u64.pow(i as u32))
+                        .collect(),
                     ..GcConfig::new()
                 };
                 let mut heap = Heap::new(config);
-                let params = LifetimeParams { allocations: 20_000, ..LifetimeParams::default() };
+                let params = LifetimeParams {
+                    allocations: 20_000,
+                    ..LifetimeParams::default()
+                };
                 run_lifetime_workload(&mut heap, &params)
             })
         });

@@ -1,0 +1,37 @@
+//! E13 wall-clock: copy throughput of the bulk-copy Cheney engine.
+//!
+//! Runs the mixed copy workload (pairs, pure objects, typed objects,
+//! weak pairs, and multi-segment large-object runs) and measures the
+//! whole mutate-and-collect loop; the words-copied-per-second figure is
+//! printed once per configuration so throughput can be compared across
+//! engine changes. In debug builds the heap is re-verified after every
+//! collection (the release bench skips verification).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use guardians_bench::copy_driver::copy_workload;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_copy");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(4))
+        .sample_size(10);
+
+    for allocations in [20_000usize, 60_000] {
+        let probe = copy_workload(allocations, cfg!(debug_assertions));
+        println!(
+            "e13_copy/{allocations}: {} collections, {} words copied, {:.1} Mwords/s",
+            probe.collections,
+            probe.words_copied,
+            probe.words_per_sec() / 1e6
+        );
+        group.bench_function(format!("copy_workload_{allocations}"), |b| {
+            b.iter(|| copy_workload(allocations, cfg!(debug_assertions)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -21,7 +21,9 @@ fn fill_keys(heap: &mut Heap) -> Vec<Rooted> {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_guarded_table");
-    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
 
     let mut heap = Heap::default();
     let mut guarded = GuardedHashTable::new(&mut heap, 256, content_hash);

@@ -7,7 +7,9 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_tconc");
-    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
 
     let mut heap = Heap::default();
     let tc = heap.make_tconc();

@@ -9,7 +9,10 @@ use std::time::Duration;
 const PARKED: usize = 10_000;
 
 fn setup(flat: bool) -> (Heap, Vec<Rooted>, guardians_gc::Guardian) {
-    let mut heap = Heap::new(GcConfig { flat_protected: flat, ..GcConfig::new() });
+    let mut heap = Heap::new(GcConfig {
+        flat_protected: flat,
+        ..GcConfig::new()
+    });
     let g = heap.make_guardian();
     let mut roots = Vec::with_capacity(PARKED);
     for i in 0..PARKED {
@@ -35,7 +38,9 @@ fn bench(c: &mut Criterion) {
             for _ in 0..100 {
                 let _ = heap.cons(Value::NIL, Value::NIL);
             }
-            { heap.collect(0); }
+            {
+                heap.collect(0);
+            }
         })
     });
 
@@ -45,7 +50,9 @@ fn bench(c: &mut Criterion) {
             for _ in 0..100 {
                 let _ = heap.cons(Value::NIL, Value::NIL);
             }
-            { heap.collect(0); }
+            {
+                heap.collect(0);
+            }
         })
     });
     group.finish();

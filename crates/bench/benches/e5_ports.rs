@@ -10,7 +10,9 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_ports");
-    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
 
     let mut heap = Heap::default();
     let mut os = SimOs::new();
@@ -32,7 +34,9 @@ fn bench(c: &mut Criterion) {
     group.bench_function("guarded_open_close_cycle", |b| {
         b.iter(|| {
             n += 1;
-            let p = gp.open_output(&mut heap, &mut os, &format!("/g{}", n % 8)).unwrap();
+            let p = gp
+                .open_output(&mut heap, &mut os, &format!("/g{}", n % 8))
+                .unwrap();
             ports::close_port(&mut heap, &mut os, p).unwrap();
         })
     });

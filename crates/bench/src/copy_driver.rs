@@ -1,0 +1,128 @@
+//! The copy-throughput workload behind `benches/e13_copy.rs`.
+//!
+//! A mixed allocation profile chosen to stress every path of the
+//! bulk-copy engine: cons lists (pair space), strings and bytevectors
+//! (pure space, skipped by the scan), vectors (typed space, header
+//! walks), weak pairs, and periodic large vectors whose bodies span
+//! multi-segment runs (cross-run `copy_words`). A rooted survivor window
+//! keeps enough data alive that collections actually copy.
+//!
+//! In debug builds — and always from the unit test — the whole heap is
+//! re-verified after every collection, so the bench doubles as a
+//! correctness harness for the copy/scan engine.
+
+use guardians_gc::{GcConfig, Heap, Promotion, Rooted, Value};
+use guardians_workloads::KeyGen;
+
+/// What one run of the copy workload observed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CopyRun {
+    /// Collections that ran.
+    pub collections: u64,
+    /// Total words copied by those collections.
+    pub words_copied: u64,
+    /// Total pause time, nanoseconds.
+    pub total_gc_ns: u128,
+}
+
+impl CopyRun {
+    /// Copy throughput in words per second of pause time.
+    pub fn words_per_sec(&self) -> f64 {
+        if self.total_gc_ns == 0 {
+            0.0
+        } else {
+            self.words_copied as f64 / (self.total_gc_ns as f64 / 1e9)
+        }
+    }
+}
+
+/// Runs the copy workload. With `verify_each_collection`, `Heap::verify`
+/// runs after every collection (and once at the end), turning the bench
+/// into a stress test of the copy/scan engine.
+pub fn copy_workload(allocations: usize, verify_each_collection: bool) -> CopyRun {
+    let config = GcConfig {
+        generations: 4,
+        promotion: Promotion::NextGeneration,
+        trigger_bytes: 192 * 1024,
+        frequency: vec![1, 4, 16, 64],
+        ..GcConfig::new()
+    };
+    let mut heap = Heap::new(config);
+    let mut gen = KeyGen::new(0xE13C0117, 0.25);
+    let window_len = 192;
+    let mut window: Vec<Option<Rooted>> = (0..window_len).map(|_| None).collect();
+    // Rotating roots for large (multi-segment run) vectors.
+    let mut big: Vec<Option<Rooted>> = vec![None, None, None];
+    let mut run = CopyRun::default();
+
+    for i in 0..allocations {
+        let v = match i % 5 {
+            0 | 1 => {
+                let mut list = Value::NIL;
+                for k in 0..4 {
+                    list = heap.cons(Value::fixnum((i * 17 + k) as i64), list);
+                }
+                list
+            }
+            2 => heap.make_string("copy-engine payload string"),
+            3 => {
+                let s = heap.make_bytevector(96, (i % 251) as u8);
+                heap.make_vector(6, s)
+            }
+            _ => {
+                let head = heap.cons(Value::fixnum(i as i64), Value::NIL);
+                heap.weak_cons(head, Value::fixnum(i as i64))
+            }
+        };
+        if gen.flip(0.25) {
+            let slot = gen.uniform(window_len);
+            window[slot] = Some(heap.root(v));
+        }
+        if i % 640 == 0 {
+            // A ~1500-word vector: a three-segment run, forwarded with
+            // cross-run bulk copies while it survives.
+            let big_v = heap.make_vector(1500, Value::fixnum(i as i64));
+            let slot = (i / 640) % big.len();
+            big[slot] = Some(heap.root(big_v));
+        }
+        if i % 48 == 0 {
+            if let Some(report) = heap.maybe_collect() {
+                run.collections += 1;
+                run.words_copied += report.words_copied;
+                run.total_gc_ns += report.duration.as_nanos();
+                if verify_each_collection {
+                    heap.verify().expect("heap valid after collection");
+                }
+            }
+        }
+    }
+    let report = heap.collect(heap.config().max_generation());
+    run.collections += 1;
+    run.words_copied += report.words_copied;
+    run.total_gc_ns += report.duration.as_nanos();
+    if verify_each_collection {
+        heap.verify().expect("heap valid after final collection");
+    }
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_workload_verifies_after_every_collection() {
+        let run = copy_workload(6_000, true);
+        assert!(run.collections > 1, "the trigger fired");
+        assert!(run.words_copied > 0, "survivors were copied");
+        assert!(run.words_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn copy_workload_is_deterministic_in_work_counters() {
+        let a = copy_workload(3_000, false);
+        let b = copy_workload(3_000, false);
+        assert_eq!(a.collections, b.collections);
+        assert_eq!(a.words_copied, b.words_copied);
+    }
+}

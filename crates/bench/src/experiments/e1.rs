@@ -29,10 +29,21 @@ pub fn run(quick: bool) -> (Table, Vec<E1Row>) {
     let script = table_script(&params);
     let mut table = Table::new(
         "E1 (Figure 1): guarded hash table vs weak-only tables — identical churn",
-        &["mechanism", "live keys", "physical entries", "peak entries", "cleanup touched", "lookup misses"],
+        &[
+            "mechanism",
+            "live keys",
+            "physical entries",
+            "peak entries",
+            "cleanup touched",
+            "lookup misses",
+        ],
     );
     let mut rows = Vec::new();
-    for kind in [TableKind::Guarded, TableKind::WeakNoScrub, TableKind::WeakFullScan] {
+    for kind in [
+        TableKind::Guarded,
+        TableKind::WeakNoScrub,
+        TableKind::WeakFullScan,
+    ] {
         let mut heap = Heap::default();
         let outcome = replay(&mut heap, kind, 128, &script);
         table.row(&[

@@ -71,14 +71,26 @@ pub fn run(quick: bool) -> (Table, E10Result) {
         scanned_parked_young_gc: scanned_parked,
         salvaged_kept,
     };
-    let mut table = Table::new("E10: weak pairs — breaks, forwards, and scan scope", &["metric", "value"]);
+    let mut table = Table::new(
+        "E10: weak pairs — breaks, forwards, and scan scope",
+        &["metric", "value"],
+    );
     table.row(&["weak pairs".into(), fmt_count(pairs as u64)]);
     table.row(&["referents dropped".into(), fmt_count(deaths as u64)]);
     table.row(&["cars broken (collection 1)".into(), fmt_count(broken)]);
     table.row(&["cars forwarded (collection 1)".into(), fmt_count(forwarded)]);
-    table.row(&["weak pairs scanned (collection 1)".into(), fmt_count(scanned_young_gc)]);
-    table.row(&["scanned at young GC once parked".into(), fmt_count(result.scanned_parked_young_gc)]);
-    table.row(&["salvaged object kept in weak car".into(), result.salvaged_kept.to_string()]);
+    table.row(&[
+        "weak pairs scanned (collection 1)".into(),
+        fmt_count(scanned_young_gc),
+    ]);
+    table.row(&[
+        "scanned at young GC once parked".into(),
+        fmt_count(result.scanned_parked_young_gc),
+    ]);
+    table.row(&[
+        "salvaged object kept in weak car".into(),
+        result.salvaged_kept.to_string(),
+    ]);
     table.note("paper: #f replaces dead cars; the pass runs after the guardian pass so salvaged objects keep their weak pointers; clean old weak segments are never visited");
     (table, result)
 }
@@ -92,7 +104,10 @@ mod tests {
         let (_t, r) = run(true);
         assert_eq!(r.broken, r.deaths as u64);
         assert_eq!(r.forwarded, (r.pairs - r.deaths) as u64);
-        assert_eq!(r.scanned_parked_young_gc, 0, "clean parked weak pairs are free");
+        assert_eq!(
+            r.scanned_parked_young_gc, 0,
+            "clean parked weak pairs are free"
+        );
         assert!(r.salvaged_kept, "the paper's ordering requirement");
     }
 }

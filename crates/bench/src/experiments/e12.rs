@@ -45,7 +45,11 @@ fn measure(objects: usize, use_agent: bool) -> E12Row {
         delivered += 1;
     }
     E12Row {
-        mode: if use_agent { "agent (Section 5)" } else { "object (classic)" },
+        mode: if use_agent {
+            "agent (Section 5)"
+        } else {
+            "object (classic)"
+        },
         objects,
         delivered,
         resurrection_words_copied: copied,
@@ -58,7 +62,12 @@ pub fn run(quick: bool) -> (Table, Vec<E12Row>) {
     let rows = vec![measure(objects, false), measure(objects, true)];
     let mut table = Table::new(
         "E12: classic vs agent registration for 64 KB objects",
-        &["mode", "objects", "delivered", "words copied at finalization"],
+        &[
+            "mode",
+            "objects",
+            "delivered",
+            "words copied at finalization",
+        ],
     );
     for r in &rows {
         table.row(&[

@@ -55,8 +55,7 @@ pub fn verify_interleavings() -> (u64, u64) {
                 seen.push(v.as_fixnum() as u64);
             }
             checked += 1;
-            let expect: Vec<u64> =
-                (0..existing + if cut >= 3 { 1 } else { 0 }).collect();
+            let expect: Vec<u64> = (0..existing + if cut >= 3 { 1 } else { 0 }).collect();
             if seen != expect {
                 torn += 1;
             }
@@ -112,11 +111,16 @@ pub fn run(quick: bool) -> (Table, E2Result) {
     );
     table.row(&["append interleavings checked".into(), fmt_count(checked)]);
     table.row(&["torn queue states observed".into(), fmt_count(torn)]);
-    table.row(&["guardian register, ns/op".into(), format!("{register_ns:.0}")]);
+    table.row(&[
+        "guardian register, ns/op".into(),
+        format!("{register_ns:.0}"),
+    ]);
     table.row(&["tconc append, ns/op".into(), format!("{append_ns:.0}")]);
     table.row(&["poll (element), ns/op".into(), format!("{poll_hit_ns:.0}")]);
     table.row(&["poll (empty), ns/op".into(), format!("{poll_empty_ns:.0}")]);
-    table.note("paper: no critical sections needed — every cut of the append leaves the queue consistent");
+    table.note(
+        "paper: no critical sections needed — every cut of the append leaves the queue consistent",
+    );
     (table, result)
 }
 

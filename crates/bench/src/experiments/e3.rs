@@ -24,7 +24,10 @@ pub struct E3Row {
 }
 
 fn measure(parked: usize, flat: bool, young_collections: usize) -> u64 {
-    let config = GcConfig { flat_protected: flat, ..GcConfig::new() };
+    let config = GcConfig {
+        flat_protected: flat,
+        ..GcConfig::new()
+    };
     let mut heap = Heap::new(config);
     let g = heap.make_guardian();
     let mut roots: Vec<Rooted> = Vec::with_capacity(parked);
@@ -50,18 +53,30 @@ fn measure(parked: usize, flat: bool, young_collections: usize) -> u64 {
 
 /// Runs the experiment.
 pub fn run(quick: bool) -> (Table, Vec<E3Row>) {
-    let sizes: &[usize] = if quick { &[100, 1_000] } else { &[100, 1_000, 10_000, 50_000] };
+    let sizes: &[usize] = if quick {
+        &[100, 1_000]
+    } else {
+        &[100, 1_000, 10_000, 50_000]
+    };
     let young = if quick { 5 } else { 20 };
     let mut table = Table::new(
         "E3: collector overhead for parked guardian entries (per young collection)",
-        &["parked entries (gen 2)", "visited: per-gen lists", "visited: flat list (ablation)"],
+        &[
+            "parked entries (gen 2)",
+            "visited: per-gen lists",
+            "visited: flat list (ablation)",
+        ],
     );
     let mut rows = Vec::new();
     for &n in sizes {
         let per_gen = measure(n, false, young);
         let flat = measure(n, true, young);
         table.row(&[fmt_count(n as u64), fmt_count(per_gen), fmt_count(flat)]);
-        rows.push(E3Row { parked: n, per_gen_visited_per_young_gc: per_gen, flat_visited_per_young_gc: flat });
+        rows.push(E3Row {
+            parked: n,
+            per_gen_visited_per_young_gc: per_gen,
+            flat_visited_per_young_gc: flat,
+        });
     }
     table.note("paper claim: per-generation lists make young-collection guardian work independent of parked entries (column 2 = 0)");
     (table, rows)

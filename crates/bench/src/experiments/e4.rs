@@ -9,8 +9,8 @@
 //! collection; then one clean-up. The guarded table touches K entries;
 //! the weak-pointer mechanisms touch T.
 
-use guardians_gc::{Heap, Rooted, Value};
 use guardians_baselines::WeakSet;
+use guardians_gc::{Heap, Rooted, Value};
 use guardians_runtime::hashtab::content_hash;
 use guardians_runtime::{GuardedHashTable, WeakKeyTable};
 use guardians_workloads::report::fmt_count;
@@ -71,16 +71,32 @@ fn measure(table_size: usize, deaths: usize) -> E4Row {
     let _ = set.members(&mut heap);
     let weak_set_touched = set.entries_traversed;
 
-    E4Row { table_size, deaths, guarded_touched, full_scan_touched, weak_set_touched }
+    E4Row {
+        table_size,
+        deaths,
+        guarded_touched,
+        full_scan_touched,
+        weak_set_touched,
+    }
 }
 
 /// Runs the experiment: T sweeps up while K stays fixed.
 pub fn run(quick: bool) -> (Table, Vec<E4Row>) {
-    let sizes: &[usize] = if quick { &[200, 2_000] } else { &[1_000, 10_000, 50_000] };
+    let sizes: &[usize] = if quick {
+        &[200, 2_000]
+    } else {
+        &[1_000, 10_000, 50_000]
+    };
     let deaths = 10;
     let mut table = Table::new(
         "E4: clean-up work after 10 key deaths, as table size grows",
-        &["table size", "deaths", "guarded touched", "full-scan touched", "weak-set touched"],
+        &[
+            "table size",
+            "deaths",
+            "guarded touched",
+            "full-scan touched",
+            "weak-set touched",
+        ],
     );
     let mut rows = Vec::new();
     for &t in sizes {
@@ -107,8 +123,16 @@ mod tests {
         let (_t, rows) = run(true);
         for r in &rows {
             assert_eq!(r.guarded_touched, r.deaths as u64, "size={}", r.table_size);
-            assert_eq!(r.full_scan_touched, r.table_size as u64, "size={}", r.table_size);
-            assert_eq!(r.weak_set_touched, r.table_size as u64, "size={}", r.table_size);
+            assert_eq!(
+                r.full_scan_touched, r.table_size as u64,
+                "size={}",
+                r.table_size
+            );
+            assert_eq!(
+                r.weak_set_touched, r.table_size as u64,
+                "size={}",
+                r.table_size
+            );
         }
         // And the contrast grows with size.
         assert!(rows[1].full_scan_touched > rows[0].full_scan_touched);

@@ -52,7 +52,11 @@ fn churn_unguarded() -> E5Churn {
         }
     }
     let durable: u64 = (0..CHURN_PORTS)
-        .filter_map(|i| os.file_contents(&format!("/f{i}")).ok().map(|b| b.len() as u64))
+        .filter_map(|i| {
+            os.file_contents(&format!("/f{i}"))
+                .ok()
+                .map(|b| b.len() as u64)
+        })
         .sum();
     E5Churn {
         mechanism: "unguarded",
@@ -83,7 +87,11 @@ fn churn_guarded() -> E5Churn {
     }
     gp.exit(&mut heap, &mut os).unwrap();
     let durable: u64 = (0..CHURN_PORTS)
-        .filter_map(|i| os.file_contents(&format!("/f{i}")).ok().map(|b| b.len() as u64))
+        .filter_map(|i| {
+            os.file_contents(&format!("/f{i}"))
+                .ok()
+                .map(|b| b.len() as u64)
+        })
         .sum();
     E5Churn {
         mechanism: "guarded (paper)",
@@ -118,7 +126,11 @@ fn churn_indirect() -> E5Churn {
     heap.collect(heap.config().max_generation());
     ip.scan_and_close(&mut heap, &mut os).unwrap();
     let durable: u64 = (0..CHURN_PORTS)
-        .filter_map(|i| os.file_contents(&format!("/f{i}")).ok().map(|b| b.len() as u64))
+        .filter_map(|i| {
+            os.file_contents(&format!("/f{i}"))
+                .ok()
+                .map(|b| b.len() as u64)
+        })
         .sum();
     E5Churn {
         mechanism: "indirection (Atkins)",
@@ -168,7 +180,13 @@ pub fn run(quick: bool) -> (Table, Vec<E5Churn>) {
     let rows = vec![churn_unguarded(), churn_guarded(), churn_indirect()];
     let mut table = Table::new(
         "E5: port finalization — 200 ports churned under a 16-descriptor limit",
-        &["mechanism", "failed opens", "leaked fds", "lost bytes", "cleanup touched"],
+        &[
+            "mechanism",
+            "failed opens",
+            "leaked fds",
+            "lost bytes",
+            "cleanup touched",
+        ],
     );
     for r in &rows {
         table.row(&[
@@ -199,8 +217,14 @@ mod tests {
         let unguarded = &rows[0];
         let guarded = &rows[1];
         let indirect = &rows[2];
-        assert!(unguarded.failed_opens > 0, "descriptor exhaustion without clean-up");
-        assert!(unguarded.lost_bytes > 0, "buffered data lost without clean-up");
+        assert!(
+            unguarded.failed_opens > 0,
+            "descriptor exhaustion without clean-up"
+        );
+        assert!(
+            unguarded.lost_bytes > 0,
+            "buffered data lost without clean-up"
+        );
         assert_eq!(guarded.failed_opens, 0);
         assert_eq!(guarded.leaked_fds, 0);
         assert_eq!(guarded.lost_bytes, 0);

@@ -73,16 +73,30 @@ fn measure(entries: usize, young: usize) -> E6Row {
     }
     let transport_touched = t.entries_rehashed - settled;
 
-    E6Row { entries, young_collections: young, rehash_all_touched, transport_touched }
+    E6Row {
+        entries,
+        young_collections: young,
+        rehash_all_touched,
+        transport_touched,
+    }
 }
 
 /// Runs the experiment.
 pub fn run(quick: bool) -> (Table, Vec<E6Row>) {
-    let sizes: &[usize] = if quick { &[100, 1_000] } else { &[1_000, 10_000, 50_000] };
+    let sizes: &[usize] = if quick {
+        &[100, 1_000]
+    } else {
+        &[1_000, 10_000, 50_000]
+    };
     let young = if quick { 5 } else { 20 };
     let mut table = Table::new(
         "E6: eq-table entries touched across young collections (keys parked old)",
-        &["entries", "young GCs", "rehash-all touched", "transport-guardian touched"],
+        &[
+            "entries",
+            "young GCs",
+            "rehash-all touched",
+            "transport-guardian touched",
+        ],
     );
     let mut rows = Vec::new();
     for &n in sizes {

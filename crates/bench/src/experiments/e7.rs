@@ -81,7 +81,13 @@ pub fn run(quick: bool) -> (Table, E7Result) {
     };
     let mut table = Table::new(
         "E7: guarded free list vs fresh allocation (64 KB bitmaps)",
-        &["strategy", "objects created", "recycled", "ns/cycle", "GC words copied"],
+        &[
+            "strategy",
+            "objects created",
+            "recycled",
+            "ns/cycle",
+            "GC words copied",
+        ],
     );
     table.row(&[
         "guarded pool".into(),

@@ -44,7 +44,11 @@ fn measure(chain: usize) -> E9Row {
 
 /// Runs the experiment.
 pub fn run(quick: bool) -> (Table, Vec<E9Row>) {
-    let chains: &[usize] = if quick { &[1, 4, 16] } else { &[1, 4, 16, 64, 256] };
+    let chains: &[usize] = if quick {
+        &[1, 4, 16]
+    } else {
+        &[1, 4, 16, 64, 256]
+    };
     let mut table = Table::new(
         "E9: fixpoint iterations for guardian chains (guardian guarding guardian)",
         &["chain length", "loop iterations", "entries finalized"],
@@ -72,7 +76,11 @@ mod tests {
         let (_t, rows) = run(true);
         for r in &rows {
             assert_eq!(r.loop_iterations, r.chain as u64 + 2, "chain={}", r.chain);
-            assert_eq!(r.entries_finalized, r.chain as u64 + 1, "every link + the object");
+            assert_eq!(
+                r.entries_finalized,
+                r.chain as u64 + 1,
+                "every link + the object"
+            );
         }
     }
 }

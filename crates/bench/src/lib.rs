@@ -13,7 +13,9 @@
 //!   experiments [--quick]`) prints every table — the artifact behind
 //!   EXPERIMENTS.md.
 //! * Criterion benches (`cargo bench`) measure the mutator-visible
-//!   operations' wall-clock costs.
+//!   operations' wall-clock costs; `e13_copy` tracks the collector's
+//!   copy throughput via [`copy_driver`].
 
+pub mod copy_driver;
 pub mod experiments;
 pub mod replay;

@@ -38,7 +38,12 @@ pub struct ReplayOutcome {
 }
 
 /// Replays `script` against a fresh table of the given kind on `heap`.
-pub fn replay(heap: &mut Heap, kind: TableKind, buckets: usize, script: &[TableOp]) -> ReplayOutcome {
+pub fn replay(
+    heap: &mut Heap,
+    kind: TableKind,
+    buckets: usize,
+    script: &[TableOp],
+) -> ReplayOutcome {
     let mut keys: HashMap<u64, Rooted> = HashMap::new();
     let mut out = ReplayOutcome::default();
     let mut guarded = match kind {
@@ -132,7 +137,11 @@ mod tests {
     #[test]
     fn all_mechanisms_answer_lookups_correctly() {
         let script = table_script(&small_params());
-        for kind in [TableKind::Guarded, TableKind::WeakNoScrub, TableKind::WeakFullScan] {
+        for kind in [
+            TableKind::Guarded,
+            TableKind::WeakNoScrub,
+            TableKind::WeakFullScan,
+        ] {
             let mut heap = Heap::default();
             let out = replay(&mut heap, kind, 64, &script);
             assert_eq!(out.misses, 0, "{kind:?} lost a live key");

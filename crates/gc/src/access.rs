@@ -89,7 +89,11 @@ impl Heap {
     fn expect_kind(&self, v: Value, kind: ObjKind, op: &str) -> Header {
         assert!(v.is_obj_ptr(), "{op}: not a {kind:?}: {v:?}");
         let h = self.header_of(v);
-        assert!(h.kind == kind, "{op}: expected {kind:?}, found {:?}", h.kind);
+        assert!(
+            h.kind == kind,
+            "{op}: expected {kind:?}, found {:?}",
+            h.kind
+        );
         h
     }
 
@@ -97,16 +101,17 @@ impl Heap {
     // Write barrier
     // ------------------------------------------------------------------
 
-    /// Marks `container`'s segment dirty if it lives in an older
-    /// generation and `stored` is a heap pointer.
+    /// Marks `container`'s segment dirty (and records it in the table's
+    /// dirty index) if it lives in an older generation and `stored` is a
+    /// heap pointer.
     #[inline]
     pub(crate) fn barrier(&mut self, container: Value, stored: Value) {
         if !stored.is_ptr() {
             return;
         }
-        let info = self.segs.info_mut(container.addr().seg());
-        if info.generation > 0 {
-            info.dirty = true;
+        let seg = container.addr().seg();
+        if self.segs.info(seg).generation > 0 {
+            self.segs.mark_dirty(seg);
         }
     }
 
@@ -161,7 +166,11 @@ impl Heap {
     /// Panics if `i` is out of bounds.
     pub fn vector_ref(&self, v: Value, i: usize) -> Value {
         let h = self.expect_kind(v, ObjKind::Vector, "vector-ref");
-        assert!(i < h.len, "vector-ref: index {i} out of range (len {})", h.len);
+        assert!(
+            i < h.len,
+            "vector-ref: index {i} out of range (len {})",
+            h.len
+        );
         Value(self.segs.word(v.addr().add(1 + i)))
     }
 
@@ -172,7 +181,11 @@ impl Heap {
     /// Panics if `i` is out of bounds.
     pub fn vector_set(&mut self, v: Value, i: usize, x: Value) {
         let h = self.expect_kind(v, ObjKind::Vector, "vector-set!");
-        assert!(i < h.len, "vector-set!: index {i} out of range (len {})", h.len);
+        assert!(
+            i < h.len,
+            "vector-set!: index {i} out of range (len {})",
+            h.len
+        );
         self.segs.set_word(v.addr().add(1 + i), x.raw());
         self.barrier(v, x);
     }
@@ -224,7 +237,8 @@ impl Heap {
 
     /// A bytevector's length.
     pub fn bytevector_len(&self, v: Value) -> usize {
-        self.expect_kind(v, ObjKind::Bytevector, "bytevector-length").len
+        self.expect_kind(v, ObjKind::Bytevector, "bytevector-length")
+            .len
     }
 
     /// Reads byte `i`.
@@ -234,7 +248,11 @@ impl Heap {
     /// Panics if `i` is out of bounds.
     pub fn bytevector_ref(&self, v: Value, i: usize) -> u8 {
         let h = self.expect_kind(v, ObjKind::Bytevector, "bytevector-ref");
-        assert!(i < h.len, "bytevector-ref: index {i} out of range (len {})", h.len);
+        assert!(
+            i < h.len,
+            "bytevector-ref: index {i} out of range (len {})",
+            h.len
+        );
         let word = self.segs.word(v.addr().add(1 + i / 8));
         word.to_le_bytes()[i % 8]
     }
@@ -246,7 +264,11 @@ impl Heap {
     /// Panics if `i` is out of bounds.
     pub fn bytevector_set(&mut self, v: Value, i: usize, byte: u8) {
         let h = self.expect_kind(v, ObjKind::Bytevector, "bytevector-set!");
-        assert!(i < h.len, "bytevector-set!: index {i} out of range (len {})", h.len);
+        assert!(
+            i < h.len,
+            "bytevector-set!: index {i} out of range (len {})",
+            h.len
+        );
         let addr = v.addr().add(1 + i / 8);
         let mut bytes = self.segs.word(addr).to_le_bytes();
         bytes[i % 8] = byte;
@@ -308,7 +330,11 @@ impl Heap {
     /// Panics if `i` is out of bounds.
     pub fn record_ref(&self, v: Value, i: usize) -> Value {
         let h = self.expect_kind(v, ObjKind::Record, "record-ref");
-        assert!(i + 1 < h.len, "record-ref: field {i} out of range (fields {})", h.len - 1);
+        assert!(
+            i + 1 < h.len,
+            "record-ref: field {i} out of range (fields {})",
+            h.len - 1
+        );
         Value(self.segs.word(v.addr().add(2 + i)))
     }
 
@@ -319,7 +345,11 @@ impl Heap {
     /// Panics if `i` is out of bounds.
     pub fn record_set(&mut self, v: Value, i: usize, x: Value) {
         let h = self.expect_kind(v, ObjKind::Record, "record-set!");
-        assert!(i + 1 < h.len, "record-set!: field {i} out of range (fields {})", h.len - 1);
+        assert!(
+            i + 1 < h.len,
+            "record-set!: field {i} out of range (fields {})",
+            h.len - 1
+        );
         self.segs.set_word(v.addr().add(2 + i), x.raw());
         self.barrier(v, x);
     }
@@ -351,7 +381,10 @@ mod tests {
         let p = h.cons(Value::NIL, Value::NIL);
         let q = h.cons(Value::NIL, Value::NIL);
         h.set_car(p, q);
-        assert!(!h.segs.info(p.addr().seg()).dirty, "gen-0 writes need no barrier");
+        assert!(
+            !h.segs.info(p.addr().seg()).dirty,
+            "gen-0 writes need no barrier"
+        );
     }
 
     #[test]
@@ -420,6 +453,9 @@ mod tests {
         h.bytevector_set(bv, 8, 0xFF);
         assert_eq!(h.bytevector_ref(bv, 7), 0xFE);
         assert_eq!(h.bytevector_ref(bv, 8), 0xFF);
-        assert_eq!(h.bytevector_value(bv), vec![1, 1, 1, 1, 1, 1, 1, 0xFE, 0xFF]);
+        assert_eq!(
+            h.bytevector_value(bv),
+            vec![1, 1, 1, 1, 1, 1, 1, 0xFE, 0xFF]
+        );
     }
 }

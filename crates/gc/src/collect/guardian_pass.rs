@@ -100,7 +100,11 @@ pub(crate) fn run(heap: &mut Heap, s: &mut Scratch) {
     s.report.guardian_entries_dropped += pend_final.len() as u64;
 
     // Block 3: migrate held entries to the target generation's list.
-    let dest = if heap.config.flat_protected { 0 } else { s.target as usize };
+    let dest = if heap.config.flat_protected {
+        0
+    } else {
+        s.target as usize
+    };
     let mut held = Vec::new();
     let mut agent_copied = false;
     for e in pend_hold {

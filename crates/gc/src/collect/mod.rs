@@ -22,6 +22,32 @@
 //!    object that has been salvaged, the object will still be in the car
 //!    field after collection" (see [`weak_pass`]).
 //! 8. **Reclaim** — return every from-space segment to the free pool.
+//!
+//! # The copy/scan engine
+//!
+//! Object transport and scanning are *bulk* operations over whole-segment
+//! word slices rather than per-word loads through the segment table:
+//!
+//! * [`forward`] copies object bodies with
+//!   [`SegmentTable::copy_words`](guardians_segments::SegmentTable::copy_words)
+//!   (chunked `memcpy`s that handle cross-run copies).
+//! * [`scan_segment`] runs in two passes per batch: a read-only pass over
+//!   the segment's borrowed word slice collects the from-space pointers,
+//!   then the pointers are forwarded and the updated words written back
+//!   through one mutable borrow per segment.
+//! * The from-space membership test is a packed bitset ([`FromSpaceMap`])
+//!   instead of a `Vec<bool>`, and the flip drains the segment table's
+//!   per-generation lists instead of walking every segment.
+//! * [`kleene_sweep`] keeps a queue of segments with pending words and
+//!   *retires* fully-scanned segments. Only segments that can still grow
+//!   — the open allocation cursors of the target generation — are parked
+//!   and re-checked when the queue drains; everything else is visited
+//!   exactly once per word.
+//!
+//! All of this changes only how fast the collector runs: traversal still
+//! reaches exactly the same objects, so every deterministic work counter
+//! is byte-identical to the per-word engine (enforced by the
+//! `counter_parity` regression test in the bench crate).
 
 pub(crate) mod guardian_pass;
 pub(crate) mod remset;
@@ -31,8 +57,41 @@ use crate::header::Header;
 use crate::heap::Heap;
 use crate::stats::CollectionReport;
 use crate::value::{fwd, Value};
-use guardians_segments::{SegIndex, Space};
+use guardians_segments::{SegIndex, Space, SEGMENT_WORDS};
 use std::time::Instant;
+
+/// Packed bitset over segment indices: the from-space membership map.
+/// Indices beyond the snapshot (segments created during the collection)
+/// answer `false`, which is exactly what the collector needs.
+pub(crate) struct FromSpaceMap {
+    bits: Vec<u64>,
+}
+
+impl FromSpaceMap {
+    /// An empty map able to hold `n_segs` segment indices.
+    pub fn with_capacity(n_segs: usize) -> FromSpaceMap {
+        FromSpaceMap {
+            bits: vec![0; n_segs.div_ceil(64)],
+        }
+    }
+
+    /// Adds a segment to the from-space.
+    #[inline]
+    pub fn insert(&mut self, seg: SegIndex) {
+        let i = seg.index();
+        self.bits[i >> 6] |= 1 << (i & 63);
+    }
+
+    /// Whether a segment is in the from-space.
+    #[inline]
+    pub fn contains(&self, seg: SegIndex) -> bool {
+        let i = seg.index();
+        match self.bits.get(i >> 6) {
+            Some(word) => (word >> (i & 63)) & 1 == 1,
+            None => false,
+        }
+    }
+}
 
 /// Collector-local scratch state for one collection.
 pub(crate) struct Scratch {
@@ -40,14 +99,20 @@ pub(crate) struct Scratch {
     pub g: u8,
     /// Generation survivors are copied into.
     pub target: u8,
-    /// `from_space[i]` — segment `i` is part of the from-space. Segments
-    /// created during the collection are beyond the vector and therefore
-    /// not in the from-space.
-    pub from_space: Vec<bool>,
+    /// From-space membership bitset. Segments created during the
+    /// collection are beyond the snapshot and therefore not in it.
+    pub from_space: FromSpaceMap,
     /// Head segments to free at the end.
     pub from_heads: Vec<SegIndex>,
-    /// To-space segments with their scan progress (Cheney scan state).
-    pub worklist: Vec<(SegIndex, usize)>,
+    /// To-space segments with unscanned words (Cheney scan state).
+    pub queue: Vec<(SegIndex, usize)>,
+    /// Fully-scanned to-space segments that are still open allocation
+    /// cursors, so copies may yet land in them; re-checked (and either
+    /// re-queued or retired) whenever the queue drains.
+    pub parked: Vec<(SegIndex, usize)>,
+    /// Reusable candidate buffer for the two-pass slice scan:
+    /// `(word offset from segment base, from-space pointer found there)`.
+    pub pending: Vec<(usize, Value)>,
     /// To-space weak-pair segments, for the weak pass.
     pub weak_tospace: Vec<SegIndex>,
     /// Dirty old-generation weak-pair segments, for the weak pass.
@@ -59,23 +124,31 @@ pub(crate) struct Scratch {
 impl Scratch {
     #[inline]
     pub fn in_from(&self, seg: SegIndex) -> bool {
-        self.from_space.get(seg.index()).copied().unwrap_or(false)
+        self.from_space.contains(seg)
     }
 }
 
 /// Runs a full collection of generations `0..=g`.
 pub(crate) fn run(heap: &mut Heap, g: u8) -> CollectionReport {
     let start = Instant::now();
-    let target = heap.config.promotion.target(g, heap.config.max_generation());
+    let target = heap
+        .config
+        .promotion
+        .target(g, heap.config.max_generation());
 
-    // Phase 1: flip.
-    let mut from_space = vec![false; heap.segs.segments_total()];
+    // Phase 1: flip. Drain the per-generation segment lists instead of
+    // walking the whole table; the bitset dedups entries for segments
+    // freed and recycled back into the same generation.
+    let mut from_space = FromSpaceMap::with_capacity(heap.segs.segments_total());
     let mut from_heads = Vec::new();
-    for (idx, info) in heap.segs.iter() {
-        if info.generation <= g {
-            from_space[idx.index()] = true;
-            if info.is_head() {
-                from_heads.push(idx);
+    for gen in 0..=g {
+        for seg in heap.segs.drain_generation(gen) {
+            if from_space.contains(seg) {
+                continue;
+            }
+            from_space.insert(seg);
+            if heap.segs.info(seg).is_head() {
+                from_heads.push(seg);
             }
         }
     }
@@ -87,7 +160,9 @@ pub(crate) fn run(heap: &mut Heap, g: u8) -> CollectionReport {
         target,
         from_space,
         from_heads,
-        worklist: Vec::new(),
+        queue: Vec::new(),
+        parked: Vec::new(),
+        pending: Vec::new(),
         weak_tospace: Vec::new(),
         old_weak_dirty: Vec::new(),
         report: CollectionReport {
@@ -97,6 +172,13 @@ pub(crate) fn run(heap: &mut Heap, g: u8) -> CollectionReport {
             ..CollectionReport::default()
         },
     };
+    let mut mark = start;
+    let mut lap = |now: Instant| {
+        let d = now - mark;
+        mark = now;
+        d
+    };
+    s.report.phases.flip = lap(Instant::now());
 
     // Phase 2: roots.
     let mut roots = std::mem::take(&mut heap.roots);
@@ -108,12 +190,15 @@ pub(crate) fn run(heap: &mut Heap, g: u8) -> CollectionReport {
     });
     heap.roots = roots;
     s.report.roots_traced = traced;
+    s.report.phases.roots = lap(Instant::now());
 
     // Phase 3: remembered set.
     remset::scan_dirty(heap, &mut s);
+    s.report.phases.remset = lap(Instant::now());
 
     // Phase 4: kleene sweep.
     kleene_sweep(heap, &mut s);
+    s.report.phases.sweep = lap(Instant::now());
 
     if heap.config.ablate_weak_pass_first {
         // Ablation: break weak cars BEFORE the guardian pass gets to
@@ -121,18 +206,22 @@ pub(crate) fn run(heap: &mut Heap, g: u8) -> CollectionReport {
         // warns against. A second pass below keeps the heap valid for
         // weak pairs copied during the guardian pass itself.
         weak_pass::run(heap, &mut s);
+        s.report.phases.weak += lap(Instant::now());
     }
 
     // Phase 5: guardians.
     guardian_pass::run(heap, &mut s);
+    s.report.phases.guardian = lap(Instant::now());
 
     // Phase 6: Dickey-baseline finalizers.
     finalizer_pass(heap, &mut s);
+    s.report.phases.finalizer = lap(Instant::now());
 
     // Phase 7: weak pairs — after the guardian pass, "so if the car field
     // of a weak pair points to an object that has been salvaged, the
     // object will still be in the car field after collection."
     weak_pass::run(heap, &mut s);
+    s.report.phases.weak += lap(Instant::now());
 
     // Phase 8: reclaim the from-space.
     let heads = std::mem::take(&mut s.from_heads);
@@ -141,6 +230,7 @@ pub(crate) fn run(heap: &mut Heap, g: u8) -> CollectionReport {
         heap.segs.free(head);
     }
     heap.tospace_log = None;
+    s.report.phases.reclaim = lap(Instant::now());
 
     s.report.duration = start.elapsed();
     s.report
@@ -175,7 +265,7 @@ pub(crate) fn get_fwd(heap: &Heap, s: &Scratch, v: Value) -> Value {
 
 /// Copies `v` to the target generation if it is an unforwarded from-space
 /// object; returns the (possibly updated) pointer. Leaves a broken heart
-/// behind.
+/// behind. Object bodies move as bulk slice copies, not word loops.
 pub(crate) fn forward(heap: &mut Heap, s: &mut Scratch, v: Value) -> Value {
     if !v.is_ptr() {
         return v;
@@ -188,38 +278,126 @@ pub(crate) fn forward(heap: &mut Heap, s: &mut Scratch, v: Value) -> Value {
     if let Some(new) = fwd::decode(first) {
         return v.retag_at(new);
     }
-    let new_addr = if v.is_pair_ptr() {
-        // Pairs keep their space: a weak pair is copied into the target
-        // generation's weak-pair space and stays weak.
-        let space = heap.segs.info(addr.seg()).space;
-        let to = heap.alloc_words_internal(space, s.target, 2);
-        heap.segs.set_word(to, first);
-        let cdr = heap.segs.word(addr.add(1));
-        heap.segs.set_word(to.add(1), cdr);
-        s.report.pairs_copied += 1;
-        s.report.words_copied += 2;
-        to
+    // Pairs keep their space (a weak pair stays weak); typed objects keep
+    // theirs trivially.
+    let space = heap.segs.info(addr.seg()).space;
+    let total = if v.is_pair_ptr() {
+        2
     } else {
-        let header = Header::decode(first)
-            .unwrap_or_else(|| panic!("corrupt header while forwarding {v:?}"));
-        let total = header.total_words();
-        let space = heap.segs.info(addr.seg()).space;
-        let to = heap.alloc_words_internal(space, s.target, total);
-        for i in 0..total {
-            let w = heap.segs.word(addr.add(i));
-            heap.segs.set_word(to.add(i), w);
-        }
-        s.report.objects_copied += 1;
-        s.report.words_copied += total as u64;
-        to
+        Header::decode(first)
+            .unwrap_or_else(|| panic!("corrupt header while forwarding {v:?}"))
+            .total_words()
     };
-    heap.segs.set_word(addr, fwd::encode(new_addr));
-    v.retag_at(new_addr)
+    let to = heap.alloc_words_internal(space, s.target, total);
+    heap.segs.copy_words(addr, to, total);
+    if v.is_pair_ptr() {
+        s.report.pairs_copied += 1;
+    } else {
+        s.report.objects_copied += 1;
+    }
+    s.report.words_copied += total as u64;
+    heap.segs.set_word(addr, fwd::encode(to));
+    v.retag_at(to)
+}
+
+/// Read-only candidate pass: pushes `(offset, value)` for every traced
+/// word in `[lo, hi)` of `seg` that holds a from-space pointer. Offsets
+/// are global within the segment's run (they may exceed one segment for a
+/// large object).
+fn collect_candidates(heap: &Heap, s: &mut Scratch, seg: SegIndex, lo: usize, hi: usize) {
+    let space = heap.segs.info(seg).space;
+    let push = |s: &mut Scratch, off: usize, w: u64| {
+        let v = Value(w);
+        if v.is_ptr() && s.from_space.contains(v.addr().seg()) {
+            s.pending.push((off, v));
+        }
+    };
+    match space {
+        Space::Pair => {
+            // Pairs never span segments: one borrow covers the batch.
+            let words = heap.segs.words(seg);
+            for (i, &w) in words[lo..hi].iter().enumerate() {
+                push(s, lo + i, w);
+            }
+        }
+        Space::WeakPair => {
+            // Weak treatment: "the car field is not touched" during the
+            // normal trace; only cdrs (odd offsets) are candidates.
+            let words = heap.segs.words(seg);
+            let mut off = lo;
+            while off < hi {
+                push(s, off + 1, words[off + 1]);
+                off += 2;
+            }
+        }
+        Space::Typed if hi > SEGMENT_WORDS => {
+            // A multi-segment run holds exactly one object, scanned once
+            // from its start: header at word 0, then the traced fields,
+            // walked one per-segment sub-slice at a time.
+            debug_assert_eq!(lo, 0, "large runs are scanned exactly once");
+            let header = Header::decode(heap.segs.words(seg)[0])
+                .unwrap_or_else(|| panic!("corrupt header on run {seg:?}"));
+            let traced_end = 1 + header.traced_words();
+            let mut pos = 1;
+            while pos < traced_end {
+                let chunk = pos / SEGMENT_WORDS;
+                let chunk_base = chunk * SEGMENT_WORDS;
+                let chunk_end = (chunk_base + SEGMENT_WORDS).min(traced_end);
+                let words = heap.segs.words(SegIndex(seg.0 + chunk as u32));
+                for (i, &w) in words[pos - chunk_base..chunk_end - chunk_base]
+                    .iter()
+                    .enumerate()
+                {
+                    push(s, pos + i, w);
+                }
+                pos = chunk_end;
+            }
+        }
+        Space::Typed => {
+            let words = heap.segs.words(seg);
+            let mut pos = lo;
+            while pos < hi {
+                let header = Header::decode(words[pos])
+                    .unwrap_or_else(|| panic!("corrupt header while scanning {seg:?}@{pos}"));
+                for i in 0..header.traced_words() {
+                    push(s, pos + 1 + i, words[pos + 1 + i]);
+                }
+                pos += header.total_words();
+            }
+        }
+        Space::Pure => unreachable!("pure segments are skipped, not scanned"),
+    }
+}
+
+/// Forward pass: forwards every pending candidate, then writes the
+/// updated words back in per-segment batches through one mutable borrow
+/// each. Candidates are collected in offset order, so the batching is a
+/// single monotone walk.
+fn flush_candidates(heap: &mut Heap, s: &mut Scratch, seg: SegIndex) {
+    if s.pending.is_empty() {
+        return;
+    }
+    let mut pending = std::mem::take(&mut s.pending);
+    for entry in pending.iter_mut() {
+        entry.1 = forward(heap, s, entry.1);
+    }
+    let mut i = 0;
+    while i < pending.len() {
+        let chunk = pending[i].0 / SEGMENT_WORDS;
+        let chunk_base = chunk * SEGMENT_WORDS;
+        let words = heap.segs.words_mut(SegIndex(seg.0 + chunk as u32));
+        while i < pending.len() && pending[i].0 / SEGMENT_WORDS == chunk {
+            words[pending[i].0 - chunk_base] = pending[i].1.raw();
+            i += 1;
+        }
+    }
+    pending.clear();
+    s.pending = pending;
 }
 
 /// Scans one to-space segment (or run) from `off`, forwarding every traced
 /// field that points into the from-space. Returns the new scan offset.
-/// `used` is re-read after every object because scanning may copy further
+/// `used` is re-read after every batch because scanning may copy further
 /// objects into this very segment.
 fn scan_segment(heap: &mut Heap, s: &mut Scratch, seg: SegIndex, mut off: usize) -> usize {
     let space = heap.segs.info(seg).space;
@@ -228,48 +406,28 @@ fn scan_segment(heap: &mut Heap, s: &mut Scratch, seg: SegIndex, mut off: usize)
         if off >= used {
             return off;
         }
-        let base = heap.segs.base_addr(seg);
-        match space {
-            Space::Pair => {
-                scan_word(heap, s, base.add(off));
-                scan_word(heap, s, base.add(off + 1));
-                off += 2;
-            }
-            Space::WeakPair => {
-                // Weak treatment: "the car field is not touched" during
-                // the normal trace; the weak pass fixes it afterwards.
-                scan_word(heap, s, base.add(off + 1));
-                off += 2;
-            }
-            Space::Typed => {
-                let header = Header::decode(heap.segs.word(base.add(off)))
-                    .unwrap_or_else(|| panic!("corrupt header while scanning {seg:?}@{off}"));
-                for i in 0..header.traced_words() {
-                    scan_word(heap, s, base.add(off + 1 + i));
-                }
-                off += header.total_words();
-            }
-            Space::Pure => {
-                // Pointer-free objects: nothing to scan — skip the
-                // segment wholesale.
-                s.report.pure_words_skipped += (used - off) as u64;
-                off = used;
-            }
+        if space == Space::Pure {
+            // Pointer-free objects: nothing to scan — skip the segment
+            // wholesale.
+            s.report.pure_words_skipped += (used - off) as u64;
+            off = used;
+            continue;
         }
-    }
-}
-
-#[inline]
-fn scan_word(heap: &mut Heap, s: &mut Scratch, addr: guardians_segments::WordAddr) {
-    let v = Value(heap.segs.word(addr));
-    if v.is_ptr() && s.in_from(v.addr().seg()) {
-        let nv = forward(heap, s, v);
-        heap.segs.set_word(addr, nv.raw());
+        debug_assert!(s.pending.is_empty());
+        collect_candidates(heap, s, seg, off, used);
+        flush_candidates(heap, s, seg);
+        off = used;
     }
 }
 
 /// The paper's `kleene-sweep(g)`: "iteratively sweeps copied objects until
 /// there are no newly copied objects to sweep."
+///
+/// Segments with unscanned words sit in a queue; a segment popped and
+/// scanned to its end is *retired* unless it is an open allocation cursor
+/// of the target generation — the only segments that can still receive
+/// copies without being (re-)logged. Those are parked and re-checked when
+/// the queue runs dry, so the sweep never re-walks finished segments.
 pub(crate) fn kleene_sweep(heap: &mut Heap, s: &mut Scratch) {
     loop {
         for seg in heap.drain_tospace_log() {
@@ -277,18 +435,32 @@ pub(crate) fn kleene_sweep(heap: &mut Heap, s: &mut Scratch) {
             if heap.segs.info(seg).space == Space::WeakPair {
                 s.weak_tospace.push(seg);
             }
-            s.worklist.push((seg, 0));
+            s.queue.push((seg, 0));
         }
-        let mut progress = false;
-        for i in 0..s.worklist.len() {
-            let (seg, off) = s.worklist[i];
+        if let Some((seg, off)) = s.queue.pop() {
             let new_off = scan_segment(heap, s, seg, off);
-            if new_off != off {
-                progress = true;
-                s.worklist[i].1 = new_off;
+            if heap.is_open_cursor(seg) {
+                s.parked.push((seg, new_off));
+            }
+            continue;
+        }
+        // Queue dry: re-check parked cursor segments. One that grew is
+        // re-queued; one whose cursor moved on is frozen and retired.
+        let mut grew = false;
+        let mut i = 0;
+        while i < s.parked.len() {
+            let (seg, off) = s.parked[i];
+            if (heap.segs.info(seg).used as usize) > off {
+                s.parked.swap_remove(i);
+                s.queue.push((seg, off));
+                grew = true;
+            } else if !heap.is_open_cursor(seg) {
+                s.parked.swap_remove(i);
+            } else {
+                i += 1;
             }
         }
-        if !progress && heap.tospace_log_is_empty() {
+        if !grew && heap.tospace_log_is_empty() {
             return;
         }
     }

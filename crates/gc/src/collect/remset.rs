@@ -8,30 +8,55 @@
 //! segments of uncollected generations therefore finds every old→young
 //! pointer.
 //!
+//! The dirty segments come from the segment table's *dirty index*
+//! ([`SegmentTable::take_dirty`](guardians_segments::SegmentTable::take_dirty))
+//! rather than a walk of the whole table. Index entries can be stale
+//! (freed, recycled, or already-cleaned segments), so each entry is
+//! re-checked against its live `dirty` flag. A segment's flag is cleared
+//! when its entry is drained — *before* it is scanned — so that a
+//! barriered store performed later in this very collection (the guardian
+//! pass appends to tconcs with ordinary barriered stores) re-marks and
+//! re-indexes it for the next collection; segments that still hold
+//! old→young pointers after scanning are re-marked here.
+//!
 //! Weak-pair segments get weak treatment here too: only cdr fields are
 //! traced; the segment is queued for the weak pass, which decides whether
 //! each car is forwarded or broken *after* the guardian pass has saved
 //! what it is going to save.
+//!
+//! Like the Cheney sweep, scanning is slice-based: a read-only pass over
+//! the segment's words collects the from-space pointers, then
+//! [`flush_candidates`](super::flush_candidates) forwards them and writes
+//! the updated words back in batches.
 
-use super::{forward, Scratch};
+use super::{flush_candidates, Scratch};
 use crate::header::Header;
 use crate::heap::Heap;
 use crate::value::Value;
-use guardians_segments::{SegIndex, Space, WordAddr};
+use guardians_segments::{SegIndex, Space, SEGMENT_WORDS};
 
 pub(crate) fn scan_dirty(heap: &mut Heap, s: &mut Scratch) {
-    let dirty: Vec<(SegIndex, Space, u8)> = heap
-        .segs
-        .iter()
-        .filter(|(_, info)| info.generation > s.g && info.dirty && info.is_head())
-        .map(|(idx, info)| (idx, info.space, info.generation))
-        .collect();
-    for (seg, space, gen) in dirty {
+    for seg in heap.segs.take_dirty() {
+        // Stale entries: freed (possibly recycled) or already cleaned.
+        let Some(info) = heap.segs.try_info(seg) else {
+            continue;
+        };
+        if !info.dirty || !info.is_head() {
+            continue;
+        }
+        if info.generation <= s.g {
+            // From-space: about to be traced (and freed) wholesale; its
+            // flag dies with the segment.
+            continue;
+        }
+        let (space, gen) = (info.space, info.generation);
+        heap.segs.clear_dirty(seg);
         s.report.dirty_segments_scanned += 1;
         match space {
             Space::Pair | Space::Typed => {
-                let still_dirty = scan_strong_segment(heap, s, seg, space, gen);
-                heap.segs.info_mut(seg).dirty = still_dirty;
+                if scan_strong_segment(heap, s, seg, space, gen) {
+                    heap.segs.mark_dirty(seg);
+                }
             }
             Space::WeakPair => {
                 // Trace the cdrs now; defer the cars (and the dirty-flag
@@ -41,9 +66,58 @@ pub(crate) fn scan_dirty(heap: &mut Heap, s: &mut Scratch) {
             }
             Space::Pure => {
                 // No pointers: a pure segment cannot hold old->young
-                // edges; just clear the (spurious) flag.
-                heap.segs.info_mut(seg).dirty = false;
+                // edges; the (spurious) flag is already cleared.
             }
+        }
+    }
+}
+
+/// Read-only pass over every traced word of a Pair/Typed segment (or the
+/// run it heads), calling `f(offset, word)`. Offsets are global within
+/// the run, matching [`flush_candidates`](super::flush_candidates).
+fn read_traced_words(heap: &Heap, seg: SegIndex, space: Space, mut f: impl FnMut(usize, u64)) {
+    let used = heap.segs.info(seg).used as usize;
+    match space {
+        Space::Pair => {
+            let words = heap.segs.words(seg);
+            for (off, &w) in words[..used].iter().enumerate() {
+                f(off, w);
+            }
+        }
+        Space::Typed if used > SEGMENT_WORDS => {
+            // A dirty multi-segment run: exactly one large object.
+            let header = Header::decode(heap.segs.words(seg)[0])
+                .unwrap_or_else(|| panic!("corrupt header in dirty run {seg:?}"));
+            let traced_end = 1 + header.traced_words();
+            let mut pos = 1;
+            while pos < traced_end {
+                let chunk = pos / SEGMENT_WORDS;
+                let chunk_base = chunk * SEGMENT_WORDS;
+                let chunk_end = (chunk_base + SEGMENT_WORDS).min(traced_end);
+                let words = heap.segs.words(SegIndex(seg.0 + chunk as u32));
+                for (i, &w) in words[pos - chunk_base..chunk_end - chunk_base]
+                    .iter()
+                    .enumerate()
+                {
+                    f(pos + i, w);
+                }
+                pos = chunk_end;
+            }
+        }
+        Space::Typed => {
+            let words = heap.segs.words(seg);
+            let mut pos = 0;
+            while pos < used {
+                let header = Header::decode(words[pos])
+                    .unwrap_or_else(|| panic!("corrupt header in dirty {seg:?}@{pos}"));
+                for i in 0..header.traced_words() {
+                    f(pos + 1 + i, words[pos + 1 + i]);
+                }
+                pos += header.total_words();
+            }
+        }
+        Space::WeakPair | Space::Pure => {
+            unreachable!("weak and pure segments take their own paths")
         }
     }
 }
@@ -56,60 +130,48 @@ fn scan_strong_segment(
     s: &mut Scratch,
     seg: SegIndex,
     space: Space,
-    gen: u8,
+    holder_gen: u8,
 ) -> bool {
-    let base = heap.segs.base_addr(seg);
-    let used = heap.segs.info(seg).used as usize;
+    debug_assert!(s.pending.is_empty());
     let mut still_dirty = false;
-    let mut off = 0;
-    while off < used {
-        match space {
-            Space::Pair => {
-                still_dirty |= fix_word(heap, s, base.add(off), gen);
-                still_dirty |= fix_word(heap, s, base.add(off + 1), gen);
-                off += 2;
+    {
+        let pending = &mut s.pending;
+        let from_space = &s.from_space;
+        read_traced_words(heap, seg, space, |off, w| {
+            let v = Value(w);
+            if !v.is_ptr() {
+                return;
             }
-            Space::Typed => {
-                let header = Header::decode(heap.segs.word(base.add(off)))
-                    .unwrap_or_else(|| panic!("corrupt header in dirty {seg:?}@{off}"));
-                for i in 0..header.traced_words() {
-                    still_dirty |= fix_word(heap, s, base.add(off + 1 + i), gen);
-                }
-                off += header.total_words();
+            if from_space.contains(v.addr().seg()) {
+                pending.push((off, v));
+            } else if heap.segs.info(v.addr().seg()).generation < holder_gen {
+                still_dirty = true;
             }
-            Space::WeakPair | Space::Pure => {
-                unreachable!("weak and pure segments take their own paths")
-            }
-        }
+        });
     }
+    // Every candidate is forwarded into the target generation, so the
+    // batch's dirty contribution is a single comparison.
+    still_dirty |= !s.pending.is_empty() && s.target < holder_gen;
+    flush_candidates(heap, s, seg);
     still_dirty
 }
 
+/// Forwards the cdr fields of a dirty old weak-pair segment. The cars are
+/// weak and untouched here; the weak pass settles them (and the dirty
+/// flag) after the guardian pass.
 fn scan_weak_cdrs(heap: &mut Heap, s: &mut Scratch, seg: SegIndex) {
-    let base = heap.segs.base_addr(seg);
+    debug_assert!(s.pending.is_empty());
     let used = heap.segs.info(seg).used as usize;
-    let mut off = 0;
-    while off < used {
-        // Only the cdr; the car is weak.
-        let gen = heap.segs.info(seg).generation;
-        fix_word(heap, s, base.add(off + 1), gen);
-        off += 2;
+    {
+        let words = heap.segs.words(seg);
+        let mut off = 1;
+        while off < used {
+            let v = Value(words[off]);
+            if v.is_ptr() && s.from_space.contains(v.addr().seg()) {
+                s.pending.push((off, v));
+            }
+            off += 2;
+        }
     }
-}
-
-/// Forwards the word at `addr` if it points into the from-space; returns
-/// whether it (still) points into a generation younger than `holder_gen`.
-fn fix_word(heap: &mut Heap, s: &mut Scratch, addr: WordAddr, holder_gen: u8) -> bool {
-    let v = Value(heap.segs.word(addr));
-    if !v.is_ptr() {
-        return false;
-    }
-    let v = if s.in_from(v.addr().seg()) {
-        let nv = forward(heap, s, v);
-        heap.segs.set_word(addr, nv.raw());
-        nv
-    } else {
-        v
-    };
-    heap.segs.info(v.addr().seg()).generation < holder_gen
+    flush_candidates(heap, s, seg);
 }

@@ -27,8 +27,11 @@ pub(crate) fn run(heap: &mut Heap, s: &mut Scratch) {
     }
     let old_dirty: Vec<SegIndex> = s.old_weak_dirty.drain(..).collect();
     for seg in old_dirty {
-        let still_dirty = fix_segment(heap, s, seg);
-        heap.segs.info_mut(seg).dirty = still_dirty;
+        // The remembered-set drain cleared the flag; re-mark (and
+        // re-index) only segments that still hold old→young pointers.
+        if fix_segment(heap, s, seg) {
+            heap.segs.mark_dirty(seg);
+        }
     }
 }
 

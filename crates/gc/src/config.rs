@@ -99,7 +99,10 @@ impl GcConfig {
     /// Panics if `n == 0`.
     pub fn with_generations(n: u8) -> GcConfig {
         assert!(n >= 1, "at least one generation is required");
-        GcConfig { generations: n, ..GcConfig::new() }
+        GcConfig {
+            generations: n,
+            ..GcConfig::new()
+        }
     }
 
     /// The oldest generation number.
@@ -155,7 +158,11 @@ mod tests {
 
     #[test]
     fn frequencies_extend_by_quadrupling() {
-        let c = GcConfig { generations: 6, frequency: vec![1, 4], ..GcConfig::new() };
+        let c = GcConfig {
+            generations: 6,
+            frequency: vec![1, 4],
+            ..GcConfig::new()
+        };
         assert_eq!(c.frequency_of(1), 4);
         assert_eq!(c.frequency_of(2), 16);
         assert_eq!(c.frequency_of(3), 64);
@@ -177,7 +184,11 @@ mod tests {
 
     #[test]
     fn zero_frequency_is_treated_as_one() {
-        let c = GcConfig { generations: 2, frequency: vec![0, 0], ..GcConfig::new() };
+        let c = GcConfig {
+            generations: 2,
+            frequency: vec![0, 0],
+            ..GcConfig::new()
+        };
         assert_eq!(c.frequency_of(0), 1);
         assert_eq!(c.generation_for_collection(3), 1);
     }

@@ -52,7 +52,9 @@ impl Guardian {
     /// record). The handle roots the tconc.
     pub fn from_tconc(heap: &mut Heap, tconc: Value) -> Guardian {
         assert!(heap.is_pair(tconc), "guardian tconc must be a pair");
-        Guardian { tconc: heap.root(tconc) }
+        Guardian {
+            tconc: heap.root(tconc),
+        }
     }
 
     /// The guardian's tconc value, for embedding into heap structures.

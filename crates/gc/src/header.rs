@@ -88,7 +88,10 @@ impl Header {
             return None;
         }
         let kind = ObjKind::from_code((word >> KIND_SHIFT) & KIND_MASK)?;
-        Some(Header { kind, len: (word >> LEN_SHIFT) as usize })
+        Some(Header {
+            kind,
+            len: (word >> LEN_SHIFT) as usize,
+        })
     }
 
     /// Content words following the header (total object size is this + 1).

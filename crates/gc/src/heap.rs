@@ -20,7 +20,6 @@ use crate::roots::{RootSet, Rooted, RootedVec};
 use crate::stats::{CollectionReport, HeapStats};
 use crate::value::Value;
 use guardians_segments::{SegIndex, SegmentTable, Space, WordAddr, SEGMENT_WORDS};
-use std::collections::HashMap;
 
 /// A guardian protected-list entry: the paper's "object/guardian pair",
 /// extended with the Section 5 *agent* generalisation (`rep` is what gets
@@ -44,8 +43,11 @@ pub(crate) struct FinEntry {
 pub struct Heap {
     pub(crate) segs: SegmentTable,
     pub(crate) config: GcConfig,
-    /// Open allocation segment per (space, generation).
-    cursors: HashMap<(Space, u8), SegIndex>,
+    /// Open allocation segment per (space, generation), as a flat table
+    /// indexed `generation * 4 + space.index()`: the allocation fast path
+    /// (mutator and collector copy loop alike) costs one array load, not
+    /// a hash lookup.
+    cursors: Vec<Option<SegIndex>>,
     pub(crate) roots: RootSet,
     /// Protected lists, one per generation (a single flat list when the
     /// `flat_protected` ablation is enabled).
@@ -69,7 +71,7 @@ impl Heap {
         let lists = if config.flat_protected { 1 } else { gens };
         Heap {
             segs: SegmentTable::new(),
-            cursors: HashMap::new(),
+            cursors: vec![None; gens * 4],
             roots: RootSet::default(),
             protected: (0..lists).map(|_| Vec::new()).collect(),
             finalize_watch: (0..gens).map(|_| Vec::new()).collect(),
@@ -106,8 +108,8 @@ impl Heap {
             }
             return self.segs.base_addr(head);
         }
-        let key = (space, gen);
-        if let Some(&seg) = self.cursors.get(&key) {
+        let key = gen as usize * 4 + space.index();
+        if let Some(seg) = self.cursors[key] {
             let used = self.segs.info(seg).used as usize;
             if used + words <= SEGMENT_WORDS {
                 self.segs.info_mut(seg).used = (used + words) as u32;
@@ -118,7 +120,7 @@ impl Heap {
         if let Some(log) = self.tospace_log.as_mut() {
             log.push(seg);
         }
-        self.cursors.insert(key, seg);
+        self.cursors[key] = Some(seg);
         self.segs.info_mut(seg).used = words as u32;
         WordAddr::new(seg, 0)
     }
@@ -159,7 +161,8 @@ impl Heap {
     fn alloc_typed(&mut self, header: Header) -> WordAddr {
         // Pointer-free kinds go to the pure space, which the collector
         // copies without scanning.
-        let space = if header.traced_words() == 0 && header.kind != ObjKind::Vector
+        let space = if header.traced_words() == 0
+            && header.kind != ObjKind::Vector
             && header.kind != ObjKind::Record
         {
             Space::Pure
@@ -234,12 +237,27 @@ impl Heap {
     /// segments are about to be freed) and the target generation (so the
     /// Cheney scan sees only freshly copied objects in to-space segments).
     pub(crate) fn reset_cursors(&mut self, g: u8, target: u8) {
-        self.cursors.retain(|&(_, gen), _| gen > g && gen != target);
+        for (i, slot) in self.cursors.iter_mut().enumerate() {
+            let gen = (i / 4) as u8;
+            if gen <= g || gen == target {
+                *slot = None;
+            }
+        }
+    }
+
+    /// Whether `seg` is an open allocation cursor — the only segments
+    /// whose `used` watermark can still advance without the segment being
+    /// (re-)logged, so the only ones the Cheney sweep must re-check.
+    pub(crate) fn is_open_cursor(&self, seg: SegIndex) -> bool {
+        self.cursors.contains(&Some(seg))
     }
 
     /// Takes the to-space segments logged since the last drain.
     pub(crate) fn drain_tospace_log(&mut self) -> Vec<SegIndex> {
-        self.tospace_log.as_mut().map(std::mem::take).unwrap_or_default()
+        self.tospace_log
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     /// Whether the to-space log is empty.
@@ -281,7 +299,10 @@ impl Heap {
     /// paper's simple interface, or an *agent* for the Section 5
     /// generalisation.
     pub fn guardian_register(&mut self, tconc: Value, obj: Value, rep: Value) {
-        assert!(self.is_pair(tconc), "guardian tconc must be a pair: {tconc:?}");
+        assert!(
+            self.is_pair(tconc),
+            "guardian tconc must be a pair: {tconc:?}"
+        );
         self.stats.guardian_registrations += 1;
         // "Each time an object is registered with a guardian, a new pair
         // (of the object and guardian) is added to the protected list for
@@ -292,7 +313,11 @@ impl Heap {
     /// Number of registered-but-not-yet-finalized entries watching
     /// objects for this tconc (diagnostic; O(total registrations)).
     pub fn guardian_watched(&self, tconc: Value) -> usize {
-        self.protected.iter().flatten().filter(|e| e.tconc == tconc).count()
+        self.protected
+            .iter()
+            .flatten()
+            .filter(|e| e.tconc == tconc)
+            .count()
     }
 
     // ------------------------------------------------------------------
@@ -330,7 +355,10 @@ impl Heap {
     /// collector-invoked finalizer must never trigger).
     pub fn collect(&mut self, gen: u8) -> &CollectionReport {
         assert!(gen < self.config.generations, "no such generation: {gen}");
-        assert!(!self.alloc_forbidden, "cannot collect while allocation is forbidden");
+        assert!(
+            !self.alloc_forbidden,
+            "cannot collect while allocation is forbidden"
+        );
         self.collections += 1;
         let report = collect::run(self, gen);
         self.stats.absorb(&report);
@@ -463,7 +491,11 @@ mod tests {
         let mut h = Heap::default();
         let a = h.cons(Value::NIL, Value::NIL);
         let b = h.cons(Value::NIL, Value::NIL);
-        assert_eq!(b.addr().raw() - a.addr().raw(), 2, "consecutive pairs are adjacent");
+        assert_eq!(
+            b.addr().raw() - a.addr().raw(),
+            2,
+            "consecutive pairs are adjacent"
+        );
     }
 
     #[test]
@@ -478,7 +510,14 @@ mod tests {
     #[test]
     fn strings_round_trip() {
         let mut h = Heap::default();
-        for s in ["", "a", "hello world", "exactly8", "nine bytes", "λambda 🦀"] {
+        for s in [
+            "",
+            "a",
+            "hello world",
+            "exactly8",
+            "nine bytes",
+            "λambda 🦀",
+        ] {
             let v = h.make_string(s);
             assert_eq!(h.string_value(v), s, "round trip of {s:?}");
         }

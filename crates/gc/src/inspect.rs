@@ -122,7 +122,10 @@ mod tests {
         let usage = h.generation_usage();
         assert_eq!(usage[0].used_words, 0, "young space emptied");
         assert!(usage[1].used_words >= 2000, "data promoted to gen 1");
-        assert_eq!(usage[1].protected_entries, 1, "entry parked with its object");
+        assert_eq!(
+            usage[1].protected_entries, 1,
+            "entry parked with its object"
+        );
         assert_eq!(usage[0].protected_entries, 0);
     }
 

@@ -71,8 +71,8 @@ mod collect;
 mod config;
 mod guardian;
 mod header;
-mod inspect;
 mod heap;
+mod inspect;
 mod roots;
 mod stats;
 mod tconc;
@@ -82,9 +82,9 @@ mod verify;
 pub use config::{GcConfig, Promotion};
 pub use guardian::Guardian;
 pub use header::{Header, ObjKind};
-pub use inspect::GenerationUsage;
 pub use heap::Heap;
+pub use inspect::GenerationUsage;
 pub use roots::{Rooted, RootedVec};
-pub use stats::{CollectionReport, HeapStats};
+pub use stats::{CollectionReport, HeapStats, PhaseTimes};
 pub use value::{Value, FIXNUM_MAX, FIXNUM_MIN};
 pub use verify::VerifyError;

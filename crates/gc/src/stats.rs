@@ -10,6 +10,54 @@
 
 use std::time::Duration;
 
+/// Wall-clock time spent in each collection phase, in phase order. The
+/// guardian phase includes the Kleene sweeps its fixpoint loop triggers;
+/// `sweep` is the main (phase 4) sweep only.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// Phase 1: snapshot the from-space, reset cursors.
+    pub flip: Duration,
+    /// Phase 2: forward registered roots.
+    pub roots: Duration,
+    /// Phase 3: scan dirty old-generation segments.
+    pub remset: Duration,
+    /// Phase 4: the main Cheney sweep of copied objects.
+    pub sweep: Duration,
+    /// Phase 5: the guardian protected-list pass (with its sweeps).
+    pub guardian: Duration,
+    /// Phase 6: the collector-invoked finalization baseline pass.
+    pub finalizer: Duration,
+    /// Phase 7: break or forward weak-pair cars.
+    pub weak: Duration,
+    /// Phase 8: return from-space segments to the free pool.
+    pub reclaim: Duration,
+}
+
+impl PhaseTimes {
+    /// Sum of all phase durations.
+    pub fn total(&self) -> Duration {
+        self.flip
+            + self.roots
+            + self.remset
+            + self.sweep
+            + self.guardian
+            + self.finalizer
+            + self.weak
+            + self.reclaim
+    }
+
+    pub(crate) fn absorb(&mut self, other: &PhaseTimes) {
+        self.flip += other.flip;
+        self.roots += other.roots;
+        self.remset += other.remset;
+        self.sweep += other.sweep;
+        self.guardian += other.guardian;
+        self.finalizer += other.finalizer;
+        self.weak += other.weak;
+        self.reclaim += other.reclaim;
+    }
+}
+
 /// Per-collection report, returned by [`Heap::collect`](crate::Heap::collect).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CollectionReport {
@@ -65,6 +113,21 @@ pub struct CollectionReport {
     pub segments_allocated: u64,
     /// Wall-clock duration of the collection.
     pub duration: Duration,
+    /// Per-phase breakdown of `duration`.
+    pub phases: PhaseTimes,
+}
+
+impl CollectionReport {
+    /// Copy throughput: words copied per second of total pause time.
+    /// `0.0` when nothing was copied or the pause was too short to time.
+    pub fn words_per_sec(&self) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs > 0.0 {
+            self.words_copied as f64 / secs
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Cumulative statistics over the lifetime of a heap.
@@ -91,6 +154,8 @@ pub struct HeapStats {
     pub total_weak_pairs_scanned: u64,
     /// Total time spent collecting.
     pub total_gc_time: Duration,
+    /// Per-phase totals across all collections.
+    pub total_phase_times: PhaseTimes,
 }
 
 impl HeapStats {
@@ -100,6 +165,7 @@ impl HeapStats {
         self.total_guardian_entries_visited += report.guardian_entries_visited;
         self.total_weak_pairs_scanned += report.weak_pairs_scanned;
         self.total_gc_time += report.duration;
+        self.total_phase_times.absorb(&report.phases);
     }
 }
 

@@ -181,7 +181,10 @@ mod tests {
             if cut >= 3 {
                 assert_eq!(second, Some(Value::fixnum(8)), "cut={cut}");
             } else {
-                assert_eq!(second, None, "cut={cut}: unpublished element must be invisible");
+                assert_eq!(
+                    second, None,
+                    "cut={cut}: unpublished element must be invisible"
+                );
             }
         }
     }

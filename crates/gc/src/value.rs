@@ -84,14 +84,19 @@ impl Value {
     /// Panics if `n` is outside `FIXNUM_MIN..=FIXNUM_MAX`.
     #[inline]
     pub fn fixnum(n: i64) -> Value {
-        assert!((FIXNUM_MIN..=FIXNUM_MAX).contains(&n), "fixnum out of range: {n}");
+        assert!(
+            (FIXNUM_MIN..=FIXNUM_MAX).contains(&n),
+            "fixnum out of range: {n}"
+        );
         Value((n as u64) << TAG_BITS)
     }
 
     /// Builds a fixnum, returning `None` if out of range.
     #[inline]
     pub fn try_fixnum(n: i64) -> Option<Value> {
-        (FIXNUM_MIN..=FIXNUM_MAX).contains(&n).then_some(Value((n as u64) << TAG_BITS))
+        (FIXNUM_MIN..=FIXNUM_MAX)
+            .contains(&n)
+            .then_some(Value((n as u64) << TAG_BITS))
     }
 
     /// Builds a character.
@@ -277,7 +282,14 @@ mod tests {
 
     #[test]
     fn immediates_are_distinct() {
-        let all = [Value::FALSE, Value::TRUE, Value::NIL, Value::EOF, Value::VOID, Value::UNBOUND];
+        let all = [
+            Value::FALSE,
+            Value::TRUE,
+            Value::NIL,
+            Value::EOF,
+            Value::VOID,
+            Value::UNBOUND,
+        ];
         for (i, a) in all.iter().enumerate() {
             for (j, b) in all.iter().enumerate() {
                 assert_eq!(a == b, i == j);

@@ -17,7 +17,9 @@ pub struct VerifyError {
 
 impl VerifyError {
     fn new(message: impl Into<String>) -> VerifyError {
-        VerifyError { message: message.into() }
+        VerifyError {
+            message: message.into(),
+        }
     }
 }
 
@@ -87,19 +89,34 @@ impl Heap {
             }
         }
 
-        // 2. Roots.
+        // 2. Dirty-index coherence: every allocated segment whose dirty
+        // flag is set must be present in the table's dirty index, or the
+        // remembered-set scan would miss it. (The index may also hold
+        // stale or duplicate entries; those are harmless by design.)
+        for (seg, info) in self.segs.iter() {
+            if info.dirty && !self.segs.dirty_index().contains(&seg) {
+                return Err(VerifyError::new(format!(
+                    "{seg:?} is dirty but missing from the dirty index"
+                )));
+            }
+        }
+
+        // 3. Roots.
         for v in self.roots.snapshot() {
             self.check_value(v, "root")?;
         }
 
-        // 3. Protected lists.
+        // 4. Protected lists.
         for (i, list) in self.protected.iter().enumerate() {
             for e in list {
                 self.check_value(e.obj, "guarded object")?;
                 self.check_value(e.rep, "guardian representative")?;
                 self.check_value(e.tconc, "guardian tconc")?;
                 if !e.tconc.is_pair_ptr() {
-                    return Err(VerifyError::new(format!("tconc is not a pair: {:?}", e.tconc)));
+                    return Err(VerifyError::new(format!(
+                        "tconc is not a pair: {:?}",
+                        e.tconc
+                    )));
                 }
                 if !self.config.flat_protected {
                     for (what, v) in [("object", e.obj), ("tconc", e.tconc)] {
@@ -115,7 +132,7 @@ impl Heap {
             }
         }
 
-        // 4. Finalizer watch lists.
+        // 5. Finalizer watch lists.
         for (i, list) in self.finalize_watch.iter().enumerate() {
             for e in list {
                 self.check_value(e.obj, "finalizer-watched object")?;
@@ -133,20 +150,31 @@ impl Heap {
 
     fn check_value(&self, v: Value, what: &str) -> Result<(), VerifyError> {
         if fwd::decode(v.raw()).is_some() {
-            return Err(VerifyError::new(format!("{what} holds a forwarding mark: {:#x}", v.raw())));
+            return Err(VerifyError::new(format!(
+                "{what} holds a forwarding mark: {:#x}",
+                v.raw()
+            )));
         }
         if Header::decode(v.raw()).is_some() {
-            return Err(VerifyError::new(format!("{what} holds a header word: {:#x}", v.raw())));
+            return Err(VerifyError::new(format!(
+                "{what} holds a header word: {:#x}",
+                v.raw()
+            )));
         }
         if v.raw() & TAG_MASK == 0b101 || v.raw() & TAG_MASK == 0b110 {
-            return Err(VerifyError::new(format!("{what} holds an undefined tag: {:#x}", v.raw())));
+            return Err(VerifyError::new(format!(
+                "{what} holds an undefined tag: {:#x}",
+                v.raw()
+            )));
         }
         if !v.is_ptr() {
             return Ok(());
         }
         let addr = v.addr();
         let Some(info) = self.segs.try_info(addr.seg()) else {
-            return Err(VerifyError::new(format!("{what} points into a freed segment: {v:?}")));
+            return Err(VerifyError::new(format!(
+                "{what} points into a freed segment: {v:?}"
+            )));
         };
         match info.kind {
             SegKind::Head => {

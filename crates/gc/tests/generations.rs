@@ -32,7 +32,11 @@ fn young_collection_does_not_move_old_objects() {
     let addr = h.address_of(r.get()).unwrap();
     h.collect(0);
     h.collect(0);
-    assert_eq!(h.address_of(r.get()), Some(addr), "gen-1 object untouched by gen-0 GCs");
+    assert_eq!(
+        h.address_of(r.get()),
+        Some(addr),
+        "gen-1 object untouched by gen-0 GCs"
+    );
 }
 
 #[test]
@@ -51,10 +55,17 @@ fn old_to_young_pointer_survives_via_write_barrier() {
     h.collect(0);
     h.verify().unwrap();
     let survivor = h.vector_ref(vr.get(), 0);
-    assert_eq!(h.car(survivor), Value::fixnum(77), "remembered set saved the young pair");
+    assert_eq!(
+        h.car(survivor),
+        Value::fixnum(77),
+        "remembered set saved the young pair"
+    );
     assert_eq!(h.generation_of(survivor), Some(1));
     let report = h.last_report().unwrap();
-    assert!(report.dirty_segments_scanned >= 1, "the dirtied segment was scanned");
+    assert!(
+        report.dirty_segments_scanned >= 1,
+        "the dirtied segment was scanned"
+    );
 }
 
 #[test]
@@ -68,15 +79,21 @@ fn clean_old_segments_are_never_scanned() {
     let r = h.root(head);
     h.collect(0);
     h.collect(1); // structure parked in generation 2
-    // Churn some young garbage and collect generation 0 repeatedly.
+                  // Churn some young garbage and collect generation 0 repeatedly.
     for _ in 0..5 {
         for _ in 0..100 {
             let _ = h.cons(Value::NIL, Value::NIL);
         }
         h.collect(0);
         let report = h.last_report().unwrap();
-        assert_eq!(report.dirty_segments_scanned, 0, "no mutation → no dirty scans");
-        assert!(report.words_copied < 100, "old structure is not being re-copied");
+        assert_eq!(
+            report.dirty_segments_scanned, 0,
+            "no mutation → no dirty scans"
+        );
+        assert!(
+            report.words_copied < 100,
+            "old structure is not being re-copied"
+        );
     }
     assert_eq!(h.car(r.get()), Value::fixnum(999));
 }
@@ -113,7 +130,10 @@ fn guardian_entries_park_with_their_objects() {
 
 #[test]
 fn flat_ablation_visits_every_entry_every_collection() {
-    let mut h = Heap::new(GcConfig { flat_protected: true, ..GcConfig::new() });
+    let mut h = Heap::new(GcConfig {
+        flat_protected: true,
+        ..GcConfig::new()
+    });
     let g = h.make_guardian();
     let mut roots = Vec::new();
     for i in 0..50 {
@@ -132,7 +152,10 @@ fn flat_ablation_visits_every_entry_every_collection() {
 
 #[test]
 fn flat_ablation_still_finalizes_correctly() {
-    let mut h = Heap::new(GcConfig { flat_protected: true, ..GcConfig::new() });
+    let mut h = Heap::new(GcConfig {
+        flat_protected: true,
+        ..GcConfig::new()
+    });
     let g = h.make_guardian();
     let x = h.cons(Value::fixnum(9), Value::NIL);
     let r = h.root(x);
@@ -146,7 +169,10 @@ fn flat_ablation_still_finalizes_correctly() {
 
 #[test]
 fn maybe_collect_fires_on_the_allocation_trigger() {
-    let mut h = Heap::new(GcConfig { trigger_bytes: 4096, ..GcConfig::new() });
+    let mut h = Heap::new(GcConfig {
+        trigger_bytes: 4096,
+        ..GcConfig::new()
+    });
     assert!(h.maybe_collect().is_none(), "nothing allocated yet");
     for _ in 0..300 {
         let _ = h.cons(Value::NIL, Value::NIL); // 300 * 16 bytes > 4096
@@ -180,7 +206,10 @@ fn garbage_is_actually_reclaimed() {
     let before = h.capacity_bytes();
     h.collect(0);
     let after = h.capacity_bytes();
-    assert!(after < before / 2, "dead segments returned to the pool: {before} -> {after}");
+    assert!(
+        after < before / 2,
+        "dead segments returned to the pool: {before} -> {after}"
+    );
     assert!(h.last_report().unwrap().segments_freed > 0);
 }
 
@@ -290,7 +319,9 @@ fn guardian_entry_for_old_object_crawls_up_to_it() {
 
     drop(r);
     h.collect(2);
-    let saved = g.poll(&mut h).expect("found dead once its generation was collected");
+    let saved = g
+        .poll(&mut h)
+        .expect("found dead once its generation was collected");
     assert_eq!(h.car(saved), Value::fixnum(6));
 }
 
@@ -317,7 +348,10 @@ fn pointer_free_objects_are_copied_without_scanning() {
     );
     // Contents intact after the unscanned copy.
     for (i, r) in keep[..200].iter().enumerate() {
-        assert_eq!(h.string_value(r.get()), format!("payload string number {i:03}"));
+        assert_eq!(
+            h.string_value(r.get()),
+            format!("payload string number {i:03}")
+        );
     }
     assert_eq!(h.bytevector_ref(keep[200].get(), 9_999), 0xEE);
 }
@@ -346,14 +380,21 @@ fn pure_space_objects_interlink_correctly_with_typed_ones() {
 #[test]
 fn capped_promotion_is_a_tenure_ceiling() {
     use guardians_gc::Promotion;
-    let mut h = Heap::new(GcConfig { promotion: Promotion::Capped(2), ..GcConfig::new() });
+    let mut h = Heap::new(GcConfig {
+        promotion: Promotion::Capped(2),
+        ..GcConfig::new()
+    });
     let x = h.cons(Value::fixnum(1), Value::NIL);
     let r = h.root(x);
     for g in [0u8, 1, 2, 3, 3] {
         h.collect(g);
         h.verify().unwrap();
     }
-    assert_eq!(h.generation_of(r.get()), Some(2), "never promoted past the cap");
+    assert_eq!(
+        h.generation_of(r.get()),
+        Some(2),
+        "never promoted past the cap"
+    );
     assert_eq!(h.car(r.get()), Value::fixnum(1));
 
     // Guardian entries park at the cap too and stay generation-friendly.
@@ -365,7 +406,11 @@ fn capped_promotion_is_a_tenure_ceiling() {
     h.collect(1);
     h.collect(2);
     h.collect(0);
-    assert_eq!(h.last_report().unwrap().guardian_entries_visited, 0, "parked at gen 2");
+    assert_eq!(
+        h.last_report().unwrap().guardian_entries_visited,
+        0,
+        "parked at gen 2"
+    );
     yr.set(Value::FALSE);
     h.collect(2);
     assert_eq!(g.poll(&mut h).map(|v| h.car(v)), Some(Value::fixnum(2)));
@@ -374,7 +419,10 @@ fn capped_promotion_is_a_tenure_ceiling() {
 #[test]
 fn same_generation_promotion_works_end_to_end() {
     use guardians_gc::Promotion;
-    let mut h = Heap::new(GcConfig { promotion: Promotion::SameGeneration, ..GcConfig::new() });
+    let mut h = Heap::new(GcConfig {
+        promotion: Promotion::SameGeneration,
+        ..GcConfig::new()
+    });
     let x = h.cons(Value::fixnum(7), Value::NIL);
     let r = h.root(x);
     h.collect(0);

@@ -41,7 +41,11 @@ fn with_a_distinct_agent_the_object_is_discarded() {
 
     full_collect(&mut h);
     assert!(g.poll(&mut h).is_some(), "agent enqueued");
-    assert_eq!(h.car(wr.get()), Value::FALSE, "object itself was NOT preserved");
+    assert_eq!(
+        h.car(wr.get()),
+        Value::FALSE,
+        "object itself was NOT preserved"
+    );
 }
 
 #[test]
@@ -62,7 +66,11 @@ fn agent_survives_while_object_lives() {
     r.set(Value::FALSE);
     full_collect(&mut h);
     let got = g.poll(&mut h).expect("object finally died");
-    assert_eq!(h.box_ref(got), Value::fixnum(99), "agent data intact after aging");
+    assert_eq!(
+        h.box_ref(got),
+        Value::fixnum(99),
+        "agent data intact after aging"
+    );
 }
 
 #[test]
@@ -114,9 +122,16 @@ fn dickey_finalization_reports_dead_ids_once() {
     h.register_for_finalization(b, 200);
 
     full_collect(&mut h);
-    assert_eq!(h.last_report().unwrap().finalized_ids, vec![100], "only the dead object");
+    assert_eq!(
+        h.last_report().unwrap().finalized_ids,
+        vec![100],
+        "only the dead object"
+    );
     full_collect(&mut h);
-    assert!(h.last_report().unwrap().finalized_ids.is_empty(), "never reported twice");
+    assert!(
+        h.last_report().unwrap().finalized_ids.is_empty(),
+        "never reported twice"
+    );
 
     drop(keep);
     full_collect(&mut h);
@@ -133,7 +148,11 @@ fn dickey_watch_lists_are_generation_friendly_but_object_is_lost() {
     full_collect(&mut h);
     assert_eq!(h.last_report().unwrap().finalized_ids, vec![7]);
     // Unlike a guardian, the mechanism discards the object.
-    assert_eq!(h.car(wr.get()), Value::FALSE, "object is gone — only the id remains");
+    assert_eq!(
+        h.car(wr.get()),
+        Value::FALSE,
+        "object is gone — only the id remains"
+    );
 }
 
 #[test]
@@ -146,7 +165,10 @@ fn guardian_wins_over_dickey_watch() {
     g.register(&mut h, a);
     h.register_for_finalization(a, 9);
     full_collect(&mut h);
-    assert!(h.last_report().unwrap().finalized_ids.is_empty(), "guardian resurrection wins");
+    assert!(
+        h.last_report().unwrap().finalized_ids.is_empty(),
+        "guardian resurrection wins"
+    );
     assert!(g.poll(&mut h).is_some());
 }
 
@@ -176,8 +198,10 @@ fn many_guardians_many_objects_stress() {
         }
     }
     // The even ones are still watched.
-    let total_watched: usize =
-        guardians.iter().map(|g| h.guardian_watched(g.tconc())).sum();
+    let total_watched: usize = guardians
+        .iter()
+        .map(|g| h.guardian_watched(g.tconc()))
+        .sum();
     assert_eq!(total_watched, 200);
     h.verify().unwrap();
 }
@@ -220,7 +244,11 @@ fn deep_guardian_chain_needs_proportional_fixpoint_iterations() {
     }
     let last = guardians_gc::Guardian::from_tconc(&mut h, tconc);
     let obj = last.poll(&mut h).expect("the innermost object");
-    assert_eq!(h.car(obj), Value::fixnum(N as i64), "the innermost object arrives intact");
+    assert_eq!(
+        h.car(obj),
+        Value::fixnum(N as i64),
+        "the innermost object arrives intact"
+    );
 }
 
 #[test]
@@ -233,7 +261,11 @@ fn two_generation_config_works_end_to_end() {
     h.collect(0);
     h.collect(1);
     h.collect(1);
-    assert_eq!(h.generation_of(r.get()), Some(1), "capped at the oldest generation");
+    assert_eq!(
+        h.generation_of(r.get()),
+        Some(1),
+        "capped at the oldest generation"
+    );
     r.set(Value::FALSE);
     h.collect(1);
     assert_eq!(g.poll(&mut h).map(|v| h.car(v)), Some(Value::fixnum(1)));
@@ -251,7 +283,11 @@ fn registrations_during_pending_retrievals_compose() {
     let b = h.cons(Value::fixnum(2), Value::NIL);
     g.register(&mut h, b);
     full_collect(&mut h);
-    let xs: Vec<i64> = g.drain(&mut h).into_iter().map(|v| h.car(v).as_fixnum()).collect();
+    let xs: Vec<i64> = g
+        .drain(&mut h)
+        .into_iter()
+        .map(|v| h.car(v).as_fixnum())
+        .collect();
     assert_eq!(xs, vec![1, 2]);
 }
 
@@ -292,7 +328,11 @@ fn zombie_guardian_in_old_generation_conservatively_retains() {
     // its contents are reclaimed together.
     h.collect(2);
     h.verify().unwrap();
-    assert_eq!(h.car(wr.get()), Value::FALSE, "released once death was proven");
+    assert_eq!(
+        h.car(wr.get()),
+        Value::FALSE,
+        "released once death was proven"
+    );
 }
 
 #[test]

@@ -22,30 +22,60 @@ use guardians_gc::{GcConfig, Guardian, Heap, Promotion, Rooted, Value};
 use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
+/// Payload length of a "large" node: with the header and the four
+/// bookkeeping slots this exceeds two segments, so the vector body lives
+/// in a multi-segment run and is forwarded with cross-run bulk copies.
+const LARGE_PAYLOAD: usize = 1200;
+
 #[derive(Clone, Debug)]
 enum Op {
-    /// Allocate a node; optionally root it.
-    New { rooted: bool },
+    /// Allocate a node; optionally root it. Large nodes carry a
+    /// multi-segment payload that must survive copying intact.
+    New {
+        rooted: bool,
+        large: bool,
+    },
     /// Set a strong link (side 0 = left, 1 = right) between reachable nodes.
-    Link { from: usize, to: usize, side: u8 },
+    Link {
+        from: usize,
+        to: usize,
+        side: u8,
+    },
     /// Clear a strong link.
-    Unlink { from: usize, side: u8 },
+    Unlink {
+        from: usize,
+        side: u8,
+    },
     /// Point a node's weak edge at a reachable node.
-    SetWeak { from: usize, to: usize },
+    SetWeak {
+        from: usize,
+        to: usize,
+    },
     /// Root an already-reachable node.
-    AddRoot { node: usize },
+    AddRoot {
+        node: usize,
+    },
     /// Drop one root.
-    DropRoot { root: usize },
+    DropRoot {
+        root: usize,
+    },
     NewGuardian,
-    DropGuardian { guardian: usize },
+    DropGuardian {
+        guardian: usize,
+    },
     /// Register a reachable node with a live guardian.
-    Register { node: usize, guardian: usize },
-    Collect { gen: u8 },
+    Register {
+        node: usize,
+        guardian: usize,
+    },
+    Collect {
+        gen: u8,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        3 => any::<bool>().prop_map(|rooted| Op::New { rooted }),
+        3 => (any::<bool>(), 0u8..8).prop_map(|(rooted, l)| Op::New { rooted, large: l == 0 }),
         3 => (any::<usize>(), any::<usize>(), 0u8..2).prop_map(|(from, to, side)| Op::Link { from, to, side }),
         1 => (any::<usize>(), 0u8..2).prop_map(|(from, side)| Op::Unlink { from, side }),
         2 => (any::<usize>(), any::<usize>()).prop_map(|(from, to)| Op::SetWeak { from, to }),
@@ -149,8 +179,7 @@ impl Model {
             .filter(|&gi| self.tconc_ok(gi, g))
             .flat_map(|gi| self.guardians[gi].pending.to_vec())
             .collect();
-        let survivors =
-            self.closure(self.roots.iter().copied().chain(auto).chain(held));
+        let survivors = self.closure(self.roots.iter().copied().chain(auto).chain(held));
 
         // Guardian entry processing (paper block structure).
         let mut delivered: Vec<(usize, u32)> = Vec::new();
@@ -226,6 +255,11 @@ impl Model {
     }
 }
 
+/// Deterministic payload pattern for large-node slot `k`.
+fn payload_word(id: u32, k: usize) -> i64 {
+    id as i64 * 10_000 + k as i64
+}
+
 /// Heap-side state.
 struct World {
     heap: Heap,
@@ -239,7 +273,10 @@ struct World {
 impl World {
     fn new(promotion: Promotion) -> World {
         World {
-            heap: Heap::new(GcConfig { promotion, ..GcConfig::new() }),
+            heap: Heap::new(GcConfig {
+                promotion,
+                ..GcConfig::new()
+            }),
             model: Model::default(),
             roots: HashMap::new(),
             guardians: Vec::new(),
@@ -304,16 +341,29 @@ impl World {
 
     fn apply(&mut self, op: &Op) {
         match *op {
-            Op::New { rooted } => {
+            Op::New { rooted, large } => {
                 let id = self.model.next_id;
                 self.model.next_id += 1;
                 let wp = self.heap.weak_cons(Value::FALSE, Value::NIL);
-                let v = self.heap.make_vector(4, Value::FALSE);
+                let len = if large { 4 + LARGE_PAYLOAD } else { 4 };
+                let v = self.heap.make_vector(len, Value::FALSE);
                 self.heap.vector_set(v, 0, Value::fixnum(id as i64));
                 self.heap.vector_set(v, 3, wp);
-                self.model
-                    .nodes
-                    .insert(id, MNode { left: None, right: None, weak: None, gen: 0 });
+                // A recognisable payload pattern; checked after every
+                // collection to prove cross-run copies move bodies intact.
+                for k in 4..len {
+                    self.heap
+                        .vector_set(v, k, Value::fixnum(payload_word(id, k)));
+                }
+                self.model.nodes.insert(
+                    id,
+                    MNode {
+                        left: None,
+                        right: None,
+                        weak: None,
+                        gen: 0,
+                    },
+                );
                 if rooted {
                     self.roots.insert(id, self.heap.root(v));
                     self.model.roots.insert(id);
@@ -340,7 +390,9 @@ impl World {
                 }
             }
             Op::Unlink { from, side } => {
-                let Some(f) = self.pick_reachable(from) else { return };
+                let Some(f) = self.pick_reachable(from) else {
+                    return;
+                };
                 let fv = self.id2val[&f];
                 self.heap.vector_set(fv, 1 + side as usize, Value::FALSE);
                 let n = self.model.nodes.get_mut(&f).expect("model node");
@@ -362,7 +414,9 @@ impl World {
                 self.model.nodes.get_mut(&f).expect("model node").weak = Some(t);
             }
             Op::AddRoot { node } => {
-                let Some(id) = self.pick_reachable(node) else { return };
+                let Some(id) = self.pick_reachable(node) else {
+                    return;
+                };
                 if self.roots.contains_key(&id) {
                     return;
                 }
@@ -392,7 +446,9 @@ impl World {
                 });
             }
             Op::DropGuardian { guardian } => {
-                let Some(i) = self.pick_live_guardian(guardian) else { return };
+                let Some(i) = self.pick_live_guardian(guardian) else {
+                    return;
+                };
                 self.guardians[i] = None;
                 self.model.guardians[i].alive = false;
             }
@@ -405,7 +461,11 @@ impl World {
                 let v = self.id2val[&id];
                 let g = self.guardians[gi].as_ref().expect("live guardian");
                 g.register(&mut self.heap, v);
-                self.model.entries.push(MEntry { obj: id, guardian: gi, gen: 0 });
+                self.model.entries.push(MEntry {
+                    obj: id,
+                    guardian: gi,
+                    gen: 0,
+                });
             }
             Op::Collect { gen } => self.collect_and_check(gen),
         }
@@ -426,7 +486,10 @@ impl World {
         // 1. Reachability agreement.
         let heap_reachable: BTreeSet<u32> = self.id2val.keys().copied().collect();
         let model_reachable = self.model.reachable_from_roots();
-        assert_eq!(heap_reachable, model_reachable, "root-reachable sets diverged");
+        assert_eq!(
+            heap_reachable, model_reachable,
+            "root-reachable sets diverged"
+        );
 
         // 2. Structure, generation, and weak-edge agreement per node.
         for (&id, &v) in &self.id2val {
@@ -442,6 +505,14 @@ impl World {
                     Some(t) => assert_eq!(self.node_id(link), t, "link of node {id} diverged"),
                     None => assert!(link.is_false(), "node {id} should have no link {side}"),
                 }
+            }
+            // Large-node payloads (multi-segment runs) survive bit-intact.
+            for k in 4..self.heap.vector_len(v) {
+                assert_eq!(
+                    self.heap.vector_ref(v, k).as_fixnum(),
+                    payload_word(id, k),
+                    "payload word {k} of large node {id} corrupted by copying"
+                );
             }
             let wp = self.heap.vector_ref(v, 3);
             let wcar = self.heap.car(wp);
@@ -479,6 +550,60 @@ impl World {
             assert_eq!(got, want, "guardian {gi} deliveries diverged");
         }
     }
+}
+
+/// Scripted regression: large nodes (multi-segment runs) linked from a
+/// small rooted node survive repeated promotions — each one a cross-run
+/// bulk copy — with payloads intact, including after old-generation
+/// mutation marks the run's head segment dirty for the remembered set.
+#[test]
+fn large_object_runs_survive_cross_run_copies() {
+    let mut w = World::new(Promotion::NextGeneration);
+    w.apply(&Op::NewGuardian);
+    w.apply(&Op::New {
+        rooted: true,
+        large: false,
+    }); // node 0: the anchor
+    w.apply(&Op::New {
+        rooted: false,
+        large: true,
+    }); // node 1
+    w.apply(&Op::New {
+        rooted: false,
+        large: true,
+    }); // node 2
+    w.apply(&Op::Link {
+        from: 0,
+        to: 1,
+        side: 0,
+    });
+    w.apply(&Op::Link {
+        from: 1,
+        to: 2,
+        side: 1,
+    });
+    // Promote through every generation: each collection forwards both
+    // large runs with cross-run copy_words calls.
+    for gen in [0u8, 0, 1, 2, 3] {
+        w.apply(&Op::Collect { gen });
+    }
+    // Mutate a link on the (now old) large node: its run head goes dirty
+    // and the next young collection scans the run via the remembered set.
+    w.apply(&Op::New {
+        rooted: false,
+        large: true,
+    }); // node 3, generation 0
+    w.apply(&Op::Link {
+        from: 1,
+        to: 3,
+        side: 0,
+    });
+    w.apply(&Op::Collect { gen: 0 });
+    // Drop the anchor: everything (runs included) must be reclaimed
+    // without tripping verification.
+    w.apply(&Op::DropRoot { root: 0 });
+    w.apply(&Op::Collect { gen: 3 });
+    w.apply(&Op::Collect { gen: 3 });
 }
 
 proptest! {

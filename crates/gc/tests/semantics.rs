@@ -150,8 +150,14 @@ fn dropping_the_guardian_cancels_finalization() {
 
     full_collect(&mut h);
     let report = h.last_report().unwrap();
-    assert!(report.guardian_entries_dropped >= 1, "dead guardian's entry dropped");
-    assert_eq!(keeper.poll(&mut h).map(|v| h.car(v)), Some(Value::fixnum(5)));
+    assert!(
+        report.guardian_entries_dropped >= 1,
+        "dead guardian's entry dropped"
+    );
+    assert_eq!(
+        keeper.poll(&mut h).map(|v| h.car(v)),
+        Some(Value::fixnum(5))
+    );
 }
 
 #[test]
@@ -168,7 +174,11 @@ fn dropping_the_guardian_lets_objects_die_unpreserved() {
 
     full_collect(&mut h);
     let w = w_root.get();
-    assert_eq!(h.car(w), Value::FALSE, "object died with its guardian; weak pointer broken");
+    assert_eq!(
+        h.car(w),
+        Value::FALSE,
+        "object died with its guardian; weak pointer broken"
+    );
 }
 
 #[test]
@@ -230,7 +240,9 @@ fn saved_objects_stay_until_last_reference_drops() {
     // Not yet polled: the object sits in the inaccessible group, alive.
     full_collect(&mut h);
     full_collect(&mut h);
-    let saved = g.poll(&mut h).expect("still retrievable after more collections");
+    let saved = g
+        .poll(&mut h)
+        .expect("still retrievable after more collections");
     assert_eq!(h.car(saved), Value::fixnum(8));
 
     // Now hold it via a root: further collections must keep it.
@@ -268,7 +280,9 @@ fn guardian_accessible_only_from_heap_structure_still_works() {
     full_collect(&mut h);
     let tconc = h.vector_ref(holder_root.get(), 0);
     let revived = Guardian::from_tconc(&mut h, tconc);
-    let saved = revived.poll(&mut h).expect("guardian alive via heap reference");
+    let saved = revived
+        .poll(&mut h)
+        .expect("guardian alive via heap reference");
     assert_eq!(h.car(saved), Value::fixnum(3));
 }
 

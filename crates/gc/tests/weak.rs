@@ -28,7 +28,11 @@ fn weak_car_follows_surviving_referent() {
     let w = h.weak_cons(x, Value::NIL);
     let wr = h.root(w);
     full_collect(&mut h);
-    assert_eq!(h.car(wr.get()), xr.get(), "weak car updated to the new address");
+    assert_eq!(
+        h.car(wr.get()),
+        xr.get(),
+        "weak car updated to the new address"
+    );
     assert_eq!(h.car(xr.get()), Value::fixnum(1));
 }
 
@@ -44,7 +48,11 @@ fn weak_pointer_does_not_keep_referent_alive() {
     let r2 = h.root(w2);
     full_collect(&mut h);
     assert_eq!(h.car(r1.get()), Value::FALSE);
-    assert_eq!(h.car(r2.get()), Value::FALSE, "every weak pointer to it is broken");
+    assert_eq!(
+        h.car(r2.get()),
+        Value::FALSE,
+        "every weak pointer to it is broken"
+    );
 }
 
 #[test]
@@ -76,7 +84,11 @@ fn guardian_saved_object_keeps_its_weak_pointers() {
 
     full_collect(&mut h);
     let saved = g.poll(&mut h).expect("salvaged");
-    assert_eq!(h.car(wr.get()), saved, "weak pointer NOT broken for a salvaged object");
+    assert_eq!(
+        h.car(wr.get()),
+        saved,
+        "weak pointer NOT broken for a salvaged object"
+    );
     assert_eq!(h.car(saved), Value::fixnum(42));
 }
 
@@ -92,7 +104,10 @@ fn weak_registration_does_not_block_guardian_transfer() {
     let _wr = h.root(w);
     g.register(&mut h, x);
     full_collect(&mut h);
-    assert!(g.poll(&mut h).is_some(), "weak pointer alone does not make x accessible");
+    assert!(
+        g.poll(&mut h).is_some(),
+        "weak pointer alone does not make x accessible"
+    );
 }
 
 #[test]
@@ -125,7 +140,11 @@ fn old_weak_pair_mutated_to_young_referent() {
     h.set_car(wr.get(), young);
     h.collect(0);
     h.verify().unwrap();
-    assert_eq!(h.car(wr.get()), Value::FALSE, "dead young referent broken in old weak pair");
+    assert_eq!(
+        h.car(wr.get()),
+        Value::FALSE,
+        "dead young referent broken in old weak pair"
+    );
 
     // Case 2: young referent survives.
     let young2 = h.cons(Value::fixnum(2), Value::NIL);
@@ -133,7 +152,11 @@ fn old_weak_pair_mutated_to_young_referent() {
     h.set_car(wr.get(), young2);
     h.collect(0);
     h.verify().unwrap();
-    assert_eq!(h.car(wr.get()), keep.get(), "surviving young referent forwarded");
+    assert_eq!(
+        h.car(wr.get()),
+        keep.get(),
+        "surviving young referent forwarded"
+    );
     assert_eq!(h.car(keep.get()), Value::fixnum(2));
 }
 
@@ -149,7 +172,10 @@ fn clean_old_weak_pairs_are_not_scanned() {
     let _ = xr;
     h.collect(0);
     let report = h.last_report().unwrap();
-    assert_eq!(report.weak_pairs_scanned, 0, "no young weak pairs, no dirty old ones");
+    assert_eq!(
+        report.weak_pairs_scanned, 0,
+        "no young weak pairs, no dirty old ones"
+    );
 }
 
 #[test]
@@ -192,7 +218,11 @@ fn self_referential_weak_pair() {
     let r = h.root(w);
     full_collect(&mut h);
     let w = r.get();
-    assert_eq!(h.car(w), w, "rooted self-weak pair keeps (forwarded) self pointer");
+    assert_eq!(
+        h.car(w),
+        w,
+        "rooted self-weak pair keeps (forwarded) self pointer"
+    );
     h.verify().unwrap();
 }
 
@@ -213,7 +243,10 @@ fn chain_of_weak_pairs_is_itself_collectable() {
         let _ = h.weak_cons(Value::NIL, Value::NIL);
     }
     full_collect(&mut h);
-    assert!(h.capacity_bytes() <= before, "dead weak chains are reclaimed");
+    assert!(
+        h.capacity_bytes() <= before,
+        "dead weak chains are reclaimed"
+    );
 }
 
 #[test]
@@ -238,7 +271,10 @@ fn ablation_weak_pass_before_guardians_breaks_salvaged_objects() {
     // wrongly breaks weak pointers to objects the guardian pass then
     // salvages — exactly the failure the paper's ordering rule prevents.
     use guardians_gc::GcConfig;
-    let mut h = Heap::new(GcConfig { ablate_weak_pass_first: true, ..GcConfig::new() });
+    let mut h = Heap::new(GcConfig {
+        ablate_weak_pass_first: true,
+        ..GcConfig::new()
+    });
     let g = h.make_guardian();
     let x = h.cons(Value::fixnum(42), Value::NIL);
     let w = h.weak_cons(x, Value::NIL);
@@ -248,7 +284,11 @@ fn ablation_weak_pass_before_guardians_breaks_salvaged_objects() {
     h.collect(h.config().max_generation());
     h.verify().unwrap();
     let saved = g.poll(&mut h).expect("still salvaged");
-    assert_eq!(h.car(saved), Value::fixnum(42), "the object itself is intact");
+    assert_eq!(
+        h.car(saved),
+        Value::fixnum(42),
+        "the object itself is intact"
+    );
     assert_eq!(
         h.car(wr.get()),
         Value::FALSE,

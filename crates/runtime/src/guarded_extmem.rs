@@ -28,18 +28,24 @@ pub struct GuardedArena {
 impl GuardedArena {
     /// Creates the arena and its guardian.
     pub fn new(heap: &mut Heap) -> GuardedArena {
-        GuardedArena { arena: ExtArena::new(), guardian: heap.make_guardian(), auto_freed: 0 }
+        GuardedArena {
+            arena: ExtArena::new(),
+            guardian: heap.make_guardian(),
+            auto_freed: 0,
+        }
     }
 
     /// Allocates `size` external bytes and returns the heap header that
     /// owns them. Dropping the header (and collecting) frees the block at
     /// the next [`GuardedArena::free_dropped`].
     pub fn alloc(&mut self, heap: &mut Heap, size: usize) -> Value {
-        self.free_dropped(heap).expect("clean-up of well-formed ids cannot fail");
+        self.free_dropped(heap)
+            .expect("clean-up of well-formed ids cannot fail");
         let id = self.arena.malloc(size);
         let header = heap.make_record(rtags::extblock(), &[Value::fixnum(id.0 as i64)]);
         // Agent = the block id: the header can be discarded entirely.
-        self.guardian.register_with_agent(heap, header, Value::fixnum(id.0 as i64));
+        self.guardian
+            .register_with_agent(heap, header, Value::fixnum(id.0 as i64));
         header
     }
 
@@ -102,7 +108,11 @@ mod tests {
         let wr = heap.root(w);
         heap.collect(heap.config().max_generation());
         ga.free_dropped(&mut heap).unwrap();
-        assert_eq!(heap.car(wr.get()), Value::FALSE, "the header itself was reclaimed");
+        assert_eq!(
+            heap.car(wr.get()),
+            Value::FALSE,
+            "the header itself was reclaimed"
+        );
         assert_eq!(ga.arena.live_blocks(), 0);
     }
 

@@ -37,7 +37,11 @@ pub struct GuardedPorts {
 impl GuardedPorts {
     /// Creates the port guardian.
     pub fn new(heap: &mut Heap) -> GuardedPorts {
-        GuardedPorts { guardian: heap.make_guardian(), dropped_closed: 0, bytes_rescued: 0 }
+        GuardedPorts {
+            guardian: heap.make_guardian(),
+            dropped_closed: 0,
+            bytes_rescued: 0,
+        }
     }
 
     /// `guarded-open-input-file`: closes dropped ports, then opens and
@@ -130,13 +134,21 @@ mod tests {
             // the paper's story.
         }
         assert_eq!(os.open_count(), 1, "leaked so far");
-        assert_eq!(os.file_contents("/log").unwrap(), b"", "data still buffered");
+        assert_eq!(
+            os.file_contents("/log").unwrap(),
+            b"",
+            "data still buffered"
+        );
 
         h.collect(h.config().max_generation());
         let closed = gp.close_dropped_ports(&mut h, &mut os).unwrap();
         assert_eq!(closed, 1);
         assert_eq!(os.open_count(), 0, "descriptor reclaimed");
-        assert_eq!(os.file_contents("/log").unwrap(), b"important data", "data rescued");
+        assert_eq!(
+            os.file_contents("/log").unwrap(),
+            b"important data",
+            "data rescued"
+        );
         assert_eq!(gp.bytes_rescued, 14);
     }
 

@@ -26,7 +26,12 @@ pub struct GuardedTempFiles {
 impl GuardedTempFiles {
     /// Creates the temp-file manager.
     pub fn new(heap: &mut Heap) -> GuardedTempFiles {
-        GuardedTempFiles { guardian: heap.make_guardian(), paths: HashMap::new(), next: 0, deleted: 0 }
+        GuardedTempFiles {
+            guardian: heap.make_guardian(),
+            paths: HashMap::new(),
+            next: 0,
+            deleted: 0,
+        }
     }
 
     /// Creates a temp file with the given contents; returns the heap
@@ -40,7 +45,8 @@ impl GuardedTempFiles {
         self.paths.insert(id, path.clone());
         let path_v = heap.make_string(&path);
         let handle = heap.make_record(rtags::extblock(), &[Value::fixnum(id as i64), path_v]);
-        self.guardian.register_with_agent(heap, handle, Value::fixnum(id as i64));
+        self.guardian
+            .register_with_agent(heap, handle, Value::fixnum(id as i64));
         handle
     }
 
@@ -122,7 +128,9 @@ pub struct GuardedProcs {
 impl GuardedProcs {
     /// Creates the subprocess manager.
     pub fn new(heap: &mut Heap) -> GuardedProcs {
-        GuardedProcs { guardian: heap.make_guardian() }
+        GuardedProcs {
+            guardian: heap.make_guardian(),
+        }
     }
 
     /// Spawns a process and returns the owning heap handle.
@@ -131,7 +139,8 @@ impl GuardedProcs {
         let cmd_v = heap.make_string(command);
         let handle = heap.make_record(rtags::extblock(), &[Value::fixnum(pid as i64), cmd_v]);
         // Agent = the pid; the handle itself need not be preserved.
-        self.guardian.register_with_agent(heap, handle, Value::fixnum(pid as i64));
+        self.guardian
+            .register_with_agent(heap, handle, Value::fixnum(pid as i64));
         handle
     }
 

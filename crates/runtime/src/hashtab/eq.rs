@@ -253,7 +253,10 @@ mod tests {
         }
         heap.collect(0); // every key moves
         for (i, kr) in keys.iter().enumerate() {
-            assert_eq!(t.get(&mut heap, kr.get()), Some(Value::fixnum(i as i64 * 10)));
+            assert_eq!(
+                t.get(&mut heap, kr.get()),
+                Some(Value::fixnum(i as i64 * 10))
+            );
         }
         assert_eq!(t.rehash_count, 1, "one lazy rehash after the collection");
         assert_eq!(t.entries_rehashed, 100, "rehash touched every entry");
@@ -278,7 +281,11 @@ mod tests {
         let baseline = t.entries_rehashed;
         heap.collect(0); // nothing in the table moves now
         let _ = t.get(&mut heap, keys[0].get());
-        assert_eq!(t.entries_rehashed, baseline + 50, "50 more entries touched for nothing");
+        assert_eq!(
+            t.entries_rehashed,
+            baseline + 50,
+            "50 more entries touched for nothing"
+        );
     }
 
     #[test]
@@ -294,7 +301,10 @@ mod tests {
         heap.collect(0);
         heap.collect(1);
         for (i, kr) in keys.iter().enumerate() {
-            assert_eq!(t.get(&mut heap, kr.get()), Some(Value::fixnum(i as i64 * 10)));
+            assert_eq!(
+                t.get(&mut heap, kr.get()),
+                Some(Value::fixnum(i as i64 * 10))
+            );
         }
         heap.verify().unwrap();
     }
@@ -338,12 +348,18 @@ mod tests {
         let k = heap.cons(Value::NIL, Value::NIL);
         let kr = heap.root(k);
         assert_eq!(t.insert(&mut heap, k, Value::fixnum(1)), None);
-        assert_eq!(t.insert(&mut heap, kr.get(), Value::fixnum(2)), Some(Value::fixnum(1)));
+        assert_eq!(
+            t.insert(&mut heap, kr.get(), Value::fixnum(2)),
+            Some(Value::fixnum(1))
+        );
         assert_eq!(t.len(), 1);
 
         let mut tt = TransportEqHashTable::new(&mut heap, 4);
         assert_eq!(tt.insert(&mut heap, kr.get(), Value::fixnum(1)), None);
-        assert_eq!(tt.insert(&mut heap, kr.get(), Value::fixnum(2)), Some(Value::fixnum(1)));
+        assert_eq!(
+            tt.insert(&mut heap, kr.get(), Value::fixnum(2)),
+            Some(Value::fixnum(1))
+        );
         assert_eq!(tt.len(), 1);
     }
 

@@ -213,7 +213,11 @@ mod tests {
         // value holds the key, this particular shape keeps the key alive —
         // the paper's design does not claim to break value->key cycles
         // (ephemerons do). Verify the documented behaviour:
-        assert_eq!(t.len(), 1, "value->key edge keeps the entry (documented non-ephemeron)");
+        assert_eq!(
+            t.len(),
+            1,
+            "value->key edge keeps the entry (documented non-ephemeron)"
+        );
     }
 
     #[test]

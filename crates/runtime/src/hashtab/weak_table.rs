@@ -128,7 +128,10 @@ mod tests {
         let k = heap.make_string("k");
         let kr = heap.root(k);
         assert_eq!(t.access(&mut heap, k, Value::fixnum(1)), Value::fixnum(1));
-        assert_eq!(t.access(&mut heap, kr.get(), Value::fixnum(2)), Value::fixnum(1));
+        assert_eq!(
+            t.access(&mut heap, kr.get(), Value::fixnum(2)),
+            Value::fixnum(1)
+        );
         assert_eq!(t.get(&mut heap, kr.get()), Some(Value::fixnum(1)));
     }
 
@@ -145,12 +148,19 @@ mod tests {
             t.access(&mut heap, k, Value::fixnum(i));
         }
         heap.collect(heap.config().max_generation());
-        assert_eq!(t.physical_len(), 40, "the leak: dead entries still occupy the table");
+        assert_eq!(
+            t.physical_len(),
+            40,
+            "the leak: dead entries still occupy the table"
+        );
 
         let removed = t.scrub_full_scan(&mut heap);
         assert_eq!(removed, 30);
         assert_eq!(t.physical_len(), 10);
-        assert_eq!(t.entries_scanned, 40, "the scan touched EVERY entry, dead or not");
+        assert_eq!(
+            t.entries_scanned, 40,
+            "the scan touched EVERY entry, dead or not"
+        );
         for (j, r) in keep.iter().enumerate() {
             assert_eq!(t.get(&mut heap, r.get()), Some(Value::fixnum(4 * j as i64)));
         }
@@ -171,6 +181,9 @@ mod tests {
         heap.collect(heap.config().max_generation());
         let removed = t.scrub_full_scan(&mut heap);
         assert_eq!(removed, 1);
-        assert_eq!(t.entries_scanned, 500, "touched 500 entries to reclaim 1 — the E4 contrast");
+        assert_eq!(
+            t.entries_scanned, 500,
+            "touched 500 entries to reclaim 1 — the E4 contrast"
+        );
     }
 }

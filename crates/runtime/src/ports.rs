@@ -242,7 +242,11 @@ mod tests {
         assert!(is_input_port(&h, inp) && !is_output_port(&h, inp));
         let data = read_to_end(&mut h, &mut os, inp).unwrap();
         assert_eq!(data, b"hello, ports");
-        assert_eq!(read_byte(&mut h, &mut os, inp).unwrap(), None, "stays at EOF");
+        assert_eq!(
+            read_byte(&mut h, &mut os, inp).unwrap(),
+            None,
+            "stays at EOF"
+        );
         close_port(&mut h, &mut os, inp).unwrap();
     }
 
@@ -254,7 +258,11 @@ mod tests {
         for i in 0..(BUFFER_SIZE + 10) {
             write_byte(&mut h, &mut os, out, (i % 251) as u8).unwrap();
         }
-        assert_eq!(os.file_contents("/big").unwrap().len(), BUFFER_SIZE, "one full buffer");
+        assert_eq!(
+            os.file_contents("/big").unwrap().len(),
+            BUFFER_SIZE,
+            "one full buffer"
+        );
         assert_eq!(unflushed_bytes(&h, out), 10);
         close_port(&mut h, &mut os, out).unwrap();
         assert_eq!(os.file_contents("/big").unwrap().len(), BUFFER_SIZE + 10);
@@ -283,7 +291,11 @@ mod tests {
         let inp = r.get();
         assert!(is_port(&h, inp));
         assert_eq!(port_path(&h, inp), "/data");
-        assert_eq!(read_byte(&mut h, &mut os, inp).unwrap(), Some(b'b'), "buffer state moved");
+        assert_eq!(
+            read_byte(&mut h, &mut os, inp).unwrap(),
+            Some(b'b'),
+            "buffer state moved"
+        );
     }
 
     #[test]

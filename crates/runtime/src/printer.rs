@@ -34,7 +34,13 @@ struct Printer<'h> {
 
 impl<'h> Printer<'h> {
     fn new(heap: &'h Heap, write: bool) -> Printer<'h> {
-        Printer { heap, write, seen: HashMap::new(), labels: HashMap::new(), emitted: HashMap::new() }
+        Printer {
+            heap,
+            write,
+            seen: HashMap::new(),
+            labels: HashMap::new(),
+            emitted: HashMap::new(),
+        }
     }
 
     fn print(mut self, v: Value) -> String {

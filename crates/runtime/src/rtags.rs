@@ -50,8 +50,15 @@ mod tests {
 
     #[test]
     fn tags_are_distinct() {
-        let tags = [port(), guardian(), extblock(), closure(), primitive(), environment(),
-                    hashtable()];
+        let tags = [
+            port(),
+            guardian(),
+            extblock(),
+            closure(),
+            primitive(),
+            environment(),
+            hashtable(),
+        ];
         for (i, a) in tags.iter().enumerate() {
             for (j, b) in tags.iter().enumerate() {
                 assert_eq!(a == b, i == j);

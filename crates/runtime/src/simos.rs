@@ -97,7 +97,12 @@ impl SimOs {
 
     /// An OS with a custom descriptor limit.
     pub fn with_fd_limit(limit: usize) -> SimOs {
-        SimOs { files: HashMap::new(), fds: Vec::new(), limit, stats: OsStats::default() }
+        SimOs {
+            files: HashMap::new(),
+            fds: Vec::new(),
+            limit,
+            stats: OsStats::default(),
+        }
     }
 
     /// Creates (or replaces) a file with the given contents.
@@ -111,7 +116,10 @@ impl SimOs {
     ///
     /// Returns [`OsError::NotFound`] if the file does not exist.
     pub fn file_contents(&self, path: &str) -> Result<&[u8], OsError> {
-        self.files.get(path).map(Vec::as_slice).ok_or_else(|| OsError::NotFound(path.into()))
+        self.files
+            .get(path)
+            .map(Vec::as_slice)
+            .ok_or_else(|| OsError::NotFound(path.into()))
     }
 
     /// Removes a file (for temporary-file finalization scenarios).
@@ -120,7 +128,10 @@ impl SimOs {
     ///
     /// Returns [`OsError::NotFound`] if the file does not exist.
     pub fn delete_file(&mut self, path: &str) -> Result<(), OsError> {
-        self.files.remove(path).map(|_| ()).ok_or_else(|| OsError::NotFound(path.into()))
+        self.files
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| OsError::NotFound(path.into()))
     }
 
     /// Whether a file exists.
@@ -154,7 +165,11 @@ impl SimOs {
         if !self.files.contains_key(path) {
             return Err(OsError::NotFound(path.into()));
         }
-        self.issue(OpenFile { path: path.into(), mode: Mode::Read, pos: 0 })
+        self.issue(OpenFile {
+            path: path.into(),
+            mode: Mode::Read,
+            pos: 0,
+        })
     }
 
     /// Creates/truncates a file and opens it for writing.
@@ -163,7 +178,11 @@ impl SimOs {
     ///
     /// [`OsError::TooManyOpen`] at the descriptor limit.
     pub fn open_output(&mut self, path: &str) -> Result<Fd, OsError> {
-        let fd = self.issue(OpenFile { path: path.into(), mode: Mode::Write, pos: 0 })?;
+        let fd = self.issue(OpenFile {
+            path: path.into(),
+            mode: Mode::Write,
+            pos: 0,
+        })?;
         self.files.insert(path.into(), Vec::new());
         Ok(fd)
     }
@@ -205,7 +224,10 @@ impl SimOs {
     pub fn write(&mut self, fd: Fd, bytes: &[u8]) -> Result<(), OsError> {
         let open = self.open_file_mut(fd, Mode::Write)?;
         let path = open.path.clone();
-        self.files.get_mut(&path).expect("open file exists").extend_from_slice(bytes);
+        self.files
+            .get_mut(&path)
+            .expect("open file exists")
+            .extend_from_slice(bytes);
         self.stats.bytes_written += bytes.len() as u64;
         Ok(())
     }
@@ -280,7 +302,10 @@ mod tests {
         let mut os = SimOs::with_fd_limit(2);
         let a = os.open_output("/a").unwrap();
         let _b = os.open_output("/b").unwrap();
-        assert_eq!(os.open_output("/c").unwrap_err(), OsError::TooManyOpen { limit: 2 });
+        assert_eq!(
+            os.open_output("/c").unwrap_err(),
+            OsError::TooManyOpen { limit: 2 }
+        );
         assert_eq!(os.stats().rejected_opens, 1);
         os.close(a).unwrap();
         assert!(os.open_output("/c").is_ok(), "closing frees a slot");
@@ -299,7 +324,10 @@ mod tests {
     #[test]
     fn mode_and_fd_errors() {
         let mut os = SimOs::new();
-        assert!(matches!(os.open_input("/missing"), Err(OsError::NotFound(_))));
+        assert!(matches!(
+            os.open_input("/missing"),
+            Err(OsError::NotFound(_))
+        ));
         let fd = os.open_output("/x").unwrap();
         let mut buf = [0u8; 1];
         assert_eq!(os.read(fd, &mut buf).unwrap_err(), OsError::WrongMode(fd));

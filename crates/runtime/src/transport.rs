@@ -36,7 +36,9 @@ pub struct TransportGuardian {
 impl TransportGuardian {
     /// `(make-transport-guardian)`.
     pub fn new(heap: &mut Heap) -> TransportGuardian {
-        TransportGuardian { g: heap.make_guardian() }
+        TransportGuardian {
+            g: heap.make_guardian(),
+        }
     }
 
     /// Registers `x` for transport tracking. Note the paper's caveat
@@ -131,7 +133,11 @@ mod tests {
         let _conservative = tg.drain(&mut h); // allowed, possibly nonempty
         for round in 0..3 {
             h.collect(0);
-            assert_eq!(tg.poll(&mut h), None, "round {round}: marker aged with object");
+            assert_eq!(
+                tg.poll(&mut h),
+                None,
+                "round {round}: marker aged with object"
+            );
         }
         assert_eq!(h.generation_of(r.get()), Some(2));
     }

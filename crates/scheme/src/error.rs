@@ -18,7 +18,9 @@ pub struct SchemeError {
 impl SchemeError {
     /// Creates an error with a message.
     pub fn new(message: impl Into<String>) -> SchemeError {
-        SchemeError { message: message.into() }
+        SchemeError {
+            message: message.into(),
+        }
     }
 
     /// The error message.

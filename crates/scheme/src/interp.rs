@@ -227,7 +227,8 @@ impl Interp {
     // ------------------------------------------------------------------
 
     pub(crate) fn make_env(&mut self, bindings: Value, parent: Value) -> Value {
-        self.heap.make_record(rtags::environment(), &[bindings, parent])
+        self.heap
+            .make_record(rtags::environment(), &[bindings, parent])
     }
 
     fn lookup(&self, env: Value, sym: Value) -> SResult<Value> {
@@ -274,7 +275,10 @@ impl Interp {
             }
             frame = self.heap.record_ref(frame, 1);
         }
-        err(format!("set!: unbound variable: {}", self.heap.symbol_name(sym)))
+        err(format!(
+            "set!: unbound variable: {}",
+            self.heap.symbol_name(sym)
+        ))
     }
 
     /// The global environment record.
@@ -344,7 +348,10 @@ impl Interp {
     /// from primitives, user `error` calls).
     pub fn eval(&mut self, expr: Value, env: Value) -> SResult<Value> {
         if self.depth >= self.max_depth {
-            return err(format!("recursion too deep (max {} non-tail frames)", self.max_depth));
+            return err(format!(
+                "recursion too deep (max {} non-tail frames)",
+                self.max_depth
+            ));
         }
         self.depth += 1;
         let base = self.stack.len();
@@ -498,7 +505,8 @@ impl Interp {
     }
 
     pub(crate) fn make_closure(&mut self, clauses: Value, env: Value, name: Value) -> Value {
-        self.heap.make_record(rtags::closure(), &[clauses, env, name])
+        self.heap
+            .make_record(rtags::closure(), &[clauses, env, name])
     }
 
     fn eval_define(&mut self, base: usize) -> SResult<Value> {
@@ -977,12 +985,9 @@ impl Interp {
             }
             if desc == rtags::primitive() {
                 let index = self.heap.record_ref(op, 0).as_fixnum() as usize;
-                let args: Vec<Value> =
-                    (0..argc).map(|i| self.stack.get(args_base + i)).collect();
+                let args: Vec<Value> = (0..argc).map(|i| self.stack.get(args_base + i)).collect();
                 let entry = &self.prims[index];
-                if args.len() < entry.min_args
-                    || entry.max_args.is_some_and(|m| args.len() > m)
-                {
+                if args.len() < entry.min_args || entry.max_args.is_some_and(|m| args.len() > m) {
                     return err(format!(
                         "{}: wrong number of arguments ({})",
                         entry.name,
@@ -1292,8 +1297,7 @@ impl Interp {
                 // quasiquote) in tail position is a dotted tail.
                 let rest_head = self.heap.car(rest);
                 if self.heap.is_symbol(rest_head)
-                    && (rest_head == self.sf.unquote.get()
-                        || rest_head == self.sf.quasiquote.get())
+                    && (rest_head == self.sf.unquote.get() || rest_head == self.sf.quasiquote.get())
                 {
                     let v = self.expand_quasiquote(base, rest, depth)?;
                     self.stack.set(tail_slot, v);

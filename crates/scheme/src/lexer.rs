@@ -162,8 +162,18 @@ pub fn tokenize(src: &str) -> SResult<Vec<Token>> {
                 while i < chars.len()
                     && !matches!(
                         chars[i],
-                        ' ' | '\t' | '\n' | '\r' | '(' | ')' | '[' | ']' | '"' | ';' | '\''
-                            | '`' | ','
+                        ' ' | '\t'
+                            | '\n'
+                            | '\r'
+                            | '('
+                            | ')'
+                            | '['
+                            | ']'
+                            | '"'
+                            | ';'
+                            | '\''
+                            | '`'
+                            | ','
                     )
                 {
                     i += 1;
@@ -184,7 +194,10 @@ fn classify_atom(atom: &str) -> SResult<Token> {
     let numeric_start = atom.chars().next().is_some_and(|c| c.is_ascii_digit())
         || (atom.len() > 1
             && (atom.starts_with('-') || atom.starts_with('+'))
-            && atom.chars().nth(1).is_some_and(|c| c.is_ascii_digit() || c == '.'));
+            && atom
+                .chars()
+                .nth(1)
+                .is_some_and(|c| c.is_ascii_digit() || c == '.'));
     if numeric_start {
         if atom.contains('.') || atom.contains('e') || atom.contains('E') {
             return match atom.parse::<f64>() {
@@ -234,8 +247,14 @@ mod tests {
 
     #[test]
     fn strings_chars_bools() {
-        assert_eq!(tokenize("\"a\\nb\"").unwrap(), vec![Token::Str("a\nb".into())]);
-        assert_eq!(tokenize("#t #f").unwrap(), vec![Token::Bool(true), Token::Bool(false)]);
+        assert_eq!(
+            tokenize("\"a\\nb\"").unwrap(),
+            vec![Token::Str("a\nb".into())]
+        );
+        assert_eq!(
+            tokenize("#t #f").unwrap(),
+            vec![Token::Bool(true), Token::Bool(false)]
+        );
         assert_eq!(tokenize("#\\a").unwrap(), vec![Token::Char('a')]);
         assert_eq!(tokenize("#\\space").unwrap(), vec![Token::Char(' ')]);
         assert_eq!(tokenize("#\\newline").unwrap(), vec![Token::Char('\n')]);
@@ -253,7 +272,10 @@ mod tests {
     fn brackets_work_like_parens() {
         // The paper's code uses (let ([p ...]) ...) bracket style.
         let toks = tokenize("[a]").unwrap();
-        assert_eq!(toks, vec![Token::LParen, Token::Symbol("a".into()), Token::RParen]);
+        assert_eq!(
+            toks,
+            vec![Token::LParen, Token::Symbol("a".into()), Token::RParen]
+        );
     }
 
     #[test]

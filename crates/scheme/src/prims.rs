@@ -67,7 +67,12 @@ fn table() -> &'static [PrimEntry] {
         ("make-guardian", p_make_guardian, 0, Some(0)),
         ("guardian?", p_is_guardian, 1, Some(1)),
         ("collect", p_collect, 0, Some(1)),
-        ("collect-request-handler", p_collect_request_handler, 1, Some(1)),
+        (
+            "collect-request-handler",
+            p_collect_request_handler,
+            1,
+            Some(1)
+        ),
         ("collection-count", p_collection_count, 0, Some(0)),
         ("generation-of", p_generation_of, 1, Some(1)),
         // Numbers
@@ -261,7 +266,12 @@ fn fold_nums(
     Ok(num_value(&mut it.heap, acc))
 }
 
-fn compare_chain(it: &Interp, args: &[Value], who: &str, ok: fn(f64, f64) -> bool) -> SResult<Value> {
+fn compare_chain(
+    it: &Interp,
+    args: &[Value],
+    who: &str,
+    ok: fn(f64, f64) -> bool,
+) -> SResult<Value> {
     for w in args.windows(2) {
         let a = as_f64(want_num(&it.heap, w[0], who)?);
         let b = as_f64(want_num(&it.heap, w[1], who)?);
@@ -446,7 +456,11 @@ fn cxr(it: &Interp, v: Value, path: &[char], who: &str) -> SResult<Value> {
     let mut cur = v;
     for c in path.iter().rev() {
         want_pair(&it.heap, cur, who)?;
-        cur = if *c == 'a' { it.heap.car(cur) } else { it.heap.cdr(cur) };
+        cur = if *c == 'a' {
+            it.heap.car(cur)
+        } else {
+            it.heap.cdr(cur)
+        };
     }
     Ok(cur)
 }
@@ -679,7 +693,9 @@ fn p_modulo(it: &mut Interp, a: &[Value]) -> SResult<Value> {
 }
 
 fn p_is_zero(it: &mut Interp, a: &[Value]) -> SResult<Value> {
-    Ok(Value::bool(as_f64(want_num(&it.heap, a[0], "zero?")?) == 0.0))
+    Ok(Value::bool(
+        as_f64(want_num(&it.heap, a[0], "zero?")?) == 0.0,
+    ))
 }
 
 fn p_is_even(_: &mut Interp, a: &[Value]) -> SResult<Value> {
@@ -755,7 +771,14 @@ fn equal_rec(heap: &Heap, a: Value, b: Value, depth: usize) -> bool {
         if n != heap.vector_len(b) {
             return false;
         }
-        return (0..n).all(|i| equal_rec(heap, heap.vector_ref(a, i), heap.vector_ref(b, i), depth + 1));
+        return (0..n).all(|i| {
+            equal_rec(
+                heap,
+                heap.vector_ref(a, i),
+                heap.vector_ref(b, i),
+                depth + 1,
+            )
+        });
     }
     false
 }
@@ -997,7 +1020,9 @@ fn p_make_record(it: &mut Interp, a: &[Value]) -> SResult<Value> {
 }
 
 fn p_record_of_type(it: &mut Interp, a: &[Value]) -> SResult<Value> {
-    Ok(Value::bool(it.heap.is_record(a[0]) && it.heap.record_descriptor(a[0]) == a[1]))
+    Ok(Value::bool(
+        it.heap.is_record(a[0]) && it.heap.record_descriptor(a[0]) == a[1],
+    ))
 }
 
 fn record_field(it: &Interp, a: &[Value], who: &str) -> SResult<usize> {
@@ -1092,7 +1117,9 @@ fn p_read_char(it: &mut Interp, a: &[Value]) -> SResult<Value> {
 }
 
 fn p_write_char(it: &mut Interp, a: &[Value]) -> SResult<Value> {
-    let c = a[0].as_char().ok_or_else(|| crate::error::SchemeError::new("write-char: not a char"))?;
+    let c = a[0]
+        .as_char()
+        .ok_or_else(|| crate::error::SchemeError::new("write-char: not a char"))?;
     want_port(it, a[1], "write-char")?;
     let mut buf = [0u8; 4];
     let s = c.encode_utf8(&mut buf);

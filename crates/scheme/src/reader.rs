@@ -16,7 +16,12 @@ use guardians_runtime::symtab::SymbolTable;
 /// Propagates lexer errors and reports unbalanced/dangling syntax.
 pub fn read_all(heap: &mut Heap, symbols: &mut SymbolTable, src: &str) -> SResult<Vec<Value>> {
     let tokens = tokenize(src)?;
-    let mut reader = Reader { heap, symbols, tokens, pos: 0 };
+    let mut reader = Reader {
+        heap,
+        symbols,
+        tokens,
+        pos: 0,
+    };
     let mut forms = Vec::new();
     while !reader.at_end() {
         forms.push(reader.read()?);

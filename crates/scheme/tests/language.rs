@@ -5,7 +5,8 @@ use guardians_scheme::Interp;
 
 fn eval(src: &str) -> String {
     let mut i = Interp::new();
-    i.eval_to_string(src).unwrap_or_else(|e| panic!("eval of {src:?} failed: {e}"))
+    i.eval_to_string(src)
+        .unwrap_or_else(|e| panic!("eval of {src:?} failed: {e}"))
 }
 
 #[test]
@@ -58,7 +59,10 @@ fn comparisons_and_predicates() {
 fn definitions_and_assignment() {
     assert_eq!(eval("(define x 10) (set! x (+ x 1)) x"), "11");
     assert_eq!(eval("(define (square n) (* n n)) (square 7)"), "49");
-    assert_eq!(eval("(define (f a . rest) (cons a rest)) (f 1 2 3)"), "(1 2 3)");
+    assert_eq!(
+        eval("(define (f a . rest) (cons a rest)) (f 1 2 3)"),
+        "(1 2 3)"
+    );
 }
 
 #[test]
@@ -100,19 +104,26 @@ fn let_forms() {
     assert_eq!(eval("(let ([x 1] [y 2]) (+ x y))"), "3");
     assert_eq!(eval("(let* ([x 1] [y (+ x 1)]) (* x y))"), "2");
     assert_eq!(
-        eval("(letrec ([even? (lambda (n) (if (zero? n) #t (odd? (- n 1))))]
+        eval(
+            "(letrec ([even? (lambda (n) (if (zero? n) #t (odd? (- n 1))))]
                        [odd? (lambda (n) (if (zero? n) #f (even? (- n 1))))])
-               (even? 10))"),
+               (even? 10))"
+        ),
         "#t"
     );
     // Named let — the loop idiom Figure 1 depends on.
     assert_eq!(
-        eval("(let loop ([i 0] [acc '()])
-               (if (= i 5) (reverse acc) (loop (+ i 1) (cons i acc))))"),
+        eval(
+            "(let loop ([i 0] [acc '()])
+               (if (= i 5) (reverse acc) (loop (+ i 1) (cons i acc))))"
+        ),
         "(0 1 2 3 4)"
     );
     // let bindings do not see each other (unlike let*).
-    assert_eq!(eval("(define x 'outer) (let ([x 'inner] [y x]) y)"), "outer");
+    assert_eq!(
+        eval("(define x 'outer) (let ([x 'inner] [y x]) y)"),
+        "outer"
+    );
 }
 
 #[test]
@@ -160,7 +171,10 @@ fn lists_and_vectors() {
     assert_eq!(eval("(assq 'b '((a . 1) (b . 2)))"), "(b . 2)");
     assert_eq!(eval("(remq 'b '(a b c b))"), "(a c)");
     assert_eq!(eval("(list-ref '(a b c) 1)"), "b");
-    assert_eq!(eval("(define v (make-vector 3 0)) (vector-set! v 1 'x) v"), "#(0 x 0)");
+    assert_eq!(
+        eval("(define v (make-vector 3 0)) (vector-set! v 1 'x) v"),
+        "#(0 x 0)"
+    );
     assert_eq!(eval("(vector-length (vector 1 2 3))"), "3");
 }
 
@@ -194,7 +208,8 @@ fn apply_and_error() {
 #[test]
 fn output_capture() {
     let mut i = Interp::new();
-    i.eval_str("(display \"x = \") (write \"s\") (newline)").unwrap();
+    i.eval_str("(display \"x = \") (write \"s\") (newline)")
+        .unwrap();
     assert_eq!(i.take_output(), "x = \"s\"\n");
 }
 
@@ -221,7 +236,10 @@ fn error_reporting() {
 fn collections_during_evaluation_are_transparent() {
     // A tiny trigger forces many collections in the middle of evaluation;
     // all interpreter state must survive.
-    let config = GcConfig { trigger_bytes: 16 * 1024, ..GcConfig::new() };
+    let config = GcConfig {
+        trigger_bytes: 16 * 1024,
+        ..GcConfig::new()
+    };
     let mut i = Interp::with_config(config);
     let result = i
         .eval_to_string(
@@ -233,7 +251,10 @@ fn collections_during_evaluation_are_transparent() {
         )
         .unwrap();
     assert_eq!(result, "3000");
-    assert!(i.heap().collection_count() > 0, "collections really happened");
+    assert!(
+        i.heap().collection_count() > 0,
+        "collections really happened"
+    );
     i.heap().verify().unwrap();
     // Data integrity after all those moves.
     assert_eq!(i.eval_to_string("(car big)").unwrap(), "2999");
@@ -247,7 +268,8 @@ fn explicit_collect_and_introspection() {
     i.eval_str("(collect)").unwrap();
     assert_eq!(i.eval_to_string("(collection-count)").unwrap(), "1");
     assert_eq!(
-        i.eval_to_string("(define x (cons 1 2)) (collect 0) (generation-of x)").unwrap(),
+        i.eval_to_string("(define x (cons 1 2)) (collect 0) (generation-of x)")
+            .unwrap(),
         "1"
     );
     assert!(i.eval_str("(collect 99)").is_err());
@@ -275,9 +297,11 @@ fn excessive_nontail_recursion_errors_cleanly() {
 #[test]
 fn shadowing_and_scope() {
     assert_eq!(
-        eval("(define x 'global)
+        eval(
+            "(define x 'global)
               (define (f) x)
-              (let ([x 'local]) (f))"),
+              (let ([x 'local]) (f))"
+        ),
         "global",
         "lexical, not dynamic, scope"
     );

@@ -4,7 +4,8 @@
 use guardians_scheme::Interp;
 
 fn ev(i: &mut Interp, src: &str) -> String {
-    i.eval_to_string(src).unwrap_or_else(|e| panic!("eval of {src:?} failed: {e}"))
+    i.eval_to_string(src)
+        .unwrap_or_else(|e| panic!("eval of {src:?} failed: {e}"))
 }
 
 /// Section 3, first transcript.
@@ -40,7 +41,10 @@ fn transcript_double_registration() {
 #[test]
 fn transcript_two_guardians() {
     let mut i = Interp::new();
-    ev(&mut i, "(define G (make-guardian)) (define H (make-guardian))");
+    ev(
+        &mut i,
+        "(define G (make-guardian)) (define H (make-guardian))",
+    );
     ev(&mut i, "(define x (cons 'a 'b))");
     ev(&mut i, "(G x) (H x)");
     ev(&mut i, "(set! x #f)");
@@ -117,11 +121,16 @@ fn guarded_ports_library() {
     )
     .unwrap();
     assert_eq!(i.os().open_count(), 1, "port leaked for now");
-    assert_eq!(i.os().file_contents("/log").unwrap(), b"", "data still buffered");
+    assert_eq!(
+        i.os().file_contents("/log").unwrap(),
+        b"",
+        "data still buffered"
+    );
 
     // A collection proves it dropped; the next guarded open cleans up.
     i.eval_str("(collect 3)").unwrap();
-    i.eval_str(r#"(define q (guarded-open-output-file "/other"))"#).unwrap();
+    i.eval_str(r#"(define q (guarded-open-output-file "/other"))"#)
+        .unwrap();
     assert_eq!(i.os().open_count(), 1, "dropped port closed, new port open");
     assert_eq!(
         i.os().file_contents("/log").unwrap(),
@@ -130,7 +139,8 @@ fn guarded_ports_library() {
     );
 
     // guarded-exit flushes the rest.
-    i.eval_str(r#"(write-string "bye" q) (set! q #f) (collect 3) (guarded-exit)"#).unwrap();
+    i.eval_str(r#"(write-string "bye" q) (set! q #f) (collect 3) (guarded-exit)"#)
+        .unwrap();
     assert_eq!(i.os().open_count(), 0);
     assert_eq!(i.os().file_contents("/other").unwrap(), b"bye");
 }
@@ -265,10 +275,17 @@ fn cleanup_actions_may_allocate_and_raise() {
     assert_eq!(ev(&mut i, "(car cleaned)"), "finalized");
 
     // Errors in clean-up propagate normally and do not corrupt anything.
-    i.eval_str("(define y (cons 1 2)) (G y) (set! y #f) (collect 3)").unwrap();
-    let e = i.eval_str("(let ([dead (G)]) (error \"cleanup failed for\" dead))").unwrap_err();
+    i.eval_str("(define y (cons 1 2)) (G y) (set! y #f) (collect 3)")
+        .unwrap();
+    let e = i
+        .eval_str("(let ([dead (G)]) (error \"cleanup failed for\" dead))")
+        .unwrap_err();
     assert!(e.to_string().contains("cleanup failed"), "got {e}");
-    assert_eq!(ev(&mut i, "(+ 1 1)"), "2", "interpreter healthy after the error");
+    assert_eq!(
+        ev(&mut i, "(+ 1 1)"),
+        "2",
+        "interpreter healthy after the error"
+    );
     i.heap().verify().unwrap();
 }
 

@@ -9,9 +9,19 @@ fn run_both(src: &str, expected: &str) {
     let mut normal = Interp::new();
     assert_eq!(normal.eval_to_string(src).unwrap(), expected, "normal heap");
 
-    let mut stressed = Interp::with_config(GcConfig { trigger_bytes: 8192, ..GcConfig::new() });
-    assert_eq!(stressed.eval_to_string(src).unwrap(), expected, "stressed heap");
-    assert!(stressed.heap().collection_count() > 0, "stress collections really ran");
+    let mut stressed = Interp::with_config(GcConfig {
+        trigger_bytes: 8192,
+        ..GcConfig::new()
+    });
+    assert_eq!(
+        stressed.eval_to_string(src).unwrap(),
+        expected,
+        "stressed heap"
+    );
+    assert!(
+        stressed.heap().collection_count() > 0,
+        "stress collections really ran"
+    );
     stressed.heap().verify().unwrap();
 }
 

@@ -1,8 +1,8 @@
 //! Robustness property tests: the lexer, reader, and evaluator must never
 //! panic — arbitrary input produces either a value or a `SchemeError`.
 
-use guardians_scheme::{read_all, tokenize, Interp};
 use guardians_runtime::symtab::SymbolTable;
+use guardians_scheme::{read_all, tokenize, Interp};
 use proptest::prelude::*;
 
 proptest! {

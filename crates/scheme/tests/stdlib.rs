@@ -6,7 +6,8 @@ use guardians_scheme::Interp;
 
 fn eval(src: &str) -> String {
     let mut i = Interp::new();
-    i.eval_to_string(src).unwrap_or_else(|e| panic!("eval of {src:?} failed: {e}"))
+    i.eval_to_string(src)
+        .unwrap_or_else(|e| panic!("eval of {src:?} failed: {e}"))
 }
 
 #[test]
@@ -25,7 +26,10 @@ fn map_and_for_each() {
 
 #[test]
 fn map_survives_collections_mid_walk() {
-    let mut i = Interp::with_config(GcConfig { trigger_bytes: 4096, ..GcConfig::new() });
+    let mut i = Interp::with_config(GcConfig {
+        trigger_bytes: 4096,
+        ..GcConfig::new()
+    });
     let out = i
         .eval_to_string(
             "(define (iota n)
@@ -35,7 +39,10 @@ fn map_survives_collections_mid_walk() {
         )
         .unwrap();
     assert_eq!(out, "500");
-    assert!(i.heap().collection_count() > 0, "collections happened mid-map");
+    assert!(
+        i.heap().collection_count() > 0,
+        "collections happened mid-map"
+    );
     i.heap().verify().unwrap();
 }
 
@@ -43,7 +50,11 @@ fn map_survives_collections_mid_walk() {
 fn assoc_family() {
     assert_eq!(eval("(assv 2 '((1 . a) (2 . b)))"), "(2 . b)");
     assert_eq!(eval("(assoc \"k\" (list (cons \"k\" 1)))"), "(\"k\" . 1)");
-    assert_eq!(eval("(assq \"k\" (list (cons \"k\" 1)))"), "#f", "assq is eq?");
+    assert_eq!(
+        eval("(assq \"k\" (list (cons \"k\" 1)))"),
+        "#f",
+        "assq is eq?"
+    );
     assert_eq!(eval("(member \"b\" '(\"a\" \"b\"))"), "(\"b\")");
     assert_eq!(eval("(memv 1.5 '(1.0 1.5))"), "(1.5)");
 }
@@ -77,7 +88,10 @@ fn collect_request_handler_runs_after_automatic_collections() {
     // The paper's Chez idiom: "(collect-request-handler (lambda ()
     // (collect) (close-dropped-ports)))" — here the handler counts its
     // invocations and drains a guardian automatically.
-    let mut i = Interp::with_config(GcConfig { trigger_bytes: 16 * 1024, ..GcConfig::new() });
+    let mut i = Interp::with_config(GcConfig {
+        trigger_bytes: 16 * 1024,
+        ..GcConfig::new()
+    });
     let out = i
         .eval_to_string(
             r#"
@@ -109,7 +123,10 @@ fn collect_request_handler_runs_after_automatic_collections() {
 
 #[test]
 fn collect_request_handler_can_be_uninstalled() {
-    let mut i = Interp::with_config(GcConfig { trigger_bytes: 8 * 1024, ..GcConfig::new() });
+    let mut i = Interp::with_config(GcConfig {
+        trigger_bytes: 8 * 1024,
+        ..GcConfig::new()
+    });
     i.eval_str(
         "(define runs 0)
          (collect-request-handler (lambda () (set! runs (+ runs 1))))
@@ -122,17 +139,18 @@ fn collect_request_handler_can_be_uninstalled() {
     // may still fire; baseline after it completes.
     i.eval_str("(collect-request-handler #f)").unwrap();
     let baseline: i64 = i.eval_str("runs").unwrap().as_fixnum();
-    i.eval_str(
-        "(let loop ([n 0]) (if (= n 2000) 'ok (begin (cons n n) (loop (+ n 1)))))",
-    )
-    .unwrap();
+    i.eval_str("(let loop ([n 0]) (if (= n 2000) 'ok (begin (cons n n) (loop (+ n 1)))))")
+        .unwrap();
     let runs_after: i64 = i.eval_str("runs").unwrap().as_fixnum();
     assert_eq!(baseline, runs_after, "no more runs after uninstalling");
 }
 
 #[test]
 fn handler_errors_propagate_as_ordinary_errors() {
-    let mut i = Interp::with_config(GcConfig { trigger_bytes: 4096, ..GcConfig::new() });
+    let mut i = Interp::with_config(GcConfig {
+        trigger_bytes: 4096,
+        ..GcConfig::new()
+    });
     let e = i
         .eval_str(
             "(collect-request-handler (lambda () (error \"handler failed\")))
@@ -163,10 +181,15 @@ fn case_special_form() {
 
 #[test]
 fn do_special_form() {
-    assert_eq!(eval("(do ([i 0 (+ i 1)] [acc 1 (* acc 2)]) ((= i 5) acc))"), "32");
     assert_eq!(
-        eval("(define v (make-vector 4 0))
-              (do ([i 0 (+ i 1)]) ((= i 4) v) (vector-set! v i (* i i)))"),
+        eval("(do ([i 0 (+ i 1)] [acc 1 (* acc 2)]) ((= i 5) acc))"),
+        "32"
+    );
+    assert_eq!(
+        eval(
+            "(define v (make-vector 4 0))
+              (do ([i 0 (+ i 1)]) ((= i 4) v) (vector-set! v i (* i i)))"
+        ),
         "#(0 1 4 9)"
     );
     // Variables without steps keep their values.
@@ -177,8 +200,14 @@ fn do_special_form() {
 
 #[test]
 fn cond_arrow() {
-    assert_eq!(eval("(cond [(assq 'b '((a . 1) (b . 2))) => cdr] [else 'none])"), "2");
-    assert_eq!(eval("(cond [(assq 'z '((a . 1))) => cdr] [else 'none])"), "none");
+    assert_eq!(
+        eval("(cond [(assq 'b '((a . 1) (b . 2))) => cdr] [else 'none])"),
+        "2"
+    );
+    assert_eq!(
+        eval("(cond [(assq 'z '((a . 1))) => cdr] [else 'none])"),
+        "none"
+    );
     assert_eq!(eval("(cond [(memq 'c '(a b c)) => car])"), "c");
 }
 
@@ -192,7 +221,10 @@ fn quasiquote() {
     assert_eq!(eval("`#(1 ,(+ 2 3))"), "#(1 5)");
     // Nesting: inner quasiquote shields one level of unquote.
     assert_eq!(eval("`(a `(b ,(c)))"), "(a (quasiquote (b (unquote (c)))))");
-    assert_eq!(eval("(define y 7) `(a `(b ,,y))"), "(a (quasiquote (b (unquote 7))))");
+    assert_eq!(
+        eval("(define y 7) `(a `(b ,,y))"),
+        "(a (quasiquote (b (unquote 7))))"
+    );
     // Splicing an empty list vanishes.
     assert_eq!(eval("`(1 ,@'() 2)"), "(1 2)");
     // Errors.
@@ -203,7 +235,10 @@ fn quasiquote() {
 
 #[test]
 fn quasiquote_under_gc_stress() {
-    let mut i = Interp::with_config(GcConfig { trigger_bytes: 4096, ..GcConfig::new() });
+    let mut i = Interp::with_config(GcConfig {
+        trigger_bytes: 4096,
+        ..GcConfig::new()
+    });
     let out = i
         .eval_to_string(
             "(define (iota n)

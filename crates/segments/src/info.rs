@@ -31,6 +31,18 @@ pub enum Space {
 impl Space {
     /// All spaces, for iteration in tests and in the collector.
     pub const ALL: [Space; 4] = [Space::Pair, Space::WeakPair, Space::Typed, Space::Pure];
+
+    /// Dense index of this space in [`Space::ALL`], for flat
+    /// space-by-generation tables (e.g. the heap's allocation cursors).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Space::Pair => 0,
+            Space::WeakPair => 1,
+            Space::Typed => 2,
+            Space::Pure => 3,
+        }
+    }
 }
 
 /// Whether a segment starts objects or continues a large object.
@@ -61,19 +73,39 @@ pub struct SegInfo {
     /// one segment).
     pub used: u32,
     /// Remembered-set hook: set by the mutator's write barrier when a
-    /// pointer is stored into this segment.
+    /// pointer is stored into this segment. Maintain it through
+    /// [`SegmentTable::mark_dirty`](crate::SegmentTable::mark_dirty) /
+    /// [`SegmentTable::clear_dirty`](crate::SegmentTable::clear_dirty) so
+    /// the table's dirty-segment index stays coherent.
     pub dirty: bool,
+    /// Number of segments in the run this head starts (1 for a standalone
+    /// segment), making `run_len` O(1). Zero on tail segments.
+    pub run: u32,
 }
 
 impl SegInfo {
     /// Fresh metadata for a newly allocated head segment.
     pub fn head(space: Space, generation: u8) -> Self {
-        SegInfo { space, generation, kind: SegKind::Head, used: 0, dirty: false }
+        SegInfo {
+            space,
+            generation,
+            kind: SegKind::Head,
+            used: 0,
+            dirty: false,
+            run: 1,
+        }
     }
 
     /// Fresh metadata for a tail segment of a run starting at `head`.
     pub fn tail(space: Space, generation: u8, head: SegIndex) -> Self {
-        SegInfo { space, generation, kind: SegKind::Tail { head }, used: 0, dirty: false }
+        SegInfo {
+            space,
+            generation,
+            kind: SegKind::Tail { head },
+            used: 0,
+            dirty: false,
+            run: 0,
+        }
     }
 
     /// Whether this segment is the head of its run (or a standalone head).

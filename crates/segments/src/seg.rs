@@ -14,7 +14,9 @@ pub struct Segment {
 impl Segment {
     /// A zero-filled segment.
     pub fn new() -> Self {
-        Segment { words: Box::new([0; SEGMENT_WORDS]) }
+        Segment {
+            words: Box::new([0; SEGMENT_WORDS]),
+        }
     }
 
     /// Reads the word at `offset`.
@@ -27,6 +29,18 @@ impl Segment {
     #[inline]
     pub fn set_word(&mut self, offset: usize, value: u64) {
         self.words[offset] = value;
+    }
+
+    /// The whole segment as a word slice, for bulk scanning.
+    #[inline]
+    pub fn words(&self) -> &[u64; SEGMENT_WORDS] {
+        &self.words
+    }
+
+    /// The whole segment as a mutable word slice, for bulk copying.
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [u64; SEGMENT_WORDS] {
+        &mut self.words
     }
 
     /// Fills the whole segment with `value`.

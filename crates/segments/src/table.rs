@@ -3,7 +3,7 @@
 //! space and generation, and resolves [`WordAddr`]s to storage.
 
 use crate::addr::{SegIndex, WordAddr, SEGMENT_WORDS};
-use crate::info::{SegInfo, SegKind, Space};
+use crate::info::{SegInfo, Space};
 use crate::seg::{Segment, POISON};
 
 /// Owner of all heap segments and their metadata.
@@ -17,12 +17,39 @@ pub struct SegmentTable {
     info: Vec<Option<SegInfo>>,
     free: Vec<SegIndex>,
     allocated: usize,
+    /// Index of dirty segments: exactly the allocated segments whose
+    /// `SegInfo::dirty` flag is set (plus possibly-stale entries for
+    /// segments freed or cleaned since — consumers re-check the flag).
+    /// Lets the remembered-set scan visit dirty segments without walking
+    /// the whole table.
+    dirty_list: Vec<SegIndex>,
+    /// Per-generation segment lists (heads *and* tails), appended on
+    /// allocation and drained by the collector's flip so building the
+    /// from-space does not walk the whole table. Entries go stale when a
+    /// segment is freed or recycled into another generation;
+    /// [`SegmentTable::drain_generation`] filters them out.
+    by_gen: Vec<Vec<SegIndex>>,
 }
 
 impl SegmentTable {
     /// An empty table with no segments.
     pub fn new() -> Self {
-        SegmentTable { segs: Vec::new(), info: Vec::new(), free: Vec::new(), allocated: 0 }
+        SegmentTable {
+            segs: Vec::new(),
+            info: Vec::new(),
+            free: Vec::new(),
+            allocated: 0,
+            dirty_list: Vec::new(),
+            by_gen: Vec::new(),
+        }
+    }
+
+    fn note_generation(&mut self, seg: SegIndex, generation: u8) {
+        let g = generation as usize;
+        if self.by_gen.len() <= g {
+            self.by_gen.resize_with(g + 1, Vec::new);
+        }
+        self.by_gen[g].push(seg);
     }
 
     /// Allocates one segment belonging to `space` / `generation`.
@@ -41,6 +68,7 @@ impl SegmentTable {
         };
         self.info[idx.index()] = Some(SegInfo::head(space, generation));
         self.allocated += 1;
+        self.note_generation(idx, generation);
         idx
     }
 
@@ -60,13 +88,17 @@ impl SegmentTable {
         // cannot be stitched together.
         let head = SegIndex(self.segs.len() as u32);
         for i in 0..n {
+            let idx = SegIndex(head.0 + i as u32);
             self.segs.push(Segment::new());
             let info = if i == 0 {
-                SegInfo::head(space, generation)
+                let mut info = SegInfo::head(space, generation);
+                info.run = n as u32;
+                info
             } else {
                 SegInfo::tail(space, generation, head)
             };
             self.info.push(Some(info));
+            self.note_generation(idx, generation);
         }
         self.allocated += n;
         head
@@ -98,15 +130,15 @@ impl SegmentTable {
     }
 
     /// Number of segments (including tails) in the run headed by `seg`.
+    /// O(1): the length is stored in the head's [`SegInfo`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg` is not an allocated head segment.
     pub fn run_len(&self, seg: SegIndex) -> usize {
-        let mut n = 1;
-        while let Some(Some(info)) = self.info.get(seg.index() + n) {
-            match info.kind {
-                SegKind::Tail { head } if head == seg => n += 1,
-                _ => break,
-            }
-        }
-        n
+        let info = self.info(seg);
+        debug_assert!(info.is_head(), "run_len of a tail segment");
+        info.run as usize
     }
 
     /// Metadata for an allocated segment.
@@ -116,7 +148,9 @@ impl SegmentTable {
     /// Panics if the segment is not allocated.
     #[inline]
     pub fn info(&self, seg: SegIndex) -> &SegInfo {
-        self.info[seg.index()].as_ref().expect("segment not allocated")
+        self.info[seg.index()]
+            .as_ref()
+            .expect("segment not allocated")
     }
 
     /// Mutable metadata for an allocated segment.
@@ -126,7 +160,9 @@ impl SegmentTable {
     /// Panics if the segment is not allocated.
     #[inline]
     pub fn info_mut(&mut self, seg: SegIndex) -> &mut SegInfo {
-        self.info[seg.index()].as_mut().expect("segment not allocated")
+        self.info[seg.index()]
+            .as_mut()
+            .expect("segment not allocated")
     }
 
     /// Metadata if the segment is allocated, else `None`. Also returns
@@ -154,9 +190,139 @@ impl SegmentTable {
         self.segs[addr.seg().index()].set_word(addr.offset(), value);
     }
 
+    /// The words of one segment, for bulk read-only scanning. For a
+    /// multi-segment run, call once per segment of the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg` is beyond the table.
+    #[inline]
+    pub fn words(&self, seg: SegIndex) -> &[u64; SEGMENT_WORDS] {
+        self.segs[seg.index()].words()
+    }
+
+    /// The words of one segment, mutably, for batched write-back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg` is beyond the table.
+    #[inline]
+    pub fn words_mut(&mut self, seg: SegIndex) -> &mut [u64; SEGMENT_WORDS] {
+        self.segs[seg.index()].words_mut()
+    }
+
+    /// Copies `n` words from `src` to `dst` as whole-slice `memcpy`s,
+    /// chunked at segment boundaries so both intra-segment copies and
+    /// copies between (or across) multi-segment runs work. Within one
+    /// segment the regions may overlap (`copy_within` semantics).
+    pub fn copy_words(&mut self, mut src: WordAddr, mut dst: WordAddr, mut n: usize) {
+        while n > 0 {
+            let chunk = n
+                .min(SEGMENT_WORDS - src.offset())
+                .min(SEGMENT_WORDS - dst.offset());
+            let (s, d) = (src.seg().index(), dst.seg().index());
+            let (so, do_) = (src.offset(), dst.offset());
+            if s == d {
+                self.segs[s].words_mut().copy_within(so..so + chunk, do_);
+            } else if s < d {
+                let (left, right) = self.segs.split_at_mut(d);
+                right[0].words_mut()[do_..do_ + chunk]
+                    .copy_from_slice(&left[s].words()[so..so + chunk]);
+            } else {
+                let (left, right) = self.segs.split_at_mut(s);
+                left[d].words_mut()[do_..do_ + chunk]
+                    .copy_from_slice(&right[0].words()[so..so + chunk]);
+            }
+            src = src.add(chunk);
+            dst = dst.add(chunk);
+            n -= chunk;
+        }
+    }
+
     /// Whether `addr` falls inside an allocated segment.
     pub fn contains(&self, addr: WordAddr) -> bool {
         self.try_info(addr.seg()).is_some()
+    }
+
+    // ------------------------------------------------------------------
+    // Dirty-segment index
+    // ------------------------------------------------------------------
+
+    /// Sets the segment's dirty flag and records it in the dirty index.
+    /// Idempotent: an already-dirty segment is not recorded twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment is not allocated.
+    #[inline]
+    pub fn mark_dirty(&mut self, seg: SegIndex) {
+        let info = self.info[seg.index()]
+            .as_mut()
+            .expect("segment not allocated");
+        if !info.dirty {
+            info.dirty = true;
+            self.dirty_list.push(seg);
+        }
+    }
+
+    /// Clears the segment's dirty flag. The index entry (if any) goes
+    /// stale and is skipped by consumers that re-check the flag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment is not allocated.
+    #[inline]
+    pub fn clear_dirty(&mut self, seg: SegIndex) {
+        self.info[seg.index()]
+            .as_mut()
+            .expect("segment not allocated")
+            .dirty = false;
+    }
+
+    /// Takes the dirty index. Entries may be stale (freed, recycled, or
+    /// cleaned segments): the caller must skip entries whose current
+    /// [`SegInfo::dirty`] flag is unset, and must either re-[`mark_dirty`]
+    /// or [`clear_dirty`] every live entry it keeps, since taking the list
+    /// removes them from the index.
+    ///
+    /// [`mark_dirty`]: SegmentTable::mark_dirty
+    /// [`clear_dirty`]: SegmentTable::clear_dirty
+    pub fn take_dirty(&mut self) -> Vec<SegIndex> {
+        std::mem::take(&mut self.dirty_list)
+    }
+
+    /// The current dirty index (for invariant checks): a superset of the
+    /// allocated segments whose dirty flag is set.
+    pub fn dirty_index(&self) -> &[SegIndex] {
+        &self.dirty_list
+    }
+
+    // ------------------------------------------------------------------
+    // Per-generation lists
+    // ------------------------------------------------------------------
+
+    /// Drains the recorded segments of `generation`, filtering out stale
+    /// entries (freed segments, or segments recycled into a different
+    /// generation). The same live segment can appear more than once if it
+    /// was freed and recycled back into the same generation; callers
+    /// dedup (the collector's from-space map does this for free).
+    ///
+    /// After the drain the generation's list is empty; segments allocated
+    /// afterwards re-populate it.
+    pub fn drain_generation(&mut self, generation: u8) -> Vec<SegIndex> {
+        let g = generation as usize;
+        if g >= self.by_gen.len() {
+            return Vec::new();
+        }
+        let raw = std::mem::take(&mut self.by_gen[g]);
+        raw.into_iter()
+            .filter(|&seg| {
+                self.info
+                    .get(seg.index())
+                    .and_then(|i| i.as_ref())
+                    .is_some_and(|info| info.generation == generation)
+            })
+            .collect()
     }
 
     /// Iterates over all allocated segments with their metadata.
@@ -211,6 +377,7 @@ impl std::fmt::Debug for SegmentTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::info::SegKind;
 
     #[test]
     fn allocate_tags_space_and_generation() {
@@ -308,5 +475,104 @@ mod tests {
         let mut t = SegmentTable::new();
         let head = t.allocate_run(Space::Typed, 0, 2);
         t.free(SegIndex(head.0 + 1));
+    }
+
+    #[test]
+    fn copy_words_within_one_segment() {
+        let mut t = SegmentTable::new();
+        let a = t.allocate(Space::Pair, 0);
+        for i in 0..8 {
+            t.set_word(t.base_addr(a).add(i), 100 + i as u64);
+        }
+        t.copy_words(t.base_addr(a), t.base_addr(a).add(20), 8);
+        for i in 0..8 {
+            assert_eq!(t.word(t.base_addr(a).add(20 + i)), 100 + i as u64);
+        }
+        // Overlapping forward copy keeps copy_within semantics.
+        t.copy_words(t.base_addr(a).add(20), t.base_addr(a).add(22), 8);
+        assert_eq!(t.word(t.base_addr(a).add(22)), 100);
+        assert_eq!(t.word(t.base_addr(a).add(29)), 107);
+    }
+
+    #[test]
+    fn copy_words_between_segments_both_directions() {
+        let mut t = SegmentTable::new();
+        let a = t.allocate(Space::Typed, 0);
+        let b = t.allocate(Space::Typed, 0);
+        for i in 0..5 {
+            t.set_word(t.base_addr(a).add(i), i as u64 + 1);
+        }
+        t.copy_words(t.base_addr(a), t.base_addr(b).add(3), 5);
+        assert_eq!(t.word(t.base_addr(b).add(3)), 1);
+        assert_eq!(t.word(t.base_addr(b).add(7)), 5);
+        // And back, higher index to lower.
+        t.copy_words(t.base_addr(b).add(3), t.base_addr(a).add(100), 5);
+        assert_eq!(t.word(t.base_addr(a).add(104)), 5);
+    }
+
+    #[test]
+    fn copy_words_across_run_boundaries() {
+        let mut t = SegmentTable::new();
+        let src = t.allocate_run(Space::Typed, 0, 3);
+        let dst = t.allocate_run(Space::Typed, 1, 3);
+        let n = 2 * SEGMENT_WORDS + 17;
+        for i in 0..n {
+            t.set_word(t.base_addr(src).add(i), (i * 3 + 1) as u64);
+        }
+        // Misaligned so chunks split differently in source and target.
+        t.copy_words(t.base_addr(src), t.base_addr(dst).add(9), n - 9);
+        for i in 0..n - 9 {
+            assert_eq!(
+                t.word(t.base_addr(dst).add(9 + i)),
+                (i * 3 + 1) as u64,
+                "word {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn dirty_index_tracks_marks_and_skips_stale() {
+        let mut t = SegmentTable::new();
+        let a = t.allocate(Space::Pair, 1);
+        let b = t.allocate(Space::Pair, 2);
+        t.mark_dirty(a);
+        t.mark_dirty(a); // idempotent
+        t.mark_dirty(b);
+        assert_eq!(t.dirty_index(), &[a, b]);
+        t.clear_dirty(a);
+        assert!(!t.info(a).dirty);
+        // The stale entry remains until taken; flags tell live from stale.
+        let drained = t.take_dirty();
+        assert_eq!(drained, vec![a, b]);
+        assert!(t.dirty_index().is_empty());
+        let live: Vec<SegIndex> = drained.into_iter().filter(|&s| t.info(s).dirty).collect();
+        assert_eq!(live, vec![b]);
+    }
+
+    #[test]
+    fn drain_generation_filters_freed_and_recycled() {
+        let mut t = SegmentTable::new();
+        let a = t.allocate(Space::Pair, 0);
+        let b = t.allocate(Space::Typed, 0);
+        let c = t.allocate(Space::Pair, 1);
+        t.free(a);
+        // `a`'s storage is recycled into generation 1: the generation-0
+        // entry is stale, and generation 1 now lists it.
+        let a2 = t.allocate(Space::Pair, 1);
+        assert_eq!(a2, a);
+        assert_eq!(t.drain_generation(0), vec![b]);
+        assert_eq!(t.drain_generation(0), Vec::<SegIndex>::new(), "drained");
+        assert_eq!(t.drain_generation(1), vec![c, a2]);
+        assert_eq!(t.drain_generation(9), Vec::<SegIndex>::new());
+    }
+
+    #[test]
+    fn drain_generation_includes_run_tails() {
+        let mut t = SegmentTable::new();
+        let head = t.allocate_run(Space::Typed, 2, 3);
+        let drained = t.drain_generation(2);
+        assert_eq!(drained.len(), 3);
+        assert_eq!(drained[0], head);
+        assert_eq!(t.run_len(head), 3);
     }
 }

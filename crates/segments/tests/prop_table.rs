@@ -7,10 +7,23 @@ use std::collections::HashMap;
 
 #[derive(Clone, Debug)]
 enum Op {
-    Alloc { space: u8, gen: u8 },
-    AllocRun { space: u8, gen: u8, len: u8 },
-    Free { pick: usize },
-    Write { pick: usize, offset: u16, value: u64 },
+    Alloc {
+        space: u8,
+        gen: u8,
+    },
+    AllocRun {
+        space: u8,
+        gen: u8,
+        len: u8,
+    },
+    Free {
+        pick: usize,
+    },
+    Write {
+        pick: usize,
+        offset: u16,
+        value: u64,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {

@@ -96,7 +96,11 @@ mod tests {
 
     #[test]
     fn script_is_well_formed() {
-        let p = ChurnParams { ops: 2_000, live_target: 100, ..ChurnParams::default() };
+        let p = ChurnParams {
+            ops: 2_000,
+            live_target: 100,
+            ..ChurnParams::default()
+        };
         let script = table_script(&p);
         let mut live: HashSet<u64> = HashSet::new();
         let mut inserted: HashSet<u64> = HashSet::new();
@@ -123,7 +127,13 @@ mod tests {
 
     #[test]
     fn no_collects_when_disabled() {
-        let p = ChurnParams { collect_every: 0, ops: 500, ..ChurnParams::default() };
-        assert!(!table_script(&p).iter().any(|o| matches!(o, TableOp::Collect(_))));
+        let p = ChurnParams {
+            collect_every: 0,
+            ops: 500,
+            ..ChurnParams::default()
+        };
+        assert!(!table_script(&p)
+            .iter()
+            .any(|o| matches!(o, TableOp::Collect(_))));
     }
 }

@@ -15,7 +15,10 @@ pub struct KeyGen {
 impl KeyGen {
     /// A key generator with the given seed and skew.
     pub fn new(seed: u64, skew: f64) -> KeyGen {
-        KeyGen { rng: crate::rng(seed), skew }
+        KeyGen {
+            rng: crate::rng(seed),
+            skew,
+        }
     }
 
     /// The canonical name of key `id`.
@@ -71,7 +74,10 @@ mod tests {
                 low += 1;
             }
         }
-        assert!(low > 500, "90% skew should send most picks to the low decile, got {low}");
+        assert!(
+            low > 500,
+            "90% skew should send most picks to the low decile, got {low}"
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! load in other experiments.
 
 use crate::keys::KeyGen;
-use guardians_gc::{Heap, Rooted, Value};
+use guardians_gc::{Heap, PhaseTimes, Rooted, Value};
 
 /// Parameters for the lifetime workload.
 #[derive(Clone, Debug)]
@@ -50,6 +50,8 @@ pub struct LifetimeStats {
     pub max_pause_ns: u128,
     /// Total GC time, nanoseconds.
     pub total_gc_ns: u128,
+    /// Cumulative per-phase pause breakdown across all collections.
+    pub phase_times: PhaseTimes,
     /// Permanent objects retained at the end.
     pub permanent: usize,
 }
@@ -87,6 +89,7 @@ pub fn run_lifetime_workload(heap: &mut Heap, params: &LifetimeParams) -> Lifeti
     stats.collections = heap.collection_count() - start_collections;
     stats.words_copied = heap.stats().total_words_copied;
     stats.total_gc_ns = heap.stats().total_gc_time.as_nanos();
+    stats.phase_times = heap.stats().total_phase_times;
     stats.permanent = permanent.len();
     stats
 }
@@ -98,8 +101,14 @@ mod tests {
 
     #[test]
     fn workload_drives_collections_and_stays_valid() {
-        let mut heap = Heap::new(GcConfig { trigger_bytes: 64 * 1024, ..GcConfig::new() });
-        let params = LifetimeParams { allocations: 5_000, ..LifetimeParams::default() };
+        let mut heap = Heap::new(GcConfig {
+            trigger_bytes: 64 * 1024,
+            ..GcConfig::new()
+        });
+        let params = LifetimeParams {
+            allocations: 5_000,
+            ..LifetimeParams::default()
+        };
         let stats = run_lifetime_workload(&mut heap, &params);
         assert!(stats.collections > 0, "the trigger fired");
         assert!(stats.words_copied > 0, "survivors were copied");
@@ -109,8 +118,14 @@ mod tests {
     #[test]
     fn workload_is_deterministic_in_allocation_counts() {
         let run = || {
-            let mut heap = Heap::new(GcConfig { trigger_bytes: 64 * 1024, ..GcConfig::new() });
-            let params = LifetimeParams { allocations: 3_000, ..LifetimeParams::default() };
+            let mut heap = Heap::new(GcConfig {
+                trigger_bytes: 64 * 1024,
+                ..GcConfig::new()
+            });
+            let params = LifetimeParams {
+                allocations: 3_000,
+                ..LifetimeParams::default()
+            };
             run_lifetime_workload(&mut heap, &params);
             (heap.stats().pairs_allocated, heap.collection_count())
         };
@@ -120,7 +135,10 @@ mod tests {
     #[test]
     fn higher_survival_copies_more() {
         let run = |survivor_fraction: f64| {
-            let mut heap = Heap::new(GcConfig { trigger_bytes: 64 * 1024, ..GcConfig::new() });
+            let mut heap = Heap::new(GcConfig {
+                trigger_bytes: 64 * 1024,
+                ..GcConfig::new()
+            });
             let params = LifetimeParams {
                 allocations: 5_000,
                 survivor_fraction,

@@ -41,6 +41,48 @@ impl Table {
         self
     }
 
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// The footnotes.
+    pub fn notes(&self) -> &[String] {
+        &self.notes
+    }
+
+    /// Renders the table as a JSON object
+    /// (`{"title", "headers", "rows", "notes"}`) for machine-readable
+    /// output (`experiments --json`). No external serializer: cells are
+    /// strings, so escaping is all that is needed.
+    pub fn to_json(&self) -> String {
+        let arr = |items: &[String]| {
+            let cells: Vec<String> = items
+                .iter()
+                .map(|s| format!("\"{}\"", json_escape(s)))
+                .collect();
+            format!("[{}]", cells.join(","))
+        };
+        let rows: Vec<String> = self.rows.iter().map(|r| arr(r)).collect();
+        format!(
+            "{{\"title\":\"{}\",\"headers\":{},\"rows\":[{}],\"notes\":{}}}",
+            json_escape(&self.title),
+            arr(&self.headers),
+            rows.join(","),
+            arr(&self.notes)
+        )
+    }
+
     /// Renders with aligned columns.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
@@ -72,6 +114,25 @@ impl Table {
         }
         out
     }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Formats a count with thousands separators.
@@ -119,6 +180,19 @@ mod tests {
     fn rejects_ragged_rows() {
         let mut t = Table::new("demo", &["a", "b"]);
         t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn json_output_is_escaped_and_structured() {
+        let mut t = Table::new("quotes \"here\"", &["a", "b"]);
+        t.row(&["x\n".into(), "1".into()]);
+        t.note("50% of \\ cases");
+        let j = t.to_json();
+        assert_eq!(
+            j,
+            "{\"title\":\"quotes \\\"here\\\"\",\"headers\":[\"a\",\"b\"],\
+             \"rows\":[[\"x\\n\",\"1\"]],\"notes\":[\"50% of \\\\ cases\"]}"
+        );
     }
 
     #[test]

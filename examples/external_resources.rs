@@ -21,13 +21,22 @@ fn main() {
             kept.push(heap.root(header));
         }
     }
-    println!("live external blocks before clean-up: {}", arena.arena.live_blocks());
-    println!("external bytes held:                  {}", arena.arena.live_bytes());
+    println!(
+        "live external blocks before clean-up: {}",
+        arena.arena.live_blocks()
+    );
+    println!(
+        "external bytes held:                  {}",
+        arena.arena.live_bytes()
+    );
 
     heap.collect(heap.config().max_generation());
     let freed = arena.free_dropped(&mut heap).expect("clean-up");
     println!("\nclean-up freed {freed} blocks");
-    println!("live external blocks after clean-up:  {}", arena.arena.live_blocks());
+    println!(
+        "live external blocks after clean-up:  {}",
+        arena.arena.live_blocks()
+    );
     assert_eq!(arena.arena.live_blocks(), kept.len());
 
     // Kept handles still resolve to live blocks.

@@ -40,8 +40,15 @@ fn main() {
     let probe = kept[0].get();
     assert_eq!(guarded.get(&mut heap, probe), Some(Value::fixnum(0)));
 
-    println!("guarded table   : {:>4} entries ({} clean-ups performed)", guarded.len(), guarded.removals);
-    println!("weak-only table : {:>4} entries physically present", weak_only.physical_len());
+    println!(
+        "guarded table   : {:>4} entries ({} clean-ups performed)",
+        guarded.len(),
+        guarded.removals
+    );
+    println!(
+        "weak-only table : {:>4} entries physically present",
+        weak_only.physical_len()
+    );
     println!("live sessions   : {:>4}", kept.len());
 
     println!("\nphase 2: the weak-only table needs a full scan to catch up");

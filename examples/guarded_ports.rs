@@ -65,5 +65,9 @@ fn main() {
         String::from_utf8_lossy(sample)
     );
     assert_eq!(os.open_count(), 0);
-    assert_eq!(os.stats().rejected_opens, 0, "never hit the descriptor limit");
+    assert_eq!(
+        os.stats().rejected_opens,
+        0,
+        "never hit the descriptor limit"
+    );
 }

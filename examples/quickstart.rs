@@ -42,15 +42,24 @@ fn main() {
     g.register(&mut heap, saved);
     heap.collect(heap.config().max_generation());
     let again = g.poll(&mut heap).expect("second life, second death");
-    println!("re-registered and re-retrieved: {}", write_value(&heap, again));
+    println!(
+        "re-registered and re-retrieved: {}",
+        write_value(&heap, again)
+    );
 
     // Weak pairs: the complementary mechanism.
     let obj = heap.cons(Value::fixnum(1), Value::fixnum(2));
     let weak = heap.weak_cons(obj, Value::NIL);
     let weak_root = heap.root(weak);
-    println!("\nweak pair before collection: {}", write_value(&heap, weak_root.get()));
+    println!(
+        "\nweak pair before collection: {}",
+        write_value(&heap, weak_root.get())
+    );
     heap.collect(heap.config().max_generation());
-    println!("weak pair after its referent died: {}", write_value(&heap, weak_root.get()));
+    println!(
+        "weak pair after its referent died: {}",
+        write_value(&heap, weak_root.get())
+    );
 
     let report = heap.last_report().unwrap();
     println!(

@@ -56,8 +56,14 @@ fn main() {
 
     // Correctness: every key still resolves in both tables.
     for (i, k) in keys.iter().enumerate() {
-        assert_eq!(classic.get(&mut heap, k.get()), Some(Value::fixnum(i as i64)));
-        assert_eq!(transport.get(&mut heap, k.get()), Some(Value::fixnum(i as i64)));
+        assert_eq!(
+            classic.get(&mut heap, k.get()),
+            Some(Value::fixnum(i as i64))
+        );
+        assert_eq!(
+            transport.get(&mut heap, k.get()),
+            Some(Value::fixnum(i as i64))
+        );
     }
     heap.verify().expect("heap intact");
     println!("\nall {N} keys verified in both tables; heap verified.");

@@ -40,9 +40,21 @@ fn five_mechanisms_one_object() {
     reg.run_pending(&mut heap);
     assert!(!dickey_ran.get(), "alive: no finalization");
     assert_eq!(g.poll(&mut heap), None, "alive: guardian silent");
-    assert_eq!(set.members(&mut heap), vec![root.get()], "alive: in the weak set");
-    assert_eq!(hasher.unhash(&mut heap, id), Some(root.get()), "alive: unhash resolves");
-    assert_eq!(tg.poll(&mut heap), Some(root.get()), "it DID move: transport reports");
+    assert_eq!(
+        set.members(&mut heap),
+        vec![root.get()],
+        "alive: in the weak set"
+    );
+    assert_eq!(
+        hasher.unhash(&mut heap, id),
+        Some(root.get()),
+        "alive: unhash resolves"
+    );
+    assert_eq!(
+        tg.poll(&mut heap),
+        Some(root.get()),
+        "it DID move: transport reports"
+    );
     assert_eq!(heap.car(wr.get()), root.get(), "weak car forwarded");
 
     // Phase 2: drop it.
@@ -55,17 +67,32 @@ fn five_mechanisms_one_object() {
     // salvaged object.
     let saved = g.poll(&mut heap).expect("guardian saved it");
     assert_eq!(heap.car(saved), Value::fixnum(42));
-    assert_eq!(heap.car(wr.get()), saved, "weak pair kept the salvaged object");
+    assert_eq!(
+        heap.car(wr.get()),
+        saved,
+        "weak pair kept the salvaged object"
+    );
     assert_eq!(set.members(&mut heap), vec![saved], "weak set too");
-    assert_eq!(hasher.unhash(&mut heap, id), Some(saved), "weak hashing too");
+    assert_eq!(
+        hasher.unhash(&mut heap, id),
+        Some(saved),
+        "weak hashing too"
+    );
     reg.run_pending(&mut heap);
-    assert!(!dickey_ran.get(), "guardian resurrection means Dickey sees it alive");
+    assert!(
+        !dickey_ran.get(),
+        "guardian resurrection means Dickey sees it alive"
+    );
 
     // Phase 3: drop the last reference (the guardian already delivered).
     heap.collect(heap.config().max_generation());
     heap.verify().unwrap();
     assert_eq!(g.poll(&mut heap), None);
-    assert_eq!(heap.car(wr.get()), Value::FALSE, "now the weak pointer breaks");
+    assert_eq!(
+        heap.car(wr.get()),
+        Value::FALSE,
+        "now the weak pointer breaks"
+    );
     assert!(set.members(&mut heap).is_empty());
     assert_eq!(hasher.unhash(&mut heap, id), None);
     reg.run_pending(&mut heap);
@@ -96,7 +123,11 @@ fn guardian_beats_dickey_on_error_handling() {
         Some(_dead) => Err("cleanup exploded".into()),
         None => Ok(()),
     };
-    assert_eq!(outcome.unwrap_err(), "cleanup exploded", "handled at program level");
+    assert_eq!(
+        outcome.unwrap_err(),
+        "cleanup exploded",
+        "handled at program level"
+    );
 }
 
 #[test]

@@ -66,7 +66,10 @@ fn scheme_guarded_ports_with_os_observation() {
 /// force collections at interpreter safe points too.
 #[test]
 fn guardians_fire_correctly_under_interpreter_churn() {
-    let config = GcConfig { trigger_bytes: 32 * 1024, ..GcConfig::new() };
+    let config = GcConfig {
+        trigger_bytes: 32 * 1024,
+        ..GcConfig::new()
+    };
     let mut i = Interp::with_config(config);
     let result = i
         .eval_to_string(
@@ -97,7 +100,10 @@ fn guardians_fire_correctly_under_interpreter_churn() {
 "#,
         )
         .unwrap();
-    assert_eq!(result, "(500 500)", "every dead registered object came back exactly once");
+    assert_eq!(
+        result, "(500 500)",
+        "every dead registered object came back exactly once"
+    );
     assert!(i.heap().collection_count() >= 2);
     i.heap().verify().unwrap();
 }
@@ -131,7 +137,10 @@ fn cyclic_structures_are_guarded_and_printable() {
     assert_eq!(out, "(a b #t)");
     // And the cycle prints with labels rather than looping forever.
     let printed = i.eval_to_string("first").unwrap();
-    assert!(printed.contains('#'), "cycle printed with datum labels: {printed}");
+    assert!(
+        printed.contains('#'),
+        "cycle printed with datum labels: {printed}"
+    );
 }
 
 /// Weak symbol table (Friedman–Wise) exercised from Scheme via gensyms:
@@ -153,14 +162,20 @@ fn gensyms_die_interned_symbols_do_not() {
 "#,
         )
         .unwrap();
-    assert_eq!(out, "(#t #f)", "the gensym died; the interned symbol did not");
+    assert_eq!(
+        out, "(#t #f)",
+        "the gensym died; the interned symbol did not"
+    );
 }
 
 /// The whole stack at once: ports + guardians + weak pairs + tables in
 /// one program, with verification after every collection.
 #[test]
 fn kitchen_sink_program() {
-    let config = GcConfig { trigger_bytes: 64 * 1024, ..GcConfig::new() };
+    let config = GcConfig {
+        trigger_bytes: 64 * 1024,
+        ..GcConfig::new()
+    };
     let mut i = Interp::with_config(config);
     i.os_mut().create_file("/input", b"abc");
     let out = i

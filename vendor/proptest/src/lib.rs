@@ -1,0 +1,136 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to a crates registry, so
+//! the workspace vendors the slice of proptest it uses: the [`Strategy`]
+//! trait with `prop_map`, range / tuple / [`Just`] / `any::<T>()` /
+//! weighted-`prop_oneof!` / `collection::vec` / regex-literal strategies,
+//! the [`proptest!`] test macro with `#![proptest_config]`, and the
+//! `prop_assert*` macros.
+//!
+//! Inputs are generated from a deterministic per-test RNG (seeded from the
+//! test's name), so failures are reproducible run-to-run. **Shrinking is
+//! not implemented** — a failing case panics with the generated input's
+//! `Debug` form instead of a minimised one.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Builds a strategy choosing among several alternatives, optionally
+/// weighted (`weight => strategy`). All arms must produce the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((1u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)
+     $($(#[$meta:meta])+
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let run = || $body;
+                    // One closure call per case keeps `return`-free bodies
+                    // from aborting the whole loop.
+                    let _ = case;
+                    run();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn tiny() -> impl Strategy<Value = u8> {
+        prop_oneof![3 => 0u8..10, 1 => 200u8..255]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, y in any::<u16>()) {
+            prop_assert!((3..17).contains(&x));
+            let _ = y;
+        }
+
+        #[test]
+        fn maps_and_vecs_compose(
+            v in crate::collection::vec(tiny().prop_map(|x| x as u32 + 1), 1..20)
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&x| x >= 1));
+        }
+
+        #[test]
+        fn regex_lite_strings(s in "[a-z]{1,10}", t in ".{0,200}") {
+            prop_assert!(!s.is_empty() && s.len() <= 10);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(t.chars().count() <= 200);
+        }
+
+        #[test]
+        fn tuples_and_just(pair in (0u8..4, Just(7i64))) {
+            prop_assert!(pair.0 < 4);
+            prop_assert_eq!(pair.1, 7);
+        }
+    }
+}
