@@ -1,0 +1,93 @@
+//! E14 wall-clock: staged vs naive Scheme evaluation throughput.
+//!
+//! Benchmarks the same interpreter workloads as the E14 experiment
+//! table under criterion, one function per (workload, mode) pair, so
+//! regressions in the staged evaluator (or accidental speedups in the
+//! naive ablation baseline) show up as timing diffs. The one-line
+//! summary printed per workload reports the measured speedup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use guardians_scheme::{Interp, InterpConfig};
+use std::time::{Duration, Instant};
+
+struct Workload {
+    name: &'static str,
+    setup: &'static str,
+    driver: &'static str,
+}
+
+const WORKLOADS: [Workload; 3] = [
+    Workload {
+        name: "fib",
+        setup: "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))",
+        driver: "(fib 15)",
+    },
+    Workload {
+        name: "churn",
+        setup: "(define (iota n) \
+                  (let lp ((i 0) (acc '())) \
+                    (if (= i n) (reverse acc) (lp (+ i 1) (cons i acc))))) \
+                (define (filter p l) \
+                  (cond ((null? l) '()) \
+                        ((p (car l)) (cons (car l) (filter p (cdr l)))) \
+                        (else (filter p (cdr l))))) \
+                (define (churn n) \
+                  (length (map (lambda (x) (* x x)) (filter odd? (iota n)))))",
+        driver: "(churn 250)",
+    },
+    Workload {
+        name: "gchurn",
+        setup: "(define (gchurn n) \
+                  (let ((g (make-guardian))) \
+                    (let lp ((i 0)) \
+                      (unless (= i n) (g (cons i i)) (lp (+ i 1)))) \
+                    (collect 3) \
+                    (let drain ((k 0)) (if (g) (drain (+ k 1)) k))))",
+        driver: "(gchurn 500)",
+    },
+];
+
+fn prepared(config: InterpConfig, w: &Workload) -> Interp {
+    let mut it = Interp::with_interp_config(config);
+    it.eval_str(w.setup).expect("setup evaluates");
+    it.eval_str(w.driver).expect("warm-up run");
+    it
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_interp");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+
+    for w in &WORKLOADS {
+        // One-shot speedup probe, printed alongside the criterion rows.
+        let mut naive = prepared(InterpConfig::naive(), w);
+        let mut staged = prepared(InterpConfig::staged(), w);
+        let t0 = Instant::now();
+        naive.eval_str(w.driver).unwrap();
+        let naive_ns = t0.elapsed().as_nanos();
+        let t1 = Instant::now();
+        staged.eval_str(w.driver).unwrap();
+        let staged_ns = t1.elapsed().as_nanos().max(1);
+        println!(
+            "e14_interp/{}: naive {} us, staged {} us, {:.2}x",
+            w.name,
+            naive_ns / 1_000,
+            staged_ns / 1_000,
+            naive_ns as f64 / staged_ns as f64
+        );
+
+        group.bench_function(format!("{}_naive", w.name), |b| {
+            b.iter(|| naive.eval_str(w.driver).unwrap())
+        });
+        group.bench_function(format!("{}_staged", w.name), |b| {
+            b.iter(|| staged.eval_str(w.driver).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,5 +1,5 @@
-//! Regenerates every experiment table (E1..E12) — the artifact behind
-//! EXPERIMENTS.md.
+//! Regenerates every experiment table (E1..E12, E14) — the artifact
+//! behind EXPERIMENTS.md.
 //!
 //! Usage:
 //!
@@ -37,12 +37,12 @@ fn main() {
             .collect(),
         None => Vec::new(),
     };
-    const NAMES: [&str; 12] = [
-        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+    const NAMES: [&str; 13] = [
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e14",
     ];
     for o in &only {
         if !NAMES.contains(&o.as_str()) {
-            eprintln!("error: unknown experiment {o:?} (expected one of e1..e12)");
+            eprintln!("error: unknown experiment {o:?} (expected one of e1..e12, e14)");
             std::process::exit(2);
         }
     }
@@ -69,6 +69,7 @@ fn main() {
         ("e10", |q| ex::e10::run(q).0),
         ("e11", |q| ex::e11::run(q).0),
         ("e12", |q| ex::e12::run(q).0),
+        ("e14", |q| ex::e14::run(q).0),
     ];
     let mut json_tables: Vec<String> = Vec::new();
     for (name, run) in suite {

@@ -1,0 +1,164 @@
+//! **E14 — Staged vs naive Scheme evaluation throughput.**
+//!
+//! The paper's measurements run *Scheme programs* on the collector, so
+//! interpreter speed bounds how much guardian/collector behaviour an
+//! experiment can exercise per second. The staged evaluator analyzes
+//! each form once into an opcode tree (lexical addressing, vector-backed
+//! frames, global inline caches) while keeping every program value on
+//! the collected heap and collecting at exactly the naive evaluator's
+//! safe points. This experiment times both modes on the same workloads
+//! and checks the printed results are byte-identical — the speedup must
+//! come from evaluation mechanics, never from semantics.
+
+use guardians_scheme::{Interp, InterpConfig};
+use guardians_workloads::Table;
+use std::time::Instant;
+
+/// One workload's outcome under both evaluator modes.
+#[derive(Debug, Clone)]
+pub struct E14Row {
+    pub workload: &'static str,
+    pub iters: usize,
+    pub naive_ns_per_eval: f64,
+    pub staged_ns_per_eval: f64,
+    /// naive time / staged time.
+    pub speedup: f64,
+    /// Both modes printed the same result.
+    pub identical: bool,
+}
+
+struct Workload {
+    name: &'static str,
+    /// Definitions evaluated once per interpreter (untimed).
+    setup: &'static str,
+    /// The expression evaluated `iters` times (timed).
+    driver: &'static str,
+}
+
+fn workloads(quick: bool) -> Vec<(Workload, usize)> {
+    let scale = if quick { 1 } else { 4 };
+    vec![
+        (
+            Workload {
+                name: "fib (non-tail recursion)",
+                setup: "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))",
+                driver: "(fib 15)",
+            },
+            8 * scale,
+        ),
+        (
+            Workload {
+                name: "list churn (allocation + HOFs)",
+                setup: "(define (iota n) \
+                          (let lp ((i 0) (acc '())) \
+                            (if (= i n) (reverse acc) (lp (+ i 1) (cons i acc))))) \
+                        (define (filter p l) \
+                          (cond ((null? l) '()) \
+                                ((p (car l)) (cons (car l) (filter p (cdr l)))) \
+                                (else (filter p (cdr l))))) \
+                        (define (churn n) \
+                          (length (map (lambda (x) (* x x)) \
+                                       (filter odd? (iota n)))))",
+                driver: "(churn 250)",
+            },
+            20 * scale,
+        ),
+        (
+            Workload {
+                name: "tail loop (lexical addressing)",
+                setup: "(define (tri n) \
+                          (do ((i 0 (+ i 1)) (s 0 (+ s i))) ((= i n) s)))",
+                driver: "(tri 20000)",
+            },
+            10 * scale,
+        ),
+        (
+            Workload {
+                name: "guardian churn (collects at safe points)",
+                setup: "(define (gchurn n) \
+                          (let ((g (make-guardian))) \
+                            (let lp ((i 0)) \
+                              (unless (= i n) (g (cons i i)) (lp (+ i 1)))) \
+                            (collect 3) \
+                            (let drain ((k 0)) \
+                              (if (g) (drain (+ k 1)) k))))",
+                driver: "(gchurn 500)",
+            },
+            6 * scale,
+        ),
+    ]
+}
+
+fn time_mode(config: InterpConfig, w: &Workload, iters: usize) -> (f64, String) {
+    let mut it = Interp::with_interp_config(config);
+    it.eval_str(w.setup).expect("workload setup evaluates");
+    // One untimed evaluation to warm inline caches and the code table.
+    let mut result = it.eval_to_string(w.driver).expect("workload runs");
+    let start = Instant::now();
+    for _ in 0..iters {
+        result = it.eval_to_string(w.driver).expect("workload runs");
+    }
+    let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    (ns, result)
+}
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> (Table, Vec<E14Row>) {
+    let mut table = Table::new(
+        "E14: staged vs naive Scheme evaluation throughput",
+        &[
+            "workload",
+            "iters",
+            "naive us/eval",
+            "staged us/eval",
+            "speedup",
+            "identical",
+        ],
+    );
+    let mut rows = Vec::new();
+    for (w, iters) in workloads(quick) {
+        let (naive_ns, naive_result) = time_mode(InterpConfig::naive(), &w, iters);
+        let (staged_ns, staged_result) = time_mode(InterpConfig::staged(), &w, iters);
+        let row = E14Row {
+            workload: w.name,
+            iters,
+            naive_ns_per_eval: naive_ns,
+            staged_ns_per_eval: staged_ns,
+            speedup: naive_ns / staged_ns,
+            identical: naive_result == staged_result,
+        };
+        table.row(&[
+            w.name.to_string(),
+            format!("{}", row.iters),
+            format!("{:.0}", row.naive_ns_per_eval / 1e3),
+            format!("{:.0}", row.staged_ns_per_eval / 1e3),
+            format!("{:.2}x", row.speedup),
+            if row.identical { "yes" } else { "NO" }.to_string(),
+        ]);
+        rows.push(row);
+    }
+    table.note("both modes run the same heap configuration and collect at the same safe points (every application); 'identical' checks the printed results match byte for byte");
+    table.note("staged = one-time syntax analysis, lexical addressing, frame records, global inline caches; naive = the original cons-walking evaluator (InterpConfig::naive)");
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staged_matches_naive_and_is_faster() {
+        let (_t, rows) = run(true);
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert!(row.identical, "{}: results diverged", row.workload);
+            assert!(
+                row.speedup > 1.0,
+                "{}: staged ({:.0} ns) not faster than naive ({:.0} ns)",
+                row.workload,
+                row.staged_ns_per_eval,
+                row.naive_ns_per_eval
+            );
+        }
+    }
+}

@@ -8,6 +8,7 @@ pub mod e1;
 pub mod e10;
 pub mod e11;
 pub mod e12;
+pub mod e14;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -32,5 +33,6 @@ pub fn run_all(quick: bool) -> Vec<guardians_workloads::Table> {
         e10::run(quick).0,
         e11::run(quick).0,
         e12::run(quick).0,
+        e14::run(quick).0,
     ]
 }

@@ -199,11 +199,35 @@ impl Heap {
         self.expect_kind(v, ObjKind::String, "string-length").len
     }
 
-    /// Copies a string's contents out as an owned `String`.
+    /// Copies a string's contents out as an owned `String`. Constructors
+    /// and FFI-ish paths need the copy; length/comparison paths should
+    /// use the borrowing [`Heap::string_bytes`] instead.
     pub fn string_value(&self, v: Value) -> String {
         let h = self.expect_kind(v, ObjKind::String, "string-value");
         let bytes = read_bytes(&self.segs, v.addr().add(1), h.len);
         String::from_utf8(bytes).expect("heap strings are always valid UTF-8")
+    }
+
+    /// Iterates over a string's UTF-8 bytes straight out of segment
+    /// storage — the borrowing accessor for length/comparison paths,
+    /// allocating nothing. Byte-wise lexicographic comparison of UTF-8
+    /// coincides with code-point order, so `string=?`/`string<?` can
+    /// compare these iterators directly.
+    pub fn string_bytes(&self, v: Value) -> impl Iterator<Item = u8> + '_ {
+        let h = self.expect_kind(v, ObjKind::String, "string-bytes");
+        let payload = v.addr().add(1);
+        let len = h.len;
+        (0..len.div_ceil(8)).flat_map(move |i| {
+            let word = self.segs.word(payload.add(i)).to_le_bytes();
+            let take = (len - i * 8).min(8);
+            word.into_iter().take(take)
+        })
+    }
+
+    /// A string's length in characters (code points), counted in place
+    /// with no copy: one count of non-continuation bytes.
+    pub fn string_char_count(&self, v: Value) -> usize {
+        self.string_bytes(v).filter(|b| b & 0xC0 != 0x80).count()
     }
 
     // ------------------------------------------------------------------

@@ -47,7 +47,7 @@ pub struct Heap {
     /// indexed `generation * 4 + space.index()`: the allocation fast path
     /// (mutator and collector copy loop alike) costs one array load, not
     /// a hash lookup.
-    cursors: Vec<Option<SegIndex>>,
+    pub(crate) cursors: Vec<Option<SegIndex>>,
     pub(crate) roots: RootSet,
     /// Protected lists, one per generation (a single flat list when the
     /// `flat_protected` ablation is enabled).
@@ -116,12 +116,17 @@ impl Heap {
                 return WordAddr::new(seg, used);
             }
         }
+        if let Some(old) = self.cursors[key] {
+            self.segs.info_mut(old).open_cursor = false;
+        }
         let seg = self.segs.allocate(space, gen);
         if let Some(log) = self.tospace_log.as_mut() {
             log.push(seg);
         }
         self.cursors[key] = Some(seg);
-        self.segs.info_mut(seg).used = words as u32;
+        let info = self.segs.info_mut(seg);
+        info.used = words as u32;
+        info.open_cursor = true;
         WordAddr::new(seg, 0)
     }
 
@@ -192,10 +197,24 @@ impl Heap {
         Value::obj_at(addr)
     }
 
-    /// Allocates a bytevector of `len` copies of `fill`.
+    /// Allocates a bytevector of `len` copies of `fill`, writing the fill
+    /// pattern one broadcast `u64` per word — no intermediate buffer.
     pub fn make_bytevector(&mut self, len: usize, fill: u8) -> Value {
         let addr = self.alloc_typed(Header::new(ObjKind::Bytevector, len));
-        write_bytes(&mut self.segs, addr.add(1), &vec![fill; len]);
+        let payload = addr.add(1);
+        let broadcast = u64::from_le_bytes([fill; 8]);
+        for i in 0..len / 8 {
+            self.segs.set_word(payload.add(i), broadcast);
+        }
+        let rem = len % 8;
+        if rem > 0 {
+            // Match `write_bytes`'s layout: trailing bytes of the last
+            // word are zero padding.
+            let mut last = [0u8; 8];
+            last[..rem].fill(fill);
+            self.segs
+                .set_word(payload.add(len / 8), u64::from_le_bytes(last));
+        }
         Value::obj_at(addr)
     }
 
@@ -223,6 +242,18 @@ impl Heap {
         Value::obj_at(addr)
     }
 
+    /// Allocates a record of `n_fields` copies of `fill` — the
+    /// no-intermediate-buffer constructor for environment frames and
+    /// other fixed-shape records whose fields are set immediately after.
+    pub fn make_record_filled(&mut self, descriptor: Value, n_fields: usize, fill: Value) -> Value {
+        let addr = self.alloc_typed(Header::new(ObjKind::Record, 1 + n_fields));
+        self.segs.set_word(addr.add(1), descriptor.raw());
+        for i in 0..n_fields {
+            self.segs.set_word(addr.add(2 + i), fill.raw());
+        }
+        Value::obj_at(addr)
+    }
+
     /// Allocates a record with a descriptor and fields.
     pub fn make_record(&mut self, descriptor: Value, fields: &[Value]) -> Value {
         let addr = self.alloc_typed(Header::new(ObjKind::Record, 1 + fields.len()));
@@ -237,19 +268,26 @@ impl Heap {
     /// segments are about to be freed) and the target generation (so the
     /// Cheney scan sees only freshly copied objects in to-space segments).
     pub(crate) fn reset_cursors(&mut self, g: u8, target: u8) {
-        for (i, slot) in self.cursors.iter_mut().enumerate() {
+        for i in 0..self.cursors.len() {
             let gen = (i / 4) as u8;
             if gen <= g || gen == target {
-                *slot = None;
+                if let Some(seg) = self.cursors[i].take() {
+                    self.segs.info_mut(seg).open_cursor = false;
+                }
             }
         }
     }
 
     /// Whether `seg` is an open allocation cursor — the only segments
     /// whose `used` watermark can still advance without the segment being
-    /// (re-)logged, so the only ones the Cheney sweep must re-check.
+    /// (re-)logged, so the only ones the Cheney sweep must re-check. An
+    /// O(1) flag test ([`SegInfo::open_cursor`]) kept coherent with the
+    /// cursor table by [`Heap::alloc_words_internal`] /
+    /// [`Heap::reset_cursors`] (checked by [`Heap::verify`]).
+    ///
+    /// [`SegInfo::open_cursor`]: guardians_segments::SegInfo
     pub(crate) fn is_open_cursor(&self, seg: SegIndex) -> bool {
-        self.cursors.contains(&Some(seg))
+        self.segs.info(seg).open_cursor
     }
 
     /// Takes the to-space segments logged since the last drain.

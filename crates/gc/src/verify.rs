@@ -101,6 +101,20 @@ impl Heap {
             }
         }
 
+        // 2b. Open-cursor coherence: a segment's `open_cursor` flag must
+        // agree exactly with the allocation-cursor table, or the Cheney
+        // sweep would park a still-advancing segment (or spin re-checking
+        // a retired one).
+        for (seg, info) in self.segs.iter() {
+            let in_table = self.cursors.contains(&Some(seg));
+            if info.open_cursor != in_table {
+                return Err(VerifyError::new(format!(
+                    "{seg:?} open_cursor flag is {} but cursor table says {}",
+                    info.open_cursor, in_table
+                )));
+            }
+        }
+
         // 3. Roots.
         for v in self.roots.snapshot() {
             self.check_value(v, "root")?;
@@ -253,6 +267,17 @@ mod tests {
         h.segs.set_word(p.addr(), 0b111);
         let err = h.verify().expect_err("must detect the forwarding mark");
         assert!(err.to_string().contains("forwarding mark"), "got: {err}");
+    }
+
+    #[test]
+    fn open_cursor_incoherence_is_detected() {
+        let mut h = Heap::default();
+        let p = h.cons(Value::NIL, Value::NIL);
+        let _root = h.root(p);
+        h.verify().expect("fresh cursor segment is coherent");
+        h.segs.info_mut(p.addr().seg()).open_cursor = false;
+        let err = h.verify().expect_err("must detect the cleared flag");
+        assert!(err.to_string().contains("open_cursor"), "got: {err}");
     }
 
     #[test]

@@ -189,11 +189,11 @@ impl<'h> Printer<'h> {
             let _ = write!(out, "#<port {}>", crate::ports::port_path(self.heap, v));
         } else if desc == rtags::guardian() {
             out.push_str("#<guardian>");
-        } else if desc == rtags::closure() {
+        } else if desc == rtags::closure() || desc == rtags::compiled_closure() {
             out.push_str("#<procedure>");
         } else if desc == rtags::primitive() {
             out.push_str("#<primitive>");
-        } else if desc == rtags::environment() {
+        } else if desc == rtags::environment() || desc == rtags::frame() {
             out.push_str("#<environment>");
         } else if desc == rtags::hashtable() {
             out.push_str("#<hash-table>");

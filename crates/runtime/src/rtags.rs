@@ -38,6 +38,19 @@ pub fn environment() -> Value {
     Value::fixnum(0x454e5653) // "ENVS"
 }
 
+/// Descriptor for staged (compiled) closure records: `[code-index, env,
+/// name]`, where `code-index` is a fixnum into the interpreter's
+/// analyzed-code table (Scheme interpreter's staged evaluator).
+pub fn compiled_closure() -> Value {
+    Value::fixnum(0x43434c53) // "CCLS"
+}
+
+/// Descriptor for slot-addressed environment frame records of the staged
+/// evaluator: `[parent, slot0, slot1, ...]`.
+pub fn frame() -> Value {
+    Value::fixnum(0x4652414d) // "FRAM"
+}
+
 /// Descriptor for guarded-hash-table records (Scheme interpreter wraps the
 /// Rust table; Rust code uses the struct directly).
 pub fn hashtable() -> Value {
@@ -58,6 +71,8 @@ mod tests {
             primitive(),
             environment(),
             hashtable(),
+            compiled_closure(),
+            frame(),
         ];
         for (i, a) in tags.iter().enumerate() {
             for (j, b) in tags.iter().enumerate() {

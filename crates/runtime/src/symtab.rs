@@ -37,6 +37,27 @@ impl SymbolTable {
         self.symbols.contains_key(name)
     }
 
+    /// The symbol's global value cell — a one-slot box stored in the
+    /// symbol's extra slot — created on demand holding `UNBOUND`. Cells
+    /// are created at most once per symbol and never replaced, which is
+    /// what makes per-site inline caches of the cell sound: a cached cell
+    /// handle stays valid for the lifetime of the heap.
+    pub fn global_cell(heap: &mut Heap, sym: Value) -> Value {
+        let extra = heap.symbol_extra(sym);
+        if heap.is_box(extra) {
+            return extra;
+        }
+        let cell = heap.make_box(Value::UNBOUND);
+        heap.set_symbol_extra(sym, cell);
+        cell
+    }
+
+    /// The symbol's global value cell if one has been created.
+    pub fn try_global_cell(heap: &Heap, sym: Value) -> Option<Value> {
+        let extra = heap.symbol_extra(sym);
+        heap.is_box(extra).then_some(extra)
+    }
+
     /// Number of interned symbols.
     pub fn len(&self) -> usize {
         self.symbols.len()
@@ -161,6 +182,23 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, t.intern(&mut heap, "define"));
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn global_cells_are_created_once_and_survive_collection() {
+        let mut heap = Heap::default();
+        let mut t = SymbolTable::new();
+        let s = t.intern(&mut heap, "x");
+        assert!(SymbolTable::try_global_cell(&heap, s).is_none());
+        let cell = SymbolTable::global_cell(&mut heap, s);
+        assert_eq!(heap.box_ref(cell), Value::UNBOUND);
+        heap.box_set(cell, Value::fixnum(7));
+        assert_eq!(SymbolTable::global_cell(&mut heap, s), cell, "created once");
+        heap.collect(heap.config().max_generation());
+        let s2 = t.intern(&mut heap, "x");
+        let c2 = SymbolTable::try_global_cell(&heap, s2).expect("cell survives");
+        assert_eq!(heap.box_ref(c2), Value::fixnum(7));
+        heap.verify().unwrap();
     }
 
     #[test]

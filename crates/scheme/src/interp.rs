@@ -13,6 +13,7 @@
 //! the paper's tail-recursive idioms (`close-dropped-ports`, Figure 1's
 //! `let loop`) run in constant Rust stack.
 
+use crate::analyze::{self, Code, CodeRef, GlobalSite, LambdaCode};
 use crate::error::{err, SResult};
 use crate::prims::{self, PrimEntry};
 use crate::reader;
@@ -20,33 +21,68 @@ use guardians_gc::{GcConfig, Heap, Rooted, RootedVec, Value};
 use guardians_runtime::rtags;
 use guardians_runtime::simos::SimOs;
 use guardians_runtime::symtab::SymbolTable;
+use std::rc::Rc;
 
 /// Cached special-form symbols (as rooted handles; symbol objects move
 /// during collections).
-struct SpecialForms {
-    quote: Rooted,
-    iff: Rooted,
-    define: Rooted,
-    set: Rooted,
-    lambda: Rooted,
-    case_lambda: Rooted,
-    begin: Rooted,
-    let_: Rooted,
-    let_star: Rooted,
-    letrec: Rooted,
-    cond: Rooted,
-    else_: Rooted,
-    and: Rooted,
-    or: Rooted,
-    when: Rooted,
-    unless: Rooted,
-    case: Rooted,
-    do_: Rooted,
-    arrow: Rooted,
-    define_record_type: Rooted,
-    quasiquote: Rooted,
-    unquote: Rooted,
-    unquote_splicing: Rooted,
+pub(crate) struct SpecialForms {
+    pub(crate) quote: Rooted,
+    pub(crate) iff: Rooted,
+    pub(crate) define: Rooted,
+    pub(crate) set: Rooted,
+    pub(crate) lambda: Rooted,
+    pub(crate) case_lambda: Rooted,
+    pub(crate) begin: Rooted,
+    pub(crate) let_: Rooted,
+    pub(crate) let_star: Rooted,
+    pub(crate) letrec: Rooted,
+    pub(crate) cond: Rooted,
+    pub(crate) else_: Rooted,
+    pub(crate) and: Rooted,
+    pub(crate) or: Rooted,
+    pub(crate) when: Rooted,
+    pub(crate) unless: Rooted,
+    pub(crate) case: Rooted,
+    pub(crate) do_: Rooted,
+    pub(crate) arrow: Rooted,
+    pub(crate) define_record_type: Rooted,
+    pub(crate) quasiquote: Rooted,
+    pub(crate) unquote: Rooted,
+    pub(crate) unquote_splicing: Rooted,
+}
+
+/// Interpreter configuration: the heap configuration plus the evaluator
+/// mode.
+///
+/// The **staged** evaluator (the default) analyzes each top-level form
+/// and closure body once into an opcode tree with lexical addressing and
+/// slot-indexed environment frames, then executes the tree. The
+/// **naive** evaluator re-walks the source cons structure on every
+/// evaluation and searches association-list environments; it is kept as
+/// an ablation baseline and as a differential-testing oracle. Both modes
+/// keep every program value on the collected heap with identical safe
+/// points, so guardian and weak-pair observables match.
+#[derive(Clone, Debug, Default)]
+pub struct InterpConfig {
+    /// Heap (collector) configuration.
+    pub gc: GcConfig,
+    /// Use the naive cons-walking evaluator instead of the staged one.
+    pub naive: bool,
+}
+
+impl InterpConfig {
+    /// The default staged-evaluator configuration.
+    pub fn staged() -> InterpConfig {
+        InterpConfig::default()
+    }
+
+    /// The naive cons-walking evaluator (ablation / differential mode).
+    pub fn naive() -> InterpConfig {
+        InterpConfig {
+            naive: true,
+            ..InterpConfig::default()
+        }
+    }
 }
 
 /// The Scheme interpreter.
@@ -68,14 +104,28 @@ pub struct Interp {
     /// Maximum non-tail eval nesting before a "recursion too deep" error
     /// (tail calls are unlimited — they loop). Guards the Rust stack.
     pub max_depth: usize,
-    global: Rooted,
-    sf: SpecialForms,
+    pub(crate) global: Rooted,
+    pub(crate) sf: SpecialForms,
+    /// Whether the naive cons-walking evaluator is active.
+    pub(crate) naive: bool,
+    /// Analyzed lambda bodies; compiled-closure records index into this
+    /// table so closures remain plain heap values.
+    pub(crate) code_tab: Vec<Rc<LambdaCode>>,
 }
 
 impl Interp {
-    /// An interpreter over a heap with the given configuration.
+    /// An interpreter over a heap with the given collector configuration
+    /// (staged evaluator).
     pub fn with_config(config: GcConfig) -> Interp {
-        let mut heap = Heap::new(config);
+        Interp::with_interp_config(InterpConfig {
+            gc: config,
+            naive: false,
+        })
+    }
+
+    /// An interpreter with the given full configuration.
+    pub fn with_interp_config(config: InterpConfig) -> Interp {
+        let mut heap = Heap::new(config.gc);
         let mut symbols = SymbolTable::new();
         let stack = heap.root_vec();
         let nil_bindings = Value::NIL;
@@ -124,6 +174,8 @@ impl Interp {
             max_depth: 400,
             global,
             sf,
+            naive: config.naive,
+            code_tab: Vec::new(),
         };
         prims::register_all(&mut interp);
         interp
@@ -199,8 +251,16 @@ impl Interp {
             let form = self.heap.car(rest);
             let next = self.heap.cdr(rest);
             self.stack.set(base, next);
-            let env = self.global.get();
-            match self.eval(form, env) {
+            let outcome = if self.naive {
+                let env = self.global.get();
+                self.eval(form, env)
+            } else {
+                // Stage the form once, then run the opcode tree. Analysis
+                // allocates (expansions, rooted constants) but never
+                // collects, so the raw `form` stays valid throughout.
+                analyze::analyze_top(self, form).and_then(|code| self.exec_top(code))
+            };
+            match outcome {
                 Ok(v) => result = v,
                 Err(e) => {
                     self.stack.truncate(base);
@@ -259,6 +319,19 @@ impl Interp {
         let bindings = self.heap.record_ref(env, 0);
         let extended = self.heap.cons(pair, bindings);
         self.heap.record_set(env, 0, extended);
+    }
+
+    /// Defines a global binding in whichever representation the active
+    /// evaluator uses: the global alist (naive) or the symbol's interned
+    /// value cell (staged).
+    pub(crate) fn define_global(&mut self, sym: Value, value: Value) {
+        if self.naive {
+            let env = self.global.get();
+            self.define_var(env, sym, value);
+        } else {
+            let cell = SymbolTable::global_cell(&mut self.heap, sym);
+            self.heap.box_set(cell, value);
+        }
     }
 
     fn set_var(&mut self, env: Value, sym: Value, value: Value) -> SResult<()> {
@@ -1379,22 +1452,725 @@ impl Interp {
     /// evaluated recursively.
     pub fn apply(&mut self, f: Value, args: &[Value]) -> SResult<Value> {
         let base = self.stack.len();
-        // Fake expression/environment slots so the shared machinery works.
-        self.stack.push(Value::NIL);
-        self.stack.push(self.global_env());
+        if self.naive {
+            // Fake expression/environment slots so the shared machinery
+            // works.
+            self.stack.push(Value::NIL);
+            self.stack.push(self.global_env());
+            let op_slot = self.stack.push(f);
+            let args_base = self.stack.len();
+            for &a in args {
+                self.stack.push(a);
+            }
+            let result = match self.apply_from_stack(base, op_slot, args_base, args.len()) {
+                Ok(Some(v)) => Ok(v),
+                Ok(None) => self.eval_loop(base), // closure: run the installed body
+                Err(e) => Err(e),
+            };
+            self.stack.truncate(base);
+            return result;
+        }
+        // Staged: slot `base` is the environment slot apply_staged fills
+        // with the callee's frame.
+        self.stack.push(Value::FALSE);
         let op_slot = self.stack.push(f);
         let args_base = self.stack.len();
         for &a in args {
             self.stack.push(a);
         }
-        let result = match self.apply_from_stack(base, op_slot, args_base, args.len()) {
-            Ok(Some(v)) => Ok(v),
-            Ok(None) => self.eval_loop(base), // closure: run the installed body
+        let result = match self.apply_staged(base, op_slot, args_base, args.len()) {
+            Ok(Applied::Value(v)) => Ok(v),
+            Ok(Applied::Tail(code)) => self.exec_loop(code, base),
             Err(e) => Err(e),
         };
         self.stack.truncate(base);
         result
     }
+
+    // ------------------------------------------------------------------
+    // The staged execution engine
+    // ------------------------------------------------------------------
+
+    /// Runs an analyzed top-level form. The bottom environment is `#f`:
+    /// analysis guarantees no `LocalRef` reaches past the frames it
+    /// created, so the sentinel is never dereferenced.
+    pub(crate) fn exec_top(&mut self, code: CodeRef) -> SResult<Value> {
+        if self.depth >= self.max_depth {
+            return err(format!(
+                "recursion too deep (max {} non-tail frames)",
+                self.max_depth
+            ));
+        }
+        self.depth += 1;
+        let base = self.stack.len();
+        self.stack.push(Value::FALSE);
+        let result = self.exec_loop(code, base);
+        self.stack.truncate(base);
+        self.depth -= 1;
+        result
+    }
+
+    /// Runs `code` in a fresh non-tail activation sharing the caller's
+    /// environment (the staged analogue of the naive `eval` recursion,
+    /// with the same depth guard).
+    fn exec_sub(&mut self, code: &CodeRef, base: usize) -> SResult<Value> {
+        if self.depth >= self.max_depth {
+            return err(format!(
+                "recursion too deep (max {} non-tail frames)",
+                self.max_depth
+            ));
+        }
+        self.depth += 1;
+        let sub = self.stack.len();
+        let env = self.stack.get(base);
+        self.stack.push(env);
+        let result = self.exec_loop(code.clone(), sub);
+        self.stack.truncate(sub);
+        self.depth -= 1;
+        result
+    }
+
+    /// The frame `depth` levels out from `env` (field 0 is the parent).
+    fn frame_at(&self, env: Value, depth: usize) -> Value {
+        let mut frame = env;
+        for _ in 0..depth {
+            frame = self.heap.record_ref(frame, 0);
+        }
+        frame
+    }
+
+    /// The global value cell for a reference site, consulting and
+    /// warming the site's one-entry inline cache. `None` means the
+    /// symbol has never been defined.
+    fn try_site_cell(&mut self, site: &GlobalSite) -> Option<Value> {
+        if let Some(r) = site.cell.borrow().as_ref() {
+            return Some(r.get());
+        }
+        let cell = SymbolTable::try_global_cell(&self.heap, site.sym.get())?;
+        *site.cell.borrow_mut() = Some(self.heap.root(cell));
+        Some(cell)
+    }
+
+    /// The staged trampoline: slot `base` holds the current environment
+    /// frame; tail positions update the slot and loop.
+    ///
+    /// Each opcode's body lives in its own `step_*` method rather than
+    /// inline match arms: a monolithic match gives every arm's locals a
+    /// distinct slot in one giant frame (debug builds don't coalesce),
+    /// and that frame sits on the non-tail recursion spine ~400 deep.
+    /// Splitting keeps the spine paying only for the arms it executes.
+    fn exec_loop(&mut self, mut code: CodeRef, base: usize) -> SResult<Value> {
+        loop {
+            self.stack.truncate(base + 1);
+            match self.exec_step(&code, base)? {
+                Applied::Value(v) => return Ok(v),
+                Applied::Tail(next) => code = next,
+            }
+        }
+    }
+
+    /// Executes one opcode: a value, or the tail code to continue with.
+    fn exec_step(&mut self, code: &CodeRef, base: usize) -> SResult<Applied> {
+        match &**code {
+            Code::Imm(v) => Ok(Applied::Value(*v)),
+            Code::Const(r) => Ok(Applied::Value(r.get())),
+            Code::LocalRef { depth, slot, name } => self.step_local_ref(base, *depth, *slot, name),
+            Code::GlobalRef(site) => self.step_global_ref(site),
+            Code::LocalSet { depth, slot, value } => {
+                self.step_local_set(base, *depth, *slot, value)
+            }
+            Code::GlobalSet { site, value } => self.step_global_set(base, site, value),
+            Code::GlobalDefine { site, value } => self.step_global_define(base, site, value),
+            Code::If { test, then_, else_ } => self.step_if(base, test, then_, else_),
+            Code::Lambda { index, name } => self.step_lambda(base, *index, name),
+            Code::Seq(parts) => self.step_seq(base, parts),
+            Code::Let {
+                n_slots,
+                inits,
+                body,
+            } => self.step_let(base, *n_slots, inits, body),
+            Code::NamedLet {
+                index,
+                name,
+                args,
+                bump_gensym,
+            } => self.step_named_let(base, *index, name, args, *bump_gensym),
+            Code::And(parts) => self.step_and(base, parts),
+            Code::Or(parts) => self.step_or(base, parts),
+            Code::When { test, want, body } => self.step_when(base, test, *want, body),
+            Code::CondArrow { test, recv, rest } => self.step_cond_arrow(base, test, recv, rest),
+            Code::Case { key, clauses } => self.step_case(base, key, clauses),
+            Code::App { op, args } => self.step_app(base, op, args),
+            Code::Quasi { template, sites } => {
+                let t = template.get();
+                let sites = sites.clone();
+                let mut cursor = 0;
+                self.exec_quasi(base, t, 1, &sites, &mut cursor)
+                    .map(Applied::Value)
+            }
+        }
+    }
+
+    fn step_local_ref(
+        &mut self,
+        base: usize,
+        depth: usize,
+        slot: usize,
+        name: &str,
+    ) -> SResult<Applied> {
+        let env = self.stack.get(base);
+        let frame = self.frame_at(env, depth);
+        let v = self.heap.record_ref(frame, 1 + slot);
+        if v == Value::UNBOUND {
+            return err(format!("variable {name} used before initialization"));
+        }
+        Ok(Applied::Value(v))
+    }
+
+    fn step_global_ref(&mut self, site: &GlobalSite) -> SResult<Applied> {
+        let cell = match self.try_site_cell(site) {
+            Some(c) => c,
+            None => return err(format!("unbound variable: {}", site.name)),
+        };
+        let v = self.heap.box_ref(cell);
+        if v == Value::UNBOUND {
+            return err(format!("unbound variable: {}", site.name));
+        }
+        Ok(Applied::Value(v))
+    }
+
+    fn step_local_set(
+        &mut self,
+        base: usize,
+        depth: usize,
+        slot: usize,
+        value: &CodeRef,
+    ) -> SResult<Applied> {
+        let v = self.exec_sub(value, base)?;
+        let env = self.stack.get(base);
+        let frame = self.frame_at(env, depth);
+        self.heap.record_set(frame, 1 + slot, v);
+        Ok(Applied::Value(Value::VOID))
+    }
+
+    fn step_global_set(
+        &mut self,
+        base: usize,
+        site: &GlobalSite,
+        value: &CodeRef,
+    ) -> SResult<Applied> {
+        // Value first, then the unbound check — the naive evaluator
+        // evaluates before `set_var` fails.
+        let v = self.exec_sub(value, base)?;
+        let cell = match self.try_site_cell(site) {
+            Some(c) if self.heap.box_ref(c) != Value::UNBOUND => c,
+            _ => return err(format!("set!: unbound variable: {}", site.name)),
+        };
+        self.heap.box_set(cell, v);
+        Ok(Applied::Value(Value::VOID))
+    }
+
+    fn step_global_define(
+        &mut self,
+        base: usize,
+        site: &GlobalSite,
+        value: &CodeRef,
+    ) -> SResult<Applied> {
+        // Value first, then cell creation, so `(define x x)` reports x
+        // unbound exactly like the naive path.
+        let v = self.exec_sub(value, base)?;
+        let sym = site.sym.get();
+        let cell = SymbolTable::global_cell(&mut self.heap, sym);
+        self.heap.box_set(cell, v);
+        if site.cell.borrow().is_none() {
+            let rooted = self.heap.root(cell);
+            *site.cell.borrow_mut() = Some(rooted);
+        }
+        Ok(Applied::Value(Value::VOID))
+    }
+
+    fn step_if(
+        &mut self,
+        base: usize,
+        test: &CodeRef,
+        then_: &CodeRef,
+        else_: &Option<CodeRef>,
+    ) -> SResult<Applied> {
+        let c = self.exec_sub(test, base)?;
+        if c.is_truthy() {
+            Ok(Applied::Tail(then_.clone()))
+        } else {
+            match else_ {
+                Some(e) => Ok(Applied::Tail(e.clone())),
+                None => Ok(Applied::Value(Value::VOID)),
+            }
+        }
+    }
+
+    fn step_lambda(&mut self, base: usize, index: usize, name: &Rooted) -> SResult<Applied> {
+        let env = self.stack.get(base);
+        let idx = Value::fixnum(index as i64);
+        let nm = name.get();
+        Ok(Applied::Value(
+            self.heap
+                .make_record(rtags::compiled_closure(), &[idx, env, nm]),
+        ))
+    }
+
+    fn step_seq(&mut self, base: usize, parts: &[CodeRef]) -> SResult<Applied> {
+        let Some((last, init)) = parts.split_last() else {
+            return Ok(Applied::Value(Value::VOID));
+        };
+        for p in init {
+            self.exec_sub(p, base)?;
+        }
+        Ok(Applied::Tail(last.clone()))
+    }
+
+    fn step_let(
+        &mut self,
+        base: usize,
+        n_slots: usize,
+        inits: &[CodeRef],
+        body: &CodeRef,
+    ) -> SResult<Applied> {
+        let vals_base = self.stack.len();
+        for init in inits {
+            let v = self.exec_sub(init, base)?;
+            self.stack.push(v);
+        }
+        // Allocation never collects: the raw frame pointer stays valid
+        // while the slots are filled.
+        let frame = self
+            .heap
+            .make_record_filled(rtags::frame(), 1 + n_slots, Value::UNBOUND);
+        let parent = self.stack.get(base);
+        self.heap.record_set(frame, 0, parent);
+        for i in 0..inits.len() {
+            let v = self.stack.get(vals_base + i);
+            self.heap.record_set(frame, 1 + i, v);
+        }
+        self.stack.set(base, frame);
+        Ok(Applied::Tail(body.clone()))
+    }
+
+    fn step_named_let(
+        &mut self,
+        base: usize,
+        index: usize,
+        name: &Rooted,
+        args: &[CodeRef],
+        bump_gensym: bool,
+    ) -> SResult<Applied> {
+        if bump_gensym {
+            // Lockstep with the naive `do` desugar's gensym.
+            self.gensym_counter += 1;
+        }
+        let args_base = self.stack.len();
+        for a in args {
+            let v = self.exec_sub(a, base)?;
+            self.stack.push(v);
+        }
+        let argc = args.len();
+        // One-slot frame holding the loop closure (letrec-style
+        // self-reference).
+        let name_frame = self
+            .heap
+            .make_record_filled(rtags::frame(), 2, Value::UNBOUND);
+        let parent = self.stack.get(base);
+        self.heap.record_set(name_frame, 0, parent);
+        let idx_v = Value::fixnum(index as i64);
+        let nm = name.get();
+        let closure = self
+            .heap
+            .make_record(rtags::compiled_closure(), &[idx_v, name_frame, nm]);
+        self.heap.record_set(name_frame, 1, closure);
+        let lc = self.code_tab[index].clone();
+        let clause = select_staged_clause(&lc, argc)?;
+        let frame =
+            self.heap
+                .make_record_filled(rtags::frame(), 1 + clause.n_slots, Value::UNBOUND);
+        self.heap.record_set(frame, 0, name_frame);
+        for i in 0..argc {
+            let v = self.stack.get(args_base + i);
+            self.heap.record_set(frame, 1 + i, v);
+        }
+        // No safe point here: the naive evaluator enters the loop body
+        // via install_closure_call without passing through maybe_collect
+        // either.
+        self.stack.set(base, frame);
+        Ok(Applied::Tail(clause.body.clone()))
+    }
+
+    fn step_and(&mut self, base: usize, parts: &[CodeRef]) -> SResult<Applied> {
+        let (last, init) = parts.split_last().expect("analysis folds empty and");
+        for p in init {
+            let v = self.exec_sub(p, base)?;
+            if !v.is_truthy() {
+                return Ok(Applied::Value(v));
+            }
+        }
+        Ok(Applied::Tail(last.clone()))
+    }
+
+    fn step_or(&mut self, base: usize, parts: &[CodeRef]) -> SResult<Applied> {
+        let (last, init) = parts.split_last().expect("analysis folds empty or");
+        for p in init {
+            let v = self.exec_sub(p, base)?;
+            if v.is_truthy() {
+                return Ok(Applied::Value(v));
+            }
+        }
+        Ok(Applied::Tail(last.clone()))
+    }
+
+    fn step_when(
+        &mut self,
+        base: usize,
+        test: &CodeRef,
+        want: bool,
+        body: &CodeRef,
+    ) -> SResult<Applied> {
+        let c = self.exec_sub(test, base)?;
+        if c.is_truthy() != want {
+            return Ok(Applied::Value(Value::VOID));
+        }
+        Ok(Applied::Tail(body.clone()))
+    }
+
+    fn step_cond_arrow(
+        &mut self,
+        base: usize,
+        test: &CodeRef,
+        recv: &CodeRef,
+        rest: &CodeRef,
+    ) -> SResult<Applied> {
+        let v = self.exec_sub(test, base)?;
+        if v.is_truthy() {
+            // Non-tail application of the receiver, exactly like the
+            // naive `cond` arrow path.
+            let v_slot = self.stack.push(v);
+            let f = self.exec_sub(recv, base)?;
+            let v = self.stack.get(v_slot);
+            return self.apply(f, &[v]).map(Applied::Value);
+        }
+        Ok(Applied::Tail(rest.clone()))
+    }
+
+    fn step_case(
+        &mut self,
+        base: usize,
+        key: &CodeRef,
+        clauses: &[analyze::CaseClause],
+    ) -> SResult<Applied> {
+        let key_v = self.exec_sub(key, base)?;
+        // Matching neither allocates nor collects, so the raw key stays
+        // valid across the clause walk.
+        for cl in clauses {
+            let matched = match &cl.datums {
+                None => true,
+                Some(datums) => {
+                    let mut d = datums.get();
+                    let mut m = false;
+                    while self.heap.is_pair(d) {
+                        if self.heap.eqv(self.heap.car(d), key_v) {
+                            m = true;
+                            break;
+                        }
+                        d = self.heap.cdr(d);
+                    }
+                    m
+                }
+            };
+            if matched {
+                return Ok(Applied::Tail(cl.body.clone()));
+            }
+        }
+        Ok(Applied::Value(Value::VOID))
+    }
+
+    fn step_app(&mut self, base: usize, op: &CodeRef, args: &[CodeRef]) -> SResult<Applied> {
+        let op_v = self.exec_sub(op, base)?;
+        let op_slot = self.stack.push(op_v);
+        let args_base = self.stack.len();
+        for a in args {
+            let v = self.exec_sub(a, base)?;
+            self.stack.push(v);
+        }
+        self.apply_staged(base, op_slot, args_base, args.len())
+    }
+
+    /// Applies the value in `op_slot` to the `argc` values starting at
+    /// `args_base`. This is the staged collection safe point — placed at
+    /// every application, exactly where the naive evaluator collects, so
+    /// guardian and weak-pair observables match between modes.
+    fn apply_staged(
+        &mut self,
+        base: usize,
+        op_slot: usize,
+        args_base: usize,
+        argc: usize,
+    ) -> SResult<Applied> {
+        // Everything live is on the rooted stack: safe to collect.
+        let collected = self.heap.maybe_collect().is_some();
+        if collected && !self.in_collect_handler {
+            if let Some(handler) = self.collect_handler.clone() {
+                self.in_collect_handler = true;
+                let result = self.apply(handler.get(), &[]);
+                self.in_collect_handler = false;
+                result?;
+            }
+        }
+        let op = self.stack.get(op_slot);
+        if self.heap.is_record(op) {
+            let desc = self.heap.record_descriptor(op);
+            if desc == rtags::compiled_closure() {
+                let index = self.heap.record_ref(op, 0).as_fixnum() as usize;
+                let lc = self.code_tab[index].clone();
+                let clause = select_staged_clause(&lc, argc)?;
+                let frame = self.heap.make_record_filled(
+                    rtags::frame(),
+                    1 + clause.n_slots,
+                    Value::UNBOUND,
+                );
+                let op = self.stack.get(op_slot);
+                let closure_env = self.heap.record_ref(op, 1);
+                self.heap.record_set(frame, 0, closure_env);
+                for i in 0..clause.n_req {
+                    let v = self.stack.get(args_base + i);
+                    self.heap.record_set(frame, 1 + i, v);
+                }
+                if clause.variadic {
+                    let mut rest = Value::NIL;
+                    for j in (clause.n_req..argc).rev() {
+                        let v = self.stack.get(args_base + j);
+                        rest = self.heap.cons(v, rest);
+                    }
+                    self.heap.record_set(frame, 1 + clause.n_req, rest);
+                }
+                self.stack.set(base, frame);
+                return Ok(Applied::Tail(clause.body.clone()));
+            }
+            if desc == rtags::primitive() {
+                let index = self.heap.record_ref(op, 0).as_fixnum() as usize;
+                let args: Vec<Value> = (0..argc).map(|i| self.stack.get(args_base + i)).collect();
+                let entry = &self.prims[index];
+                if args.len() < entry.min_args || entry.max_args.is_some_and(|m| args.len() > m) {
+                    return err(format!(
+                        "{}: wrong number of arguments ({})",
+                        entry.name,
+                        args.len()
+                    ));
+                }
+                let f = entry.func;
+                return f(self, &args).map(Applied::Value);
+            }
+            if desc == rtags::guardian() {
+                let tconc = self.heap.record_ref(op, 0);
+                return match argc {
+                    // (G) — retrieve, or #f.
+                    0 => Ok(Applied::Value(
+                        self.heap.tconc_pop(tconc).unwrap_or(Value::FALSE),
+                    )),
+                    // (G obj) — register.
+                    1 => {
+                        let obj = self.stack.get(args_base);
+                        self.heap.guardian_register(tconc, obj, obj);
+                        Ok(Applied::Value(Value::VOID))
+                    }
+                    // (G obj agent) — the Section 5 generalisation.
+                    2 => {
+                        let obj = self.stack.get(args_base);
+                        let agent = self.stack.get(args_base + 1);
+                        self.heap.guardian_register(tconc, obj, agent);
+                        Ok(Applied::Value(Value::VOID))
+                    }
+                    _ => err("guardian: expects 0, 1, or 2 arguments"),
+                };
+            }
+        }
+        err(format!(
+            "not a procedure: {}",
+            guardians_runtime::printer::write_value(&self.heap, op)
+        ))
+    }
+
+    /// Expands a quasiquote template at runtime, consuming the
+    /// pre-analyzed unquote sites in walk order. This mirrors the naive
+    /// `expand_quasiquote` walk exactly (same structure sharing, same
+    /// splice semantics, same error messages) with site execution in
+    /// place of `eval`.
+    fn exec_quasi(
+        &mut self,
+        base: usize,
+        template: Value,
+        depth_qq: usize,
+        sites: &[CodeRef],
+        cursor: &mut usize,
+    ) -> SResult<Value> {
+        if self.depth >= self.max_depth {
+            return err("quasiquote nesting too deep");
+        }
+        self.depth += 1;
+        let result = self.exec_quasi_inner(base, template, depth_qq, sites, cursor);
+        self.depth -= 1;
+        result
+    }
+
+    fn exec_quasi_inner(
+        &mut self,
+        base: usize,
+        template: Value,
+        depth_qq: usize,
+        sites: &[CodeRef],
+        cursor: &mut usize,
+    ) -> SResult<Value> {
+        let mark = self.stack.len();
+        let result = (|| {
+            if self.heap.is_vector(template) {
+                // Expand the elements, then rebuild the vector.
+                let t_slot = self.stack.push(template);
+                let mut items = Vec::new();
+                for i in 0..self.heap.vector_len(self.stack.get(t_slot)) {
+                    let e = self.heap.vector_ref(self.stack.get(t_slot), i);
+                    let v = self.exec_quasi(base, e, depth_qq, sites, cursor)?;
+                    items.push(self.stack.push(v));
+                }
+                let v = self.heap.make_vector(items.len(), Value::NIL);
+                for (i, slot) in items.iter().enumerate() {
+                    let item = self.stack.get(*slot);
+                    self.heap.vector_set(v, i, item);
+                }
+                return Ok(v);
+            }
+            if !self.heap.is_pair(template) {
+                return Ok(template);
+            }
+            let head = self.heap.car(template);
+            if self.heap.is_symbol(head) {
+                if head == self.sf.unquote.get() {
+                    let inner = self.nth(template, 1)?;
+                    if depth_qq == 1 {
+                        let site = next_site(sites, cursor)?;
+                        return self.exec_sub(&site, base);
+                    }
+                    let e_slot = {
+                        let v = self.exec_quasi(base, inner, depth_qq - 1, sites, cursor)?;
+                        self.stack.push(v)
+                    };
+                    let tail = self.heap.cons(self.stack.get(e_slot), Value::NIL);
+                    return Ok(self.heap.cons(self.sf.unquote.get(), tail));
+                }
+                if head == self.sf.quasiquote.get() {
+                    let inner = self.nth(template, 1)?;
+                    let e_slot = {
+                        let v = self.exec_quasi(base, inner, depth_qq + 1, sites, cursor)?;
+                        self.stack.push(v)
+                    };
+                    let tail = self.heap.cons(self.stack.get(e_slot), Value::NIL);
+                    return Ok(self.heap.cons(self.sf.quasiquote.get(), tail));
+                }
+            }
+            // General list walk with splicing, building a reversed
+            // accumulator on the rooted stack.
+            let acc_slot = self.stack.push(Value::NIL);
+            let rest_slot = self.stack.push(template);
+            let tail_slot = self.stack.push(Value::NIL);
+            loop {
+                let rest = self.stack.get(rest_slot);
+                if rest.is_nil() {
+                    break;
+                }
+                if !self.heap.is_pair(rest) {
+                    // Improper tail: expand it and finish.
+                    let v = self.exec_quasi(base, rest, depth_qq, sites, cursor)?;
+                    self.stack.set(tail_slot, v);
+                    break;
+                }
+                // An unquote (or nested quasiquote) in tail position is
+                // a dotted tail.
+                let rest_head = self.heap.car(rest);
+                if self.heap.is_symbol(rest_head)
+                    && (rest_head == self.sf.unquote.get() || rest_head == self.sf.quasiquote.get())
+                {
+                    let v = self.exec_quasi(base, rest, depth_qq, sites, cursor)?;
+                    self.stack.set(tail_slot, v);
+                    break;
+                }
+                let e = self.heap.car(rest);
+                let is_splice = depth_qq == 1
+                    && self.heap.is_pair(e)
+                    && self.heap.is_symbol(self.heap.car(e))
+                    && self.heap.car(e) == self.sf.unquote_splicing.get();
+                if is_splice {
+                    let site = next_site(sites, cursor)?;
+                    let spliced = self.exec_sub(&site, base)?;
+                    let sp_slot = self.stack.push(spliced);
+                    loop {
+                        let sp = self.stack.get(sp_slot);
+                        if sp.is_nil() {
+                            break;
+                        }
+                        if !self.heap.is_pair(sp) {
+                            return err("unquote-splicing: not a list");
+                        }
+                        let item = self.heap.car(sp);
+                        let acc = self.stack.get(acc_slot);
+                        let cell = self.heap.cons(item, acc);
+                        self.stack.set(acc_slot, cell);
+                        let sp = self.stack.get(sp_slot);
+                        self.stack.set(sp_slot, self.heap.cdr(sp));
+                    }
+                } else {
+                    let v = self.exec_quasi(base, e, depth_qq, sites, cursor)?;
+                    let acc = self.stack.get(acc_slot);
+                    let cell = self.heap.cons(v, acc);
+                    self.stack.set(acc_slot, cell);
+                }
+                let rest = self.stack.get(rest_slot);
+                self.stack.set(rest_slot, self.heap.cdr(rest));
+            }
+            // Reverse the accumulator onto the tail.
+            let mut out = self.stack.get(tail_slot);
+            let mut acc = self.stack.get(acc_slot);
+            while !acc.is_nil() {
+                let item = self.heap.car(acc);
+                out = self.heap.cons(item, out);
+                acc = self.heap.cdr(acc);
+            }
+            Ok(out)
+        })();
+        self.stack.truncate(mark);
+        result
+    }
+}
+
+/// Result of a staged application: an immediate value (primitives,
+/// guardians) or a tail call to run (compiled closures).
+pub(crate) enum Applied {
+    /// The application completed with this value.
+    Value(Value),
+    /// Run this body; the callee's frame is already installed at `base`.
+    Tail(CodeRef),
+}
+
+/// Selects the clause matching `argc`, with the naive evaluator's error.
+fn select_staged_clause(lc: &LambdaCode, argc: usize) -> SResult<&crate::analyze::ClauseCode> {
+    for clause in &lc.clauses {
+        if (clause.variadic && argc >= clause.n_req) || (!clause.variadic && argc == clause.n_req) {
+            return Ok(clause);
+        }
+    }
+    err(format!("no matching clause for {argc} arguments"))
+}
+
+/// The next pre-analyzed quasiquote site, in template walk order.
+fn next_site(sites: &[CodeRef], cursor: &mut usize) -> SResult<CodeRef> {
+    let Some(site) = sites.get(*cursor) else {
+        return err("quasiquote: template changed since analysis");
+    };
+    *cursor += 1;
+    Ok(site.clone())
 }
 
 impl Default for Interp {

@@ -36,6 +36,7 @@
 //! assert_eq!(scheme.eval_to_string("(G)").unwrap(), "#f");
 //! ```
 
+mod analyze;
 mod error;
 mod interp;
 mod lexer;
@@ -44,7 +45,7 @@ mod prims;
 mod reader;
 
 pub use error::{SResult, SchemeError};
-pub use interp::Interp;
+pub use interp::{Interp, InterpConfig};
 pub use lexer::{tokenize, Token};
 pub use prelude::PRELUDE;
 pub use reader::{read_all, read_one};

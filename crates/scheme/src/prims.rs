@@ -130,6 +130,7 @@ fn table() -> &'static [PrimEntry] {
         ("string-hash", p_string_hash, 1, Some(1)),
         ("equal-hash", p_equal_hash, 1, Some(1)),
         // Records (used by the define-record-type expansion)
+        ("%fresh-symbol", p_fresh_symbol, 1, Some(1)),
         ("%make-record", p_make_record, 1, None),
         ("%record-of-type?", p_record_of_type, 2, Some(2)),
         ("%record-ref", p_record_ref, 3, Some(3)),
@@ -174,8 +175,7 @@ pub(crate) fn register_all(interp: &mut Interp) {
             .heap
             .make_record(rtags::primitive(), &[Value::fixnum(index as i64), name_v]);
         let sym = interp.symbols.intern(&mut interp.heap, entry.name);
-        let genv = interp.global_env();
-        interp.define_var(genv, sym, rec);
+        interp.define_global(sym, rec);
         interp.prims.push(PrimEntry { ..*entry });
     }
 }
@@ -209,6 +209,16 @@ fn want_fixnum(v: Value, who: &str) -> SResult<i64> {
 fn want_string(heap: &Heap, v: Value, who: &str) -> SResult<String> {
     if heap.is_string(v) {
         Ok(heap.string_value(v))
+    } else {
+        err(format!("{who}: not a string: {}", write_value(heap, v)))
+    }
+}
+
+/// Type check only — read paths then borrow bytes via
+/// [`Heap::string_bytes`] instead of copying into a `String`.
+fn check_string(heap: &Heap, v: Value, who: &str) -> SResult<()> {
+    if heap.is_string(v) {
+        Ok(())
     } else {
         err(format!("{who}: not a string: {}", write_value(heap, v)))
     }
@@ -761,7 +771,8 @@ fn equal_rec(heap: &Heap, a: Value, b: Value, depth: usize) -> bool {
             && equal_rec(heap, heap.cdr(a), heap.cdr(b), depth + 1);
     }
     if heap.is_string(a) && heap.is_string(b) {
-        return heap.string_value(a) == heap.string_value(b);
+        return heap.string_len(a) == heap.string_len(b)
+            && heap.string_bytes(a).eq(heap.string_bytes(b));
     }
     if heap.is_flonum(a) && heap.is_flonum(b) {
         return heap.flonum_value(a).to_bits() == heap.flonum_value(b).to_bits();
@@ -815,7 +826,10 @@ fn p_is_procedure(it: &mut Interp, a: &[Value]) -> SResult<Value> {
     let v = a[0];
     let is_proc = it.heap.is_record(v) && {
         let d = it.heap.record_descriptor(v);
-        d == rtags::closure() || d == rtags::primitive() || d == rtags::guardian()
+        d == rtags::closure()
+            || d == rtags::compiled_closure()
+            || d == rtags::primitive()
+            || d == rtags::guardian()
     };
     Ok(Value::bool(is_proc))
 }
@@ -879,40 +893,60 @@ fn p_vector_length(it: &mut Interp, a: &[Value]) -> SResult<Value> {
 // ----------------------------------------------------------------------
 
 fn p_string_length(it: &mut Interp, a: &[Value]) -> SResult<Value> {
-    let s = want_string(&it.heap, a[0], "string-length")?;
-    Ok(Value::fixnum(s.chars().count() as i64))
+    check_string(&it.heap, a[0], "string-length")?;
+    Ok(Value::fixnum(it.heap.string_char_count(a[0]) as i64))
 }
 
 fn p_string_append(it: &mut Interp, a: &[Value]) -> SResult<Value> {
-    let mut out = String::new();
+    let mut out: Vec<u8> = Vec::new();
     for &v in a {
-        out.push_str(&want_string(&it.heap, v, "string-append")?);
+        check_string(&it.heap, v, "string-append")?;
+        out.extend(it.heap.string_bytes(v));
     }
-    Ok(it.heap.make_string(&out))
+    let s = String::from_utf8(out).expect("heap strings are always valid UTF-8");
+    Ok(it.heap.make_string(&s))
 }
 
 fn p_substring(it: &mut Interp, a: &[Value]) -> SResult<Value> {
-    let s = want_string(&it.heap, a[0], "substring")?;
+    check_string(&it.heap, a[0], "substring")?;
     let start = want_fixnum(a[1], "substring")? as usize;
     let end = want_fixnum(a[2], "substring")? as usize;
-    let chars: Vec<char> = s.chars().collect();
-    if start > end || end > chars.len() {
+    if start > end {
         return err("substring: index out of range");
     }
-    let sub: String = chars[start..end].iter().collect();
+    // One borrowed pass: keep the bytes of characters start..end, count
+    // characters to bounds-check `end`. Only the result allocates.
+    let mut out: Vec<u8> = Vec::new();
+    let mut chars_seen = 0usize;
+    for b in it.heap.string_bytes(a[0]) {
+        if b & 0xC0 != 0x80 {
+            chars_seen += 1;
+        }
+        if chars_seen > start && chars_seen <= end {
+            out.push(b);
+        }
+    }
+    if end > chars_seen {
+        return err("substring: index out of range");
+    }
+    let sub = String::from_utf8(out).expect("heap strings are always valid UTF-8");
     Ok(it.heap.make_string(&sub))
 }
 
 fn p_string_eq(it: &mut Interp, a: &[Value]) -> SResult<Value> {
-    let x = want_string(&it.heap, a[0], "string=?")?;
-    let y = want_string(&it.heap, a[1], "string=?")?;
-    Ok(Value::bool(x == y))
+    check_string(&it.heap, a[0], "string=?")?;
+    check_string(&it.heap, a[1], "string=?")?;
+    let same = it.heap.string_len(a[0]) == it.heap.string_len(a[1])
+        && it.heap.string_bytes(a[0]).eq(it.heap.string_bytes(a[1]));
+    Ok(Value::bool(same))
 }
 
 fn p_string_lt(it: &mut Interp, a: &[Value]) -> SResult<Value> {
-    let x = want_string(&it.heap, a[0], "string<?")?;
-    let y = want_string(&it.heap, a[1], "string<?")?;
-    Ok(Value::bool(x < y))
+    check_string(&it.heap, a[0], "string<?")?;
+    check_string(&it.heap, a[1], "string<?")?;
+    Ok(Value::bool(
+        it.heap.string_bytes(a[0]).lt(it.heap.string_bytes(a[1])),
+    ))
 }
 
 fn p_char_eq(_: &mut Interp, a: &[Value]) -> SResult<Value> {
@@ -997,10 +1031,10 @@ fn p_gensym(it: &mut Interp, _: &[Value]) -> SResult<Value> {
 }
 
 fn p_string_hash(it: &mut Interp, a: &[Value]) -> SResult<Value> {
-    let s = want_string(&it.heap, a[0], "string-hash")?;
+    check_string(&it.heap, a[0], "string-hash")?;
     let mut h: u64 = 0xcbf29ce484222325;
-    for b in s.as_bytes() {
-        h ^= *b as u64;
+    for b in it.heap.string_bytes(a[0]) {
+        h ^= b as u64;
         h = h.wrapping_mul(0x100000001b3);
     }
     Ok(Value::fixnum((h % (1 << 60)) as i64))
@@ -1017,6 +1051,17 @@ fn p_equal_hash(it: &mut Interp, a: &[Value]) -> SResult<Value> {
 
 fn p_make_record(it: &mut Interp, a: &[Value]) -> SResult<Value> {
     Ok(it.heap.make_record(a[0], &a[1..]))
+}
+
+/// A fresh uninterned symbol with the given symbol's name — the staged
+/// `define-record-type` expansion's eq-unique type descriptor (the naive
+/// evaluator allocates the same fresh symbol directly).
+fn p_fresh_symbol(it: &mut Interp, a: &[Value]) -> SResult<Value> {
+    if !it.heap.is_symbol(a[0]) {
+        return err("%fresh-symbol: expects a symbol");
+    }
+    let name = it.heap.symbol_name(a[0]);
+    Ok(it.heap.make_symbol(&name))
 }
 
 fn p_record_of_type(it: &mut Interp, a: &[Value]) -> SResult<Value> {

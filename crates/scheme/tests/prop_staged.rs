@@ -1,0 +1,321 @@
+//! Differential tests: the staged evaluator and the naive cons-walking
+//! evaluator must be observationally identical — same results, same
+//! error messages, same printed output, and same guardian / weak-pair
+//! observables, since both place their collection safe point at every
+//! procedure application.
+//!
+//! Random programs are produced by a byte-driven builder that only emits
+//! well-formed, terminating forms with correct scoping (so the staged
+//! evaluator's analysis-time error reporting — a documented divergence
+//! for malformed input — never comes into play). Runtime errors (type
+//! errors, arity, unbound globals) are fair game and must match byte for
+//! byte.
+
+use guardians_scheme::{Interp, InterpConfig};
+use proptest::prelude::*;
+
+/// Evaluates `forms` one at a time, collecting each printed result or
+/// error string plus everything written to the simulated OS.
+fn run_mode(config: InterpConfig, forms: &[String]) -> (Vec<Result<String, String>>, String) {
+    let mut it = Interp::with_interp_config(config);
+    let mut results = Vec::new();
+    for f in forms {
+        results.push(it.eval_to_string(f).map_err(|e| e.to_string()));
+    }
+    (results, it.take_output())
+}
+
+fn assert_identical(forms: &[String]) {
+    let staged = run_mode(InterpConfig::staged(), forms);
+    let naive = run_mode(InterpConfig::naive(), forms);
+    assert_eq!(staged, naive, "modes diverged on:\n{}", forms.join("\n"));
+}
+
+// ---------------------------------------------------------------------
+// Byte-driven program builder
+// ---------------------------------------------------------------------
+
+/// Consumes fuel bytes and emits well-formed Scheme. Scoping is tracked
+/// so every variable reference is bound; loops are bounded by small
+/// literal counters, so every program terminates.
+struct Gen<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    scope: Vec<String>,
+    next_var: usize,
+}
+
+impl<'a> Gen<'a> {
+    fn new(bytes: &'a [u8]) -> Gen<'a> {
+        Gen {
+            bytes,
+            pos: 0,
+            scope: vec!["g0".into(), "g1".into()],
+            next_var: 0,
+        }
+    }
+
+    fn next(&mut self) -> u8 {
+        let b = self.bytes.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b
+    }
+
+    fn fresh(&mut self) -> String {
+        let v = format!("v{}", self.next_var);
+        self.next_var += 1;
+        v
+    }
+
+    fn atom(&mut self) -> String {
+        let b = self.next();
+        match b % 8 {
+            0 => format!("{}", (b as i64) - 128),
+            1 => "#t".into(),
+            2 => "#f".into(),
+            3 => "'sym".into(),
+            4 => "\"str\"".into(),
+            5 => "'(1 2 3)".into(),
+            _ => {
+                // A bound variable; the scope is never empty.
+                let i = (b as usize) % self.scope.len();
+                self.scope[i].clone()
+            }
+        }
+    }
+
+    fn expr(&mut self, depth: usize) -> String {
+        if depth == 0 {
+            return self.atom();
+        }
+        let b = self.next();
+        match b % 16 {
+            0 => self.atom(),
+            1 => format!(
+                "(if {} {} {})",
+                self.expr(depth - 1),
+                self.expr(depth - 1),
+                self.expr(depth - 1)
+            ),
+            2 => {
+                let v = self.fresh();
+                let init = self.expr(depth - 1);
+                self.scope.push(v.clone());
+                let body = self.expr(depth - 1);
+                self.scope.pop();
+                format!("(let (({v} {init})) {body})")
+            }
+            3 => {
+                let v = self.fresh();
+                let arg = self.expr(depth - 1);
+                self.scope.push(v.clone());
+                let body = self.expr(depth - 1);
+                self.scope.pop();
+                format!("((lambda ({v}) {body}) {arg})")
+            }
+            4 => {
+                // Bounded named let: counts down from a small literal.
+                let i = self.fresh();
+                let n = (b % 3) + 1;
+                self.scope.push(i.clone());
+                let body = self.expr(depth - 1);
+                self.scope.pop();
+                format!("(let lp (({i} {n})) (if (< {i} 1) {body} (lp (- {i} 1))))")
+            }
+            5 => format!("(+ {} {})", self.expr(depth - 1), self.expr(depth - 1)),
+            6 => format!("(cons {} {})", self.expr(depth - 1), self.expr(depth - 1)),
+            7 => format!("(car (cons {} 0))", self.expr(depth - 1)),
+            8 => format!(
+                "`(a ,{} ,@(list {}) c)",
+                self.expr(depth - 1),
+                self.expr(depth - 1)
+            ),
+            9 => format!("(and {} {})", self.expr(depth - 1), self.expr(depth - 1)),
+            10 => format!("(or {} {})", self.expr(depth - 1), self.expr(depth - 1)),
+            11 => format!(
+                "(cond ((pair? {}) => car) ({} {}) (else {}))",
+                self.expr(depth - 1),
+                self.expr(depth - 1),
+                self.expr(depth - 1),
+                self.expr(depth - 1)
+            ),
+            12 => format!(
+                "(case {} ((1 2) {}) ((sym) 'hit) (else {}))",
+                self.expr(depth - 1),
+                self.expr(depth - 1),
+                self.expr(depth - 1)
+            ),
+            13 => {
+                // set! on a bound variable, then read it back.
+                let i = (b as usize) % self.scope.len();
+                let var = self.scope[i].clone();
+                let val = self.expr(depth - 1);
+                format!("(begin (set! {var} {val}) {var})")
+            }
+            14 => {
+                // Bounded do loop accumulating into a second variable.
+                let i = self.fresh();
+                let acc = self.fresh();
+                let n = (b % 3) + 1;
+                self.scope.push(acc.clone());
+                let step = self.expr(depth - 1);
+                self.scope.pop();
+                format!(
+                    "(do (({i} 0 (+ {i} 1)) ({acc} 0 (begin {step} {acc}))) \
+                     ((= {i} {n}) {acc}))"
+                )
+            }
+            _ => {
+                let parts: Vec<String> = (0..2 + (b % 2)).map(|_| self.expr(depth - 1)).collect();
+                format!("(begin {})", parts.join(" "))
+            }
+        }
+    }
+
+    /// A whole program: global defines (establishing `g0`/`g1`), a guard
+    /// of expression forms, and a display so output is compared too.
+    fn program(&mut self) -> Vec<String> {
+        let mut forms = vec![
+            format!("(define g0 {})", self.expr(1)),
+            format!("(define g1 {})", self.expr(2)),
+        ];
+        let n_forms = 1 + (self.next() % 4);
+        for _ in 0..n_forms {
+            forms.push(self.expr(3));
+        }
+        forms.push(format!("(display {})", self.expr(2)));
+        forms
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Random well-formed programs evaluate identically in both modes.
+    #[test]
+    fn staged_and_naive_agree(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let forms = Gen::new(&bytes).program();
+        assert_identical(&forms);
+    }
+
+    /// Random guardian workloads: register objects, drop references,
+    /// collect, and drain — the resurrection order and weak-pair
+    /// breaking must match between modes, since both collect at the
+    /// same safe points.
+    #[test]
+    fn guardian_observables_agree(
+        n_objs in 1usize..6,
+        drop_mask in any::<u8>(),
+        gens in proptest::collection::vec(0usize..5, 1..4),
+    ) {
+        let mut forms = vec![
+            "(define G (make-guardian))".to_string(),
+            "(define W '())".to_string(),
+        ];
+        for i in 0..n_objs {
+            forms.push(format!("(define x{i} (cons {i} 'payload))"));
+            forms.push(format!("(G x{i})"));
+            forms.push(format!("(set! W (cons (weak-cons x{i} {i}) W))"));
+        }
+        for i in 0..n_objs {
+            if drop_mask & (1 << i) != 0 {
+                forms.push(format!("(set! x{i} #f)"));
+            }
+        }
+        for g in &gens {
+            forms.push(format!("(collect {g})"));
+            forms.push(
+                "(let lp ((v (G))) (when v (display v) (display \" \") (lp (G))))"
+                    .to_string(),
+            );
+            forms.push("(for-each (lambda (w) (display (car w))) W)".to_string());
+        }
+        assert_identical(&forms);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fixed differential transcripts (paper §2–§3 shapes)
+// ---------------------------------------------------------------------
+
+#[test]
+fn paper_first_transcript_agrees() {
+    assert_identical(&[
+        "(define G (make-guardian))".into(),
+        "(define x (cons 'a 'b))".into(),
+        "(G x)".into(),
+        "(G)".into(),
+        "(set! x #f)".into(),
+        "(collect 3)".into(),
+        "(G)".into(),
+        "(G)".into(),
+    ]);
+}
+
+#[test]
+fn weak_pairs_and_guardians_interact_identically() {
+    assert_identical(&[
+        "(define G (make-guardian))".into(),
+        "(define w (weak-cons (cons 1 2) 'tail))".into(),
+        "(G (car w))".into(),
+        "(collect 3)".into(),
+        "(car w)".into(), // guardian keeps it alive: still (1 . 2)
+        "(define saved (G))".into(),
+        "saved".into(),
+        "(collect 3)".into(),
+        "(car w)".into(), // saved still references it
+        "(set! saved #f)".into(),
+        "(collect 3)".into(),
+        "(car w)".into(), // now broken
+    ]);
+}
+
+#[test]
+fn collect_request_handler_runs_identically() {
+    assert_identical(&[
+        "(define count 0)".into(),
+        "(collect-request-handler (lambda () (set! count (+ count 1)) (collect)))".into(),
+        "(define (churn n) (if (zero? n) '() (cons (make-string 64 #\\x) (churn (- n 1)))))".into(),
+        "(define sink #f)".into(),
+        "(let lp ((i 40)) (unless (zero? i) (set! sink (churn 100)) (lp (- i 1))))".into(),
+        "(> count 0)".into(),
+        "(begin count #t)".into(), // handler ran the same number of times
+    ]);
+}
+
+#[test]
+fn runtime_errors_match_byte_for_byte() {
+    for src in [
+        "nope",
+        "(set! nope 1)",
+        "(1 2)",
+        "(car 1 2)",
+        "((lambda (a) a) 1 2)",
+        "(let lp ((i 0)) (lp))",
+        "(letrec ((a b) (b 1)) a)",
+        "(define (f) (g)) (f)",
+        "(+ 'a 1)",
+        "(vector-ref (vector 1) 5)",
+    ] {
+        let forms = vec![src.to_string()];
+        assert_identical(&forms);
+    }
+}
+
+#[test]
+fn deep_recursion_error_matches() {
+    assert_identical(&[
+        "(define (sum n) (if (zero? n) 0 (+ n (sum (- n 1)))))".into(),
+        "(sum 100000)".into(),
+        "(+ 1 2)".into(), // both interpreters recover
+    ]);
+}
+
+#[test]
+fn tail_calls_do_not_grow_either_stack() {
+    assert_identical(&[
+        "(define (count n acc) (if (zero? n) acc (count (- n 1) (+ acc 1))))".into(),
+        "(count 100000 0)".into(),
+        "(do ((i 0 (+ i 1)) (s 0 (+ s i))) ((= i 1000) s))".into(),
+    ]);
+}
