@@ -1,0 +1,108 @@
+//! Open-ended torture soak: `cargo run --release --bin torture -- [args]`.
+//!
+//! Runs seed after seed through the model-based rig (see the
+//! `guardians-torture` crate), printing a progress line per batch and a
+//! summary at the end. On the first divergence it shrinks the trace to a
+//! locally minimal regression and prints it ready to commit.
+//!
+//! Arguments (all optional, any order):
+//!   --seeds N        number of seeds to run            (default 200)
+//!   --start N        first seed                        (default 0)
+//!   --ops N          ops per trace                     (default 10000)
+//!   --fault-sweep N  additionally run an exhaustive acquisition-fault
+//!                    sweep on the first N seeds with short traces
+//!                    (default 0 = none)
+//!   --sweep-ops N    ops per fault-sweep trace         (default 150)
+
+use std::time::Instant;
+
+fn main() {
+    let mut seeds: u64 = 200;
+    let mut start: u64 = 0;
+    let mut ops: usize = 10_000;
+    let mut sweep_seeds: u64 = 0;
+    let mut sweep_ops: usize = 150;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let val = |i: usize| -> u64 {
+            args.get(i + 1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| panic!("{} needs a numeric argument", args[i]))
+        };
+        match args[i].as_str() {
+            "--seeds" => seeds = val(i),
+            "--start" => start = val(i),
+            "--ops" => ops = val(i) as usize,
+            "--fault-sweep" => sweep_seeds = val(i),
+            "--sweep-ops" => sweep_ops = val(i) as usize,
+            other => panic!("unknown argument {other:?}"),
+        }
+        i += 2;
+    }
+
+    println!("torture soak: {seeds} seeds from {start}, {ops} ops each");
+    let t0 = Instant::now();
+    let mut total_collections = 0u64;
+    let mut total_checks = 0u64;
+    let mut total_finalized = 0u64;
+    let mut total_polled = 0u64;
+    for seed in start..start + seeds {
+        let trace = guardians_torture::generate(seed, ops);
+        match guardians_torture::run_trace(&trace) {
+            Ok(stats) => {
+                total_collections += stats.collections;
+                total_checks += stats.checks;
+                total_finalized += stats.finalized;
+                total_polled += stats.polled;
+                if (seed - start + 1).is_multiple_of(25) {
+                    let done = (seed - start + 1) as f64;
+                    println!(
+                        "  {done:>5} seeds, {:.1} seeds/s, {total_collections} collections, \
+                         {total_checks} checks, {total_finalized} finalized, {total_polled} polled",
+                        done / t0.elapsed().as_secs_f64()
+                    );
+                }
+            }
+            Err(failure) => {
+                eprintln!("{failure}");
+                eprintln!("{}", guardians_torture::explain(&trace, &failure));
+                std::process::exit(1);
+            }
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    println!(
+        "PASS: {seeds} seeds x {ops} ops in {elapsed:.1}s ({:.2} seeds/s), \
+         {total_collections} collections, {total_checks} oracle checks, \
+         {total_finalized} finalized, {total_polled} polled",
+        seeds as f64 / elapsed
+    );
+
+    if sweep_seeds > 0 {
+        println!("fault sweep: {sweep_seeds} seeds, {sweep_ops} ops, every acquisition offset");
+        let t1 = Instant::now();
+        let mut runs = 0u64;
+        let mut fired = 0u64;
+        for seed in start..start + sweep_seeds {
+            match guardians_torture::fault_sweep(seed, sweep_ops, 1) {
+                Ok((r, f)) => {
+                    runs += r;
+                    fired += f;
+                }
+                Err(failure) => {
+                    eprintln!("{failure}");
+                    let mut trace = guardians_torture::generate(seed, sweep_ops);
+                    trace.config.fail_acquisition_at = Some(0); // provenance hint
+                    eprintln!("(failure arose during the fault sweep of seed {seed})");
+                    std::process::exit(1);
+                }
+            }
+        }
+        println!(
+            "PASS: fault sweep, {runs} faulted runs, {fired} faults fired, {:.1}s",
+            t1.elapsed().as_secs_f64()
+        );
+    }
+}

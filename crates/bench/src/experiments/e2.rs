@@ -26,11 +26,11 @@ pub struct E2Result {
 }
 
 /// Exhaustively cuts the 3-write append protocol against pops at every
-/// queue length 0..4; returns (checked, torn).
+/// queue length 0..=8; returns (checked, torn).
 pub fn verify_interleavings() -> (u64, u64) {
     let mut checked = 0;
     let mut torn = 0;
-    for existing in 0..4u64 {
+    for existing in 0..9u64 {
         for cut in 0..=3usize {
             let mut h = Heap::default();
             let tc = h.make_tconc();
@@ -131,7 +131,7 @@ mod tests {
     #[test]
     fn no_torn_states_at_any_cut() {
         let (checked, torn) = verify_interleavings();
-        assert_eq!(checked, 16);
+        assert_eq!(checked, 36, "9 queue lengths x 4 cut points");
         assert_eq!(torn, 0, "Figure 3's write order admits no torn observation");
     }
 

@@ -128,6 +128,48 @@ impl Scratch {
     }
 }
 
+/// A conservative upper bound on the segment acquisitions a collection of
+/// generations `0..=g` can perform, used by
+/// [`Heap::try_collect`](crate::Heap::try_collect) to reserve the whole
+/// collection's demand up front (so a collection never fails after the
+/// flip). Derivation, with `F` = from-space segments (heads *and* run
+/// tails) and `E` = protected-list entries visited:
+///
+/// * **Copies.** Survivor words per space are at most that space's
+///   from-space words, so at most `F · SEGMENT_WORDS` words total. Bump
+///   allocation closes a to-space segment only when the next object
+///   doesn't fit, so each closed segment plus the object that forced the
+///   close exceed one segment of payload; pairing them gives at most
+///   `2 · F` closed segments across all cursors, plus one open segment
+///   per (space, target) cursor — 4 of them. Large objects copy run for
+///   run, exactly covered by `F`.
+/// * **Guardian pass.** Appending a finalized entry to its tconc
+///   allocates one 2-word pair, at most once per visited entry:
+///   `(2 · E).div_ceil(SEGMENT_WORDS)` segments (the pair cursor's open
+///   segment is already counted above).
+/// * Roots, remset, finalizer, and weak passes allocate nothing.
+///
+/// The `+8` absorbs the four open cursors with margin. The torture rig's
+/// fault sweep doubles as a soundness test for this bound: collections
+/// run with the acquisition fault armed just past the reservation, and
+/// any mid-collection acquisition beyond it trips a panic.
+pub(crate) fn estimate_worst_case(heap: &Heap, g: u8) -> u64 {
+    let from_segments = heap
+        .segs
+        .iter()
+        .filter(|(_, info)| info.generation <= g)
+        .count() as u64;
+    let entries: u64 = if heap.config.flat_protected {
+        heap.protected[0].len() as u64
+    } else {
+        heap.protected[..=(g as usize).min(heap.protected.len() - 1)]
+            .iter()
+            .map(|l| l.len() as u64)
+            .sum()
+    };
+    2 * from_segments + (2 * entries).div_ceil(SEGMENT_WORDS as u64) + 8
+}
+
 /// Runs a full collection of generations `0..=g`.
 pub(crate) fn run(heap: &mut Heap, g: u8) -> CollectionReport {
     let start = Instant::now();

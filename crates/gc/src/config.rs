@@ -76,6 +76,19 @@ pub struct GcConfig {
     /// the guardian pass, so the heap stays structurally valid.) For
     /// tests only.
     pub ablate_weak_pass_first: bool,
+    /// Fault-injection knob (doubling as a hard heap-size cap): when set
+    /// to `Some(n)`, the heap's *n+1-th* lifetime segment acquisition — and
+    /// every one after it — fails, simulating memory exhaustion at an
+    /// arbitrary point. The fallible entry points
+    /// ([`Heap::try_cons`](crate::Heap::try_cons) and friends,
+    /// [`Heap::try_collect`](crate::Heap::try_collect)) check their full
+    /// segment demand against the remaining budget *before* mutating
+    /// anything, so they fail cleanly with
+    /// [`GcError::Exhausted`](crate::GcError) and an intact heap. If an
+    /// infallible path crosses the limit instead, the heap panics — in the
+    /// torture rig that panic is the tripwire proving a preflight bound
+    /// unsound.
+    pub fail_acquisition_at: Option<u64>,
 }
 
 impl GcConfig {
@@ -89,6 +102,7 @@ impl GcConfig {
             flat_protected: false,
             promotion: Promotion::NextGeneration,
             ablate_weak_pass_first: false,
+            fail_acquisition_at: None,
         }
     }
 

@@ -14,6 +14,7 @@
 
 use crate::collect;
 use crate::config::GcConfig;
+use crate::error::GcError;
 use crate::guardian::Guardian;
 use crate::header::{Header, ObjKind};
 use crate::roots::{RootSet, Rooted, RootedVec};
@@ -62,6 +63,10 @@ pub struct Heap {
     pub(crate) collections: u64,
     bytes_since_gc: usize,
     alloc_forbidden: bool,
+    /// Lifetime count of segment acquisitions (runs count one per
+    /// segment), compared against
+    /// [`GcConfig::fail_acquisition_at`] by the fallible entry points.
+    acquisitions: u64,
 }
 
 impl Heap {
@@ -81,6 +86,7 @@ impl Heap {
             collections: 0,
             bytes_since_gc: 0,
             alloc_forbidden: false,
+            acquisitions: 0,
             config,
         }
     }
@@ -101,6 +107,7 @@ impl Heap {
         debug_assert!(words > 0);
         if words > SEGMENT_WORDS {
             let nsegs = words.div_ceil(SEGMENT_WORDS);
+            self.note_acquisitions(nsegs as u64);
             let head = self.segs.allocate_run(space, gen, nsegs);
             self.segs.info_mut(head).used = words as u32;
             if let Some(log) = self.tospace_log.as_mut() {
@@ -119,6 +126,7 @@ impl Heap {
         if let Some(old) = self.cursors[key] {
             self.segs.info_mut(old).open_cursor = false;
         }
+        self.note_acquisitions(1);
         let seg = self.segs.allocate(space, gen);
         if let Some(log) = self.tospace_log.as_mut() {
             log.push(seg);
@@ -164,16 +172,7 @@ impl Heap {
     }
 
     fn alloc_typed(&mut self, header: Header) -> WordAddr {
-        // Pointer-free kinds go to the pure space, which the collector
-        // copies without scanning.
-        let space = if header.traced_words() == 0
-            && header.kind != ObjKind::Vector
-            && header.kind != ObjKind::Record
-        {
-            Space::Pure
-        } else {
-            Space::Typed
-        };
+        let space = space_for(&header);
         let addr = self.alloc_mutator(space, header.total_words());
         self.stats.objects_allocated += 1;
         self.segs.set_word(addr, header.encode());
@@ -301,6 +300,193 @@ impl Heap {
     /// Whether the to-space log is empty.
     pub(crate) fn tospace_log_is_empty(&self) -> bool {
         self.tospace_log.as_ref().is_none_or(Vec::is_empty)
+    }
+
+    // ------------------------------------------------------------------
+    // Fallible allocation and the segment-acquisition budget
+    // ------------------------------------------------------------------
+    //
+    // The `try_*` entry points model a heap with a hard memory cap: they
+    // compute the operation's full segment demand *up front* and fail with
+    // a clean [`GcError::Exhausted`] — no partial mutation, heap still
+    // `verify()`-valid — when the demand exceeds the remaining
+    // [`GcConfig::fail_acquisition_at`] budget. The torture rig drives
+    // these with the fault placed at every offset in a sweep.
+
+    /// Records `n` segment acquisitions, enforcing the fault-injection
+    /// tripwire: an infallible path must never be the one to cross the
+    /// configured limit — a fallible entry point's preflight should have
+    /// rejected the operation first. For a collection, tripping this
+    /// panic would mean [`Heap::try_collect`]'s worst-case reservation
+    /// was unsound.
+    fn note_acquisitions(&mut self, n: u64) {
+        if let Some(limit) = self.config.fail_acquisition_at {
+            assert!(
+                self.acquisitions + n <= limit,
+                "segment-acquisition fault fired inside an infallible path: \
+                 {} acquired, {n} more requested, limit {limit} — a fallible \
+                 entry point's preflight should have rejected this operation",
+                self.acquisitions,
+            );
+        }
+        self.acquisitions += n;
+    }
+
+    /// Lifetime count of segment acquisitions (multi-segment runs count
+    /// one per segment; free-pool recycling counts like a fresh mapping).
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions
+    }
+
+    /// Segments still acquirable before the configured fault fires
+    /// (`u64::MAX` when no fault is configured).
+    pub fn acquisitions_remaining(&self) -> u64 {
+        match self.config.fail_acquisition_at {
+            Some(limit) => limit.saturating_sub(self.acquisitions),
+            None => u64::MAX,
+        }
+    }
+
+    /// Installs, moves, or clears the segment-acquisition fault at
+    /// runtime (see [`GcConfig::fail_acquisition_at`]). The limit counts
+    /// *lifetime* acquisitions, so a limit at or below
+    /// [`Heap::acquisitions`] makes every further acquisition fail.
+    pub fn set_acquisition_fault(&mut self, fail_at: Option<u64>) {
+        self.config.fail_acquisition_at = fail_at;
+    }
+
+    /// Errors unless `segments` more segments can be acquired. Lets a
+    /// caller preflight a *composite* operation (several allocations that
+    /// must all succeed or none happen) against a conservative upper
+    /// bound before performing any of them with the infallible
+    /// constructors — the torture rig's all-or-nothing op application.
+    ///
+    /// # Errors
+    ///
+    /// [`GcError::Exhausted`] if the demand exceeds the remaining budget.
+    pub fn try_reserve(&self, segments: u64) -> Result<(), GcError> {
+        self.check_budget(segments)
+    }
+
+    /// Errors unless `needed` more segments can be acquired.
+    fn check_budget(&self, needed: u64) -> Result<(), GcError> {
+        let remaining = self.acquisitions_remaining();
+        if needed > remaining {
+            return Err(GcError::Exhausted { needed, remaining });
+        }
+        Ok(())
+    }
+
+    /// Segments a generation-0 allocation of `words` words in `space`
+    /// acquires: 0 if it fits the open cursor, 1 for a new segment, or the
+    /// run length for a large object. Exact, not an estimate — the bump
+    /// allocator's decision procedure evaluated against the current
+    /// cursor.
+    fn segments_needed(&self, space: Space, words: usize) -> u64 {
+        if words > SEGMENT_WORDS {
+            return words.div_ceil(SEGMENT_WORDS) as u64;
+        }
+        if let Some(seg) = self.cursors[space.index()] {
+            if self.segs.info(seg).used as usize + words <= SEGMENT_WORDS {
+                return 0;
+            }
+        }
+        1
+    }
+
+    /// Fallible [`Heap::cons`].
+    ///
+    /// # Errors
+    ///
+    /// [`GcError::Exhausted`] (heap untouched) if the pair would not fit
+    /// in the remaining segment budget.
+    pub fn try_cons(&mut self, car: Value, cdr: Value) -> Result<Value, GcError> {
+        self.check_budget(self.segments_needed(Space::Pair, 2))?;
+        Ok(self.cons(car, cdr))
+    }
+
+    /// Fallible [`Heap::weak_cons`].
+    ///
+    /// # Errors
+    ///
+    /// [`GcError::Exhausted`] (heap untouched) on insufficient budget.
+    pub fn try_weak_cons(&mut self, car: Value, cdr: Value) -> Result<Value, GcError> {
+        self.check_budget(self.segments_needed(Space::WeakPair, 2))?;
+        Ok(self.weak_cons(car, cdr))
+    }
+
+    /// Fallible [`Heap::make_vector`].
+    ///
+    /// # Errors
+    ///
+    /// [`GcError::Exhausted`] (heap untouched) on insufficient budget.
+    pub fn try_make_vector(&mut self, len: usize, fill: Value) -> Result<Value, GcError> {
+        let header = Header::new(ObjKind::Vector, len);
+        self.check_budget(self.segments_needed(space_for(&header), header.total_words()))?;
+        Ok(self.make_vector(len, fill))
+    }
+
+    /// Fallible [`Heap::make_string`].
+    ///
+    /// # Errors
+    ///
+    /// [`GcError::Exhausted`] (heap untouched) on insufficient budget.
+    pub fn try_make_string(&mut self, s: &str) -> Result<Value, GcError> {
+        let header = Header::new(ObjKind::String, s.len());
+        self.check_budget(self.segments_needed(space_for(&header), header.total_words()))?;
+        Ok(self.make_string(s))
+    }
+
+    /// Fallible [`Heap::make_bytevector`].
+    ///
+    /// # Errors
+    ///
+    /// [`GcError::Exhausted`] (heap untouched) on insufficient budget.
+    pub fn try_make_bytevector(&mut self, len: usize, fill: u8) -> Result<Value, GcError> {
+        let header = Header::new(ObjKind::Bytevector, len);
+        self.check_budget(self.segments_needed(space_for(&header), header.total_words()))?;
+        Ok(self.make_bytevector(len, fill))
+    }
+
+    /// Fallible [`Heap::make_guardian`]: a guardian's tconc is two pairs,
+    /// so the demand is that of one 4-word pair-space allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`GcError::Exhausted`] (heap untouched) on insufficient budget.
+    pub fn try_make_guardian(&mut self) -> Result<Guardian, GcError> {
+        self.check_budget(self.segments_needed(Space::Pair, 4))?;
+        Ok(self.make_guardian())
+    }
+
+    /// The conservative worst-case segment reservation a collection of
+    /// generations `0..=gen` would make right now — the amount
+    /// [`Heap::try_collect`] checks against the remaining budget. Exposed
+    /// so tests can arm the acquisition fault exactly at (or just past)
+    /// the reservation boundary.
+    pub fn collection_reservation(&self, gen: u8) -> u64 {
+        assert!(gen < self.config.generations, "no such generation: {gen}");
+        collect::estimate_worst_case(self, gen)
+    }
+
+    /// Fallible [`Heap::collect`]: reserves a conservative worst case for
+    /// the whole collection — to-space copies, the guardian pass's tconc
+    /// appends, everything — against the remaining segment budget
+    /// *before the flip*, so a collection either runs to completion or
+    /// fails before mutating anything (see
+    /// [`collect::estimate_worst_case`] for the bound's derivation).
+    /// This is the only way a collection can "run out of memory": the
+    /// infallible [`Heap::collect`] under a configured fault would panic
+    /// via the acquisition tripwire instead of corrupting the heap.
+    ///
+    /// # Errors
+    ///
+    /// [`GcError::Exhausted`] (heap untouched, no collection counted) if
+    /// the reservation exceeds the remaining budget.
+    pub fn try_collect(&mut self, gen: u8) -> Result<&CollectionReport, GcError> {
+        assert!(gen < self.config.generations, "no such generation: {gen}");
+        self.check_budget(collect::estimate_worst_case(self, gen))?;
+        Ok(self.collect(gen))
     }
 
     // ------------------------------------------------------------------
@@ -477,6 +663,19 @@ impl std::fmt::Debug for Heap {
             .field("collections", &self.collections)
             .field("generations", &self.config.generations)
             .finish()
+    }
+}
+
+/// The space a typed allocation goes to: pointer-free kinds land in the
+/// pure space, which the collector copies without scanning.
+fn space_for(header: &Header) -> Space {
+    if header.traced_words() == 0
+        && header.kind != ObjKind::Vector
+        && header.kind != ObjKind::Record
+    {
+        Space::Pure
+    } else {
+        Space::Typed
     }
 }
 

@@ -69,6 +69,7 @@
 mod access;
 mod collect;
 mod config;
+mod error;
 mod guardian;
 mod header;
 mod heap;
@@ -80,6 +81,7 @@ mod value;
 mod verify;
 
 pub use config::{GcConfig, Promotion};
+pub use error::GcError;
 pub use guardian::Guardian;
 pub use header::{Header, ObjKind};
 pub use heap::Heap;

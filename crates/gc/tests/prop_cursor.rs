@@ -1,0 +1,96 @@
+//! Property test for `SegInfo::open_cursor` coherence (satellite of the
+//! torture rig): the O(1) per-segment flag that tells the Cheney sweep
+//! which segments' `used` watermarks can still move must stay an exact
+//! mirror of the allocation-cursor table through any interleaving of
+//! allocation (every space, including multi-segment runs), collection
+//! (every generation and promotion policy), and verification.
+//!
+//! Two layers of checking at every step:
+//! * [`Heap::open_cursor_counts`] — flags set by a linear scan of the
+//!   whole segment table vs occupied cursor slots; the counts must agree.
+//! * [`Heap::verify`] — the stronger per-segment statement (each flagged
+//!   segment is exactly a cursor-table entry), plus full heap sanity.
+
+use guardians_gc::{GcConfig, Heap, Promotion, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn coherent(h: &Heap, what: &str) {
+    let (flagged, slots) = h.open_cursor_counts();
+    assert_eq!(
+        flagged, slots,
+        "{what}: {flagged} open_cursor flags vs {slots} cursor slots"
+    );
+    h.verify()
+        .unwrap_or_else(|e| panic!("{what}: verify failed: {e}"));
+}
+
+#[test]
+fn open_cursor_flags_match_the_cursor_table_under_random_interleaving() {
+    for seed in 0..12u64 {
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE ^ seed);
+        let config = GcConfig {
+            promotion: match seed % 3 {
+                0 => Promotion::NextGeneration,
+                1 => Promotion::Capped(2),
+                _ => Promotion::SameGeneration,
+            },
+            ..GcConfig::default()
+        };
+        let mut h = Heap::new(config);
+        let keep = h.root_vec();
+        for step in 0..600 {
+            match rng.gen_range(0..100) {
+                // Pair and weak-pair space: 2-word bumps.
+                0..=34 => {
+                    let p = h.cons(Value::fixnum(step), Value::NIL);
+                    if rng.gen_range(0..4) == 0 {
+                        keep.push(p);
+                    }
+                }
+                35..=44 => {
+                    let w = h.weak_cons(Value::FALSE, Value::NIL);
+                    if rng.gen_range(0..4) == 0 {
+                        keep.push(w);
+                    }
+                }
+                // Typed space, occasionally a multi-segment run (runs
+                // bypass the cursor entirely — they must not flag).
+                45..=64 => {
+                    let len = if rng.gen_range(0..10) == 0 {
+                        rng.gen_range(600..1500)
+                    } else {
+                        rng.gen_range(0..12)
+                    };
+                    let v = h.make_vector(len, Value::fixnum(step));
+                    if rng.gen_range(0..3) == 0 {
+                        keep.push(v);
+                    }
+                }
+                // Pure space.
+                65..=79 => {
+                    let b = h.make_bytevector(rng.gen_range(0..200), 7);
+                    if rng.gen_range(0..4) == 0 {
+                        keep.push(b);
+                    }
+                }
+                // Collections reset cursors for collected + target gens.
+                80..=94 => {
+                    let gen = *[0, 0, 0, 1, 1, 2, 3]
+                        .get(rng.gen_range(0..7usize))
+                        .expect("in range");
+                    h.collect(gen);
+                }
+                // Thin the root set so later collections actually free.
+                _ => {
+                    let n = keep.len();
+                    keep.truncate(n - n / 4);
+                }
+            }
+            coherent(&h, &format!("seed {seed} step {step}"));
+        }
+        // Final full collection: every young cursor closes.
+        h.collect(h.config().generations - 1);
+        coherent(&h, &format!("seed {seed} final"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Two-thread stress test of the tconc append/drain protocol (paper
+//! Figures 2–3): a collector-side appender races a mutator-side drainer
+//! with no locks, and the drainer must observe a FIFO queue with no torn
+//! elements — "critical sections are unnecessary in both the mutator and
+//! collector".
+//!
+//! [`Heap`](guardians_gc::Heap) itself is deliberately single-threaded
+//! (`&mut self` everywhere), so this test models the *exact* write and
+//! read sequences of `tconc.rs` over a shared arena of atomic words —
+//! the same three appender writes in the same order (car of the old
+//! dummy, cdr of the old dummy, then the publishing cdr-of-header last)
+//! and the same drain reads (`car(tc)` vs `cdr(tc)` emptiness test, then
+//! element, advance, and the pop's field-nulling) — with the
+//! release/acquire pairing the protocol's correctness argument relies
+//! on. The exhaustive single-threaded cut-point enumeration lives in
+//! `crates/bench/src/experiments/e2.rs`; this adds real concurrency on
+//! top of it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Arena of pair cells: cell `i` is words `2i` (car) and `2i + 1` (cdr).
+struct Arena(Vec<AtomicU64>);
+
+const FALSE: u64 = u64::MAX; // `#f` fill of a fresh dummy cell
+const NIL: u64 = u64::MAX - 1; // `'()` written by the pop's nulling
+const TC: u64 = 0; // the tconc header is cell 0
+
+impl Arena {
+    fn new(cells: usize) -> Arena {
+        Arena((0..cells * 2).map(|_| AtomicU64::new(FALSE)).collect())
+    }
+    fn car(&self, cell: u64) -> &AtomicU64 {
+        &self.0[cell as usize * 2]
+    }
+    fn cdr(&self, cell: u64) -> &AtomicU64 {
+        &self.0[cell as usize * 2 + 1]
+    }
+}
+
+/// One round: appender pushes `0..n` while the drainer pops until it has
+/// seen all of them; returns the drained sequence.
+fn race(n: u64) -> Vec<u64> {
+    let arena = Arena::new(n as usize + 2);
+    // make-tconc: (let ([z (cons #f '())]) (cons z z)) — cell 1 is the
+    // initial dummy, header car and cdr both point at it.
+    arena.car(TC).store(1, Ordering::Relaxed);
+    arena.cdr(TC).store(1, Ordering::Relaxed);
+
+    let mut drained = Vec::with_capacity(n as usize);
+    let arena = &arena;
+    std::thread::scope(|s| {
+        // Collector-side appender: Figure 3's write order. The new dummy's
+        // fields were filled at arena construction, so the publishing
+        // store is the last of the three writes, release-ordered.
+        s.spawn(|| {
+            let mut last = 1u64; // only the appender moves the last pointer
+            for i in 0..n {
+                let fresh = last + 1;
+                arena.car(last).store(i, Ordering::Release); // 1: element
+                arena.cdr(last).store(fresh, Ordering::Release); // 2: link
+                arena.cdr(TC).store(fresh, Ordering::Release); // 3: publish
+                last = fresh;
+            }
+        });
+
+        // Mutator-side drainer: tconc_pop's read/write sequence.
+        let drained = &mut drained;
+        s.spawn(move || {
+            while drained.len() < n as usize {
+                let first = arena.car(TC).load(Ordering::Relaxed); // drainer-owned
+                let lastd = arena.cdr(TC).load(Ordering::Acquire);
+                if first == lastd {
+                    std::hint::spin_loop(); // empty at this instant
+                    continue;
+                }
+                let v = arena.car(first).load(Ordering::Acquire);
+                let next = arena.cdr(first).load(Ordering::Acquire);
+                arena.car(TC).store(next, Ordering::Relaxed);
+                // The pop nulls the popped cell's fields (tconc_pop does,
+                // so stale reads of a recycled cell would be visible).
+                arena.car(first).store(NIL, Ordering::Relaxed);
+                arena.cdr(first).store(NIL, Ordering::Relaxed);
+                drained.push(v);
+            }
+        });
+    });
+    drained
+}
+
+#[test]
+fn concurrent_drain_observes_fifo_with_no_torn_elements() {
+    // Several rounds; sizes past any buffer effects. Every drained value
+    // must be the exact FIFO prefix — a torn element would surface as the
+    // dummy fill (#f), the nulling (NIL), or an out-of-order value.
+    for round in 0..8u64 {
+        let n = 50_000 + round * 10_000;
+        let got = race(n);
+        assert_eq!(got.len() as u64, n, "round {round}: lost elements");
+        for (i, v) in got.iter().enumerate() {
+            assert!(
+                *v != FALSE && *v != NIL,
+                "round {round}: torn element at {i}: read an unpublished cell"
+            );
+            assert_eq!(*v, i as u64, "round {round}: FIFO order broken at {i}");
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! The shadow-heap oracle: a plain-`Vec`/`HashMap` model of the paper's
+//! semantics, independent of the real collector's representation.
+//!
+//! The model deliberately re-derives everything from first principles —
+//! reachability is a BFS over id-edges, guardian queues are `VecDeque`s
+//! keyed by registration order, weak cars break by a set-membership test —
+//! so that agreement with the real heap is evidence, not tautology.
+//!
+//! One point deserves spelling out because the whole oracle leans on it:
+//! **the collector's floating-garbage behaviour is exact, not fuzzy**.
+//! When generations `0..=g` are collected, every object physically residing
+//! in a generation `> g` survives verbatim — reachable or not — and the
+//! remembered-set scan walks *entire* dirty old segments, so the young
+//! objects such floating garbage points at are retained too. Any old
+//! object holding an old→young edge is guaranteed to sit in a dirty
+//! segment (the write barrier dirties it at the store, and the weak/remset
+//! scans re-mark segments that still point younger). The model therefore
+//! seeds its survivor closure with *all* physical objects of generations
+//! `> g`, and that is precisely — not conservatively — what the real
+//! collector retains.
+
+use crate::ops::{NodeKind, Ref, TortureConfig};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Shadow image of one rig-allocated node.
+#[derive(Clone, Debug)]
+pub struct MNode {
+    /// Object shape.
+    pub kind: NodeKind,
+    /// Current generation.
+    pub gen: u8,
+    /// First strong edge (pairs and vectors; `Null` on leaves).
+    pub left: Ref,
+    /// Second strong edge.
+    pub right: Ref,
+    /// The attached weak pair's car (vectors only); `Null` models `#f`.
+    pub weak_car: Ref,
+    /// Vector extra slots / bytevector length (0 otherwise).
+    pub payload: u32,
+}
+
+/// Shadow image of one guardian's tconc.
+#[derive(Clone, Debug)]
+pub struct MTconc {
+    /// Current generation.
+    pub gen: u8,
+    /// The inaccessible group, in exact FIFO append order.
+    pub queue: VecDeque<Ref>,
+    /// Whether the rig still holds the (rooting) guardian handle.
+    pub handle: bool,
+}
+
+/// Shadow image of one standalone weak pair.
+#[derive(Clone, Debug)]
+pub struct MWeak {
+    /// Current generation.
+    pub gen: u8,
+    /// The watched object; `Null` models a broken car (`#f`).
+    pub target: Ref,
+    /// Whether the rig still roots it. An unrooted weak pair lingers as
+    /// floating garbage until its generation is collected.
+    pub rooted: bool,
+}
+
+/// One protected-list entry: (obj, rep, tconc) by id.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MEntry {
+    /// Guardian index of the watching tconc.
+    pub tconc: u32,
+    /// The watched object.
+    pub obj: Ref,
+    /// The representative enqueued when `obj` proves inaccessible.
+    pub rep: Ref,
+}
+
+/// What the model predicts one collection did — compared field-for-field
+/// against the real [`CollectionReport`](guardians_gc::CollectionReport).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MReport {
+    /// Protected entries examined (paper block 1).
+    pub visited: u64,
+    /// Entries whose rep was salvaged into its tconc (block 2).
+    pub finalized: u64,
+    /// Entries re-parked because their object stayed accessible (block 3).
+    pub held: u64,
+    /// Entries discarded because their guardian was unreachable.
+    pub dropped: u64,
+    /// Fixpoint rounds, counting the final empty round.
+    pub loop_iterations: u64,
+    /// Node ids reclaimed by this collection (trackers must break).
+    pub reclaimed_nodes: Vec<u32>,
+    /// Guardian indices whose tconc was reclaimed.
+    pub reclaimed_tconcs: Vec<u32>,
+    /// Standalone weak-pair ids reclaimed.
+    pub reclaimed_weaks: Vec<u32>,
+}
+
+/// The shadow heap.
+#[derive(Clone, Debug)]
+pub struct Model {
+    /// The configuration the paired real heap runs under.
+    pub cfg: TortureConfig,
+    /// Physical nodes by id (reclaimed nodes are removed).
+    pub nodes: HashMap<u32, MNode>,
+    /// Physical tconcs by guardian index.
+    pub tconcs: HashMap<u32, MTconc>,
+    /// Physical standalone weak pairs by id.
+    pub weaks: HashMap<u32, MWeak>,
+    /// Node-tracker generations (trackers are immortal rooted weak pairs,
+    /// one per node ever allocated).
+    pub node_tracker_gen: HashMap<u32, u8>,
+    /// Tconc-tracker generations.
+    pub tconc_tracker_gen: HashMap<u32, u8>,
+    /// Strongly rooted node ids.
+    pub roots: HashSet<u32>,
+    /// Protected lists, one per generation (flat ablation uses only `[0]`).
+    pub protected: Vec<Vec<MEntry>>,
+}
+
+impl Model {
+    /// An empty shadow heap for `cfg`.
+    pub fn new(cfg: TortureConfig) -> Model {
+        let gens = cfg.generations as usize;
+        Model {
+            cfg,
+            nodes: HashMap::new(),
+            tconcs: HashMap::new(),
+            weaks: HashMap::new(),
+            node_tracker_gen: HashMap::new(),
+            tconc_tracker_gen: HashMap::new(),
+            roots: HashSet::new(),
+            protected: vec![Vec::new(); gens],
+        }
+    }
+
+    /// Whether `r` names a currently physical object (`Null` is not).
+    pub fn physical(&self, r: Ref) -> bool {
+        match r {
+            Ref::Null => false,
+            Ref::Node(id) => self.nodes.contains_key(&id),
+            Ref::Tconc(g) => self.tconcs.contains_key(&g),
+        }
+    }
+
+    /// Degrades a reference to `Null` when its object no longer exists,
+    /// making every op total (and shrinking safe: removing the allocation
+    /// an op depends on turns the op into a no-op, on both sides).
+    pub fn normalize(&self, r: Ref) -> Ref {
+        if self.physical(r) {
+            r
+        } else {
+            Ref::Null
+        }
+    }
+
+    /// Registrations currently watching guardian `g`'s tconc, across all
+    /// protected lists (mirrors `Heap::guardian_watched`).
+    pub fn watched(&self, g: u32) -> usize {
+        self.protected
+            .iter()
+            .flatten()
+            .filter(|e| e.tconc == g)
+            .count()
+    }
+
+    /// Physical weak pairs residing in `gen`: node trackers, tconc
+    /// trackers, standalone weak pairs, and the weak pair attached to each
+    /// vector node. Each is 2 words in the real heap's weak-pair space.
+    pub fn weak_pairs_in_gen(&self, gen: u8) -> usize {
+        self.node_tracker_gen
+            .values()
+            .filter(|g| **g == gen)
+            .count()
+            + self
+                .tconc_tracker_gen
+                .values()
+                .filter(|g| **g == gen)
+                .count()
+            + self.weaks.values().filter(|w| w.gen == gen).count()
+            + self
+                .nodes
+                .values()
+                .filter(|n| n.kind == NodeKind::Vector && n.gen == gen)
+                .count()
+    }
+
+    /// Collects generations `0..=g`, mutating the shadow heap and
+    /// returning the predicted observables.
+    pub fn collect(&mut self, g: u8) -> MReport {
+        let max_gen = self.cfg.generations - 1;
+        let target = self.cfg.promotion.target(g, max_gen);
+        let mut report = MReport::default();
+
+        // ---- Strong survivor closure ------------------------------------
+        // Seeds: rig roots, guardian handles (they root their tconc), and
+        // every physical object already in an uncollected generation (see
+        // the module doc for why the last is exact).
+        let mut live_n: HashSet<u32> = HashSet::new();
+        let mut live_t: HashSet<u32> = HashSet::new();
+        let mut work: VecDeque<Ref> = VecDeque::new();
+        for &id in &self.roots {
+            work.push_back(Ref::Node(id));
+        }
+        for (&gi, tc) in &self.tconcs {
+            if tc.handle || tc.gen > g {
+                work.push_back(Ref::Tconc(gi));
+            }
+        }
+        for (&id, n) in &self.nodes {
+            if n.gen > g {
+                work.push_back(Ref::Node(id));
+            }
+        }
+        self.close(&mut live_n, &mut live_t, work);
+
+        // ---- Guardian pass (paper Section 4 pseudo-code) ----------------
+        // Block 1: drain the protected lists of the collected generations,
+        // partitioning on the accessibility of each watched object.
+        let lists: Vec<usize> = if self.cfg.flat_protected {
+            vec![0]
+        } else {
+            (0..=(g as usize).min(self.protected.len() - 1)).collect()
+        };
+        let mut pend_hold: Vec<MEntry> = Vec::new();
+        let mut pend_final: Vec<MEntry> = Vec::new();
+        for i in lists {
+            for e in std::mem::take(&mut self.protected[i]) {
+                report.visited += 1;
+                if accessible(&live_n, &live_t, e.obj) {
+                    pend_hold.push(e);
+                } else {
+                    pend_final.push(e);
+                }
+            }
+        }
+
+        // Block 2: the fixpoint loop. Round membership is decided from the
+        // liveness state at the start of the round; the reps salvaged in a
+        // round (and everything they reach) only join the live set after
+        // the whole round, mirroring the collector's end-of-round
+        // kleene-sweep. The final empty round is counted, as in the real
+        // pass.
+        loop {
+            report.loop_iterations += 1;
+            let (round, rest): (Vec<MEntry>, Vec<MEntry>) = pend_final
+                .into_iter()
+                .partition(|e| live_t.contains(&e.tconc));
+            pend_final = rest;
+            if round.is_empty() {
+                break;
+            }
+            let mut salvaged: VecDeque<Ref> = VecDeque::new();
+            for e in round {
+                report.finalized += 1;
+                self.tconcs
+                    .get_mut(&e.tconc)
+                    .expect("live tconc is physical")
+                    .queue
+                    .push_back(e.rep);
+                salvaged.push_back(e.rep);
+            }
+            self.close(&mut live_n, &mut live_t, salvaged);
+        }
+        report.dropped += pend_final.len() as u64;
+
+        // Block 3: held entries migrate to the target generation's list if
+        // their guardian survived. A distinct agent is forwarded on the
+        // spot — which can resurrect the tconc of a *later* entry in the
+        // same loop (`forward` marks the object immediately; only its
+        // children wait for the closing sweep), so liveness is updated
+        // object-by-object and the reachability closure runs after.
+        let dest = if self.cfg.flat_protected {
+            0
+        } else {
+            target as usize
+        };
+        let mut held: Vec<MEntry> = Vec::new();
+        let mut agents: VecDeque<Ref> = VecDeque::new();
+        for e in pend_hold {
+            if live_t.contains(&e.tconc) {
+                report.held += 1;
+                if e.rep != e.obj && !accessible(&live_n, &live_t, e.rep) {
+                    // Mark the agent live immediately (it is "forwarded"
+                    // on the spot) but queue its *children* for the
+                    // deferred closure — `close` skips already-live
+                    // objects, and the fields are immutable mid-pass.
+                    match e.rep {
+                        Ref::Node(id) => {
+                            live_n.insert(id);
+                            let n = &self.nodes[&id];
+                            agents.push_back(n.left);
+                            agents.push_back(n.right);
+                        }
+                        Ref::Tconc(gi) => {
+                            live_t.insert(gi);
+                            agents.extend(self.tconcs[&gi].queue.iter().copied());
+                        }
+                        Ref::Null => {}
+                    }
+                }
+                held.push(e);
+            } else {
+                report.dropped += 1;
+            }
+        }
+        self.close(&mut live_n, &mut live_t, agents);
+        self.protected[dest].extend(held);
+
+        // ---- Weak-pair pass (after the guardian pass: §4) ---------------
+        // Every weak slot still physical after this collection has its car
+        // forwarded (target survived — by roots or by salvage) or broken to
+        // #f (target was in from-space and died). Targets outside
+        // from-space are untouched.
+        let broken = |r: Ref, nodes: &HashMap<u32, MNode>, tconcs: &HashMap<u32, MTconc>| -> bool {
+            match r {
+                Ref::Null => false,
+                Ref::Node(id) => nodes[&id].gen <= g && !live_n.contains(&id),
+                Ref::Tconc(gi) => tconcs[&gi].gen <= g && !live_t.contains(&gi),
+            }
+        };
+        let survives_weak: Vec<u32> = self
+            .weaks
+            .iter()
+            .filter(|(_, w)| w.rooted || w.gen > g)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in survives_weak {
+            let t = self.weaks[&id].target;
+            if broken(t, &self.nodes, &self.tconcs) {
+                self.weaks.get_mut(&id).expect("surviving weak").target = Ref::Null;
+            }
+        }
+        let surviving_vectors: Vec<u32> = self
+            .nodes
+            .iter()
+            .filter(|(&id, n)| n.kind == NodeKind::Vector && (n.gen > g || live_n.contains(&id)))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in surviving_vectors {
+            let t = self.nodes[&id].weak_car;
+            if broken(t, &self.nodes, &self.tconcs) {
+                self.nodes.get_mut(&id).expect("surviving vector").weak_car = Ref::Null;
+            }
+        }
+
+        // ---- Reclaim and promote ----------------------------------------
+        self.nodes.retain(|&id, n| {
+            if n.gen > g {
+                return true;
+            }
+            if live_n.contains(&id) {
+                n.gen = target;
+                true
+            } else {
+                report.reclaimed_nodes.push(id);
+                false
+            }
+        });
+        self.tconcs.retain(|&gi, tc| {
+            if tc.gen > g {
+                return true;
+            }
+            if live_t.contains(&gi) {
+                tc.gen = target;
+                true
+            } else {
+                report.reclaimed_tconcs.push(gi);
+                false
+            }
+        });
+        self.weaks.retain(|&id, w| {
+            if w.gen > g {
+                return true;
+            }
+            if w.rooted {
+                w.gen = target;
+                true
+            } else {
+                report.reclaimed_weaks.push(id);
+                false
+            }
+        });
+        for gen in self
+            .node_tracker_gen
+            .values_mut()
+            .chain(self.tconc_tracker_gen.values_mut())
+        {
+            if *gen <= g {
+                *gen = target;
+            }
+        }
+        report.reclaimed_nodes.sort_unstable();
+        report.reclaimed_tconcs.sort_unstable();
+        report.reclaimed_weaks.sort_unstable();
+        report
+    }
+
+    /// Closes `live_n`/`live_t` over strong edges starting from `work`:
+    /// node left/right edges and tconc queue contents. Weak cars are not
+    /// strong and are never followed.
+    fn close(&self, live_n: &mut HashSet<u32>, live_t: &mut HashSet<u32>, mut work: VecDeque<Ref>) {
+        while let Some(r) = work.pop_front() {
+            match r {
+                Ref::Null => {}
+                Ref::Node(id) => {
+                    if !live_n.insert(id) {
+                        continue;
+                    }
+                    let n = self.nodes.get(&id).unwrap_or_else(|| {
+                        panic!("strong edge to non-physical node n{id} — model invariant broken")
+                    });
+                    work.push_back(n.left);
+                    work.push_back(n.right);
+                }
+                Ref::Tconc(gi) => {
+                    if !live_t.insert(gi) {
+                        continue;
+                    }
+                    let tc = self.tconcs.get(&gi).unwrap_or_else(|| {
+                        panic!("strong edge to non-physical tconc t{gi} — model invariant broken")
+                    });
+                    for &item in &tc.queue {
+                        work.push_back(item);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn accessible(live_n: &HashSet<u32>, live_t: &HashSet<u32>, r: Ref) -> bool {
+    match r {
+        Ref::Null => true,
+        Ref::Node(id) => live_n.contains(&id),
+        Ref::Tconc(gi) => live_t.contains(&gi),
+    }
+}

@@ -1,0 +1,583 @@
+//! The torture rig's heap-operation language.
+//!
+//! A trace is a [`TortureConfig`] plus a sequence of [`Op`]s. Ops name
+//! objects by the small integer ids the trace itself assigned at
+//! allocation time — never by heap address — so a trace replays
+//! identically on the real heap and on the shadow model, survives
+//! shrinking (an op whose referents no longer exist degrades to a no-op
+//! on *both* sides), and round-trips through a line-oriented text format
+//! ready to be committed as a regression test.
+
+use guardians_gc::Promotion;
+use std::fmt;
+use std::str::FromStr;
+
+/// A reference operand: nothing, a node by id, or a guardian's tconc by
+/// guardian index.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Ref {
+    /// The empty reference (heap `'()` in edge slots, `#f` in weak cars).
+    Null,
+    /// The node allocated with this id.
+    Node(u32),
+    /// The tconc of the guardian with this index — letting traces store
+    /// guardian queues into the object graph and register guardians with
+    /// other guardians (the paper's `(G H)` example).
+    Tconc(u32),
+}
+
+impl fmt::Display for Ref {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ref::Null => write!(f, "null"),
+            Ref::Node(id) => write!(f, "n{id}"),
+            Ref::Tconc(g) => write!(f, "t{g}"),
+        }
+    }
+}
+
+impl FromStr for Ref {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Ref, String> {
+        if s == "null" {
+            return Ok(Ref::Null);
+        }
+        let parse = |digits: &str| {
+            digits
+                .parse::<u32>()
+                .map_err(|e| format!("bad ref {s:?}: {e}"))
+        };
+        match s.as_bytes().first() {
+            Some(b'n') => Ok(Ref::Node(parse(&s[1..])?)),
+            Some(b't') => Ok(Ref::Tconc(parse(&s[1..])?)),
+            _ => Err(format!("bad ref {s:?}")),
+        }
+    }
+}
+
+/// The kind of heap object a node id denotes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Two pairs: `(id . (left . right))` — two mutable edge slots.
+    Pair,
+    /// A vector `[id, left, right, weak-pair, payload…]` — two mutable
+    /// edge slots plus an attached weak pair whose car is settable.
+    Vector,
+    /// A pointer-free bytevector (pure space): id in the first 8 bytes,
+    /// pattern fill after. Large lengths exercise multi-segment runs.
+    Bytevector,
+    /// An immutable string `"node-<id>"` plus deterministic padding.
+    String,
+}
+
+/// One step of a torture trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Allocate a pair node.
+    AllocPair {
+        /// Fresh node id.
+        id: u32,
+        /// Initial left edge.
+        left: Ref,
+        /// Initial right edge.
+        right: Ref,
+    },
+    /// Allocate a vector node with `payload` extra pattern-filled slots.
+    AllocVector {
+        /// Fresh node id.
+        id: u32,
+        /// Extra slots beyond the 4 structural ones; large values force
+        /// multi-segment runs.
+        payload: u32,
+        /// Initial left edge.
+        left: Ref,
+        /// Initial right edge.
+        right: Ref,
+    },
+    /// Allocate a bytevector node of `len` bytes.
+    AllocBytevector {
+        /// Fresh node id.
+        id: u32,
+        /// Length in bytes.
+        len: u32,
+    },
+    /// Allocate a string node.
+    AllocString {
+        /// Fresh node id.
+        id: u32,
+    },
+    /// Store `to` into edge `slot` (0 = left, 1 = right) of `node`.
+    /// No-op on leaf nodes or if any referent is gone.
+    SetEdge {
+        /// The mutated node.
+        node: u32,
+        /// 0 = left, 1 = right.
+        slot: u8,
+        /// New edge target.
+        to: Ref,
+    },
+    /// Point the attached weak car of vector node `node` at `to`
+    /// (`Null` stores `#f`). No-op on non-vector nodes.
+    SetWeak {
+        /// The mutated vector node.
+        node: u32,
+        /// New weak target.
+        to: Ref,
+    },
+    /// Strongly root `node`.
+    AddRoot {
+        /// The node to root.
+        node: u32,
+    },
+    /// Drop the strong root of `node` (the node may then die at the next
+    /// collection that reaches its generation).
+    DropRoot {
+        /// The node to unroot.
+        node: u32,
+    },
+    /// Create guardian number `g` (indices are assigned in order).
+    MakeGuardian {
+        /// Fresh guardian index.
+        g: u32,
+    },
+    /// Register `target` with guardian `g`; with `agent`, the paper's
+    /// Section 5 generalisation (the agent is enqueued in the target's
+    /// place).
+    Register {
+        /// The guardian to register with.
+        g: u32,
+        /// The watched object.
+        target: Ref,
+        /// Optional distinct representative.
+        agent: Option<Ref>,
+    },
+    /// Poll guardian `g`; a delivered node is re-rooted (a
+    /// finalizer-revived reference).
+    Poll {
+        /// The polled guardian.
+        g: u32,
+    },
+    /// Drop guardian `g`'s handle: its tconc stays alive only through
+    /// heap references, and pending registrations are cancelled once it
+    /// is proven inaccessible.
+    DropGuardian {
+        /// The dropped guardian.
+        g: u32,
+    },
+    /// Allocate a rooted standalone weak pair `wid` watching `target`.
+    AllocWeakPair {
+        /// Fresh weak-pair id.
+        wid: u32,
+        /// The watched object.
+        target: Ref,
+    },
+    /// Re-aim standalone weak pair `wid` at `target`.
+    SetWeakPair {
+        /// The mutated weak pair.
+        wid: u32,
+        /// New weak target.
+        target: Ref,
+    },
+    /// Unroot standalone weak pair `wid` (it becomes floating garbage
+    /// until its generation is collected).
+    DropWeakPair {
+        /// The unrooted weak pair.
+        wid: u32,
+    },
+    /// Collect generations `0..=gen`.
+    Collect {
+        /// Highest generation collected.
+        gen: u8,
+    },
+    /// Allocate `n` garbage pairs (allocation pressure in the pair space).
+    Churn {
+        /// Number of garbage pairs.
+        n: u32,
+    },
+    /// Allocate one garbage bytevector of `bytes` bytes (pure-space and
+    /// large-run pressure).
+    Grow {
+        /// Garbage bytevector length.
+        bytes: u32,
+    },
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::AllocPair { id, left, right } => write!(f, "pair {id} {left} {right}"),
+            Op::AllocVector {
+                id,
+                payload,
+                left,
+                right,
+            } => write!(f, "vec {id} {payload} {left} {right}"),
+            Op::AllocBytevector { id, len } => write!(f, "bytes {id} {len}"),
+            Op::AllocString { id } => write!(f, "str {id}"),
+            Op::SetEdge { node, slot, to } => write!(f, "edge {node} {slot} {to}"),
+            Op::SetWeak { node, to } => write!(f, "weakset {node} {to}"),
+            Op::AddRoot { node } => write!(f, "root {node}"),
+            Op::DropRoot { node } => write!(f, "unroot {node}"),
+            Op::MakeGuardian { g } => write!(f, "guardian {g}"),
+            Op::Register {
+                g,
+                target,
+                agent: None,
+            } => write!(f, "register {g} {target}"),
+            Op::Register {
+                g,
+                target,
+                agent: Some(a),
+            } => write!(f, "register {g} {target} {a}"),
+            Op::Poll { g } => write!(f, "poll {g}"),
+            Op::DropGuardian { g } => write!(f, "dropg {g}"),
+            Op::AllocWeakPair { wid, target } => write!(f, "weak {wid} {target}"),
+            Op::SetWeakPair { wid, target } => write!(f, "reweak {wid} {target}"),
+            Op::DropWeakPair { wid } => write!(f, "dropweak {wid}"),
+            Op::Collect { gen } => write!(f, "collect {gen}"),
+            Op::Churn { n } => write!(f, "churn {n}"),
+            Op::Grow { bytes } => write!(f, "grow {bytes}"),
+        }
+    }
+}
+
+impl FromStr for Op {
+    type Err = String;
+    fn from_str(line: &str) -> Result<Op, String> {
+        let mut it = line.split_whitespace();
+        let head = it.next().ok_or("empty op line")?;
+        let mut num = |what: &str| -> Result<u32, String> {
+            it.next()
+                .ok_or_else(|| format!("{head}: missing {what}"))?
+                .parse::<u32>()
+                .map_err(|e| format!("{head}: bad {what}: {e}"))
+        };
+        let op = match head {
+            "pair" => {
+                let id = num("id")?;
+                let left: Ref = it.next().ok_or("pair: missing left")?.parse()?;
+                let right: Ref = it.next().ok_or("pair: missing right")?.parse()?;
+                Op::AllocPair { id, left, right }
+            }
+            "vec" => {
+                let id = num("id")?;
+                let payload = num("payload")?;
+                let left: Ref = it.next().ok_or("vec: missing left")?.parse()?;
+                let right: Ref = it.next().ok_or("vec: missing right")?.parse()?;
+                Op::AllocVector {
+                    id,
+                    payload,
+                    left,
+                    right,
+                }
+            }
+            "bytes" => Op::AllocBytevector {
+                id: num("id")?,
+                len: num("len")?,
+            },
+            "str" => Op::AllocString { id: num("id")? },
+            "edge" => {
+                let node = num("node")?;
+                let slot = num("slot")? as u8;
+                let to: Ref = it.next().ok_or("edge: missing target")?.parse()?;
+                Op::SetEdge { node, slot, to }
+            }
+            "weakset" => {
+                let node = num("node")?;
+                let to: Ref = it.next().ok_or("weakset: missing target")?.parse()?;
+                Op::SetWeak { node, to }
+            }
+            "root" => Op::AddRoot { node: num("node")? },
+            "unroot" => Op::DropRoot { node: num("node")? },
+            "guardian" => Op::MakeGuardian { g: num("g")? },
+            "register" => {
+                let g = num("g")?;
+                let target: Ref = it.next().ok_or("register: missing target")?.parse()?;
+                let agent = it.next().map(Ref::from_str).transpose()?;
+                Op::Register { g, target, agent }
+            }
+            "poll" => Op::Poll { g: num("g")? },
+            "dropg" => Op::DropGuardian { g: num("g")? },
+            "weak" => {
+                let wid = num("wid")?;
+                let target: Ref = it.next().ok_or("weak: missing target")?.parse()?;
+                Op::AllocWeakPair { wid, target }
+            }
+            "reweak" => {
+                let wid = num("wid")?;
+                let target: Ref = it.next().ok_or("reweak: missing target")?.parse()?;
+                Op::SetWeakPair { wid, target }
+            }
+            "dropweak" => Op::DropWeakPair { wid: num("wid")? },
+            "collect" => Op::Collect {
+                gen: num("gen")? as u8,
+            },
+            "churn" => Op::Churn { n: num("n")? },
+            "grow" => Op::Grow {
+                bytes: num("bytes")?,
+            },
+            other => return Err(format!("unknown op {other:?}")),
+        };
+        if let Some(extra) = it.next() {
+            return Err(format!("{head}: trailing token {extra:?}"));
+        }
+        Ok(op)
+    }
+}
+
+/// Heap configuration a trace runs under (a deterministic subset of
+/// [`guardians_gc::GcConfig`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TortureConfig {
+    /// Number of generations.
+    pub generations: u8,
+    /// Survivor promotion policy.
+    pub promotion: Promotion,
+    /// Run with the flat protected-list ablation.
+    pub flat_protected: bool,
+    /// Run with the weak-pass-first ordering ablation. The shadow model
+    /// always implements the paper's (correct) ordering, so a trace that
+    /// exercises salvage-then-weak-read *fails* under this flag — it is
+    /// the rig's built-in demonstration that the oracle detects the §4
+    /// ordering bug when the fix is reverted.
+    pub ablate_weak_pass_first: bool,
+    /// Arm the segment-acquisition fault at this lifetime offset.
+    pub fail_acquisition_at: Option<u64>,
+}
+
+impl Default for TortureConfig {
+    fn default() -> Self {
+        TortureConfig {
+            generations: 4,
+            promotion: Promotion::NextGeneration,
+            flat_protected: false,
+            ablate_weak_pass_first: false,
+            fail_acquisition_at: None,
+        }
+    }
+}
+
+impl fmt::Display for TortureConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let promo = match self.promotion {
+            Promotion::NextGeneration => "next".to_string(),
+            Promotion::Capped(c) => format!("cap{c}"),
+            Promotion::SameGeneration => "same".to_string(),
+        };
+        let fault = match self.fail_acquisition_at {
+            Some(n) => n.to_string(),
+            None => "-".to_string(),
+        };
+        write!(
+            f,
+            "config {} {promo} {} {} {fault}",
+            self.generations, self.flat_protected as u8, self.ablate_weak_pass_first as u8
+        )
+    }
+}
+
+impl FromStr for TortureConfig {
+    type Err = String;
+    fn from_str(line: &str) -> Result<TortureConfig, String> {
+        let mut it = line.split_whitespace();
+        if it.next() != Some("config") {
+            return Err("config line must start with 'config'".into());
+        }
+        let gens: u8 = it
+            .next()
+            .ok_or("config: missing generations")?
+            .parse()
+            .map_err(|e| format!("config: bad generations: {e}"))?;
+        let promo = match it.next().ok_or("config: missing promotion")? {
+            "next" => Promotion::NextGeneration,
+            "same" => Promotion::SameGeneration,
+            s if s.starts_with("cap") => Promotion::Capped(
+                s[3..]
+                    .parse()
+                    .map_err(|e| format!("config: bad promotion cap: {e}"))?,
+            ),
+            other => return Err(format!("config: bad promotion {other:?}")),
+        };
+        let flag = |s: Option<&str>, what: &str| -> Result<bool, String> {
+            match s {
+                Some("0") => Ok(false),
+                Some("1") => Ok(true),
+                other => Err(format!("config: bad {what} flag {other:?}")),
+            }
+        };
+        let flat = flag(it.next(), "flat_protected")?;
+        let ablate = flag(it.next(), "ablate")?;
+        let fault = match it.next().ok_or("config: missing fault")? {
+            "-" => None,
+            n => Some(n.parse().map_err(|e| format!("config: bad fault: {e}"))?),
+        };
+        Ok(TortureConfig {
+            generations: gens,
+            promotion: promo,
+            flat_protected: flat,
+            ablate_weak_pass_first: ablate,
+            fail_acquisition_at: fault,
+        })
+    }
+}
+
+/// A complete, replayable torture input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trace {
+    /// The seed the trace was generated from, if any (informational: a
+    /// parsed trace replays from its ops, not its seed).
+    pub seed: Option<u64>,
+    /// Heap configuration.
+    pub config: TortureConfig,
+    /// The op sequence.
+    pub ops: Vec<Op>,
+}
+
+impl Trace {
+    /// Serialises the trace to the line format `parse` reads back.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "# guardians torture trace v1");
+        if let Some(seed) = self.seed {
+            let _ = writeln!(out, "# seed {seed}");
+        }
+        let _ = writeln!(out, "{}", self.config);
+        for op in &self.ops {
+            let _ = writeln!(out, "{op}");
+        }
+        out
+    }
+
+    /// Parses the textual form produced by [`Trace::to_text`]. Blank
+    /// lines and `#` comments are skipped; a `# seed N` comment restores
+    /// the recorded seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line.
+    pub fn parse(text: &str) -> Result<Trace, String> {
+        let mut seed = None;
+        let mut config = None;
+        let mut ops = Vec::new();
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(comment) = line.strip_prefix('#') {
+                let mut it = comment.split_whitespace();
+                if it.next() == Some("seed") {
+                    if let Some(Ok(s)) = it.next().map(str::parse) {
+                        seed = Some(s);
+                    }
+                }
+                continue;
+            }
+            if line.starts_with("config") {
+                config = Some(
+                    line.parse::<TortureConfig>()
+                        .map_err(|e| format!("line {}: {e}", n + 1))?,
+                );
+                continue;
+            }
+            ops.push(
+                line.parse::<Op>()
+                    .map_err(|e| format!("line {}: {e}", n + 1))?,
+            );
+        }
+        Ok(Trace {
+            seed,
+            config: config.ok_or("trace has no config line")?,
+            ops,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_round_trip_through_text() {
+        let ops = vec![
+            Op::AllocPair {
+                id: 0,
+                left: Ref::Null,
+                right: Ref::Node(7),
+            },
+            Op::AllocVector {
+                id: 1,
+                payload: 600,
+                left: Ref::Tconc(2),
+                right: Ref::Null,
+            },
+            Op::AllocBytevector { id: 2, len: 5000 },
+            Op::AllocString { id: 3 },
+            Op::SetEdge {
+                node: 1,
+                slot: 1,
+                to: Ref::Node(0),
+            },
+            Op::SetWeak {
+                node: 1,
+                to: Ref::Node(2),
+            },
+            Op::AddRoot { node: 1 },
+            Op::DropRoot { node: 0 },
+            Op::MakeGuardian { g: 0 },
+            Op::Register {
+                g: 0,
+                target: Ref::Node(1),
+                agent: None,
+            },
+            Op::Register {
+                g: 0,
+                target: Ref::Tconc(1),
+                agent: Some(Ref::Node(3)),
+            },
+            Op::Poll { g: 0 },
+            Op::DropGuardian { g: 0 },
+            Op::AllocWeakPair {
+                wid: 0,
+                target: Ref::Node(1),
+            },
+            Op::SetWeakPair {
+                wid: 0,
+                target: Ref::Null,
+            },
+            Op::DropWeakPair { wid: 0 },
+            Op::Collect { gen: 2 },
+            Op::Churn { n: 300 },
+            Op::Grow { bytes: 9000 },
+        ];
+        for promotion in [
+            Promotion::NextGeneration,
+            Promotion::Capped(2),
+            Promotion::SameGeneration,
+        ] {
+            let trace = Trace {
+                seed: Some(42),
+                config: TortureConfig {
+                    promotion,
+                    flat_protected: promotion == Promotion::SameGeneration,
+                    fail_acquisition_at: Some(99),
+                    ..TortureConfig::default()
+                },
+                ops: ops.clone(),
+            };
+            let parsed = Trace::parse(&trace.to_text()).expect("parses");
+            assert_eq!(parsed, trace);
+        }
+    }
+
+    #[test]
+    fn parse_reports_bad_lines() {
+        let err = Trace::parse("config 4 next 0 0 -\nfrobnicate 1").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = Trace::parse("pair 0 null null").unwrap_err();
+        assert!(err.contains("no config"), "{err}");
+        let err = Trace::parse("config 4 next 0 0 -\npair 0 null null extra").unwrap_err();
+        assert!(err.contains("trailing"), "{err}");
+    }
+}

@@ -1,0 +1,907 @@
+//! The torture rig: interprets one trace against the real heap and the
+//! shadow model simultaneously, checking every observable after every
+//! collection.
+//!
+//! # Object addressing: weak trackers
+//!
+//! A copying collector moves objects, so the rig cannot hold raw `Value`s
+//! across collections. Instead it allocates one *permanently rooted weak
+//! pair per object* — car pointing (weakly) at the object, cdr its fixnum
+//! id. A tracker's car always holds the object's current address, without
+//! keeping it alive; when the object is reclaimed the car breaks to `#f`.
+//! This gives the rig three things at once:
+//!
+//! * the current address of **every** physical object — including floating
+//!   garbage in uncollected generations, which the model tracks exactly;
+//! * a direct liveness oracle: tracker-car-broken ⇔ model-object-reclaimed
+//!   is itself checked after every collection;
+//! * deterministic op applicability: an op referencing an object degrades
+//!   to a no-op exactly when the model says the object is gone.
+//!
+//! Trackers are themselves weak pairs in the heap being tested, so the
+//! model accounts for them (generation by generation) in its weak-pair
+//! word predictions — the instrumentation is inside the experiment.
+//!
+//! # Fault policy
+//!
+//! Every allocating op preflights a conservative segment bound via
+//! [`Heap::try_reserve`]; collections go through [`Heap::try_collect`],
+//! which reserves the worst case before the flip. When the armed
+//! acquisition fault fires, the rig asserts the heap is still
+//! `verify()`-valid (a clean failure, not corruption), lifts the fault,
+//! and re-runs the op infallibly — so a faulted trace still executes the
+//! same op sequence and must reach the same final state. A sweep placing
+//! the fault at every offset therefore proves every failure point is
+//! clean.
+
+use crate::model::{MEntry, MNode, MTconc, MWeak, Model};
+use crate::ops::{NodeKind, Op, Ref, Trace};
+use guardians_gc::{GcConfig, Guardian, Heap, Rooted, Value};
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Counters from a successful run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Ops interpreted.
+    pub ops: usize,
+    /// Ops that had an effect (the rest degraded to no-ops).
+    pub applied: usize,
+    /// Collections performed.
+    pub collections: u64,
+    /// Times the armed acquisition fault fired and was recovered from.
+    pub faults_hit: u64,
+    /// Guardian entries the model saw finalized across all collections.
+    pub finalized: u64,
+    /// Successful (Some) guardian polls.
+    pub polled: u64,
+    /// Lifetime segment acquisitions of the real heap.
+    pub acquisitions: u64,
+    /// Physical nodes at end of run.
+    pub live_nodes: usize,
+    /// Individual oracle comparisons made.
+    pub checks: u64,
+}
+
+/// A divergence (oracle mismatch, verify failure, or panic), with enough
+/// context to replay: the seed, the op index, and the op itself.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Generating seed, if the trace recorded one.
+    pub seed: Option<u64>,
+    /// Index of the op being interpreted (`ops.len()` = final check).
+    pub op_index: usize,
+    /// The op itself, if in range.
+    pub op: Option<Op>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for Failure {
+    /// One line: seed, op position, op, message.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let seed = match self.seed {
+            Some(s) => s.to_string(),
+            None => "-".to_string(),
+        };
+        let op = match &self.op {
+            Some(op) => op.to_string(),
+            None => "<end-of-trace check>".to_string(),
+        };
+        let msg = self.message.replace('\n', "; ");
+        write!(
+            f,
+            "torture failure: seed={seed} op#{} [{op}]: {msg}",
+            self.op_index
+        )
+    }
+}
+
+/// Runs `trace` to completion, returning stats on success or the first
+/// divergence. Panics anywhere inside (including the collector's
+/// fault-tripwire) are caught and reported as failures at the current op.
+pub fn run_trace(trace: &Trace) -> Result<RunStats, Failure> {
+    let at = Cell::new(usize::MAX);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut rig = Rig::new(&trace.config);
+        rig.run(&trace.ops, &at)
+    }));
+    match outcome {
+        Ok(Ok(stats)) => Ok(stats),
+        Ok(Err(message)) => Err(Failure {
+            seed: trace.seed,
+            op_index: at.get(),
+            op: trace.ops.get(at.get()).cloned(),
+            message,
+        }),
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "opaque panic payload".to_string()
+            };
+            Err(Failure {
+                seed: trace.seed,
+                op_index: at.get(),
+                op: trace.ops.get(at.get()).cloned(),
+                message: format!("panic: {msg}"),
+            })
+        }
+    }
+}
+
+/// Runs `f` with panic output suppressed (the shrinker replays hundreds of
+/// failing candidates; their panic messages are expected noise).
+pub fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let r = f();
+    std::panic::set_hook(prev);
+    r
+}
+
+struct Rig {
+    heap: Heap,
+    model: Model,
+    node_trackers: HashMap<u32, Rooted>,
+    tconc_trackers: HashMap<u32, Rooted>,
+    guardians: HashMap<u32, Guardian>,
+    rooted: HashMap<u32, Rooted>,
+    weak_handles: HashMap<u32, Rooted>,
+    stats: RunStats,
+}
+
+macro_rules! check {
+    ($self:ident, $cond:expr, $($fmt:tt)*) => {
+        $self.stats.checks += 1;
+        if !$cond {
+            return Err(format!($($fmt)*));
+        }
+    };
+}
+
+impl Rig {
+    fn new(cfg: &crate::ops::TortureConfig) -> Rig {
+        let gc = GcConfig {
+            generations: cfg.generations,
+            promotion: cfg.promotion,
+            flat_protected: cfg.flat_protected,
+            ablate_weak_pass_first: cfg.ablate_weak_pass_first,
+            fail_acquisition_at: cfg.fail_acquisition_at,
+            ..GcConfig::default()
+        };
+        Rig {
+            heap: Heap::new(gc),
+            model: Model::new(cfg.clone()),
+            node_trackers: HashMap::new(),
+            tconc_trackers: HashMap::new(),
+            guardians: HashMap::new(),
+            rooted: HashMap::new(),
+            weak_handles: HashMap::new(),
+            stats: RunStats::default(),
+        }
+    }
+
+    fn run(&mut self, ops: &[Op], at: &Cell<usize>) -> Result<RunStats, String> {
+        for (i, op) in ops.iter().enumerate() {
+            at.set(i);
+            if self.apply(op)? {
+                self.stats.applied += 1;
+            }
+        }
+        at.set(ops.len());
+        self.check_state()?;
+        self.stats.ops = ops.len();
+        self.stats.acquisitions = self.heap.acquisitions();
+        self.stats.live_nodes = self.model.nodes.len();
+        Ok(self.stats.clone())
+    }
+
+    // ---- addressing ----------------------------------------------------
+
+    /// Current address of node `id` via its tracker car.
+    fn node_value(&self, id: u32) -> Value {
+        let v = self.heap.car(self.node_trackers[&id].get());
+        assert!(v.is_ptr(), "tracker for physical node n{id} is broken");
+        v
+    }
+
+    fn tconc_value(&self, gi: u32) -> Value {
+        let v = self.heap.car(self.tconc_trackers[&gi].get());
+        assert!(v.is_ptr(), "tracker for physical tconc t{gi} is broken");
+        v
+    }
+
+    /// A reference as stored in a *strong* slot (`Null` ≡ `'()`).
+    fn strong_value(&self, r: Ref) -> Value {
+        match r {
+            Ref::Null => Value::NIL,
+            Ref::Node(id) => self.node_value(id),
+            Ref::Tconc(gi) => self.tconc_value(gi),
+        }
+    }
+
+    /// A reference as stored in a *weak* car (`Null` ≡ `#f`).
+    fn weak_value(&self, r: Ref) -> Value {
+        match r {
+            Ref::Null => Value::FALSE,
+            _ => self.strong_value(r),
+        }
+    }
+
+    // ---- fault handling ------------------------------------------------
+
+    /// Preflights `bound` segments for a composite op. If the armed fault
+    /// fires, asserts the heap survived cleanly, lifts the fault, and lets
+    /// the op proceed infallibly.
+    fn reserve(&mut self, bound: u64) -> Result<(), String> {
+        if let Err(e) = self.heap.try_reserve(bound) {
+            self.stats.faults_hit += 1;
+            self.heap
+                .verify()
+                .map_err(|v| format!("heap invalid after clean-fault refusal ({e}): {v}"))?;
+            self.heap.set_acquisition_fault(None);
+        }
+        Ok(())
+    }
+
+    // ---- op interpretation ---------------------------------------------
+
+    /// Applies one op to both heaps; `Ok(false)` means it degraded to a
+    /// no-op (on both sides, by the same model-derived decision).
+    fn apply(&mut self, op: &Op) -> Result<bool, String> {
+        match *op {
+            Op::AllocPair { id, left, right } => {
+                if self.model.nodes.contains_key(&id) {
+                    return Ok(false);
+                }
+                let (left, right) = (self.model.normalize(left), self.model.normalize(right));
+                self.reserve(2)?;
+                let inner = {
+                    let (l, r) = (self.strong_value(left), self.strong_value(right));
+                    self.heap.cons(l, r)
+                };
+                let outer = self.heap.cons(Value::fixnum(id as i64), inner);
+                self.track_node(id, outer);
+                self.model.nodes.insert(
+                    id,
+                    MNode {
+                        kind: NodeKind::Pair,
+                        gen: 0,
+                        left,
+                        right,
+                        weak_car: Ref::Null,
+                        payload: 0,
+                    },
+                );
+                Ok(true)
+            }
+            Op::AllocVector {
+                id,
+                payload,
+                left,
+                right,
+            } => {
+                if self.model.nodes.contains_key(&id) {
+                    return Ok(false);
+                }
+                let (left, right) = (self.model.normalize(left), self.model.normalize(right));
+                let len = 4 + payload as usize;
+                self.reserve(((1 + len) as u64).div_ceil(512).max(1) + 2)?;
+                let w = self.heap.weak_cons(Value::FALSE, Value::NIL);
+                let v = self.heap.make_vector(len, Value::fixnum(id as i64));
+                let (l, r) = (self.strong_value(left), self.strong_value(right));
+                self.heap.vector_set(v, 1, l);
+                self.heap.vector_set(v, 2, r);
+                self.heap.vector_set(v, 3, w);
+                self.track_node(id, v);
+                self.model.nodes.insert(
+                    id,
+                    MNode {
+                        kind: NodeKind::Vector,
+                        gen: 0,
+                        left,
+                        right,
+                        weak_car: Ref::Null,
+                        payload,
+                    },
+                );
+                Ok(true)
+            }
+            Op::AllocBytevector { id, len } => {
+                if self.model.nodes.contains_key(&id) {
+                    return Ok(false);
+                }
+                let words = 1 + (len as u64).div_ceil(8);
+                self.reserve(words.div_ceil(512).max(1) + 1)?;
+                let bv = self.heap.make_bytevector(len as usize, id as u8);
+                self.track_node(id, bv);
+                self.model.nodes.insert(
+                    id,
+                    MNode {
+                        kind: NodeKind::Bytevector,
+                        gen: 0,
+                        left: Ref::Null,
+                        right: Ref::Null,
+                        weak_car: Ref::Null,
+                        payload: len,
+                    },
+                );
+                Ok(true)
+            }
+            Op::AllocString { id } => {
+                if self.model.nodes.contains_key(&id) {
+                    return Ok(false);
+                }
+                self.reserve(2)?;
+                let s = self.heap.make_string(&format!("node-{id}"));
+                self.track_node(id, s);
+                self.model.nodes.insert(
+                    id,
+                    MNode {
+                        kind: NodeKind::String,
+                        gen: 0,
+                        left: Ref::Null,
+                        right: Ref::Null,
+                        weak_car: Ref::Null,
+                        payload: 0,
+                    },
+                );
+                Ok(true)
+            }
+            Op::SetEdge { node, slot, to } => {
+                let Some(n) = self.model.nodes.get(&node) else {
+                    return Ok(false);
+                };
+                if !matches!(n.kind, NodeKind::Pair | NodeKind::Vector) {
+                    return Ok(false);
+                }
+                let kind = n.kind;
+                let to = self.model.normalize(to);
+                let slot = slot % 2;
+                let v = self.node_value(node);
+                let tv = self.strong_value(to);
+                match kind {
+                    NodeKind::Pair => {
+                        let inner = self.heap.cdr(v);
+                        if slot == 0 {
+                            self.heap.set_car(inner, tv);
+                        } else {
+                            self.heap.set_cdr(inner, tv);
+                        }
+                    }
+                    NodeKind::Vector => self.heap.vector_set(v, 1 + slot as usize, tv),
+                    _ => unreachable!(),
+                }
+                let n = self.model.nodes.get_mut(&node).expect("checked");
+                if slot == 0 {
+                    n.left = to;
+                } else {
+                    n.right = to;
+                }
+                Ok(true)
+            }
+            Op::SetWeak { node, to } => {
+                match self.model.nodes.get(&node) {
+                    Some(n) if n.kind == NodeKind::Vector => {}
+                    _ => return Ok(false),
+                }
+                let to = self.model.normalize(to);
+                let v = self.node_value(node);
+                let w = self.heap.vector_ref(v, 3);
+                let tv = self.weak_value(to);
+                self.heap.set_car(w, tv);
+                self.model.nodes.get_mut(&node).expect("checked").weak_car = to;
+                Ok(true)
+            }
+            Op::AddRoot { node } => {
+                if !self.model.nodes.contains_key(&node) || self.model.roots.contains(&node) {
+                    return Ok(false);
+                }
+                let v = self.node_value(node);
+                let handle = self.heap.root(v);
+                self.rooted.insert(node, handle);
+                self.model.roots.insert(node);
+                Ok(true)
+            }
+            Op::DropRoot { node } => {
+                if self.rooted.remove(&node).is_none() {
+                    return Ok(false);
+                }
+                self.model.roots.remove(&node);
+                Ok(true)
+            }
+            Op::MakeGuardian { g } => {
+                if self.model.tconcs.contains_key(&g) {
+                    return Ok(false);
+                }
+                self.reserve(2)?;
+                let guardian = self.heap.make_guardian();
+                let tc = guardian.tconc();
+                let tracker = self.heap.weak_cons(tc, Value::fixnum(1_000_000 + g as i64));
+                let handle = self.heap.root(tracker);
+                self.tconc_trackers.insert(g, handle);
+                self.guardians.insert(g, guardian);
+                self.model.tconcs.insert(
+                    g,
+                    MTconc {
+                        gen: 0,
+                        queue: Default::default(),
+                        handle: true,
+                    },
+                );
+                self.model.tconc_tracker_gen.insert(g, 0);
+                Ok(true)
+            }
+            Op::Register { g, target, agent } => {
+                if !self.model.tconcs.contains_key(&g) || !self.model.physical(target) {
+                    return Ok(false);
+                }
+                // A dead agent degrades to the simple interface (rep = obj).
+                let agent = agent.filter(|a| self.model.physical(*a));
+                let tc = self.tconc_value(g);
+                let obj = self.strong_value(target);
+                let rep = agent.map_or(obj, |a| self.strong_value(a));
+                self.heap.guardian_register(tc, obj, rep);
+                self.model.protected[0].push(MEntry {
+                    tconc: g,
+                    obj: target,
+                    rep: agent.unwrap_or(target),
+                });
+                Ok(true)
+            }
+            Op::Poll { g } => {
+                if !self.model.tconcs.contains_key(&g) {
+                    return Ok(false);
+                }
+                let tc = self.tconc_value(g);
+                let got = self.heap.tconc_pop(tc);
+                let expected = self
+                    .model
+                    .tconcs
+                    .get_mut(&g)
+                    .expect("physical")
+                    .queue
+                    .pop_front();
+                match (got, expected) {
+                    (None, None) => {}
+                    (Some(v), Some(r)) => {
+                        let want = self.strong_value(r);
+                        check!(
+                            self,
+                            v == want,
+                            "poll t{g}: heap returned {v:?}, model expected {r} ({want:?})"
+                        );
+                        self.stats.polled += 1;
+                        // A polled node re-enters the root set: finalization
+                        // revived a reference to it.
+                        if let Ref::Node(id) = r {
+                            if !self.model.roots.contains(&id) {
+                                let handle = self.heap.root(v);
+                                self.rooted.insert(id, handle);
+                                self.model.roots.insert(id);
+                            }
+                        }
+                    }
+                    (got, expected) => {
+                        check!(
+                            self,
+                            false,
+                            "poll t{g}: heap returned {got:?}, model expected {expected:?}"
+                        );
+                    }
+                }
+                Ok(true)
+            }
+            Op::DropGuardian { g } => {
+                if self.guardians.remove(&g).is_none() {
+                    return Ok(false);
+                }
+                self.model.tconcs.get_mut(&g).expect("had handle").handle = false;
+                Ok(true)
+            }
+            Op::AllocWeakPair { wid, target } => {
+                if self.model.weaks.contains_key(&wid) {
+                    return Ok(false);
+                }
+                let target = self.model.normalize(target);
+                self.reserve(1)?;
+                let tv = self.weak_value(target);
+                let w = self.heap.weak_cons(tv, Value::NIL);
+                let handle = self.heap.root(w);
+                self.weak_handles.insert(wid, handle);
+                self.model.weaks.insert(
+                    wid,
+                    MWeak {
+                        gen: 0,
+                        target,
+                        rooted: true,
+                    },
+                );
+                Ok(true)
+            }
+            Op::SetWeakPair { wid, target } => {
+                match self.model.weaks.get(&wid) {
+                    Some(w) if w.rooted => {}
+                    _ => return Ok(false),
+                }
+                let target = self.model.normalize(target);
+                let tv = self.weak_value(target);
+                let w = self.weak_handles[&wid].get();
+                self.heap.set_car(w, tv);
+                self.model.weaks.get_mut(&wid).expect("checked").target = target;
+                Ok(true)
+            }
+            Op::DropWeakPair { wid } => {
+                if self.weak_handles.remove(&wid).is_none() {
+                    return Ok(false);
+                }
+                self.model.weaks.get_mut(&wid).expect("was rooted").rooted = false;
+                Ok(true)
+            }
+            Op::Collect { gen } => {
+                let gen = gen.min(self.model.cfg.generations - 1);
+                if let Err(e) = self.heap.try_collect(gen) {
+                    self.stats.faults_hit += 1;
+                    self.heap.verify().map_err(|v| {
+                        format!("heap invalid after cleanly refused collection ({e}): {v}")
+                    })?;
+                    self.heap.set_acquisition_fault(None);
+                    self.heap.collect(gen);
+                }
+                self.stats.collections += 1;
+                let mrep = self.model.collect(gen);
+                self.stats.finalized += mrep.finalized;
+                let r = self.heap.last_report().expect("just collected");
+                let real = [
+                    r.guardian_entries_visited,
+                    r.guardian_entries_finalized,
+                    r.guardian_entries_held,
+                    r.guardian_entries_dropped,
+                    r.guardian_loop_iterations,
+                ];
+                let predicted = [
+                    mrep.visited,
+                    mrep.finalized,
+                    mrep.held,
+                    mrep.dropped,
+                    mrep.loop_iterations,
+                ];
+                check!(
+                    self,
+                    real == predicted,
+                    "collect {gen}: guardian counters [visited, finalized, held, dropped, \
+                     loop-iterations] diverge: heap {real:?}, model {predicted:?}"
+                );
+                check!(
+                    self,
+                    mrep.visited == mrep.held + mrep.finalized + mrep.dropped,
+                    "collect {gen}: model violates visited == held+finalized+dropped: {mrep:?}"
+                );
+                self.check_state()?;
+                Ok(true)
+            }
+            Op::Churn { n } => {
+                self.reserve((2 * n as u64).div_ceil(512) + 1)?;
+                for i in 0..n {
+                    self.heap.cons(Value::fixnum(i as i64), Value::NIL);
+                }
+                Ok(true)
+            }
+            Op::Grow { bytes } => {
+                let words = 1 + (bytes as u64).div_ceil(8);
+                self.reserve(words.div_ceil(512).max(1))?;
+                self.heap.make_bytevector(bytes as usize, 0xAB);
+                Ok(true)
+            }
+        }
+    }
+
+    fn track_node(&mut self, id: u32, v: Value) {
+        let tracker = self.heap.weak_cons(v, Value::fixnum(id as i64));
+        let handle = self.heap.root(tracker);
+        self.node_trackers.insert(id, handle);
+        self.model.node_tracker_gen.insert(id, 0);
+    }
+
+    // ---- the oracle ----------------------------------------------------
+
+    /// Compares every observable of the real heap against the model.
+    fn check_state(&mut self) -> Result<(), String> {
+        self.heap
+            .verify()
+            .map_err(|v| format!("heap.verify() failed: {v}"))?;
+
+        // Liveness oracle: a tracker's car is broken exactly when the model
+        // reclaimed the object (trackers are immortal, so this covers every
+        // object ever allocated); and trackers sit in the generation the
+        // model predicts, which grounds the weak-word accounting below.
+        for (&id, handle) in &self.node_trackers {
+            let car = self.heap.car(handle.get());
+            let alive = self.model.nodes.contains_key(&id);
+            check!(
+                self,
+                car.is_ptr() == alive,
+                "liveness: node n{id} tracker car {car:?}, model physical={alive}"
+            );
+            let tgen = self.heap.generation_of(handle.get());
+            let want = Some(self.model.node_tracker_gen[&id]);
+            check!(
+                self,
+                tgen == want,
+                "node n{id} tracker generation: heap {tgen:?}, model {want:?}"
+            );
+        }
+        for (&gi, handle) in &self.tconc_trackers {
+            let car = self.heap.car(handle.get());
+            let alive = self.model.tconcs.contains_key(&gi);
+            check!(
+                self,
+                car.is_ptr() == alive,
+                "liveness: tconc t{gi} tracker car {car:?}, model physical={alive}"
+            );
+            let tgen = self.heap.generation_of(handle.get());
+            let want = Some(self.model.tconc_tracker_gen[&gi]);
+            check!(
+                self,
+                tgen == want,
+                "tconc t{gi} tracker generation: heap {tgen:?}, model {want:?}"
+            );
+        }
+
+        // Per-node graph shape: kind, id slot, generation, strong edges,
+        // weak car, payload — for every physical node, floating garbage
+        // included.
+        let ids: Vec<u32> = self.model.nodes.keys().copied().collect();
+        for id in ids {
+            self.check_node(id)?;
+        }
+
+        // Tconcs: queue contents in exact FIFO order, registration counts,
+        // generation.
+        let gis: Vec<u32> = self.model.tconcs.keys().copied().collect();
+        for gi in gis {
+            let tc = self.tconc_value(gi);
+            let m = self.model.tconcs[&gi].clone();
+            check!(
+                self,
+                self.heap.is_pair(tc),
+                "tconc t{gi} is not a pair: {tc:?}"
+            );
+            let gen = self.heap.generation_of(tc);
+            check!(
+                self,
+                gen == Some(m.gen),
+                "tconc t{gi} generation: heap {gen:?}, model {}",
+                m.gen
+            );
+            let items = self.queue_values(tc);
+            check!(
+                self,
+                items.len() == m.queue.len(),
+                "tconc t{gi} queue length: heap {}, model {}",
+                items.len(),
+                m.queue.len()
+            );
+            for (i, (got, want_ref)) in items.iter().zip(m.queue.iter()).enumerate() {
+                let want = self.strong_value(*want_ref);
+                check!(
+                    self,
+                    *got == want,
+                    "tconc t{gi} queue[{i}]: heap {got:?}, model {want_ref} ({want:?})"
+                );
+            }
+            let watched = self.heap.guardian_watched(tc);
+            let mwatched = self.model.watched(gi);
+            check!(
+                self,
+                watched == mwatched,
+                "tconc t{gi} watched registrations: heap {watched}, model {mwatched}"
+            );
+        }
+
+        // Rooted handles track the same addresses as the trackers.
+        for (&id, handle) in &self.rooted {
+            let want = self.node_value(id);
+            let got = handle.get();
+            check!(
+                self,
+                got == want,
+                "root handle for n{id}: {got:?} vs tracker {want:?}"
+            );
+        }
+
+        // Standalone weak pairs: car broken/forwarded per the model.
+        for (&wid, handle) in &self.weak_handles {
+            let m = self.model.weaks[&wid].clone();
+            let w = handle.get();
+            let car = self.heap.car(w);
+            let want = self.weak_value(m.target);
+            check!(
+                self,
+                car == want,
+                "weak pair w{wid} car: heap {car:?}, model {} ({want:?})",
+                m.target
+            );
+            let gen = self.heap.generation_of(w);
+            check!(
+                self,
+                gen == Some(m.gen),
+                "weak pair w{wid} generation: heap {gen:?}, model {}",
+                m.gen
+            );
+        }
+
+        // Aggregate accounting: protected-list population and weak-pair
+        // words, generation by generation.
+        for (g, usage) in self.heap.generation_usage().iter().enumerate() {
+            let mp = self.model.protected.get(g).map_or(0, Vec::len);
+            check!(
+                self,
+                usage.protected_entries == mp,
+                "gen {g} protected entries: heap {}, model {mp}",
+                usage.protected_entries
+            );
+            let mw = 2 * self.model.weak_pairs_in_gen(g as u8);
+            check!(
+                self,
+                usage.weak_pair_words == mw,
+                "gen {g} weak-pair words: heap {}, model {mw}",
+                usage.weak_pair_words
+            );
+        }
+        Ok(())
+    }
+
+    fn check_node(&mut self, id: u32) -> Result<(), String> {
+        let m = self.model.nodes[&id].clone();
+        let v = self.node_value(id);
+        let gen = self.heap.generation_of(v);
+        check!(
+            self,
+            gen == Some(m.gen),
+            "node n{id} generation: heap {gen:?}, model {}",
+            m.gen
+        );
+        match m.kind {
+            NodeKind::Pair => {
+                check!(self, self.heap.is_pair(v), "node n{id} is not a pair");
+                let tag = self.heap.car(v);
+                check!(
+                    self,
+                    tag == Value::fixnum(id as i64),
+                    "pair n{id} id slot: {tag:?}"
+                );
+                let inner = self.heap.cdr(v);
+                check!(
+                    self,
+                    self.heap.is_pair(inner),
+                    "pair n{id} lost its edge cell"
+                );
+                let (l, r) = (self.heap.car(inner), self.heap.cdr(inner));
+                let (wl, wr) = (self.strong_value(m.left), self.strong_value(m.right));
+                check!(
+                    self,
+                    l == wl,
+                    "pair n{id} left edge: heap {l:?}, model {} ({wl:?})",
+                    m.left
+                );
+                check!(
+                    self,
+                    r == wr,
+                    "pair n{id} right edge: heap {r:?}, model {} ({wr:?})",
+                    m.right
+                );
+            }
+            NodeKind::Vector => {
+                check!(self, self.heap.is_vector(v), "node n{id} is not a vector");
+                let len = self.heap.vector_len(v);
+                check!(
+                    self,
+                    len == 4 + m.payload as usize,
+                    "vector n{id} length: heap {len}, model {}",
+                    4 + m.payload
+                );
+                let tag = self.heap.vector_ref(v, 0);
+                check!(
+                    self,
+                    tag == Value::fixnum(id as i64),
+                    "vector n{id} id slot: {tag:?}"
+                );
+                let (l, r) = (self.heap.vector_ref(v, 1), self.heap.vector_ref(v, 2));
+                let (wl, wr) = (self.strong_value(m.left), self.strong_value(m.right));
+                check!(
+                    self,
+                    l == wl,
+                    "vector n{id} left edge: heap {l:?}, model {} ({wl:?})",
+                    m.left
+                );
+                check!(
+                    self,
+                    r == wr,
+                    "vector n{id} right edge: heap {r:?}, model {} ({wr:?})",
+                    m.right
+                );
+                let w = self.heap.vector_ref(v, 3);
+                check!(
+                    self,
+                    self.heap.is_weak_pair(w),
+                    "vector n{id} attached weak pair missing: {w:?}"
+                );
+                let wgen = self.heap.generation_of(w);
+                check!(
+                    self,
+                    wgen == Some(m.gen),
+                    "vector n{id} attached weak generation: heap {wgen:?}, model {}",
+                    m.gen
+                );
+                let car = self.heap.car(w);
+                let want = self.weak_value(m.weak_car);
+                check!(
+                    self,
+                    car == want,
+                    "vector n{id} weak car: heap {car:?}, model {} ({want:?})",
+                    m.weak_car
+                );
+                if m.payload > 0 {
+                    let fill = Value::fixnum(id as i64);
+                    let (first, last) =
+                        (self.heap.vector_ref(v, 4), self.heap.vector_ref(v, len - 1));
+                    check!(
+                        self,
+                        first == fill && last == fill,
+                        "vector n{id} payload corrupted: [{first:?} … {last:?}]"
+                    );
+                }
+            }
+            NodeKind::Bytevector => {
+                check!(
+                    self,
+                    self.heap.is_bytevector(v),
+                    "node n{id} is not a bytevector"
+                );
+                let len = self.heap.bytevector_len(v);
+                check!(
+                    self,
+                    len == m.payload as usize,
+                    "bytevector n{id} length: heap {len}, model {}",
+                    m.payload
+                );
+                if len > 0 {
+                    let (a, b) = (
+                        self.heap.bytevector_ref(v, 0),
+                        self.heap.bytevector_ref(v, len - 1),
+                    );
+                    check!(
+                        self,
+                        a == id as u8 && b == id as u8,
+                        "bytevector n{id} payload corrupted: [{a} … {b}]"
+                    );
+                }
+            }
+            NodeKind::String => {
+                check!(self, self.heap.is_string(v), "node n{id} is not a string");
+                let s = self.heap.string_value(v);
+                let want = format!("node-{id}");
+                check!(self, s == want, "string n{id} content: {s:?}");
+            }
+        }
+        Ok(())
+    }
+
+    /// Non-destructive tconc queue walk: first cell at `car(tc)`, elements
+    /// are cell cars, stop at the trailing dummy `cdr(tc)` (exclusive).
+    fn queue_values(&self, tc: Value) -> Vec<Value> {
+        let mut out = Vec::new();
+        let mut cur = self.heap.car(tc);
+        let last = self.heap.cdr(tc);
+        while cur != last {
+            out.push(self.heap.car(cur));
+            cur = self.heap.cdr(cur);
+        }
+        out
+    }
+}

@@ -1,0 +1,91 @@
+//! Delta-debugging shrinker: replays a failing trace with chunks of ops
+//! removed until no single-op removal keeps it failing, then emits the
+//! minimal trace as ready-to-commit regression text.
+
+use crate::ops::Trace;
+use crate::rig::{quiet_panics, run_trace};
+
+/// Shrinks `trace` (which must fail) to a locally minimal failing trace:
+/// removing any single remaining op makes the failure disappear. The
+/// failure criterion is "any divergence" — the shrunk trace may fail
+/// differently from the original, which is fine for a regression corpus.
+pub fn shrink(trace: &Trace) -> Trace {
+    quiet_panics(|| shrink_with(trace, |t| run_trace(t).is_err()))
+}
+
+/// [`shrink`] with an explicit failure predicate (used by the shrinker's
+/// own tests; `fails` must hold for `trace` itself).
+pub fn shrink_with(trace: &Trace, fails: impl Fn(&Trace) -> bool) -> Trace {
+    assert!(fails(trace), "shrink called on a passing trace");
+    let mut ops = trace.ops.clone();
+    let candidate = |ops: &[crate::ops::Op]| Trace {
+        seed: trace.seed,
+        config: trace.config.clone(),
+        ops: ops.to_vec(),
+    };
+    let mut chunk = (ops.len() / 2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut i = 0;
+        while i < ops.len() {
+            let mut attempt = ops.clone();
+            attempt.drain(i..(i + chunk).min(attempt.len()));
+            if fails(&candidate(&attempt)) {
+                ops = attempt;
+                progressed = true;
+                // Re-test from the same index: the next chunk slid down.
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            if !progressed {
+                break;
+            }
+        } else if !progressed {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    candidate(&ops)
+}
+
+/// Formats a failure as a committable artifact: the one-line failure
+/// followed by the minimal trace (shrunk from `trace`), ready to be
+/// written under `crates/torture/regressions/`.
+pub fn explain(trace: &Trace, failure: &crate::rig::Failure) -> String {
+    let minimal = shrink(trace);
+    let refailure = quiet_panics(|| run_trace(&minimal).expect_err("shrunk trace still fails"));
+    format!(
+        "{failure}\n\
+         shrunk to {} of {} ops, failing with:\n{refailure}\n\
+         --- minimal trace (commit under crates/torture/regressions/) ---\n{}",
+        minimal.ops.len(),
+        trace.ops.len(),
+        minimal.to_text()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use crate::ops::Op;
+
+    #[test]
+    fn shrinks_to_the_single_poison_op() {
+        // Synthetic failure criterion: "the trace contains a Collect of
+        // generation 3" — shrinking must isolate exactly that op.
+        let t = generate(4242, 400);
+        let poison = |t: &Trace| t.ops.iter().any(|o| matches!(o, Op::Collect { gen: 3 }));
+        if !poison(&t) {
+            // Make sure the poison is present somewhere in the middle.
+            let mut t = t;
+            t.ops.insert(200, Op::Collect { gen: 3 });
+            let min = shrink_with(&t, poison);
+            assert_eq!(min.ops, vec![Op::Collect { gen: 3 }]);
+            return;
+        }
+        let min = shrink_with(&t, poison);
+        assert_eq!(min.ops, vec![Op::Collect { gen: 3 }]);
+    }
+}

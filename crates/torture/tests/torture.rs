@@ -1,0 +1,140 @@
+//! The bounded torture campaign wired into `cargo test` (the open-ended
+//! soak lives in `crates/bench/src/bin/torture.rs`).
+//!
+//! Environment knobs for longer local runs:
+//!   TORTURE_SEEDS  extra random-base seeds in the smoke test (default 4)
+//!   TORTURE_OPS    ops per smoke trace                       (default 600)
+
+use guardians_torture::{fault_sweep, generate, run_trace, shrink, Trace};
+
+fn env_num(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn must_pass(trace: &Trace, what: &str) {
+    if let Err(f) = run_trace(trace) {
+        panic!("{what}: {f}\n{}", guardians_torture::explain(trace, &f));
+    }
+}
+
+/// Fixed seeds, every promotion/flat combination (seed mod 12 covers the
+/// rotation in `config_for_seed`), plus a few seeds from an arbitrary
+/// time-derived base so every CI run explores fresh territory. Any
+/// failure prints the seed — which reproduces it deterministically — and
+/// the shrunk minimal trace.
+#[test]
+fn fixed_and_random_seeds_agree_with_the_oracle() {
+    let ops = env_num("TORTURE_OPS", 600) as usize;
+    let mut collections = 0;
+    for seed in 0..12u64 {
+        let trace = generate(seed, ops);
+        must_pass(&trace, "fixed seed");
+        collections += run_trace(&trace).expect("just passed").collections;
+    }
+    assert!(
+        collections > 50,
+        "fixed seeds barely collected: {collections}"
+    );
+
+    let base = env_num(
+        "TORTURE_SEED_BASE",
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock")
+            .as_secs(),
+    );
+    let extra = env_num("TORTURE_SEEDS", 4);
+    for seed in base..base + extra {
+        println!("random seed {seed} ({ops} ops)");
+        must_pass(&generate(seed, ops), "random seed");
+    }
+}
+
+/// The acquisition fault at *every* offset of a few short traces: each
+/// faulted run must either refuse ops cleanly (heap verify-valid, then
+/// recover) or complete — and must reach the same final state as the
+/// fault-free run, since the rig re-applies the refused op after lifting
+/// the fault.
+#[test]
+fn exhaustive_fault_offset_sweep_is_clean() {
+    for seed in 0..3u64 {
+        let (runs, fired) =
+            fault_sweep(seed, 80, 1).unwrap_or_else(|f| panic!("fault sweep diverged: {f}"));
+        assert!(runs > 10, "sweep of seed {seed} too small: {runs} runs");
+        assert!(fired > 0, "sweep of seed {seed} never fired the fault");
+    }
+}
+
+fn regression_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("regressions")
+}
+
+fn load_trace(name: &str) -> Trace {
+    let path = regression_dir().join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    Trace::parse(&text).unwrap_or_else(|e| panic!("parsing {name}: {e}"))
+}
+
+/// Every committed regression trace replays green.
+#[test]
+fn regression_corpus_replays_clean() {
+    let mut found = 0;
+    for entry in std::fs::read_dir(regression_dir()).expect("regressions dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "trace") {
+            found += 1;
+            let name = path
+                .file_name()
+                .expect("file name")
+                .to_string_lossy()
+                .into_owned();
+            must_pass(&load_trace(&name), &name);
+        }
+    }
+    assert!(
+        found >= 2,
+        "regression corpus went missing ({found} traces)"
+    );
+}
+
+/// The committed §4 trace fails on demand when the fix is reverted: with
+/// `ablate_weak_pass_first` (weak pass before the guardian pass), the
+/// oracle catches the wrongly broken weak pointer — and the shrinker
+/// still produces a failing minimal trace from it.
+#[test]
+fn weak_ordering_trace_fails_when_the_fix_is_reverted() {
+    let good = load_trace("weak-ordering.trace");
+    must_pass(&good, "weak-ordering (fix in place)");
+
+    let mut reverted = good.clone();
+    reverted.config.ablate_weak_pass_first = true;
+    let failure = run_trace(&reverted).expect_err("ablation must break the §4 ordering");
+    assert!(
+        failure.message.contains("weak") || failure.message.contains("tracker"),
+        "unexpected failure mode: {failure}"
+    );
+
+    let minimal = shrink(&reverted);
+    assert!(minimal.ops.len() <= reverted.ops.len());
+    assert!(
+        run_trace(&minimal).is_err(),
+        "shrunk trace must still fail under the ablation"
+    );
+}
+
+/// The guardian-chain trace's specific observables, beyond "replays
+/// clean": round-2 salvage order and agent survival are pinned by the
+/// oracle itself, so here we only need the trace to stay parseable and
+/// meaningful after future op-language changes.
+#[test]
+fn guardian_chain_trace_exercises_the_fixpoint() {
+    let t = load_trace("guardian-chain.trace");
+    let stats = run_trace(&t).unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(stats.collections, 2);
+    assert!(stats.finalized >= 2, "fixpoint salvages tconc and object");
+    assert_eq!(stats.polled, 2, "both polls deliver");
+}
