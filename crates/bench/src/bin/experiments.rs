@@ -76,7 +76,7 @@ fn main() {
         if wanted(name) {
             let table = run(quick);
             println!("{}", table.render());
-            json_tables.push(table.to_json());
+            json_tables.push(table.to_json_named(name));
         }
     }
     if let Some(path) = json_path {

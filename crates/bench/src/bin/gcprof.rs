@@ -1,0 +1,228 @@
+//! GC profiler: runs an experiment workload or a torture trace with the
+//! event trace enabled and exports everything the observability layer
+//! produces — a Chrome `trace_event` document (load in
+//! `chrome://tracing` or Perfetto), a JSONL event stream, a metrics
+//! snapshot, and a live-heap census — plus a terminal report with pause
+//! percentiles.
+//!
+//! ```text
+//! gcprof --scenario e11 --quick --out-dir gcprof-out
+//! gcprof --scenario e14 --quick --out-dir gcprof-out
+//! gcprof --scenario torture --seed 7 --ops 2000 --out-dir gcprof-out
+//! ```
+
+use guardians_gc::{
+    chrome_trace_json, events_jsonl, replay_stats, GcConfig, GcEvent, Heap, Promotion, TraceConfig,
+    TracedEvent,
+};
+use guardians_scheme::{Interp, InterpConfig};
+use guardians_workloads::{run_lifetime_workload, LifetimeParams};
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let scenario = get("--scenario").unwrap_or_else(|| {
+        eprintln!(
+            "usage: gcprof --scenario <e11|e14|torture> [--quick] [--seed N] [--ops N] \
+             [--out-dir DIR]"
+        );
+        std::process::exit(2);
+    });
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed: u64 = get("--seed").map_or(7, |s| s.parse().expect("--seed: u64"));
+    let ops: usize = get("--ops").map_or(2_000, |s| s.parse().expect("--ops: usize"));
+    let out_dir = get("--out-dir").unwrap_or_else(|| "gcprof-out".to_string());
+    std::fs::create_dir_all(&out_dir).expect("create --out-dir");
+
+    match scenario.as_str() {
+        "e11" => profile_e11(quick, &out_dir),
+        "e14" => profile_e14(quick, &out_dir),
+        "torture" => profile_torture(seed, ops, &out_dir),
+        other => {
+            eprintln!("error: unknown scenario {other:?} (expected e11, e14, or torture)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Tracing configuration for profiling runs: census at every collection
+/// end, sparse allocation sampling, a ring large enough that nothing is
+/// dropped on the sizes profiled here.
+fn profile_trace_config() -> TraceConfig {
+    TraceConfig {
+        capacity: 1 << 20,
+        alloc_sample_every: 4_096,
+        census_at_collection_end: true,
+    }
+}
+
+fn write_exports(out_dir: &str, stem: &str, events: &[TracedEvent]) {
+    let chrome = Path::new(out_dir).join(format!("{stem}.trace.json"));
+    let jsonl = Path::new(out_dir).join(format!("{stem}.events.jsonl"));
+    std::fs::write(&chrome, chrome_trace_json(events)).expect("write chrome trace");
+    std::fs::write(&jsonl, events_jsonl(events)).expect("write jsonl");
+    println!(
+        "wrote {} ({} events) and {}",
+        chrome.display(),
+        events.len(),
+        jsonl.display()
+    );
+}
+
+fn print_pause_report(heap: &mut Heap) {
+    let m = heap.metrics();
+    println!("collections: {}", m.counter("gc.collections"));
+    if let Some(h) = m.get_histogram("gc.pause_ns") {
+        let q = |p: f64| h.quantile(p).unwrap_or(0) / 1_000;
+        println!(
+            "pause (us): p50 {}  p95 {}  p99 {}  max {}",
+            q(0.50),
+            q(0.95),
+            q(0.99),
+            h.max().unwrap_or(0) / 1_000
+        );
+    }
+    println!(
+        "guardian: visited {}  finalized {}  queue depth {}",
+        m.counter("gc.guardian.visited"),
+        m.counter("gc.guardian.finalized"),
+        m.gauge("guardian.queue_depth")
+    );
+}
+
+fn profile_e11(quick: bool, out_dir: &str) {
+    // The paper-policy configuration from E11's table (4 generations,
+    // next-generation promotion, 4^i collection schedule).
+    let config = GcConfig {
+        generations: 4,
+        promotion: Promotion::NextGeneration,
+        trigger_bytes: 128 * 1024,
+        frequency: (0..4).map(|i| 4u64.pow(i)).collect(),
+        ..GcConfig::new()
+    };
+    let mut heap = Heap::new(config);
+    heap.enable_tracing(profile_trace_config());
+    let params = LifetimeParams {
+        allocations: if quick { 30_000 } else { 300_000 },
+        ..LifetimeParams::default()
+    };
+    let stats = run_lifetime_workload(&mut heap, &params);
+    heap.verify().expect("heap valid after workload");
+    let events = heap.drain_trace_events();
+    assert_eq!(heap.trace_dropped(), 0, "profiling ring sized to not drop");
+
+    println!("== gcprof e11 (lifetime workload, paper policy) ==");
+    println!(
+        "workload: {} allocations, {} collections, {} words copied",
+        params.allocations, stats.collections, stats.words_copied
+    );
+    print_pause_report(&mut heap);
+    let census = heap.census();
+    println!(
+        "census: {} live objects, {} live words across {} generations",
+        census.total_objects(),
+        census.total_words(),
+        census.generations.len()
+    );
+    std::fs::write(
+        Path::new(out_dir).join("e11.metrics.json"),
+        heap.metrics_json(),
+    )
+    .expect("write metrics");
+    std::fs::write(Path::new(out_dir).join("e11.census.json"), census.to_json())
+        .expect("write census");
+    write_exports(out_dir, "e11", &events);
+}
+
+fn profile_e14(quick: bool, out_dir: &str) {
+    // The same programs E14 times (list churn and guardian churn are the
+    // allocation-heavy ones worth attributing), run under the staged
+    // evaluator with both tracing and site profiling enabled.
+    let programs: [(&str, &str, &str, usize); 2] = [
+        (
+            "list-churn",
+            "(define (iota n) \
+               (let lp ((i 0) (acc '())) \
+                 (if (= i n) (reverse acc) (lp (+ i 1) (cons i acc))))) \
+             (define (filter p l) \
+               (cond ((null? l) '()) \
+                     ((p (car l)) (cons (car l) (filter p (cdr l)))) \
+                     (else (filter p (cdr l))))) \
+             (define (churn n) \
+               (length (map (lambda (x) (* x x)) (filter odd? (iota n)))))",
+            "(churn 250)",
+            if quick { 20 } else { 80 },
+        ),
+        (
+            "guardian-churn",
+            "(define (gchurn n) \
+               (let ((g (make-guardian))) \
+                 (let lp ((i 0)) \
+                   (unless (= i n) (g (cons i i)) (lp (+ i 1)))) \
+                 (collect 3) \
+                 (let drain ((k 0)) \
+                   (if (g) (drain (+ k 1)) k))))",
+            "(gchurn 500)",
+            if quick { 6 } else { 24 },
+        ),
+    ];
+    let mut it = Interp::with_interp_config(InterpConfig::staged());
+    it.heap_mut().enable_tracing(profile_trace_config());
+    it.heap_mut().enable_site_profile();
+    for (name, setup, driver, iters) in programs {
+        it.eval_str(setup).expect("setup evaluates");
+        for _ in 0..iters {
+            it.eval_to_string(driver).expect("driver evaluates");
+        }
+        println!("ran {name} x{iters}");
+    }
+    let events = it.heap_mut().drain_trace_events();
+    let sites = it.heap_mut().take_site_profile();
+
+    println!("== gcprof e14 (staged evaluator, site attribution) ==");
+    println!("allocation sites by words (top 10):");
+    for (site, s) in sites.iter().take(10) {
+        println!(
+            "  {:>10} words  {:>8} allocs  {site}",
+            s.words, s.allocations
+        );
+    }
+    print_pause_report(it.heap_mut());
+    std::fs::write(
+        Path::new(out_dir).join("e14.metrics.json"),
+        it.heap_mut().metrics_json(),
+    )
+    .expect("write metrics");
+    write_exports(out_dir, "e14", &events);
+}
+
+fn profile_torture(seed: u64, ops: usize, out_dir: &str) {
+    let (stats, events) = guardians_torture::check_seed_traced(seed, ops)
+        .unwrap_or_else(|f| panic!("torture seed diverged: {f}"));
+    println!("== gcprof torture (seed {seed}, {ops} ops) ==");
+    println!(
+        "run: {} collections, {} oracle checks, {} finalized, {} polled",
+        stats.collections, stats.checks, stats.finalized, stats.polled
+    );
+    // The event stream alone reconstructs the collector-side stats — the
+    // same parity contract the rig asserts after every collection.
+    let derived = replay_stats(&events);
+    println!(
+        "replayed from events: {} collections, {} words copied, total GC {:?}",
+        derived.collections, derived.total_words_copied, derived.total_gc_time
+    );
+    let app_markers = events
+        .iter()
+        .filter(|e| matches!(e.event, GcEvent::App { .. }))
+        .count();
+    if app_markers > 0 {
+        println!("app markers interleaved: {app_markers}");
+    }
+    write_exports(out_dir, &format!("torture-{seed}"), &events);
+}

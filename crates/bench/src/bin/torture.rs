@@ -13,6 +13,11 @@
 //!                    sweep on the first N seeds with short traces
 //!                    (default 0 = none)
 //!   --sweep-ops N    ops per fault-sweep trace         (default 150)
+//!   --traced N       re-run the first N seeds with the GC event trace
+//!                    enabled and cross-checked against the shadow model
+//!                    after every collection      (default 0 = none)
+//!   --fail-out PATH  on divergence, also write the shrunken regression
+//!                    trace to PATH (CI uploads it as an artifact)
 
 use std::time::Instant;
 
@@ -22,6 +27,8 @@ fn main() {
     let mut ops: usize = 10_000;
     let mut sweep_seeds: u64 = 0;
     let mut sweep_ops: usize = 150;
+    let mut traced_seeds: u64 = 0;
+    let mut fail_out: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -37,6 +44,14 @@ fn main() {
             "--ops" => ops = val(i) as usize,
             "--fault-sweep" => sweep_seeds = val(i),
             "--sweep-ops" => sweep_ops = val(i) as usize,
+            "--traced" => traced_seeds = val(i),
+            "--fail-out" => {
+                fail_out = Some(
+                    args.get(i + 1)
+                        .unwrap_or_else(|| panic!("--fail-out needs a path argument"))
+                        .clone(),
+                );
+            }
             other => panic!("unknown argument {other:?}"),
         }
         i += 2;
@@ -67,7 +82,9 @@ fn main() {
             }
             Err(failure) => {
                 eprintln!("{failure}");
-                eprintln!("{}", guardians_torture::explain(&trace, &failure));
+                let report = guardians_torture::explain(&trace, &failure);
+                eprintln!("{report}");
+                write_failure(fail_out.as_deref(), &format!("{failure}\n{report}\n"));
                 std::process::exit(1);
             }
         }
@@ -93,9 +110,11 @@ fn main() {
                 }
                 Err(failure) => {
                     eprintln!("{failure}");
-                    let mut trace = guardians_torture::generate(seed, sweep_ops);
-                    trace.config.fail_acquisition_at = Some(0); // provenance hint
                     eprintln!("(failure arose during the fault sweep of seed {seed})");
+                    write_failure(
+                        fail_out.as_deref(),
+                        &format!("{failure}\n(during the fault sweep of seed {seed})\n"),
+                    );
                     std::process::exit(1);
                 }
             }
@@ -104,5 +123,38 @@ fn main() {
             "PASS: fault sweep, {runs} faulted runs, {fired} faults fired, {:.1}s",
             t1.elapsed().as_secs_f64()
         );
+    }
+
+    if traced_seeds > 0 {
+        println!("traced soak: {traced_seeds} seeds, {ops} ops, event-vs-model cross-check");
+        let t2 = Instant::now();
+        let mut events = 0usize;
+        for seed in start..start + traced_seeds {
+            match guardians_torture::check_seed_traced(seed, ops) {
+                Ok((_, evs)) => events += evs.len(),
+                Err(failure) => {
+                    eprintln!("{failure}");
+                    let trace = guardians_torture::generate(seed, ops);
+                    let report = guardians_torture::explain(&trace, &failure);
+                    eprintln!("{report}");
+                    write_failure(fail_out.as_deref(), &format!("{failure}\n{report}\n"));
+                    std::process::exit(1);
+                }
+            }
+        }
+        println!(
+            "PASS: traced soak, {events} events cross-checked, {:.1}s",
+            t2.elapsed().as_secs_f64()
+        );
+    }
+}
+
+/// Writes the failure report where CI can pick it up as an artifact.
+fn write_failure(path: Option<&str>, report: &str) {
+    if let Some(path) = path {
+        match std::fs::write(path, report) {
+            Ok(()) => eprintln!("(wrote failing trace to {path})"),
+            Err(e) => eprintln!("(could not write {path}: {e})"),
+        }
     }
 }

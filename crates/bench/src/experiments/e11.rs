@@ -27,6 +27,10 @@ pub struct E11Row {
     pub phases: PhaseTimes,
     /// Copy throughput: words copied per second of total pause time.
     pub words_per_sec: f64,
+    /// Pause-time percentiles in nanoseconds `[p50, p95, p99]`, read
+    /// back from the metrics registry's `gc.pause_ns` histogram — the
+    /// observability layer's view of the same run.
+    pub pause_quantiles_ns: [u64; 3],
 }
 
 fn measure_with(generations: u8, promotion: Promotion, allocations: usize) -> E11Row {
@@ -46,6 +50,13 @@ fn measure_with(generations: u8, promotion: Promotion, allocations: usize) -> E1
     };
     let stats = run_lifetime_workload(&mut heap, &params);
     heap.verify().expect("heap valid after workload");
+    let pause_quantiles_ns = {
+        let h = heap
+            .metrics()
+            .get_histogram("gc.pause_ns")
+            .expect("collections happened, so the pause histogram exists");
+        [0.50, 0.95, 0.99].map(|q| h.quantile(q).unwrap_or(0))
+    };
     let total_secs = stats.total_gc_ns as f64 / 1e9;
     E11Row {
         generations,
@@ -59,6 +70,7 @@ fn measure_with(generations: u8, promotion: Promotion, allocations: usize) -> E1
         } else {
             0.0
         },
+        pause_quantiles_ns,
     }
 }
 
@@ -107,6 +119,13 @@ pub fn run(quick: bool) -> (Table, Vec<E11Row>) {
     }
     table.note("generations reduce re-copying of long-lived data; tenure strategies (paper: 'under programmer control') trade residency against re-copying");
     table.note("copy Mw/s = words copied per second of pause; copy+scan % = (remset + sweep) share of the per-phase pause breakdown");
+    let paper = &rows[2];
+    table.note(format!(
+        "paper policy pause percentiles from the gc.pause_ns metrics histogram (us): p50 {}  p95 {}  p99 {}  (profile any row with `gcprof --scenario e11`)",
+        paper.pause_quantiles_ns[0] / 1_000,
+        paper.pause_quantiles_ns[1] / 1_000,
+        paper.pause_quantiles_ns[2] / 1_000,
+    ));
     (table, rows)
 }
 
@@ -149,6 +168,16 @@ mod tests {
                 phase_total <= row.total_gc_ns,
                 "phase breakdown ({phase_total} ns) fits inside the total pause ({} ns)",
                 row.total_gc_ns
+            );
+            // The metrics histogram agrees with the workload's own
+            // max-pause measurement: quantiles are ordered and bounded.
+            let [p50, p95, p99] = row.pause_quantiles_ns;
+            assert!(p50 <= p95 && p95 <= p99, "quantiles ordered");
+            assert!(
+                p50 > 0 && p99 as u128 <= row.max_pause_ns,
+                "p99 ({p99} ns) is clamped to the exact max, which both \
+                 accountings derive from the same pauses ({} ns)",
+                row.max_pause_ns
             );
         }
     }

@@ -15,7 +15,14 @@
 //! * Criterion benches (`cargo bench`) measure the mutator-visible
 //!   operations' wall-clock costs; `e13_copy` tracks the collector's
 //!   copy throughput via [`copy_driver`].
+//! * [`gate`] + the `bench_gate` binary — CI perf-regression gate
+//!   comparing fresh `experiments --json` output against the committed
+//!   `BENCH_*.json` baselines.
+//! * The `gcprof` binary — runs an experiment or torture trace under the
+//!   GC event trace and exports Chrome `trace_event` JSON, JSONL, a
+//!   metrics snapshot, and a heap census.
 
 pub mod copy_driver;
 pub mod experiments;
+pub mod gate;
 pub mod replay;

@@ -45,10 +45,17 @@
 
 use super::{forward, forwarded_p, get_fwd, kleene_sweep, Scratch};
 use crate::heap::{GuardEntry, Heap};
+use crate::trace::GcEvent;
 use crate::value::Value;
 use guardians_segments::Space;
 
 pub(crate) fn run(heap: &mut Heap, s: &mut Scratch) {
+    let visited_before = s.report.guardian_entries_visited;
+    let finalized_before = s.report.guardian_entries_finalized;
+    let held_before = s.report.guardian_entries_held;
+    let dropped_before = s.report.guardian_entries_dropped;
+    let loops_before = s.report.guardian_loop_iterations;
+
     // Block 1: partition the protected lists of the collected generations.
     let mut pend_hold: Vec<GuardEntry> = Vec::new();
     let mut pend_final: Vec<GuardEntry> = Vec::new();
@@ -67,6 +74,11 @@ pub(crate) fn run(heap: &mut Heap, s: &mut Scratch) {
             }
         }
     }
+    heap.trace_emit(|| GcEvent::GuardianPartition {
+        visited: s.report.guardian_entries_visited - visited_before,
+        pend_hold: pend_hold.len() as u64,
+        pend_final: pend_final.len() as u64,
+    });
 
     // Block 2: the fixpoint loop over entries with dead objects.
     loop {
@@ -84,6 +96,9 @@ pub(crate) fn run(heap: &mut Heap, s: &mut Scratch) {
         if final_list.is_empty() {
             break;
         }
+        let round = s.report.guardian_loop_iterations - loops_before;
+        let resurrected = final_list.len() as u64;
+        heap.trace_emit(|| GcEvent::GuardianRound { round, resurrected });
         for e in final_list {
             // Paper: forward(obj). With an agent, the representative is
             // forwarded (saved from destruction) in the object's place.
@@ -128,6 +143,12 @@ pub(crate) fn run(heap: &mut Heap, s: &mut Scratch) {
     if agent_copied {
         kleene_sweep(heap, s);
     }
+    heap.trace_emit(|| GcEvent::GuardianOutcome {
+        finalized: s.report.guardian_entries_finalized - finalized_before,
+        held: s.report.guardian_entries_held - held_before,
+        dropped: s.report.guardian_entries_dropped - dropped_before,
+        loop_iterations: s.report.guardian_loop_iterations - loops_before,
+    });
 }
 
 /// Collector-side tconc append (Figure 3): allocates the fresh last pair

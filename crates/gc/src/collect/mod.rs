@@ -56,6 +56,7 @@ pub(crate) mod weak_pass;
 use crate::header::Header;
 use crate::heap::Heap;
 use crate::stats::CollectionReport;
+use crate::trace::{GcEvent, GcPhase};
 use crate::value::{fwd, Value};
 use guardians_segments::{SegIndex, Space, SEGMENT_WORDS};
 use std::time::Instant;
@@ -117,6 +118,13 @@ pub(crate) struct Scratch {
     pub weak_tospace: Vec<SegIndex>,
     /// Dirty old-generation weak-pair segments, for the weak pass.
     pub old_weak_dirty: Vec<SegIndex>,
+    /// Whether tracing was enabled at flip time; gates the per-source-
+    /// generation copy accounting so the disabled-mode copy loop is
+    /// untouched.
+    pub trace_on: bool,
+    /// Words copied out of each source generation (only maintained when
+    /// `trace_on`; feeds the `GenCopied` events).
+    pub copied_per_gen: Vec<u64>,
     /// The report under construction.
     pub report: CollectionReport,
 }
@@ -207,6 +215,8 @@ pub(crate) fn run(heap: &mut Heap, g: u8) -> CollectionReport {
         pending: Vec::new(),
         weak_tospace: Vec::new(),
         old_weak_dirty: Vec::new(),
+        trace_on: heap.tracing_enabled(),
+        copied_per_gen: vec![0; heap.config.generations as usize],
         report: CollectionReport {
             collection_index: heap.collections,
             collected_generation: g,
@@ -214,6 +224,11 @@ pub(crate) fn run(heap: &mut Heap, g: u8) -> CollectionReport {
             ..CollectionReport::default()
         },
     };
+    heap.trace_emit(|| GcEvent::CollectionBegin {
+        index: s.report.collection_index,
+        collected_generation: g,
+        target_generation: target,
+    });
     let mut mark = start;
     let mut lap = |now: Instant| {
         let d = now - mark;
@@ -221,6 +236,7 @@ pub(crate) fn run(heap: &mut Heap, g: u8) -> CollectionReport {
         d
     };
     s.report.phases.flip = lap(Instant::now());
+    emit_phase(heap, GcPhase::Flip, s.report.phases.flip);
 
     // Phase 2: roots.
     let mut roots = std::mem::take(&mut heap.roots);
@@ -233,14 +249,17 @@ pub(crate) fn run(heap: &mut Heap, g: u8) -> CollectionReport {
     heap.roots = roots;
     s.report.roots_traced = traced;
     s.report.phases.roots = lap(Instant::now());
+    emit_phase(heap, GcPhase::Roots, s.report.phases.roots);
 
     // Phase 3: remembered set.
     remset::scan_dirty(heap, &mut s);
     s.report.phases.remset = lap(Instant::now());
+    emit_phase(heap, GcPhase::Remset, s.report.phases.remset);
 
     // Phase 4: kleene sweep.
     kleene_sweep(heap, &mut s);
     s.report.phases.sweep = lap(Instant::now());
+    emit_phase(heap, GcPhase::Sweep, s.report.phases.sweep);
 
     if heap.config.ablate_weak_pass_first {
         // Ablation: break weak cars BEFORE the guardian pass gets to
@@ -248,34 +267,70 @@ pub(crate) fn run(heap: &mut Heap, g: u8) -> CollectionReport {
         // warns against. A second pass below keeps the heap valid for
         // weak pairs copied during the guardian pass itself.
         weak_pass::run(heap, &mut s);
-        s.report.phases.weak += lap(Instant::now());
+        let d = lap(Instant::now());
+        s.report.phases.weak += d;
+        emit_phase(heap, GcPhase::Weak, d);
     }
 
     // Phase 5: guardians.
     guardian_pass::run(heap, &mut s);
     s.report.phases.guardian = lap(Instant::now());
+    emit_phase(heap, GcPhase::Guardian, s.report.phases.guardian);
 
     // Phase 6: Dickey-baseline finalizers.
     finalizer_pass(heap, &mut s);
     s.report.phases.finalizer = lap(Instant::now());
+    emit_phase(heap, GcPhase::Finalizer, s.report.phases.finalizer);
 
     // Phase 7: weak pairs — after the guardian pass, "so if the car field
     // of a weak pair points to an object that has been salvaged, the
     // object will still be in the car field after collection."
     weak_pass::run(heap, &mut s);
-    s.report.phases.weak += lap(Instant::now());
+    let d = lap(Instant::now());
+    s.report.phases.weak += d;
+    emit_phase(heap, GcPhase::Weak, d);
 
     // Phase 8: reclaim the from-space.
     let heads = std::mem::take(&mut s.from_heads);
     for head in heads {
-        s.report.segments_freed += heap.segs.run_len(head) as u64;
+        let run = heap.segs.run_len(head) as u64;
+        s.report.segments_freed += run;
         heap.segs.free(head);
+        heap.trace_emit(|| GcEvent::SegmentsReleased { count: run });
     }
     heap.tospace_log = None;
     s.report.phases.reclaim = lap(Instant::now());
+    emit_phase(heap, GcPhase::Reclaim, s.report.phases.reclaim);
 
+    if s.trace_on {
+        for (generation, &words) in s.copied_per_gen.iter().enumerate() {
+            if words > 0 {
+                heap.trace_emit(|| GcEvent::GenCopied {
+                    generation: generation as u8,
+                    words,
+                });
+            }
+        }
+    }
     s.report.duration = start.elapsed();
+    heap.trace_emit(|| GcEvent::CollectionEnd {
+        index: s.report.collection_index,
+        words_copied: s.report.words_copied,
+        pairs_copied: s.report.pairs_copied,
+        objects_copied: s.report.objects_copied,
+        guardian_entries_visited: s.report.guardian_entries_visited,
+        weak_pairs_scanned: s.report.weak_pairs_scanned,
+        dur_ns: s.report.duration.as_nanos() as u64,
+    });
     s.report
+}
+
+/// Emits a `PhaseEnd` event (one null test when tracing is off).
+fn emit_phase(heap: &mut Heap, phase: GcPhase, d: std::time::Duration) {
+    heap.trace_emit(|| GcEvent::PhaseEnd {
+        phase,
+        dur_ns: d.as_nanos() as u64,
+    });
 }
 
 /// The paper's `forwarded?` predicate: "true when obj has been forwarded
@@ -322,7 +377,9 @@ pub(crate) fn forward(heap: &mut Heap, s: &mut Scratch, v: Value) -> Value {
     }
     // Pairs keep their space (a weak pair stays weak); typed objects keep
     // theirs trivially.
-    let space = heap.segs.info(addr.seg()).space;
+    let info = heap.segs.info(addr.seg());
+    let space = info.space;
+    let src_gen = info.generation;
     let total = if v.is_pair_ptr() {
         2
     } else {
@@ -338,6 +395,9 @@ pub(crate) fn forward(heap: &mut Heap, s: &mut Scratch, v: Value) -> Value {
         s.report.objects_copied += 1;
     }
     s.report.words_copied += total as u64;
+    if s.trace_on {
+        s.copied_per_gen[src_gen as usize] += total as u64;
+    }
     heap.segs.set_word(addr, fwd::encode(to));
     v.retag_at(to)
 }

@@ -17,10 +17,14 @@
 
 use super::Scratch;
 use crate::heap::Heap;
+use crate::trace::GcEvent;
 use crate::value::{fwd, Value};
 use guardians_segments::SegIndex;
 
 pub(crate) fn run(heap: &mut Heap, s: &mut Scratch) {
+    let scanned_before = s.report.weak_pairs_scanned;
+    let broken_before = s.report.weak_cars_broken;
+    let forwarded_before = s.report.weak_cars_forwarded;
     let to_space: Vec<SegIndex> = s.weak_tospace.drain(..).collect();
     for seg in to_space {
         fix_segment(heap, s, seg);
@@ -33,6 +37,13 @@ pub(crate) fn run(heap: &mut Heap, s: &mut Scratch) {
             heap.segs.mark_dirty(seg);
         }
     }
+    // Per-run deltas: the ablation mode runs this pass twice and the two
+    // events must sum to the report's counters.
+    heap.trace_emit(|| GcEvent::WeakSweep {
+        scanned: s.report.weak_pairs_scanned - scanned_before,
+        broken: s.report.weak_cars_broken - broken_before,
+        forwarded: s.report.weak_cars_forwarded - forwarded_before,
+    });
 }
 
 /// Fixes every weak car in a segment; returns whether the segment still

@@ -29,7 +29,11 @@ pub enum ObjKind {
 }
 
 impl ObjKind {
-    const ALL: [ObjKind; 7] = [
+    /// Number of object kinds (the length of [`ObjKind::ALL`]).
+    pub const COUNT: usize = 7;
+
+    /// Every kind, in [`ObjKind::index`] order.
+    pub const ALL: [ObjKind; ObjKind::COUNT] = [
         ObjKind::Vector,
         ObjKind::String,
         ObjKind::Symbol,
@@ -53,6 +57,25 @@ impl ObjKind {
 
     fn from_code(code: u64) -> Option<ObjKind> {
         ObjKind::ALL.into_iter().find(|k| k.code() == code)
+    }
+
+    /// Dense index in `0..ObjKind::COUNT`, for per-kind tables (census,
+    /// profiles).
+    pub fn index(self) -> usize {
+        self.code() as usize - 1
+    }
+
+    /// Stable lower-case name, used in census JSON and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ObjKind::Vector => "vector",
+            ObjKind::String => "string",
+            ObjKind::Symbol => "symbol",
+            ObjKind::Bytevector => "bytevector",
+            ObjKind::Box => "box",
+            ObjKind::Flonum => "flonum",
+            ObjKind::Record => "record",
+        }
     }
 }
 

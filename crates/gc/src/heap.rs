@@ -17,8 +17,10 @@ use crate::config::GcConfig;
 use crate::error::GcError;
 use crate::guardian::Guardian;
 use crate::header::{Header, ObjKind};
+use crate::metrics::MetricsRegistry;
 use crate::roots::{RootSet, Rooted, RootedVec};
 use crate::stats::{CollectionReport, HeapStats};
+use crate::trace::{GcEvent, SiteProfile, SiteStats, TraceConfig, TracedEvent, Tracer};
 use crate::value::Value;
 use guardians_segments::{SegIndex, SegmentTable, Space, WordAddr, SEGMENT_WORDS};
 
@@ -67,6 +69,19 @@ pub struct Heap {
     /// segment), compared against
     /// [`GcConfig::fail_acquisition_at`] by the fallible entry points.
     acquisitions: u64,
+    /// The event tracer; `None` (one null test per instrumentation site)
+    /// unless [`Heap::enable_tracing`] was called.
+    pub(crate) tracer: Option<Box<Tracer>>,
+    /// The metrics registry; collection reports are folded in as they
+    /// happen, mutator-side counters are synced on snapshot.
+    metrics: MetricsRegistry,
+    /// The allocation site the embedding last tagged (see
+    /// [`Heap::set_alloc_site`]); attributed by the site profiler and
+    /// allocation sampler.
+    alloc_site: Option<&'static str>,
+    /// Per-site allocation attribution; `None` unless
+    /// [`Heap::enable_site_profile`] was called.
+    site_profile: Option<Box<SiteProfile>>,
 }
 
 impl Heap {
@@ -87,6 +102,10 @@ impl Heap {
             bytes_since_gc: 0,
             alloc_forbidden: false,
             acquisitions: 0,
+            tracer: None,
+            metrics: MetricsRegistry::default(),
+            alloc_site: None,
+            site_profile: None,
             config,
         }
     }
@@ -148,7 +167,38 @@ impl Heap {
         );
         self.bytes_since_gc += words * 8;
         self.stats.words_allocated += words as u64;
+        // Observability off: two null tests, nothing else.
+        if self.site_profile.is_some() || self.tracer.is_some() {
+            self.note_mutator_alloc(space, words);
+        }
         self.alloc_words_internal(space, 0, words)
+    }
+
+    /// The slow (observability-enabled) half of mutator-allocation
+    /// accounting: site attribution and sampled allocation events.
+    fn note_mutator_alloc(&mut self, space: Space, words: usize) {
+        let site = self.alloc_site;
+        if let Some(profile) = self.site_profile.as_mut() {
+            let entry = profile
+                .sites
+                .entry(site.unwrap_or("<untagged>"))
+                .or_default();
+            entry.allocations += 1;
+            entry.words += words as u64;
+        }
+        if let Some(t) = self.tracer.as_mut() {
+            if t.cfg.alloc_sample_every > 0 {
+                t.alloc_tick += 1;
+                if t.alloc_tick >= t.cfg.alloc_sample_every {
+                    t.alloc_tick = 0;
+                    t.emit(GcEvent::AllocSample {
+                        space: space_name(space),
+                        words: words as u64,
+                        site,
+                    });
+                }
+            }
+        }
     }
 
     /// Allocates a pair `(car . cdr)`.
@@ -330,6 +380,7 @@ impl Heap {
             );
         }
         self.acquisitions += n;
+        self.trace_emit(|| GcEvent::SegmentsAcquired { count: n });
     }
 
     /// Lifetime count of segment acquisitions (multi-segment runs count
@@ -474,7 +525,7 @@ impl Heap {
     /// appends, everything — against the remaining segment budget
     /// *before the flip*, so a collection either runs to completion or
     /// fails before mutating anything (see
-    /// [`collect::estimate_worst_case`] for the bound's derivation).
+    /// `collect::estimate_worst_case` for the bound's derivation).
     /// This is the only way a collection can "run out of memory": the
     /// infallible [`Heap::collect`] under a configured fault would panic
     /// via the acquisition tripwire instead of corrupting the heap.
@@ -586,7 +637,15 @@ impl Heap {
         self.collections += 1;
         let report = collect::run(self, gen);
         self.stats.absorb(&report);
+        self.absorb_metrics(&report);
         self.bytes_since_gc = 0;
+        if self
+            .tracer
+            .as_ref()
+            .is_some_and(|t| t.cfg.census_at_collection_end)
+        {
+            self.emit_census_events();
+        }
         self.last_report = Some(report);
         self.last_report.as_ref().expect("just set")
     }
@@ -625,6 +684,193 @@ impl Heap {
     /// Current heap capacity in bytes (allocated segments).
     pub fn capacity_bytes(&self) -> usize {
         self.segs.words_allocated() * 8
+    }
+
+    // ------------------------------------------------------------------
+    // Observability: event tracing, metrics, allocation-site profiling
+    // ------------------------------------------------------------------
+
+    /// Enables event tracing with the given configuration. Any events in
+    /// a previously enabled tracer are discarded.
+    pub fn enable_tracing(&mut self, cfg: TraceConfig) {
+        self.tracer = Some(Box::new(Tracer::new(cfg)));
+    }
+
+    /// Disables tracing, returning whatever events remained in the ring.
+    pub fn disable_tracing(&mut self) -> Vec<TracedEvent> {
+        self.tracer
+            .take()
+            .map(|mut t| t.drain())
+            .unwrap_or_default()
+    }
+
+    /// Whether tracing is enabled.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Drains and returns the buffered events, leaving tracing enabled.
+    pub fn drain_trace_events(&mut self) -> Vec<TracedEvent> {
+        self.tracer.as_mut().map(|t| t.drain()).unwrap_or_default()
+    }
+
+    /// Events lost to ring overflow since tracing was enabled. Consumers
+    /// that replay events into counters (parity checks) must see `0`
+    /// here, or their replay is missing history.
+    pub fn trace_dropped(&self) -> u64 {
+        self.tracer.as_ref().map(|t| t.dropped()).unwrap_or(0)
+    }
+
+    /// Emits an event if tracing is enabled; the closure runs only then,
+    /// so a disabled site costs one null test.
+    #[inline]
+    pub(crate) fn trace_emit(&mut self, event: impl FnOnce() -> GcEvent) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.emit(event());
+        }
+    }
+
+    /// Emits an application-level [`GcEvent::App`] marker — the hook the
+    /// runtime layer uses to interleave port/transport lifecycle events
+    /// with collector events on one timeline.
+    pub fn trace_app_event(&mut self, name: &'static str) {
+        self.trace_emit(|| GcEvent::App { name });
+    }
+
+    /// Takes a census and emits one [`GcEvent::CensusGen`] per
+    /// generation.
+    fn emit_census_events(&mut self) {
+        let census = self.census();
+        for g in &census.generations {
+            let (generation, pairs, weak_pairs, objects, words, protected_entries) = (
+                g.generation,
+                g.pairs,
+                g.weak_pairs,
+                g.objects(),
+                g.words(),
+                g.protected_entries,
+            );
+            self.trace_emit(|| GcEvent::CensusGen {
+                generation,
+                pairs,
+                weak_pairs,
+                objects,
+                words,
+                protected_entries,
+            });
+        }
+    }
+
+    /// Folds one collection report into the metrics registry.
+    fn absorb_metrics(&mut self, r: &CollectionReport) {
+        let m = &mut self.metrics;
+        m.add_counter("gc.collections", 1);
+        m.add_counter("gc.words_copied", r.words_copied);
+        m.add_counter("gc.pairs_copied", r.pairs_copied);
+        m.add_counter("gc.objects_copied", r.objects_copied);
+        m.add_counter("gc.roots_traced", r.roots_traced);
+        m.add_counter("gc.dirty_segments_scanned", r.dirty_segments_scanned);
+        m.add_counter("gc.pure_words_skipped", r.pure_words_skipped);
+        m.add_counter("gc.segments_freed", r.segments_freed);
+        m.add_counter("gc.segments_allocated", r.segments_allocated);
+        m.add_counter("gc.guardian.visited", r.guardian_entries_visited);
+        m.add_counter("gc.guardian.finalized", r.guardian_entries_finalized);
+        m.add_counter("gc.guardian.held", r.guardian_entries_held);
+        m.add_counter("gc.guardian.dropped", r.guardian_entries_dropped);
+        m.add_counter("gc.guardian.loop_iterations", r.guardian_loop_iterations);
+        m.add_counter("gc.weak.scanned", r.weak_pairs_scanned);
+        m.add_counter("gc.weak.broken", r.weak_cars_broken);
+        m.add_counter("gc.weak.forwarded", r.weak_cars_forwarded);
+        m.histogram("gc.pause_ns")
+            .record(r.duration.as_nanos() as u64);
+        let p = &r.phases;
+        for (name, d) in [
+            ("gc.phase.flip_ns", p.flip),
+            ("gc.phase.roots_ns", p.roots),
+            ("gc.phase.remset_ns", p.remset),
+            ("gc.phase.sweep_ns", p.sweep),
+            ("gc.phase.guardian_ns", p.guardian),
+            ("gc.phase.finalizer_ns", p.finalizer),
+            ("gc.phase.weak_ns", p.weak),
+            ("gc.phase.reclaim_ns", p.reclaim),
+        ] {
+            m.histogram(name).record(d.as_nanos() as u64);
+        }
+    }
+
+    /// The metrics registry, with mutator-side counters and gauges
+    /// synced to the current heap state. Collection counters and pause
+    /// histograms accumulate as collections happen; this snapshot folds
+    /// in everything else (allocation totals, guardian registrations and
+    /// polls, heap shape gauges, the guardian queue-depth estimate).
+    pub fn metrics(&mut self) -> &MetricsRegistry {
+        let (pairs, objects, words, regs, polls) = (
+            self.stats.pairs_allocated,
+            self.stats.objects_allocated,
+            self.stats.words_allocated,
+            self.stats.guardian_registrations,
+            self.stats.guardian_polls,
+        );
+        let (segments, capacity) = (self.segs.segments_allocated(), self.capacity_bytes());
+        let m = &mut self.metrics;
+        m.set_counter("alloc.pairs", pairs);
+        m.set_counter("alloc.objects", objects);
+        m.set_counter("alloc.words", words);
+        m.set_counter("guardian.registrations", regs);
+        m.set_counter("guardian.polls", polls);
+        m.set_gauge("heap.segments", segments as i64);
+        m.set_gauge("heap.capacity_bytes", capacity as i64);
+        // Finalized-but-unpolled estimate. `guardian_polls` counts every
+        // successful tconc pop (non-guardian tconc clients included), so
+        // this can undershoot — documented in DESIGN.md.
+        let depth = m.counter("gc.guardian.finalized") as i64 - polls as i64;
+        m.set_gauge("guardian.queue_depth", depth);
+        &self.metrics
+    }
+
+    /// JSON snapshot of [`Heap::metrics`] with deterministic key order.
+    pub fn metrics_json(&mut self) -> String {
+        self.metrics().to_json()
+    }
+
+    /// Enables per-site allocation attribution (resets any previous
+    /// profile). Until disabled, every mutator allocation is attributed
+    /// to the site last set with [`Heap::set_alloc_site`].
+    pub fn enable_site_profile(&mut self) {
+        self.site_profile = Some(Box::new(SiteProfile::default()));
+    }
+
+    /// Whether site profiling is enabled — embeddings use this to skip
+    /// their per-operation [`Heap::set_alloc_site`] stores when nobody
+    /// is listening.
+    pub fn site_profile_enabled(&self) -> bool {
+        self.site_profile.is_some()
+    }
+
+    /// Tags subsequent allocations with a static site name (e.g. the
+    /// evaluator's current opcode). Cheap enough to call per operation:
+    /// one field store.
+    #[inline]
+    pub fn set_alloc_site(&mut self, site: &'static str) {
+        self.alloc_site = Some(site);
+    }
+
+    /// Clears the allocation-site tag; subsequent allocations attribute
+    /// to `"<untagged>"`.
+    pub fn clear_alloc_site(&mut self) {
+        self.alloc_site = None;
+    }
+
+    /// Disables site profiling and returns the attribution table, sorted
+    /// by words descending (ties by name for determinism).
+    pub fn take_site_profile(&mut self) -> Vec<(&'static str, SiteStats)> {
+        let mut out: Vec<(&'static str, SiteStats)> = self
+            .site_profile
+            .take()
+            .map(|p| p.sites.into_iter().collect())
+            .unwrap_or_default();
+        out.sort_by(|a, b| b.1.words.cmp(&a.1.words).then(a.0.cmp(b.0)));
+        out
     }
 
     // ------------------------------------------------------------------
@@ -676,6 +922,16 @@ fn space_for(header: &Header) -> Space {
         Space::Pure
     } else {
         Space::Typed
+    }
+}
+
+/// Stable space names for trace events.
+fn space_name(space: Space) -> &'static str {
+    match space {
+        Space::Pair => "pair",
+        Space::WeakPair => "weak-pair",
+        Space::Typed => "typed",
+        Space::Pure => "pure",
     }
 }
 

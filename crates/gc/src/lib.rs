@@ -67,6 +67,7 @@
 //! ```
 
 mod access;
+mod census;
 mod collect;
 mod config;
 mod error;
@@ -74,19 +75,27 @@ mod guardian;
 mod header;
 mod heap;
 mod inspect;
+mod metrics;
 mod roots;
 mod stats;
 mod tconc;
+mod trace;
 mod value;
 mod verify;
 
+pub use census::{GenCensus, HeapCensus, KindCensus};
 pub use config::{GcConfig, Promotion};
 pub use error::GcError;
 pub use guardian::Guardian;
 pub use header::{Header, ObjKind};
 pub use heap::Heap;
 pub use inspect::GenerationUsage;
+pub use metrics::{pause_bounds, Histogram, MetricsRegistry};
 pub use roots::{Rooted, RootedVec};
 pub use stats::{CollectionReport, HeapStats, PhaseTimes};
+pub use trace::{
+    chrome_trace_json, events_jsonl, replay_stats, GcEvent, GcPhase, SiteStats, TraceConfig,
+    TracedEvent,
+};
 pub use value::{Value, FIXNUM_MAX, FIXNUM_MIN};
 pub use verify::VerifyError;

@@ -1,0 +1,329 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket
+//! histograms, snapshot-able as JSON with deterministic key order.
+//!
+//! [`HeapStats`](crate::HeapStats) keeps its ad-hoc fields for
+//! programmatic access, but the registry is the export surface: the heap
+//! folds every collection report into it (pause and per-phase histograms
+//! included) and syncs the mutator-side counters on snapshot, so one
+//! [`MetricsRegistry::to_json`] call captures the whole picture for
+//! dashboards and the bench gate. All maps are `BTreeMap`s, so iteration
+//! and JSON key order are stable across runs — a diff of two snapshots is
+//! a semantic diff.
+
+use std::collections::BTreeMap;
+
+/// A fixed-bucket histogram: values are counted into buckets bounded
+/// above by a sorted ladder, with an overflow bucket past the last bound.
+/// Exact minimum, maximum, count, and sum are tracked alongside, and
+/// quantiles are answered from the bucket counts (upper-bound estimate,
+/// clamped to the exact max).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// The default pause-time ladder: 1 µs to ~16.8 s in powers of two
+/// (25 buckets plus overflow), in nanoseconds.
+pub fn pause_bounds() -> Vec<u64> {
+    (0..25).map(|k| 1_000u64 << k).collect()
+}
+
+impl Histogram {
+    /// A histogram over the given sorted upper bounds (plus an implicit
+    /// overflow bucket).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: Vec<u64>) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let counts = vec![0; bounds.len() + 1];
+        Histogram {
+            bounds,
+            counts,
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact minimum recorded value, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum recorded value, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
+    /// holding the rank, clamped to the exact maximum; `None` if empty.
+    /// `quantile(0.5)`, `quantile(0.95)`, `quantile(0.99)` are the usual
+    /// p50/p95/p99.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                let upper = self.bounds.get(i).copied().unwrap_or(self.max);
+                return Some(upper.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// `(upper_bound, count)` for every non-empty bucket below the
+    /// overflow bucket.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.bounds
+            .iter()
+            .zip(&self.counts)
+            .filter(|(_, &c)| c > 0)
+            .map(|(&b, &c)| (b, c))
+            .collect()
+    }
+
+    /// Count of values past the last bound.
+    pub fn overflow(&self) -> u64 {
+        *self.counts.last().expect("counts is never empty")
+    }
+
+    fn to_json(&self) -> String {
+        let buckets: Vec<String> = self
+            .nonzero_buckets()
+            .into_iter()
+            .map(|(b, c)| format!("[{b},{c}]"))
+            .collect();
+        format!(
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{},\
+             \"overflow\":{},\"buckets\":[{}]}}",
+            self.count,
+            self.sum,
+            self.min().unwrap_or(0),
+            self.max().unwrap_or(0),
+            self.quantile(0.5).unwrap_or(0),
+            self.quantile(0.95).unwrap_or(0),
+            self.quantile(0.99).unwrap_or(0),
+            self.overflow(),
+            buckets.join(",")
+        )
+    }
+}
+
+/// Named counters, gauges, and histograms with deterministic snapshots.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, i64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Adds `by` to a (auto-created) counter.
+    pub fn add_counter(&mut self, name: &'static str, by: u64) {
+        *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    /// Sets a counter to an absolute value (used when syncing from an
+    /// external accumulator such as [`HeapStats`](crate::HeapStats)).
+    pub fn set_counter(&mut self, name: &'static str, v: u64) {
+        self.counters.insert(name, v);
+    }
+
+    /// Reads a counter (`0` if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a gauge.
+    pub fn set_gauge(&mut self, name: &'static str, v: i64) {
+        self.gauges.insert(name, v);
+    }
+
+    /// Reads a gauge (`0` if absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named histogram, created over the default pause-time ladder
+    /// ([`pause_bounds`]) if absent.
+    pub fn histogram(&mut self, name: &'static str) -> &mut Histogram {
+        self.histograms
+            .entry(name)
+            .or_insert_with(|| Histogram::new(pause_bounds()))
+    }
+
+    /// Reads a histogram, if it exists.
+    pub fn get_histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// One-object JSON snapshot with `counters`, `gauges`, and
+    /// `histograms` sections; key order is the `BTreeMap` name order, so
+    /// two snapshots of identical state are byte-identical.
+    pub fn to_json(&self) -> String {
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        let gauges: Vec<String> = self
+            .gauges
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        let histograms: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|(k, h)| format!("\"{k}\":{}", h.to_json()))
+            .collect();
+        format!(
+            "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}}}",
+            counters.join(","),
+            gauges.join(","),
+            histograms.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_answers_none() {
+        let h = Histogram::new(pause_bounds());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn values_on_bucket_boundaries_land_in_the_bounded_bucket() {
+        // Bucket semantics: a bound is an *inclusive* upper bound.
+        let mut h = Histogram::new(vec![10, 100]);
+        h.record(10); // exactly on the first bound → first bucket
+        h.record(11); // just past → second bucket
+        h.record(100); // on the second bound → second bucket
+        h.record(101); // past everything → overflow
+        assert_eq!(h.nonzero_buckets(), vec![(10, 1), (100, 2)]);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), Some(10));
+        assert_eq!(h.max(), Some(101));
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_counts() {
+        let mut h = Histogram::new(vec![10, 100, 1000]);
+        for _ in 0..90 {
+            h.record(5);
+        }
+        for _ in 0..9 {
+            h.record(50);
+        }
+        h.record(500);
+        assert_eq!(h.quantile(0.5), Some(10), "p50 in the first bucket");
+        assert_eq!(h.quantile(0.95), Some(100), "p95 in the second");
+        assert_eq!(h.quantile(0.99), Some(100), "rank 99 is the last 50");
+        assert_eq!(h.quantile(1.0), Some(500), "p100 clamped to exact max");
+        assert_eq!(h.quantile(0.0), Some(10), "q=0 clamps to rank 1");
+    }
+
+    #[test]
+    fn overflow_quantile_reports_the_exact_max() {
+        let mut h = Histogram::new(vec![10]);
+        h.record(1_000_000);
+        assert_eq!(h.quantile(0.5), Some(1_000_000));
+    }
+
+    #[test]
+    fn single_value_histogram_clamps_to_max() {
+        // A 1.5 µs pause sits in the (1µs, 2µs] bucket whose upper bound
+        // is 2 000 ns; the quantile must clamp to the exact max instead
+        // of over-reporting.
+        let mut h = Histogram::new(pause_bounds());
+        h.record(1_500);
+        assert_eq!(h.quantile(0.5), Some(1_500));
+        assert_eq!(h.quantile(0.99), Some(1_500));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_are_rejected() {
+        let _ = Histogram::new(vec![10, 10]);
+    }
+
+    #[test]
+    fn registry_json_is_deterministic_and_ordered() {
+        let mut m = MetricsRegistry::default();
+        m.add_counter("z.last", 1);
+        m.add_counter("a.first", 2);
+        m.set_gauge("g", -3);
+        m.histogram("h").record(42);
+        let one = m.to_json();
+        let two = m.clone().to_json();
+        assert_eq!(one, two);
+        let a = one.find("a.first").unwrap();
+        let z = one.find("z.last").unwrap();
+        assert!(a < z, "counters in name order: {one}");
+        assert!(one.contains("\"gauges\":{\"g\":-3}"), "{one}");
+        assert!(one.contains("\"p50\":42"), "{one}");
+    }
+
+    #[test]
+    fn counters_and_gauges_read_back() {
+        let mut m = MetricsRegistry::default();
+        m.add_counter("c", 2);
+        m.add_counter("c", 3);
+        assert_eq!(m.counter("c"), 5);
+        m.set_counter("c", 1);
+        assert_eq!(m.counter("c"), 1);
+        assert_eq!(m.counter("absent"), 0);
+        m.set_gauge("g", 7);
+        assert_eq!(m.gauge("g"), 7);
+        assert_eq!(m.gauge("absent"), 0);
+    }
+}

@@ -7,6 +7,13 @@
 //! work counters — objects copied, guardian entries visited, weak pairs
 //! scanned — which the benchmark harness uses to check the claims exactly,
 //! with wall-clock numbers as corroboration.
+//!
+//! These structs are the *programmatic* accounting surface. The export
+//! surface is the heap's [`MetricsRegistry`](crate::MetricsRegistry)
+//! (named counters, gauges, and pause histograms, snapshot-able as
+//! deterministic JSON), which every collection report is folded into; the
+//! event trace ([`crate::GcEvent`]) must replay back to these fields
+//! exactly — the parity contract tested in the bench crate.
 
 use std::time::Duration;
 

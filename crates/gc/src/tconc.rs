@@ -63,6 +63,10 @@ impl Heap {
         // Final, publishing update: only now can the mutator see the
         // element (its test is `car(tc) != cdr(tc)`).
         self.set_cdr(tc, p);
+        // The to-space log is live exactly while a collection runs, which
+        // distinguishes the guardian pass's appends from mutator ones.
+        let during_collection = self.tospace_log.is_some();
+        self.trace_emit(|| crate::trace::GcEvent::TconcAppend { during_collection });
     }
 
     /// Appends `obj` to the rear of the tconc (mutator-level; allocates

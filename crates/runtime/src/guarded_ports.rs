@@ -98,6 +98,9 @@ impl GuardedPorts {
                 ports::close_port(heap, os, p)?;
                 closed += 1;
                 self.dropped_closed += 1;
+                // Application-level marker in the GC event trace: a port
+                // proven dead was flushed and closed by clean-up.
+                heap.trace_app_event("port.finalized-close");
             }
         }
         Ok(closed)
@@ -202,5 +205,26 @@ mod tests {
         for i in 0..5 {
             assert_eq!(os.file_contents(&format!("/e{i}")).unwrap(), b"bye");
         }
+    }
+
+    #[test]
+    fn finalized_closes_appear_in_the_event_trace() {
+        use guardians_gc::{GcEvent, TraceConfig};
+        let mut h = Heap::default();
+        let mut os = SimOs::new();
+        let mut gp = GuardedPorts::new(&mut h);
+        h.enable_tracing(TraceConfig::default());
+        for i in 0..3 {
+            let p = gp.open_output(&mut h, &mut os, &format!("/t{i}")).unwrap();
+            ports::write_string(&mut h, &mut os, p, "x").unwrap();
+        }
+        let closed = gp.exit(&mut h, &mut os).unwrap();
+        assert_eq!(closed, 3);
+        let events = h.disable_tracing();
+        let marks = events
+            .iter()
+            .filter(|e| matches!(e.event, GcEvent::App { name } if name == "port.finalized-close"))
+            .count();
+        assert_eq!(marks, 3, "one marker per clean-up close");
     }
 }

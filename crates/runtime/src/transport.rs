@@ -61,6 +61,9 @@ impl TransportGuardian {
                 // Object still alive: re-register the same marker (it has
                 // aged into the target generation) and report the object.
                 self.g.register(heap, m);
+                // Trace marker: a (conservatively) transported object is
+                // being reported, e.g. for an eq-hashtable rehash.
+                heap.trace_app_event("transport.moved");
                 return Some(car);
             }
             // Weak car broken: the object died; drop the marker and keep

@@ -108,6 +108,10 @@ pub struct Interp {
     pub(crate) sf: SpecialForms,
     /// Whether the naive cons-walking evaluator is active.
     pub(crate) naive: bool,
+    /// Cached `heap.site_profile_enabled()`, refreshed at each staged
+    /// top-level entry so the per-opcode dispatch pays one local bool
+    /// test when profiling is off.
+    profile: bool,
     /// Analyzed lambda bodies; compiled-closure records index into this
     /// table so closures remain plain heap values.
     pub(crate) code_tab: Vec<Rc<LambdaCode>>,
@@ -175,6 +179,7 @@ impl Interp {
             global,
             sf,
             naive: config.naive,
+            profile: false,
             code_tab: Vec::new(),
         };
         prims::register_all(&mut interp);
@@ -1495,6 +1500,7 @@ impl Interp {
     /// analysis guarantees no `LocalRef` reaches past the frames it
     /// created, so the sentinel is never dereferenced.
     pub(crate) fn exec_top(&mut self, code: CodeRef) -> SResult<Value> {
+        self.profile = self.heap.site_profile_enabled();
         if self.depth >= self.max_depth {
             return err(format!(
                 "recursion too deep (max {} non-tail frames)",
@@ -1571,6 +1577,11 @@ impl Interp {
 
     /// Executes one opcode: a value, or the tail code to continue with.
     fn exec_step(&mut self, code: &CodeRef, base: usize) -> SResult<Applied> {
+        if self.profile {
+            // Attribute every allocation the opcode (or the primitives it
+            // applies) performs to the opcode kind; see `site_of`.
+            self.heap.set_alloc_site(site_of(code));
+        }
         match &**code {
             Code::Imm(v) => Ok(Applied::Value(*v)),
             Code::Const(r) => Ok(Applied::Value(r.get())),
@@ -1739,6 +1750,10 @@ impl Interp {
             let v = self.exec_sub(init, base)?;
             self.stack.push(v);
         }
+        if self.profile {
+            // The inits re-stamped the site; the frame is the `let`'s own.
+            self.heap.set_alloc_site("scheme.let");
+        }
         // Allocation never collects: the raw frame pointer stays valid
         // while the slots are filled.
         let frame = self
@@ -1772,6 +1787,9 @@ impl Interp {
             self.stack.push(v);
         }
         let argc = args.len();
+        if self.profile {
+            self.heap.set_alloc_site("scheme.named-let");
+        }
         // One-slot frame holding the loop closure (letrec-style
         // self-reference).
         let name_frame = self
@@ -1911,6 +1929,12 @@ impl Interp {
         args_base: usize,
         argc: usize,
     ) -> SResult<Applied> {
+        if self.profile {
+            // Evaluating the operands re-stamped the site with their own
+            // opcodes; the frame/prim allocations below belong to the
+            // application itself.
+            self.heap.set_alloc_site("scheme.app");
+        }
         // Everything live is on the rooted stack: safe to collect.
         let collected = self.heap.maybe_collect().is_some();
         if collected && !self.in_collect_handler {
@@ -2162,6 +2186,34 @@ fn select_staged_clause(lc: &LambdaCode, argc: usize) -> SResult<&crate::analyze
         }
     }
     err(format!("no matching clause for {argc} arguments"))
+}
+
+/// The allocation-site label for an opcode, used by the heap's site
+/// profile ([`Heap::set_alloc_site`]): every allocation made while the
+/// opcode (or a primitive it applies) runs is attributed to this name.
+/// Labels are `&'static str` so attribution costs one pointer store.
+fn site_of(code: &Code) -> &'static str {
+    match code {
+        Code::Imm(_) => "scheme.imm",
+        Code::Const(_) => "scheme.const",
+        Code::LocalRef { .. } => "scheme.local-ref",
+        Code::GlobalRef(_) => "scheme.global-ref",
+        Code::LocalSet { .. } => "scheme.local-set",
+        Code::GlobalSet { .. } => "scheme.global-set",
+        Code::GlobalDefine { .. } => "scheme.define",
+        Code::If { .. } => "scheme.if",
+        Code::Lambda { .. } => "scheme.lambda",
+        Code::Seq(_) => "scheme.seq",
+        Code::Let { .. } => "scheme.let",
+        Code::NamedLet { .. } => "scheme.named-let",
+        Code::And(_) => "scheme.and",
+        Code::Or(_) => "scheme.or",
+        Code::When { .. } => "scheme.when",
+        Code::CondArrow { .. } => "scheme.cond-arrow",
+        Code::Case { .. } => "scheme.case",
+        Code::App { .. } => "scheme.app",
+        Code::Quasi { .. } => "scheme.quasiquote",
+    }
 }
 
 /// The next pre-analyzed quasiquote site, in template walk order.

@@ -307,3 +307,35 @@ fn shadowing_and_scope() {
     );
     assert_eq!(eval("(define car 'shadowed) car"), "shadowed");
 }
+
+#[test]
+fn staged_evaluator_attributes_allocation_sites() {
+    let mut i = Interp::new();
+    i.heap_mut().enable_site_profile();
+    i.eval_str(
+        "(define (build n acc)
+           (if (zero? n) acc (build (- n 1) (cons n acc))))
+         (build 50 '())
+         (let ([v (make-vector 8 0)]) v)
+         `(a ,(+ 1 2))",
+    )
+    .unwrap();
+    let profile = i.heap_mut().take_site_profile();
+    assert!(!profile.is_empty());
+    let words_of = |name: &str| {
+        profile
+            .iter()
+            .find(|(s, _)| *s == name)
+            .map(|(_, st)| st.words)
+            .unwrap_or(0)
+    };
+    // The conses happen while applying `cons`/`build`: App opcodes.
+    assert!(words_of("scheme.app") >= 100, "{profile:?}");
+    // `let` allocates its environment frame record.
+    assert!(words_of("scheme.let") > 0, "{profile:?}");
+    // The quasiquote walk conses the template skeleton.
+    assert!(words_of("scheme.quasiquote") > 0, "{profile:?}");
+    // Turned off again by take_site_profile: later evals attribute nothing.
+    i.eval_str("(cons 1 2)").unwrap();
+    assert!(i.heap_mut().take_site_profile().is_empty());
+}

@@ -17,7 +17,7 @@
 //! completes or errors with the heap still `verify()`-valid, never
 //! corrupted.
 //!
-//! Failures print a one-line seed + op locator; [`shrink`] replays with
+//! Failures print a one-line seed + op locator; [`shrink()`] replays with
 //! ops removed until locally minimal and emits the result as a
 //! ready-to-commit regression trace (see `regressions/README.md`).
 
@@ -31,12 +31,22 @@ pub mod shrink;
 
 pub use gen::{config_for_seed, generate};
 pub use ops::{NodeKind, Op, Ref, TortureConfig, Trace};
-pub use rig::{quiet_panics, run_trace, Failure, RunStats};
+pub use rig::{quiet_panics, run_trace, run_trace_traced, Failure, RunStats};
 pub use shrink::{explain, shrink};
 
 /// Generates and runs one seed: the basic unit of a torture campaign.
 pub fn check_seed(seed: u64, nops: usize) -> Result<RunStats, Failure> {
     run_trace(&generate(seed, nops))
+}
+
+/// [`check_seed`] with the GC event trace enabled and cross-checked
+/// against the shadow model after every collection; returns the full
+/// event stream for export (e.g. as a Chrome trace).
+pub fn check_seed_traced(
+    seed: u64,
+    nops: usize,
+) -> Result<(RunStats, Vec<guardians_gc::TracedEvent>), Failure> {
+    run_trace_traced(&generate(seed, nops))
 }
 
 /// Generates and runs one seed, then re-runs it with the
@@ -71,5 +81,21 @@ mod tests {
         let stats = check_seed(1, 200).unwrap_or_else(|f| panic!("{f}"));
         assert!(stats.collections > 0, "trace exercised the collector");
         assert!(stats.checks > 0);
+    }
+
+    #[test]
+    fn traced_runs_agree_and_return_events() {
+        let (stats, events) = check_seed_traced(1, 200).unwrap_or_else(|f| panic!("{f}"));
+        assert!(stats.collections > 0);
+        let ends = events
+            .iter()
+            .filter(|e| matches!(e.event, guardians_gc::GcEvent::CollectionEnd { .. }))
+            .count() as u64;
+        assert_eq!(ends, stats.collections, "one CollectionEnd per collection");
+        // Tracing must not change behaviour: same oracle outcomes.
+        let plain = check_seed(1, 200).unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(plain.finalized, stats.finalized);
+        assert_eq!(plain.polled, stats.polled);
+        assert_eq!(plain.applied, stats.applied);
     }
 }

@@ -87,6 +87,12 @@ pub struct MReport {
     pub dropped: u64,
     /// Fixpoint rounds, counting the final empty round.
     pub loop_iterations: u64,
+    /// Weak cars the post-guardian weak pass breaks to `#f` — trackers
+    /// included, since they are ordinary weak pairs of the heap under
+    /// test. Exact under the paper's pass ordering (not the ablation).
+    pub weak_cars_broken: u64,
+    /// Weak cars the pass forwards to a copied referent (ditto).
+    pub weak_cars_forwarded: u64,
     /// Node ids reclaimed by this collection (trackers must break).
     pub reclaimed_nodes: Vec<u32>,
     /// Guardian indices whose tconc was reclaimed.
@@ -318,6 +324,19 @@ impl Model {
                 Ref::Tconc(gi) => tconcs[&gi].gen <= g && !live_t.contains(&gi),
             }
         };
+        // A car counts as *forwarded* when it points into from-space at an
+        // object that was copied out (the pass rewrites it to the new
+        // address); only from-space cars are ever touched, and every weak
+        // pair holding one is provably scanned: it was either copied this
+        // collection or sits in a dirty old segment (old→young pointer).
+        let in_from =
+            |r: Ref, nodes: &HashMap<u32, MNode>, tconcs: &HashMap<u32, MTconc>| -> bool {
+                match r {
+                    Ref::Null => false,
+                    Ref::Node(id) => nodes[&id].gen <= g,
+                    Ref::Tconc(gi) => tconcs[&gi].gen <= g,
+                }
+            };
         let survives_weak: Vec<u32> = self
             .weaks
             .iter()
@@ -327,7 +346,10 @@ impl Model {
         for id in survives_weak {
             let t = self.weaks[&id].target;
             if broken(t, &self.nodes, &self.tconcs) {
+                report.weak_cars_broken += 1;
                 self.weaks.get_mut(&id).expect("surviving weak").target = Ref::Null;
+            } else if in_from(t, &self.nodes, &self.tconcs) {
+                report.weak_cars_forwarded += 1;
             }
         }
         let surviving_vectors: Vec<u32> = self
@@ -339,7 +361,33 @@ impl Model {
         for id in surviving_vectors {
             let t = self.nodes[&id].weak_car;
             if broken(t, &self.nodes, &self.tconcs) {
+                report.weak_cars_broken += 1;
                 self.nodes.get_mut(&id).expect("surviving vector").weak_car = Ref::Null;
+            } else if in_from(t, &self.nodes, &self.tconcs) {
+                report.weak_cars_forwarded += 1;
+            }
+        }
+        // Trackers: one immortal rooted weak pair per object ever
+        // allocated, in lockstep generation with its referent while the
+        // referent lives. A physical from-space referent's tracker car is
+        // forwarded if it survived and broken if it did not; trackers of
+        // already-reclaimed objects hold `#f` and are never touched.
+        for (&id, n) in &self.nodes {
+            if n.gen <= g {
+                if live_n.contains(&id) {
+                    report.weak_cars_forwarded += 1;
+                } else {
+                    report.weak_cars_broken += 1;
+                }
+            }
+        }
+        for (&gi, tc) in &self.tconcs {
+            if tc.gen <= g {
+                if live_t.contains(&gi) {
+                    report.weak_cars_forwarded += 1;
+                } else {
+                    report.weak_cars_broken += 1;
+                }
             }
         }
 

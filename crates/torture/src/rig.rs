@@ -34,9 +34,11 @@
 //! the fault at every offset therefore proves every failure point is
 //! clean.
 
-use crate::model::{MEntry, MNode, MTconc, MWeak, Model};
+use crate::model::{MEntry, MNode, MReport, MTconc, MWeak, Model};
 use crate::ops::{NodeKind, Op, Ref, Trace};
-use guardians_gc::{GcConfig, Guardian, Heap, Rooted, Value};
+use guardians_gc::{
+    CollectionReport, GcConfig, GcEvent, Guardian, Heap, Rooted, TraceConfig, TracedEvent, Value,
+};
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -102,9 +104,20 @@ impl std::fmt::Display for Failure {
 /// divergence. Panics anywhere inside (including the collector's
 /// fault-tripwire) are caught and reported as failures at the current op.
 pub fn run_trace(trace: &Trace) -> Result<RunStats, Failure> {
+    run_trace_mode(trace, false).map(|(stats, _)| stats)
+}
+
+/// [`run_trace`] with the GC event trace enabled: after every collection
+/// the emitted events are cross-checked against both the real report and
+/// the shadow model, and all events are returned alongside the stats.
+pub fn run_trace_traced(trace: &Trace) -> Result<(RunStats, Vec<TracedEvent>), Failure> {
+    run_trace_mode(trace, true)
+}
+
+fn run_trace_mode(trace: &Trace, traced: bool) -> Result<(RunStats, Vec<TracedEvent>), Failure> {
     let at = Cell::new(usize::MAX);
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        let mut rig = Rig::new(&trace.config);
+        let mut rig = Rig::new(&trace.config, traced);
         rig.run(&trace.ops, &at)
     }));
     match outcome {
@@ -152,6 +165,11 @@ struct Rig {
     rooted: HashMap<u32, Rooted>,
     weak_handles: HashMap<u32, Rooted>,
     stats: RunStats,
+    /// Whether the heap's event trace is on; collections then cross-check
+    /// the drained events against report and model.
+    traced: bool,
+    /// Every event drained so far (traced mode only).
+    events: Vec<TracedEvent>,
 }
 
 macro_rules! check {
@@ -164,7 +182,7 @@ macro_rules! check {
 }
 
 impl Rig {
-    fn new(cfg: &crate::ops::TortureConfig) -> Rig {
+    fn new(cfg: &crate::ops::TortureConfig, traced: bool) -> Rig {
         let gc = GcConfig {
             generations: cfg.generations,
             promotion: cfg.promotion,
@@ -173,8 +191,15 @@ impl Rig {
             fail_acquisition_at: cfg.fail_acquisition_at,
             ..GcConfig::default()
         };
+        let mut heap = Heap::new(gc);
+        if traced {
+            heap.enable_tracing(TraceConfig {
+                capacity: 1 << 18,
+                ..TraceConfig::default()
+            });
+        }
         Rig {
-            heap: Heap::new(gc),
+            heap,
             model: Model::new(cfg.clone()),
             node_trackers: HashMap::new(),
             tconc_trackers: HashMap::new(),
@@ -182,10 +207,16 @@ impl Rig {
             rooted: HashMap::new(),
             weak_handles: HashMap::new(),
             stats: RunStats::default(),
+            traced,
+            events: Vec::new(),
         }
     }
 
-    fn run(&mut self, ops: &[Op], at: &Cell<usize>) -> Result<RunStats, String> {
+    fn run(
+        &mut self,
+        ops: &[Op],
+        at: &Cell<usize>,
+    ) -> Result<(RunStats, Vec<TracedEvent>), String> {
         for (i, op) in ops.iter().enumerate() {
             at.set(i);
             if self.apply(op)? {
@@ -197,7 +228,10 @@ impl Rig {
         self.stats.ops = ops.len();
         self.stats.acquisitions = self.heap.acquisitions();
         self.stats.live_nodes = self.model.nodes.len();
-        Ok(self.stats.clone())
+        if self.traced {
+            self.events.extend(self.heap.drain_trace_events());
+        }
+        Ok((self.stats.clone(), std::mem::take(&mut self.events)))
     }
 
     // ---- addressing ----------------------------------------------------
@@ -544,18 +578,29 @@ impl Rig {
             }
             Op::Collect { gen } => {
                 let gen = gen.min(self.model.cfg.generations - 1);
+                if self.traced {
+                    // Events up to this safe point are mutator-side;
+                    // archive them so the per-collection window below
+                    // contains exactly one collection's worth.
+                    self.events.extend(self.heap.drain_trace_events());
+                }
                 if let Err(e) = self.heap.try_collect(gen) {
                     self.stats.faults_hit += 1;
                     self.heap.verify().map_err(|v| {
                         format!("heap invalid after cleanly refused collection ({e}): {v}")
                     })?;
                     self.heap.set_acquisition_fault(None);
+                    // The refused attempt may have emitted a partial
+                    // collection prefix; archive it uninspected.
+                    if self.traced {
+                        self.events.extend(self.heap.drain_trace_events());
+                    }
                     self.heap.collect(gen);
                 }
                 self.stats.collections += 1;
                 let mrep = self.model.collect(gen);
                 self.stats.finalized += mrep.finalized;
-                let r = self.heap.last_report().expect("just collected");
+                let r = self.heap.last_report().expect("just collected").clone();
                 let real = [
                     r.guardian_entries_visited,
                     r.guardian_entries_finalized,
@@ -581,6 +626,22 @@ impl Rig {
                     mrep.visited == mrep.held + mrep.finalized + mrep.dropped,
                     "collect {gen}: model violates visited == held+finalized+dropped: {mrep:?}"
                 );
+                if !self.model.cfg.ablate_weak_pass_first {
+                    // The model's weak-car accounting assumes the paper's
+                    // pass ordering; under the ablation the real pass
+                    // (deliberately) breaks cars the model forwards.
+                    let real = [r.weak_cars_broken, r.weak_cars_forwarded];
+                    let predicted = [mrep.weak_cars_broken, mrep.weak_cars_forwarded];
+                    check!(
+                        self,
+                        real == predicted,
+                        "collect {gen}: weak counters [broken, forwarded] diverge: \
+                         heap {real:?}, model {predicted:?}"
+                    );
+                }
+                if self.traced {
+                    self.check_events(gen, &mrep, &r)?;
+                }
                 self.check_state()?;
                 Ok(true)
             }
@@ -608,6 +669,197 @@ impl Rig {
     }
 
     // ---- the oracle ----------------------------------------------------
+
+    /// Traced mode: drains the events of the collection that just ran and
+    /// checks them against the real report and the shadow model — the
+    /// trace must tell the same story as both accountings.
+    fn check_events(
+        &mut self,
+        gen: u8,
+        mrep: &MReport,
+        r: &CollectionReport,
+    ) -> Result<(), String> {
+        let window = self.heap.drain_trace_events();
+        check!(
+            self,
+            self.heap.trace_dropped() == 0,
+            "collect {gen}: event ring overflowed ({} dropped)",
+            self.heap.trace_dropped()
+        );
+        let mut begins = 0u64;
+        let mut ends = 0u64;
+        let mut partition = (0u64, 0u64, 0u64); // visited, pend_hold, pend_final
+        let mut outcome = None;
+        let mut resurrected_sum = 0u64;
+        let mut weak = (0u64, 0u64, 0u64); // scanned, broken, forwarded
+        let mut gen_copied = 0u64;
+        let mut released = 0u64;
+        let mut collector_appends = 0u64;
+        let mut mutator_appends = 0u64;
+        let mut phase_ns = 0u128;
+        for e in &window {
+            match e.event {
+                GcEvent::CollectionBegin {
+                    index,
+                    collected_generation,
+                    target_generation,
+                } => {
+                    begins += 1;
+                    check!(
+                        self,
+                        index == r.collection_index
+                            && collected_generation == gen
+                            && target_generation == r.target_generation,
+                        "collect {gen}: CollectionBegin {index}/{collected_generation}->\
+                         {target_generation} vs report {}/{gen}->{}",
+                        r.collection_index,
+                        r.target_generation
+                    );
+                }
+                GcEvent::PhaseEnd { dur_ns, .. } => phase_ns += u128::from(dur_ns),
+                GcEvent::GuardianPartition {
+                    visited,
+                    pend_hold,
+                    pend_final,
+                } => {
+                    partition.0 += visited;
+                    partition.1 += pend_hold;
+                    partition.2 += pend_final;
+                }
+                GcEvent::GuardianRound { resurrected, .. } => resurrected_sum += resurrected,
+                GcEvent::GuardianOutcome {
+                    finalized,
+                    held,
+                    dropped,
+                    loop_iterations,
+                } => outcome = Some([finalized, held, dropped, loop_iterations]),
+                GcEvent::WeakSweep {
+                    scanned,
+                    broken,
+                    forwarded,
+                } => {
+                    weak.0 += scanned;
+                    weak.1 += broken;
+                    weak.2 += forwarded;
+                }
+                GcEvent::GenCopied { words, .. } => gen_copied += words,
+                GcEvent::SegmentsReleased { count } => released += count,
+                GcEvent::TconcAppend { during_collection } => {
+                    if during_collection {
+                        collector_appends += 1;
+                    } else {
+                        mutator_appends += 1;
+                    }
+                }
+                GcEvent::CollectionEnd {
+                    index,
+                    words_copied,
+                    pairs_copied,
+                    objects_copied,
+                    guardian_entries_visited,
+                    weak_pairs_scanned,
+                    dur_ns,
+                } => {
+                    ends += 1;
+                    let got = [
+                        index,
+                        words_copied,
+                        pairs_copied,
+                        objects_copied,
+                        guardian_entries_visited,
+                        weak_pairs_scanned,
+                    ];
+                    let want = [
+                        r.collection_index,
+                        r.words_copied,
+                        r.pairs_copied,
+                        r.objects_copied,
+                        r.guardian_entries_visited,
+                        r.weak_pairs_scanned,
+                    ];
+                    check!(
+                        self,
+                        got == want,
+                        "collect {gen}: CollectionEnd fields {got:?} vs report {want:?}"
+                    );
+                    check!(
+                        self,
+                        u128::from(dur_ns) == r.duration.as_nanos(),
+                        "collect {gen}: CollectionEnd duration {dur_ns}ns vs report {:?}",
+                        r.duration
+                    );
+                }
+                _ => {}
+            }
+        }
+        check!(
+            self,
+            begins == 1 && ends == 1,
+            "collect {gen}: expected exactly one CollectionBegin/End, got {begins}/{ends}"
+        );
+        check!(
+            self,
+            partition.0 == r.guardian_entries_visited && partition.0 == partition.1 + partition.2,
+            "collect {gen}: GuardianPartition {partition:?} vs visited {}",
+            r.guardian_entries_visited
+        );
+        check!(
+            self,
+            outcome
+                == Some([
+                    r.guardian_entries_finalized,
+                    r.guardian_entries_held,
+                    r.guardian_entries_dropped,
+                    r.guardian_loop_iterations,
+                ]),
+            "collect {gen}: GuardianOutcome {outcome:?} vs report"
+        );
+        check!(
+            self,
+            resurrected_sum == mrep.finalized,
+            "collect {gen}: GuardianRound resurrections {resurrected_sum} vs model finalized {}",
+            mrep.finalized
+        );
+        check!(
+            self,
+            weak == (
+                r.weak_pairs_scanned,
+                r.weak_cars_broken,
+                r.weak_cars_forwarded
+            ),
+            "collect {gen}: WeakSweep {weak:?} vs report ({}, {}, {})",
+            r.weak_pairs_scanned,
+            r.weak_cars_broken,
+            r.weak_cars_forwarded
+        );
+        check!(
+            self,
+            gen_copied == r.words_copied,
+            "collect {gen}: GenCopied sum {gen_copied} vs words_copied {}",
+            r.words_copied
+        );
+        check!(
+            self,
+            released == r.segments_freed,
+            "collect {gen}: SegmentsReleased sum {released} vs segments_freed {}",
+            r.segments_freed
+        );
+        check!(
+            self,
+            collector_appends == r.guardian_entries_finalized && mutator_appends == 0,
+            "collect {gen}: tconc appends (collector {collector_appends}, mutator \
+             {mutator_appends}) vs finalized {}",
+            r.guardian_entries_finalized
+        );
+        check!(
+            self,
+            phase_ns == r.phases.total().as_nanos(),
+            "collect {gen}: PhaseEnd sum {phase_ns}ns vs phases total {:?}",
+            r.phases.total()
+        );
+        self.events.extend(window);
+        Ok(())
+    }
 
     /// Compares every observable of the real heap against the model.
     fn check_state(&mut self) -> Result<(), String> {

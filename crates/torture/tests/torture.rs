@@ -138,3 +138,21 @@ fn guardian_chain_trace_exercises_the_fixpoint() {
     assert!(stats.finalized >= 2, "fixpoint salvages tconc and object");
     assert_eq!(stats.polled, 2, "both polls deliver");
 }
+
+/// The traced rig: every collection's GC events are cross-checked against
+/// the shadow oracle and the collection report, across a spread of seeds
+/// covering the promotion/flat rotation.
+#[test]
+fn traced_seeds_agree_event_for_event() {
+    for seed in 0..6u64 {
+        let trace = generate(seed, 400);
+        let (stats, events) = guardians_torture::run_trace_traced(&trace)
+            .unwrap_or_else(|f| panic!("traced seed {seed}: {f}"));
+        assert!(stats.collections > 0, "seed {seed} never collected");
+        assert!(
+            events.len() as u64 > stats.collections,
+            "seed {seed}: trace suspiciously sparse ({} events)",
+            events.len()
+        );
+    }
+}

@@ -64,7 +64,9 @@ impl Table {
     /// Renders the table as a JSON object
     /// (`{"title", "headers", "rows", "notes"}`) for machine-readable
     /// output (`experiments --json`). No external serializer: cells are
-    /// strings, so escaping is all that is needed.
+    /// strings, so escaping is all that is needed. Key order is fixed by
+    /// construction, so identical measurements give byte-identical JSON —
+    /// the property the bench-gate diffing relies on.
     pub fn to_json(&self) -> String {
         let arr = |items: &[String]| {
             let cells: Vec<String> = items
@@ -80,6 +82,17 @@ impl Table {
             arr(&self.headers),
             rows.join(","),
             arr(&self.notes)
+        )
+    }
+
+    /// [`Table::to_json`] with a leading stable `"name"` key (e.g.
+    /// `"e11"`), so consumers can key tables by experiment id instead of
+    /// matching display titles.
+    pub fn to_json_named(&self, name: &str) -> String {
+        format!(
+            "{{\"name\":\"{}\",{}",
+            json_escape(name),
+            &self.to_json()[1..]
         )
     }
 
