@@ -9,6 +9,9 @@
 //!   --seeds N        number of seeds to run            (default 200)
 //!   --start N        first seed                        (default 0)
 //!   --ops N          ops per trace                     (default 10000)
+//!   --workers N      collector workers for the soak traces (default 1,
+//!                    the serial engine; >1 selects the parallel engine
+//!                    and the oracle checks it op-for-op)
 //!   --fault-sweep N  additionally run an exhaustive acquisition-fault
 //!                    sweep on the first N seeds with short traces
 //!                    (default 0 = none)
@@ -25,6 +28,7 @@ fn main() {
     let mut seeds: u64 = 200;
     let mut start: u64 = 0;
     let mut ops: usize = 10_000;
+    let mut workers: usize = 1;
     let mut sweep_seeds: u64 = 0;
     let mut sweep_ops: usize = 150;
     let mut traced_seeds: u64 = 0;
@@ -42,6 +46,7 @@ fn main() {
             "--seeds" => seeds = val(i),
             "--start" => start = val(i),
             "--ops" => ops = val(i) as usize,
+            "--workers" => workers = (val(i) as usize).max(1),
             "--fault-sweep" => sweep_seeds = val(i),
             "--sweep-ops" => sweep_ops = val(i) as usize,
             "--traced" => traced_seeds = val(i),
@@ -57,14 +62,18 @@ fn main() {
         i += 2;
     }
 
-    println!("torture soak: {seeds} seeds from {start}, {ops} ops each");
+    println!(
+        "torture soak: {seeds} seeds from {start}, {ops} ops each, {workers} collector worker{}",
+        if workers == 1 { "" } else { "s" }
+    );
     let t0 = Instant::now();
     let mut total_collections = 0u64;
     let mut total_checks = 0u64;
     let mut total_finalized = 0u64;
     let mut total_polled = 0u64;
     for seed in start..start + seeds {
-        let trace = guardians_torture::generate(seed, ops);
+        let mut trace = guardians_torture::generate(seed, ops);
+        trace.config.workers = workers;
         match guardians_torture::run_trace(&trace) {
             Ok(stats) => {
                 total_collections += stats.collections;

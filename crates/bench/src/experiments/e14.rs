@@ -118,7 +118,12 @@ fn churn_site_summary() -> String {
     let parts: Vec<String> = sites
         .iter()
         .take(3)
-        .map(|(name, s)| format!("{name} {:.0}%", 100.0 * s.words as f64 / total as f64))
+        .map(|(name, s)| {
+            format!(
+                "{name} {:.0}%",
+                100.0 * s.words as f64 / total.max(1) as f64
+            )
+        })
         .collect();
     format!("{} of {total} words", parts.join(", "))
 }

@@ -9,6 +9,7 @@ pub mod e10;
 pub mod e11;
 pub mod e12;
 pub mod e14;
+pub mod e17;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -34,5 +35,6 @@ pub fn run_all(quick: bool) -> Vec<guardians_workloads::Table> {
         e11::run(quick).0,
         e12::run(quick).0,
         e14::run(quick).0,
+        e17::run(quick).0,
     ]
 }

@@ -255,7 +255,11 @@ pub struct GateSpec {
     pub direction: Direction,
 }
 
-/// The default gate: e11 copy throughput and e14 staged eval latency.
+/// The default gate: e11 copy throughput, e14 staged eval latency, and
+/// e17 serial-engine copy throughput. E17's parallel columns are *not*
+/// gated — their values depend on the runner's core count — but the
+/// 1-worker column exercises the serial engine through the E17 workload
+/// mix and is host-shape independent.
 pub fn default_specs() -> Vec<GateSpec> {
     vec![
         GateSpec {
@@ -267,6 +271,11 @@ pub fn default_specs() -> Vec<GateSpec> {
             table: "e14",
             column: "staged us/eval",
             direction: Direction::LowerIsBetter,
+        },
+        GateSpec {
+            table: "e17",
+            column: "copy Mw/s (1w)",
+            direction: Direction::HigherIsBetter,
         },
     ]
 }
@@ -462,11 +471,13 @@ mod tests {
         let text = format!(
             "{{\"quick\":{quick},\"tables\":[\
              {{\"name\":\"e11\",\"title\":\"E11: x\",\"headers\":[\"configuration\",\"copy Mw/s\"],\
-              \"rows\":[{}],\"notes\":[]}},\
+              \"rows\":[{mw}],\"notes\":[]}},\
              {{\"name\":\"e14\",\"title\":\"E14: y\",\"headers\":[\"workload\",\"staged us/eval\"],\
-              \"rows\":[{}],\"notes\":[]}}]}}",
-            rows(mwps),
-            rows(us)
+              \"rows\":[{us}],\"notes\":[]}},\
+             {{\"name\":\"e17\",\"title\":\"E17: z\",\"headers\":[\"configuration\",\"copy Mw/s (1w)\"],\
+              \"rows\":[{mw}],\"notes\":[]}}]}}",
+            mw = rows(mwps),
+            us = rows(us)
         );
         Json::parse(&text).expect("test doc parses")
     }
@@ -556,7 +567,12 @@ mod tests {
              \"rows\":[[\"a\",\"900.0\"]],\"notes\":[]}]}",
         )
         .unwrap();
-        let merged = merge_docs(&[e11_only, e14_only.clone()]).unwrap();
+        let e17_only = Json::parse(
+            "{\"quick\":true,\"tables\":[{\"name\":\"e17\",\"headers\":[\"k\",\"copy Mw/s (1w)\"],\
+             \"rows\":[[\"a\",\"60.0\"]],\"notes\":[]}]}",
+        )
+        .unwrap();
+        let merged = merge_docs(&[e11_only, e14_only.clone(), e17_only]).unwrap();
         let lines = compare(&merged, &[both], &default_specs(), 0.15).unwrap();
         assert!(lines.iter().all(|l| l.pass && l.regression.abs() < 1e-9));
         let err = merge_docs(&[merged, doc(false, &[1.0], &[1.0])]).unwrap_err();

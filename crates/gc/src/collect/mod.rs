@@ -50,6 +50,7 @@
 //! `counter_parity` regression test in the bench crate).
 
 pub(crate) mod guardian_pass;
+pub(crate) mod parallel;
 pub(crate) mod remset;
 pub(crate) mod weak_pass;
 
@@ -161,6 +162,16 @@ impl Scratch {
 /// fault sweep doubles as a soundness test for this bound: collections
 /// run with the acquisition fault armed just past the reservation, and
 /// any mid-collection acquisition beyond it trips a panic.
+///
+/// **Parallel engine.** The pairing argument is schedule-independent —
+/// each close is still forced by an overflowing object, whichever worker
+/// performs it — so `2·F` covers all workers' closed segments combined.
+/// What multiplies with `workers` is the *open* regions: up to 4 per
+/// worker instead of 4 cursors total, plus up to 2 extra closes per
+/// worker from the weak-region early-close at each weak pass (the
+/// pairing argument doesn't cover a close that isn't forced by an
+/// overflow). `8 · workers` absorbs both with margin; the serial formula
+/// is untouched when `workers <= 1`.
 pub(crate) fn estimate_worst_case(heap: &Heap, g: u8) -> u64 {
     let from_segments = heap
         .segs
@@ -175,11 +186,20 @@ pub(crate) fn estimate_worst_case(heap: &Heap, g: u8) -> u64 {
             .map(|l| l.len() as u64)
             .sum()
     };
-    2 * from_segments + (2 * entries).div_ceil(SEGMENT_WORDS as u64) + 8
+    let base = 2 * from_segments + (2 * entries).div_ceil(SEGMENT_WORDS as u64) + 8;
+    if heap.config.workers > 1 {
+        base + 8 * heap.config.workers as u64
+    } else {
+        base
+    }
 }
 
-/// Runs a full collection of generations `0..=g`.
+/// Runs a full collection of generations `0..=g`, dispatching to the
+/// parallel engine when the configuration asks for more than one worker.
 pub(crate) fn run(heap: &mut Heap, g: u8) -> CollectionReport {
+    if heap.config.workers > 1 {
+        return parallel::run(heap, g);
+    }
     let start = Instant::now();
     let target = heap
         .config
@@ -326,7 +346,7 @@ pub(crate) fn run(heap: &mut Heap, g: u8) -> CollectionReport {
 }
 
 /// Emits a `PhaseEnd` event (one null test when tracing is off).
-fn emit_phase(heap: &mut Heap, phase: GcPhase, d: std::time::Duration) {
+pub(crate) fn emit_phase(heap: &mut Heap, phase: GcPhase, d: std::time::Duration) {
     heap.trace_emit(|| GcEvent::PhaseEnd {
         phase,
         dur_ns: d.as_nanos() as u64,

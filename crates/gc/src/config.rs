@@ -89,6 +89,16 @@ pub struct GcConfig {
     /// torture rig that panic is the tripwire proving a preflight bound
     /// unsound.
     pub fail_acquisition_at: Option<u64>,
+    /// Number of collector worker threads. `1` (the default, and any
+    /// value `<= 1`) runs the serial engine, bit-identical to its
+    /// historical counters. Values `> 1` select the parallel copy/scan
+    /// engine: that many workers run the Cheney loop over work-stealing
+    /// segment chunks with per-worker to-space allocation regions and
+    /// CAS-installed forwarding. The final heap state is equivalent to
+    /// the serial engine's (same live set, same guardian queue contents
+    /// in registration order); only scheduling-dependent telemetry such
+    /// as segment counts and per-phase timings may differ.
+    pub workers: usize,
 }
 
 impl GcConfig {
@@ -103,6 +113,7 @@ impl GcConfig {
             promotion: Promotion::NextGeneration,
             ablate_weak_pass_first: false,
             fail_acquisition_at: None,
+            workers: 1,
         }
     }
 

@@ -68,7 +68,9 @@ pub struct Heap {
     /// Lifetime count of segment acquisitions (runs count one per
     /// segment), compared against
     /// [`GcConfig::fail_acquisition_at`] by the fallible entry points.
-    acquisitions: u64,
+    /// `pub(crate)` so the parallel engine can mirror the count through
+    /// its table lock and write the final tally back at region end.
+    pub(crate) acquisitions: u64,
     /// The event tracer; `None` (one null test per instrumentation site)
     /// unless [`Heap::enable_tracing`] was called.
     pub(crate) tracer: Option<Box<Tracer>>,
@@ -369,7 +371,7 @@ impl Heap {
     /// rejected the operation first. For a collection, tripping this
     /// panic would mean [`Heap::try_collect`]'s worst-case reservation
     /// was unsound.
-    fn note_acquisitions(&mut self, n: u64) {
+    pub(crate) fn note_acquisitions(&mut self, n: u64) {
         if let Some(limit) = self.config.fail_acquisition_at {
             assert!(
                 self.acquisitions + n <= limit,

@@ -38,10 +38,20 @@ pub struct PhaseTimes {
     pub weak: Duration,
     /// Phase 8: return from-space segments to the free pool.
     pub reclaim: Duration,
+    /// Thread-seconds the parallel engine's workers spent inside their
+    /// collection regions, summed over all workers. This is *work* time,
+    /// not wall time: with 4 busy workers it can approach 4× the wall
+    /// time of the phases that spawned them. Deliberately **not** part of
+    /// [`PhaseTimes::total`], which remains the wall-clock pause
+    /// breakdown (and the quantity the event trace's `PhaseEnd` records
+    /// must sum to). Always zero under the serial engine.
+    pub worker_time: Duration,
 }
 
 impl PhaseTimes {
-    /// Sum of all phase durations.
+    /// Sum of all phase durations: the wall-clock pause breakdown.
+    /// Excludes [`PhaseTimes::worker_time`], which counts the same wall
+    /// time once per busy worker.
     pub fn total(&self) -> Duration {
         self.flip
             + self.roots
@@ -62,6 +72,7 @@ impl PhaseTimes {
         self.finalizer += other.finalizer;
         self.weak += other.weak;
         self.reclaim += other.reclaim;
+        self.worker_time += other.worker_time;
     }
 }
 

@@ -37,6 +37,6 @@ mod seg;
 mod table;
 
 pub use addr::{SegIndex, WordAddr, SEGMENT_BYTES, SEGMENT_WORDS, SEGMENT_WORDS_LOG2};
-pub use info::{SegInfo, SegKind, Space};
+pub use info::{SegInfo, SegKind, Space, NO_OWNER};
 pub use seg::Segment;
 pub use table::SegmentTable;

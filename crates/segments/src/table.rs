@@ -211,27 +211,43 @@ impl SegmentTable {
         self.segs[seg.index()].words_mut()
     }
 
-    /// Copies `n` words from `src` to `dst` as whole-slice `memcpy`s,
-    /// chunked at segment boundaries so both intra-segment copies and
-    /// copies between (or across) multi-segment runs work. Within one
-    /// segment the regions may overlap (`copy_within` semantics).
+    /// The raw base address of a segment's word array, for the parallel
+    /// collector's per-worker copy regions. Stays valid until the table is
+    /// dropped; see [`Segment::base_ptr`] for the access contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg` is beyond the table.
+    #[inline]
+    pub fn base_ptr(&self, seg: SegIndex) -> *mut u64 {
+        self.segs[seg.index()].base_ptr()
+    }
+
+    /// Copies `n` words from `src` to `dst` as bulk word moves, chunked at
+    /// segment boundaries so both intra-segment copies and copies between
+    /// (or across) multi-segment runs work. Within one segment the regions
+    /// may overlap (`copy_within` semantics).
     pub fn copy_words(&mut self, mut src: WordAddr, mut dst: WordAddr, mut n: usize) {
         while n > 0 {
             let chunk = n
                 .min(SEGMENT_WORDS - src.offset())
                 .min(SEGMENT_WORDS - dst.offset());
-            let (s, d) = (src.seg().index(), dst.seg().index());
-            let (so, do_) = (src.offset(), dst.offset());
-            if s == d {
-                self.segs[s].words_mut().copy_within(so..so + chunk, do_);
-            } else if s < d {
-                let (left, right) = self.segs.split_at_mut(d);
-                right[0].words_mut()[do_..do_ + chunk]
-                    .copy_from_slice(&left[s].words()[so..so + chunk]);
-            } else {
-                let (left, right) = self.segs.split_at_mut(s);
-                left[d].words_mut()[do_..do_ + chunk]
-                    .copy_from_slice(&right[0].words()[so..so + chunk]);
+            // SAFETY: this is the single raw-pointer contract for the copy
+            // hot path. Both ranges lie inside their segments' allocations:
+            // `chunk` is clamped to the words remaining in each segment, and
+            // indexing `self.segs` bounds-checks the segment indices.
+            // `ptr::copy` has memmove semantics, preserving the documented
+            // `copy_within` behaviour when source and destination overlap
+            // within one segment. No references into the word arrays are
+            // live here (base_ptr reads only the segment's pointer field),
+            // and `&mut self` rules out concurrent table access on this
+            // path; the parallel collector instead calls this under its
+            // table lock or on thread-private regions per the
+            // [`Segment::base_ptr`] contract.
+            unsafe {
+                let s = self.segs[src.seg().index()].base_ptr().add(src.offset());
+                let d = self.segs[dst.seg().index()].base_ptr().add(dst.offset());
+                std::ptr::copy(s, d, chunk);
             }
             src = src.add(chunk);
             dst = dst.add(chunk);

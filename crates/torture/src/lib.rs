@@ -39,6 +39,17 @@ pub fn check_seed(seed: u64, nops: usize) -> Result<RunStats, Failure> {
     run_trace(&generate(seed, nops))
 }
 
+/// [`check_seed`] under `workers` collector threads: the unit of the
+/// parallel campaign. The shadow oracle is engine-agnostic, so a pass
+/// here *is* the parallel engine's model-equivalence check (same live
+/// graph, same weak-car outcomes, same guardian queue contents in the
+/// same FIFO order).
+pub fn check_seed_parallel(seed: u64, nops: usize, workers: usize) -> Result<RunStats, Failure> {
+    let mut trace = generate(seed, nops);
+    trace.config.workers = workers;
+    run_trace(&trace)
+}
+
 /// [`check_seed`] with the GC event trace enabled and cross-checked
 /// against the shadow model after every collection; returns the full
 /// event stream for export (e.g. as a Chrome trace).

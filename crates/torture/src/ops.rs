@@ -343,6 +343,10 @@ pub struct TortureConfig {
     pub ablate_weak_pass_first: bool,
     /// Arm the segment-acquisition fault at this lifetime offset.
     pub fail_acquisition_at: Option<u64>,
+    /// Collector worker threads (`1` = the serial engine). The shadow
+    /// model is engine-agnostic, so a parallel campaign leg is the
+    /// oracle-equivalence check the parallel engine's contract promises.
+    pub workers: usize,
 }
 
 impl Default for TortureConfig {
@@ -353,6 +357,7 @@ impl Default for TortureConfig {
             flat_protected: false,
             ablate_weak_pass_first: false,
             fail_acquisition_at: None,
+            workers: 1,
         }
     }
 }
@@ -372,7 +377,14 @@ impl fmt::Display for TortureConfig {
             f,
             "config {} {promo} {} {} {fault}",
             self.generations, self.flat_protected as u8, self.ablate_weak_pass_first as u8
-        )
+        )?;
+        // The workers token is optional (and omitted at the default) so
+        // pre-parallel traces keep parsing and serial traces keep their
+        // historical textual form.
+        if self.workers != 1 {
+            write!(f, " {}", self.workers)?;
+        }
+        Ok(())
     }
 }
 
@@ -411,12 +423,20 @@ impl FromStr for TortureConfig {
             "-" => None,
             n => Some(n.parse().map_err(|e| format!("config: bad fault: {e}"))?),
         };
+        let workers = match it.next() {
+            Some(n) => {
+                let n: usize = n.parse().map_err(|e| format!("config: bad workers: {e}"))?;
+                n.max(1)
+            }
+            None => 1,
+        };
         Ok(TortureConfig {
             generations: gens,
             promotion: promo,
             flat_protected: flat,
             ablate_weak_pass_first: ablate,
             fail_acquisition_at: fault,
+            workers,
         })
     }
 }
@@ -569,6 +589,25 @@ mod tests {
             let parsed = Trace::parse(&trace.to_text()).expect("parses");
             assert_eq!(parsed, trace);
         }
+    }
+
+    #[test]
+    fn workers_token_round_trips_and_defaults() {
+        let parallel = TortureConfig {
+            workers: 4,
+            ..TortureConfig::default()
+        };
+        let text = parallel.to_string();
+        assert!(text.ends_with(" 4"), "workers token emitted: {text}");
+        assert_eq!(text.parse::<TortureConfig>().unwrap(), parallel);
+        // The default stays token-free (old traces keep their exact text)
+        // and pre-parallel five-token lines still parse as serial.
+        let serial = TortureConfig::default();
+        assert!(!serial.to_string().ends_with(" 1"), "{serial}");
+        assert_eq!(
+            "config 4 next 0 0 -".parse::<TortureConfig>().unwrap(),
+            serial
+        );
     }
 
     #[test]

@@ -189,6 +189,7 @@ impl Rig {
             flat_protected: cfg.flat_protected,
             ablate_weak_pass_first: cfg.ablate_weak_pass_first,
             fail_acquisition_at: cfg.fail_acquisition_at,
+            workers: cfg.workers,
             ..GcConfig::default()
         };
         let mut heap = Heap::new(gc);

@@ -68,6 +68,66 @@ fn exhaustive_fault_offset_sweep_is_clean() {
     }
 }
 
+/// The parallel campaign matrix: every seed replays under 1, 2, and 4
+/// collector workers with zero oracle divergences, and the deterministic
+/// observables — applied ops, collections, finalized guardian entries,
+/// successful polls (whose FIFO order the oracle checks), surviving
+/// nodes — are identical across worker counts. This is the parallel
+/// engine's shadow-oracle-equivalence acceptance check.
+#[test]
+fn parallel_worker_matrix_agrees_with_the_oracle() {
+    let seeds = env_num("TORTURE_PAR_SEEDS", 17);
+    let ops = env_num("TORTURE_PAR_OPS", 300) as usize;
+    let mut runs = 0;
+    for seed in 0..seeds {
+        let mut baseline = None;
+        for workers in [1usize, 2, 4] {
+            let stats = guardians_torture::check_seed_parallel(seed, ops, workers)
+                .unwrap_or_else(|f| panic!("seed {seed}, {workers} workers: {f}"));
+            runs += 1;
+            let key = (
+                stats.applied,
+                stats.collections,
+                stats.finalized,
+                stats.polled,
+                stats.live_nodes,
+            );
+            match &baseline {
+                None => baseline = Some(key),
+                Some(b) => assert_eq!(
+                    *b, key,
+                    "seed {seed}: {workers} workers changed the deterministic observables"
+                ),
+            }
+        }
+    }
+    assert!(runs >= 50, "parallel campaign too small: {runs} runs");
+}
+
+/// The acquisition fault with racing workers: under `workers = 4` the
+/// fallible entry points must still refuse cleanly (`GcError::Exhausted`
+/// with the heap verify-valid, then recover) — never a tripwire panic
+/// from a worker crossing the limit mid-collection, which would mean the
+/// parallel engine broke `try_collect`'s worst-case reservation.
+#[test]
+fn parallel_fault_injection_stays_clean() {
+    for seed in 0..2u64 {
+        let mut trace = generate(seed, 80);
+        trace.config.workers = 4;
+        let base = run_trace(&trace)
+            .unwrap_or_else(|f| panic!("fault-free parallel run of seed {seed}: {f}"));
+        let mut fired = 0;
+        for offset in (0..=base.acquisitions).step_by(3) {
+            let mut t = trace.clone();
+            t.config.fail_acquisition_at = Some(offset);
+            let stats =
+                run_trace(&t).unwrap_or_else(|f| panic!("seed {seed}, fault@{offset}: {f}"));
+            fired += stats.faults_hit;
+        }
+        assert!(fired > 0, "seed {seed} never fired the fault");
+    }
+}
+
 fn regression_dir() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("regressions")
 }
