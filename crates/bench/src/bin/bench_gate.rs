@@ -14,7 +14,7 @@
 //!
 //! `--baseline` repeats: the committed baselines live one experiment per
 //! file and are merged before comparison. Each `--fresh` document must
-//! contain every gated table (generate with `--only e11 e14`).
+//! contain every gated table (generate with `--only e11 e14 e17 e18`).
 //!
 //! `--scale-fresh <f>` multiplies every fresh metric by `f` after
 //! extraction (throughput) or divides latency by `f` — i.e. `0.8`

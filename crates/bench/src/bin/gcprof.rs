@@ -8,8 +8,13 @@
 //! ```text
 //! gcprof --scenario e11 --quick --out-dir gcprof-out
 //! gcprof --scenario e14 --quick --out-dir gcprof-out
+//! gcprof --scenario e18 --quick --out-dir gcprof-out
 //! gcprof --scenario torture --seed 7 --ops 2000 --out-dir gcprof-out
 //! ```
+//!
+//! `e18` runs the same lifetime workload as `e11` under the bounded-pause
+//! incremental engine (100 us budget), so the two profiles diff directly:
+//! one whole-collection pause sample becomes many per-increment samples.
 
 use guardians_gc::{
     chrome_trace_json, events_jsonl, replay_stats, GcConfig, GcEvent, Heap, Promotion, TraceConfig,
@@ -29,7 +34,7 @@ fn main() {
     };
     let scenario = get("--scenario").unwrap_or_else(|| {
         eprintln!(
-            "usage: gcprof --scenario <e11|e14|torture> [--quick] [--seed N] [--ops N] \
+            "usage: gcprof --scenario <e11|e14|e18|torture> [--quick] [--seed N] [--ops N] \
              [--out-dir DIR]"
         );
         std::process::exit(2);
@@ -43,9 +48,10 @@ fn main() {
     match scenario.as_str() {
         "e11" => profile_e11(quick, &out_dir),
         "e14" => profile_e14(quick, &out_dir),
+        "e18" => profile_e18(quick, &out_dir),
         "torture" => profile_torture(seed, ops, &out_dir),
         other => {
-            eprintln!("error: unknown scenario {other:?} (expected e11, e14, or torture)");
+            eprintln!("error: unknown scenario {other:?} (expected e11, e14, e18, or torture)");
             std::process::exit(2);
         }
     }
@@ -138,6 +144,52 @@ fn profile_e11(quick: bool, out_dir: &str) {
     std::fs::write(Path::new(out_dir).join("e11.census.json"), census.to_json())
         .expect("write census");
     write_exports(out_dir, "e11", &events);
+}
+
+fn profile_e18(quick: bool, out_dir: &str) {
+    // The E18 configuration: the paper policy with a 4x trigger and a
+    // larger survivor window so stop-the-world pauses would exceed the
+    // budget, run under the bounded-pause engine slicing each collection
+    // into 100 us increments interleaved with the mutator.
+    let config = GcConfig {
+        generations: 4,
+        promotion: Promotion::NextGeneration,
+        trigger_bytes: 512 * 1024,
+        frequency: (0..4).map(|i| 4u64.pow(i)).collect(),
+        pause_budget: Some(std::time::Duration::from_micros(100)),
+        ..GcConfig::new()
+    };
+    let mut heap = Heap::new(config);
+    heap.enable_tracing(profile_trace_config());
+    let params = LifetimeParams {
+        allocations: if quick { 100_000 } else { 400_000 },
+        window: 2048,
+        list_len: 8,
+        ..LifetimeParams::default()
+    };
+    let stats = run_lifetime_workload(&mut heap, &params);
+    while heap.incremental_in_progress() {
+        heap.gc_step();
+    }
+    heap.verify().expect("heap valid after workload");
+    let events = heap.drain_trace_events();
+    assert_eq!(heap.trace_dropped(), 0, "profiling ring sized to not drop");
+
+    println!("== gcprof e18 (lifetime workload, 100 us pause budget) ==");
+    println!(
+        "workload: {} allocations, {} collections in {} increments, {} words copied",
+        params.allocations,
+        stats.collections,
+        heap.metrics().counter("gc.increments"),
+        stats.words_copied
+    );
+    print_pause_report(&mut heap);
+    std::fs::write(
+        Path::new(out_dir).join("e18.metrics.json"),
+        heap.metrics_json(),
+    )
+    .expect("write metrics");
+    write_exports(out_dir, "e18", &events);
 }
 
 fn profile_e14(quick: bool, out_dir: &str) {

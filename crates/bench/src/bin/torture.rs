@@ -12,6 +12,12 @@
 //!   --workers N      collector workers for the soak traces (default 1,
 //!                    the serial engine; >1 selects the parallel engine
 //!                    and the oracle checks it op-for-op)
+//!   --pause-budget N run the soak traces under the bounded-pause
+//!                    incremental engine with an N-microsecond budget
+//!                    (0 = one work unit per increment, the finest
+//!                    slicing; omit the flag for the default engine).
+//!                    Applies to the soak and traced legs, not the
+//!                    fault sweep
 //!   --fault-sweep N  additionally run an exhaustive acquisition-fault
 //!                    sweep on the first N seeds with short traces
 //!                    (default 0 = none)
@@ -29,6 +35,7 @@ fn main() {
     let mut start: u64 = 0;
     let mut ops: usize = 10_000;
     let mut workers: usize = 1;
+    let mut pause_budget: Option<u64> = None;
     let mut sweep_seeds: u64 = 0;
     let mut sweep_ops: usize = 150;
     let mut traced_seeds: u64 = 0;
@@ -47,6 +54,7 @@ fn main() {
             "--start" => start = val(i),
             "--ops" => ops = val(i) as usize,
             "--workers" => workers = (val(i) as usize).max(1),
+            "--pause-budget" => pause_budget = Some(val(i)),
             "--fault-sweep" => sweep_seeds = val(i),
             "--sweep-ops" => sweep_ops = val(i) as usize,
             "--traced" => traced_seeds = val(i),
@@ -63,8 +71,12 @@ fn main() {
     }
 
     println!(
-        "torture soak: {seeds} seeds from {start}, {ops} ops each, {workers} collector worker{}",
-        if workers == 1 { "" } else { "s" }
+        "torture soak: {seeds} seeds from {start}, {ops} ops each, {workers} collector worker{}{}",
+        if workers == 1 { "" } else { "s" },
+        match pause_budget {
+            Some(us) => format!(", {us} us pause budget (incremental engine)"),
+            None => String::new(),
+        }
     );
     let t0 = Instant::now();
     let mut total_collections = 0u64;
@@ -74,6 +86,7 @@ fn main() {
     for seed in start..start + seeds {
         let mut trace = guardians_torture::generate(seed, ops);
         trace.config.workers = workers;
+        trace.config.pause_budget = pause_budget;
         match guardians_torture::run_trace(&trace) {
             Ok(stats) => {
                 total_collections += stats.collections;
@@ -139,11 +152,12 @@ fn main() {
         let t2 = Instant::now();
         let mut events = 0usize;
         for seed in start..start + traced_seeds {
-            match guardians_torture::check_seed_traced(seed, ops) {
+            let mut trace = guardians_torture::generate(seed, ops);
+            trace.config.pause_budget = pause_budget;
+            match guardians_torture::run_trace_traced(&trace) {
                 Ok((_, evs)) => events += evs.len(),
                 Err(failure) => {
                     eprintln!("{failure}");
-                    let trace = guardians_torture::generate(seed, ops);
                     let report = guardians_torture::explain(&trace, &failure);
                     eprintln!("{report}");
                     write_failure(fail_out.as_deref(), &format!("{failure}\n{report}\n"));

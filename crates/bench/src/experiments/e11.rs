@@ -117,6 +117,7 @@ pub fn run(quick: bool) -> (Table, Vec<E11Row>) {
         ]);
         rows.push(row);
     }
+    table.note(super::env_note(1, None));
     table.note("generations reduce re-copying of long-lived data; tenure strategies (paper: 'under programmer control') trade residency against re-copying");
     table.note("copy Mw/s = words copied per second of pause; copy+scan % = (remset + sweep) share of the per-phase pause breakdown");
     let paper = &rows[2];

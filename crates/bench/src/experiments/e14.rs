@@ -163,6 +163,7 @@ pub fn run(quick: bool) -> (Table, Vec<E14Row>) {
         ]);
         rows.push(row);
     }
+    table.note(super::env_note(1, None));
     table.note("both modes run the same heap configuration and collect at the same safe points (every application); 'identical' checks the printed results match byte for byte");
     table.note("staged = one-time syntax analysis, lexical addressing, frame records, global inline caches; naive = the original cons-walking evaluator (InterpConfig::naive)");
     table.note(format!(

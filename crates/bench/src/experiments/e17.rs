@@ -172,11 +172,11 @@ pub fn run(quick: bool) -> (guardians_workloads::Table, Vec<E17Row>) {
         "identical live sets per row; each column re-collects the whole set {rounds}x under that worker count \
          (words/round asserted equal across columns)"
     ));
-    table.note(format!(
-        "host parallelism: {} hardware threads — parallel speedup is bounded by this; \
-         the bench gate pins the 1-worker column only",
-        std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get)
-    ));
+    table.note(super::env_note(1, None));
+    table.note(
+        "worker count varies by column; parallel speedup is bounded by the host parallelism \
+         above, so the bench gate pins the 1-worker column only",
+    );
     (table, rows)
 }
 

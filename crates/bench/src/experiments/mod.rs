@@ -10,6 +10,7 @@ pub mod e11;
 pub mod e12;
 pub mod e14;
 pub mod e17;
+pub mod e18;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -36,5 +37,27 @@ pub fn run_all(quick: bool) -> Vec<guardians_workloads::Table> {
         e12::run(quick).0,
         e14::run(quick).0,
         e17::run(quick).0,
+        e18::run(quick).0,
     ]
+}
+
+/// The uniform environment footnote the measured tables carry (E11, E14,
+/// E17, E18): host parallelism plus the active collector-engine settings,
+/// so a table read in isolation — or consumed from `experiments --json` —
+/// records the conditions it was measured under. `workers`/`pause_budget`
+/// are the [`guardians_gc::GcConfig`] fields the run used as its
+/// *baseline*; experiments that vary one of them per row or per column
+/// say so in a follow-up note.
+pub fn env_note(workers: usize, pause_budget: Option<std::time::Duration>) -> String {
+    let budget = match pause_budget {
+        None => "none (stop-the-world)".to_string(),
+        Some(d) => format!("{} us", d.as_micros()),
+    };
+    format!(
+        "environment: {} hardware threads (available_parallelism); GcConfig: {} collector worker{}, pause budget {}",
+        std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get),
+        workers,
+        if workers == 1 { "" } else { "s" },
+        budget
+    )
 }

@@ -255,11 +255,14 @@ pub struct GateSpec {
     pub direction: Direction,
 }
 
-/// The default gate: e11 copy throughput, e14 staged eval latency, and
-/// e17 serial-engine copy throughput. E17's parallel columns are *not*
-/// gated — their values depend on the runner's core count — but the
-/// 1-worker column exercises the serial engine through the E17 workload
-/// mix and is host-shape independent.
+/// The default gate: e11 copy throughput, e14 staged eval latency, e17
+/// serial-engine copy throughput, and e18 pause latency. E17's parallel
+/// columns are *not* gated — their values depend on the runner's core
+/// count — but the 1-worker column exercises the serial engine through
+/// the E17 workload mix and is host-shape independent. E18's p50/p99
+/// columns gate the incremental engine's reason to exist: the per-table
+/// geomean spans the serial row and every budget row, so a latency
+/// regression in either engine (or a budget that stops slicing) fails.
 pub fn default_specs() -> Vec<GateSpec> {
     vec![
         GateSpec {
@@ -276,6 +279,16 @@ pub fn default_specs() -> Vec<GateSpec> {
             table: "e17",
             column: "copy Mw/s (1w)",
             direction: Direction::HigherIsBetter,
+        },
+        GateSpec {
+            table: "e18",
+            column: "pause p50 (us)",
+            direction: Direction::LowerIsBetter,
+        },
+        GateSpec {
+            table: "e18",
+            column: "pause p99 (us)",
+            direction: Direction::LowerIsBetter,
         },
     ]
 }
@@ -468,6 +481,14 @@ mod tests {
                 .collect::<Vec<_>>()
                 .join(",")
         };
+        // Two latency columns sharing the same values: the e18 table
+        // carries both gated percentiles.
+        let wide_rows = |vals: &[f64]| {
+            vals.iter()
+                .map(|v| format!("[\"cfg\",\"{v:.1}\",\"{v:.1}\"]"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
         let text = format!(
             "{{\"quick\":{quick},\"tables\":[\
              {{\"name\":\"e11\",\"title\":\"E11: x\",\"headers\":[\"configuration\",\"copy Mw/s\"],\
@@ -475,9 +496,13 @@ mod tests {
              {{\"name\":\"e14\",\"title\":\"E14: y\",\"headers\":[\"workload\",\"staged us/eval\"],\
               \"rows\":[{us}],\"notes\":[]}},\
              {{\"name\":\"e17\",\"title\":\"E17: z\",\"headers\":[\"configuration\",\"copy Mw/s (1w)\"],\
-              \"rows\":[{mw}],\"notes\":[]}}]}}",
+              \"rows\":[{mw}],\"notes\":[]}},\
+             {{\"name\":\"e18\",\"title\":\"E18: w\",\"headers\":[\"pause budget\",\
+              \"pause p50 (us)\",\"pause p99 (us)\"],\
+              \"rows\":[{wus}],\"notes\":[]}}]}}",
             mw = rows(mwps),
-            us = rows(us)
+            us = rows(us),
+            wus = wide_rows(us)
         );
         Json::parse(&text).expect("test doc parses")
     }
@@ -572,7 +597,13 @@ mod tests {
              \"rows\":[[\"a\",\"60.0\"]],\"notes\":[]}]}",
         )
         .unwrap();
-        let merged = merge_docs(&[e11_only, e14_only.clone(), e17_only]).unwrap();
+        let e18_only = Json::parse(
+            "{\"quick\":true,\"tables\":[{\"name\":\"e18\",\
+             \"headers\":[\"k\",\"pause p50 (us)\",\"pause p99 (us)\"],\
+             \"rows\":[[\"a\",\"900.0\",\"900.0\"]],\"notes\":[]}]}",
+        )
+        .unwrap();
+        let merged = merge_docs(&[e11_only, e14_only.clone(), e17_only, e18_only]).unwrap();
         let lines = compare(&merged, &[both], &default_specs(), 0.15).unwrap();
         assert!(lines.iter().all(|l| l.pass && l.regression.abs() < 1e-9));
         let err = merge_docs(&[merged, doc(false, &[1.0], &[1.0])]).unwrap_err();

@@ -15,7 +15,7 @@
 
 use crate::header::{Header, ObjKind};
 use crate::heap::{read_bytes, Heap};
-use crate::value::Value;
+use crate::value::{fwd, Value};
 use guardians_segments::Space;
 
 impl Heap {
@@ -33,12 +33,14 @@ impl Heap {
     /// Whether `v` is a weak pair (determined by its segment's space, as
     /// in the paper's implementation — there is no per-object tag).
     pub fn is_weak_pair(&self, v: Value) -> bool {
+        let v = self.resolve_read(v);
         v.is_pair_ptr() && self.segs.info(v.addr().seg()).space == Space::WeakPair
     }
 
     /// The kind of a typed heap object, or `None` for pairs, fixnums and
     /// immediates.
     pub fn kind_of(&self, v: Value) -> Option<ObjKind> {
+        let v = self.resolve_read(v);
         if !v.is_obj_ptr() {
             return None;
         }
@@ -98,12 +100,45 @@ impl Heap {
     }
 
     // ------------------------------------------------------------------
+    // Forwarded-on-read resolution (incremental collections)
+    // ------------------------------------------------------------------
+
+    /// Resolves a possibly-stale pointer while an incremental collection
+    /// is suspended between increments. The mutator may legally hold
+    /// from-space pointers then; every accessor funnels its pointer
+    /// arguments through here, chasing the broken heart if the object has
+    /// already been copied. Outside an incremental cycle (the common
+    /// case) this is a single branch on `None`.
+    #[inline]
+    pub(crate) fn resolve_read(&self, v: Value) -> Value {
+        let Some(st) = self.incremental.as_ref() else {
+            return v;
+        };
+        if !v.is_ptr() || !st.s.from_space.contains(v.addr().seg()) {
+            return v;
+        }
+        match fwd::decode(self.segs.word(v.addr())) {
+            Some(new) => v.retag_at(new),
+            None => v,
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Write barrier
     // ------------------------------------------------------------------
 
     /// Marks `container`'s segment dirty (and records it in the table's
     /// dirty index) if it lives in an older generation and `stored` is a
     /// heap pointer.
+    ///
+    /// While an incremental collection is suspended this is also the
+    /// *collector's* write barrier: storing a from-space pointer into any
+    /// segment outside the from-space may hide it in a region an earlier
+    /// increment already scanned, so the segment is logged for re-scan by
+    /// the next increment. Stores *into* from-space objects need no log —
+    /// an unforwarded object's words travel wholesale if it is ever
+    /// copied (callers resolve the container first, so such stores only
+    /// hit genuinely-unforwarded objects).
     #[inline]
     pub(crate) fn barrier(&mut self, container: Value, stored: Value) {
         if !stored.is_ptr() {
@@ -112,6 +147,11 @@ impl Heap {
         let seg = container.addr().seg();
         if self.segs.info(seg).generation > 0 {
             self.segs.mark_dirty(seg);
+        }
+        if let Some(st) = self.incremental.as_mut() {
+            if st.s.from_space.contains(stored.addr().seg()) && !st.s.from_space.contains(seg) {
+                st.log_rescan(seg);
+            }
         }
     }
 
@@ -126,18 +166,22 @@ impl Heap {
     /// The car of a pair. For a weak pair whose referent was reclaimed,
     /// this is `#f` (the paper's broken-pointer value).
     pub fn car(&self, v: Value) -> Value {
+        let v = self.resolve_read(v);
         self.expect_pair(v, "car");
         Value(self.segs.word(v.addr()))
     }
 
     /// The cdr of a pair.
     pub fn cdr(&self, v: Value) -> Value {
+        let v = self.resolve_read(v);
         self.expect_pair(v, "cdr");
         Value(self.segs.word(v.addr().add(1)))
     }
 
     /// Sets the car of a pair (barriered).
     pub fn set_car(&mut self, v: Value, x: Value) {
+        let v = self.resolve_read(v);
+        let x = self.resolve_read(x);
         self.expect_pair(v, "set-car!");
         self.segs.set_word(v.addr(), x.raw());
         self.barrier(v, x);
@@ -145,6 +189,8 @@ impl Heap {
 
     /// Sets the cdr of a pair (barriered).
     pub fn set_cdr(&mut self, v: Value, x: Value) {
+        let v = self.resolve_read(v);
+        let x = self.resolve_read(x);
         self.expect_pair(v, "set-cdr!");
         self.segs.set_word(v.addr().add(1), x.raw());
         self.barrier(v, x);
@@ -156,6 +202,7 @@ impl Heap {
 
     /// A vector's length.
     pub fn vector_len(&self, v: Value) -> usize {
+        let v = self.resolve_read(v);
         self.expect_kind(v, ObjKind::Vector, "vector-length").len
     }
 
@@ -165,6 +212,7 @@ impl Heap {
     ///
     /// Panics if `i` is out of bounds.
     pub fn vector_ref(&self, v: Value, i: usize) -> Value {
+        let v = self.resolve_read(v);
         let h = self.expect_kind(v, ObjKind::Vector, "vector-ref");
         assert!(
             i < h.len,
@@ -180,6 +228,8 @@ impl Heap {
     ///
     /// Panics if `i` is out of bounds.
     pub fn vector_set(&mut self, v: Value, i: usize, x: Value) {
+        let v = self.resolve_read(v);
+        let x = self.resolve_read(x);
         let h = self.expect_kind(v, ObjKind::Vector, "vector-set!");
         assert!(
             i < h.len,
@@ -196,6 +246,7 @@ impl Heap {
 
     /// A string's length in bytes.
     pub fn string_len(&self, v: Value) -> usize {
+        let v = self.resolve_read(v);
         self.expect_kind(v, ObjKind::String, "string-length").len
     }
 
@@ -203,6 +254,7 @@ impl Heap {
     /// and FFI-ish paths need the copy; length/comparison paths should
     /// use the borrowing [`Heap::string_bytes`] instead.
     pub fn string_value(&self, v: Value) -> String {
+        let v = self.resolve_read(v);
         let h = self.expect_kind(v, ObjKind::String, "string-value");
         let bytes = read_bytes(&self.segs, v.addr().add(1), h.len);
         String::from_utf8(bytes).expect("heap strings are always valid UTF-8")
@@ -214,6 +266,7 @@ impl Heap {
     /// coincides with code-point order, so `string=?`/`string<?` can
     /// compare these iterators directly.
     pub fn string_bytes(&self, v: Value) -> impl Iterator<Item = u8> + '_ {
+        let v = self.resolve_read(v);
         let h = self.expect_kind(v, ObjKind::String, "string-bytes");
         let payload = v.addr().add(1);
         let len = h.len;
@@ -236,6 +289,7 @@ impl Heap {
 
     /// A symbol's print name.
     pub fn symbol_name(&self, v: Value) -> String {
+        let v = self.resolve_read(v);
         self.expect_kind(v, ObjKind::Symbol, "symbol-name");
         let name = Value(self.segs.word(v.addr().add(1)));
         self.string_value(name)
@@ -244,12 +298,15 @@ impl Heap {
     /// A symbol's extra slot (used by the runtime for property lists /
     /// top-level values). Initially `#f`.
     pub fn symbol_extra(&self, v: Value) -> Value {
+        let v = self.resolve_read(v);
         self.expect_kind(v, ObjKind::Symbol, "symbol-extra");
         Value(self.segs.word(v.addr().add(2)))
     }
 
     /// Writes a symbol's extra slot (barriered).
     pub fn set_symbol_extra(&mut self, v: Value, x: Value) {
+        let v = self.resolve_read(v);
+        let x = self.resolve_read(x);
         self.expect_kind(v, ObjKind::Symbol, "set-symbol-extra!");
         self.segs.set_word(v.addr().add(2), x.raw());
         self.barrier(v, x);
@@ -261,6 +318,7 @@ impl Heap {
 
     /// A bytevector's length.
     pub fn bytevector_len(&self, v: Value) -> usize {
+        let v = self.resolve_read(v);
         self.expect_kind(v, ObjKind::Bytevector, "bytevector-length")
             .len
     }
@@ -271,6 +329,7 @@ impl Heap {
     ///
     /// Panics if `i` is out of bounds.
     pub fn bytevector_ref(&self, v: Value, i: usize) -> u8 {
+        let v = self.resolve_read(v);
         let h = self.expect_kind(v, ObjKind::Bytevector, "bytevector-ref");
         assert!(
             i < h.len,
@@ -287,6 +346,7 @@ impl Heap {
     ///
     /// Panics if `i` is out of bounds.
     pub fn bytevector_set(&mut self, v: Value, i: usize, byte: u8) {
+        let v = self.resolve_read(v);
         let h = self.expect_kind(v, ObjKind::Bytevector, "bytevector-set!");
         assert!(
             i < h.len,
@@ -301,6 +361,7 @@ impl Heap {
 
     /// Copies a bytevector's contents out.
     pub fn bytevector_value(&self, v: Value) -> Vec<u8> {
+        let v = self.resolve_read(v);
         let h = self.expect_kind(v, ObjKind::Bytevector, "bytevector-value");
         read_bytes(&self.segs, v.addr().add(1), h.len)
     }
@@ -311,12 +372,15 @@ impl Heap {
 
     /// Reads a box.
     pub fn box_ref(&self, v: Value) -> Value {
+        let v = self.resolve_read(v);
         self.expect_kind(v, ObjKind::Box, "unbox");
         Value(self.segs.word(v.addr().add(1)))
     }
 
     /// Writes a box (barriered).
     pub fn box_set(&mut self, v: Value, x: Value) {
+        let v = self.resolve_read(v);
+        let x = self.resolve_read(x);
         self.expect_kind(v, ObjKind::Box, "set-box!");
         self.segs.set_word(v.addr().add(1), x.raw());
         self.barrier(v, x);
@@ -328,6 +392,7 @@ impl Heap {
 
     /// A flonum's value.
     pub fn flonum_value(&self, v: Value) -> f64 {
+        let v = self.resolve_read(v);
         self.expect_kind(v, ObjKind::Flonum, "flonum-value");
         f64::from_bits(self.segs.word(v.addr().add(1)))
     }
@@ -338,12 +403,14 @@ impl Heap {
 
     /// A record's descriptor value.
     pub fn record_descriptor(&self, v: Value) -> Value {
+        let v = self.resolve_read(v);
         self.expect_kind(v, ObjKind::Record, "record-descriptor");
         Value(self.segs.word(v.addr().add(1)))
     }
 
     /// Number of fields (excluding the descriptor).
     pub fn record_len(&self, v: Value) -> usize {
+        let v = self.resolve_read(v);
         self.expect_kind(v, ObjKind::Record, "record-length").len - 1
     }
 
@@ -353,6 +420,7 @@ impl Heap {
     ///
     /// Panics if `i` is out of bounds.
     pub fn record_ref(&self, v: Value, i: usize) -> Value {
+        let v = self.resolve_read(v);
         let h = self.expect_kind(v, ObjKind::Record, "record-ref");
         assert!(
             i + 1 < h.len,
@@ -368,6 +436,8 @@ impl Heap {
     ///
     /// Panics if `i` is out of bounds.
     pub fn record_set(&mut self, v: Value, i: usize, x: Value) {
+        let v = self.resolve_read(v);
+        let x = self.resolve_read(x);
         let h = self.expect_kind(v, ObjKind::Record, "record-set!");
         assert!(
             i + 1 < h.len,
@@ -385,6 +455,10 @@ impl Heap {
     /// `eqv?`: pointer identity, plus value identity for fixnums,
     /// characters, immediates, and flonums.
     pub fn eqv(&self, a: Value, b: Value) -> bool {
+        // Resolve both sides so a stale from-space pointer and the
+        // forwarded copy of the same object stay `eqv?` mid-cycle.
+        let a = self.resolve_read(a);
+        let b = self.resolve_read(b);
         if a == b {
             return true;
         }

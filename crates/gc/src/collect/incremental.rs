@@ -1,0 +1,356 @@
+//! The bounded-pause (incremental) collection engine, selected by
+//! [`GcConfig::pause_budget`](crate::GcConfig).
+//!
+//! A collection is split into *increments*. Each increment runs the same
+//! phases, in the same order, over the same work lists as the serial
+//! engine — the retiring scan queue ([`sweep_unit`]) and the per-segment
+//! remembered-set entries are the increment-shaped work units — but
+//! yields back to the mutator once the configured budget's deadline
+//! passes (always after at least one whole unit, so a `Duration::ZERO`
+//! budget gives one-unit increments). The suspended collection lives in
+//! an [`IncrementalState`] owned by the heap and resumes at the next
+//! safe point.
+//!
+//! # The mutator's view between increments
+//!
+//! * **Forwarded on read.** From-space objects are either intact
+//!   (unforwarded; every word still valid) or carry a broken heart in
+//!   word 0. Every typed accessor resolves its operands through
+//!   [`Heap::resolve_read`], so a stale pointer to a forwarded object is
+//!   transparently redirected to the to-space copy. Unforwarded
+//!   from-space objects are read and written in place — stores travel
+//!   with the wholesale copy if the object is later forwarded.
+//! * **Write barrier.** A store that lands a from-space pointer in a
+//!   non-from-space segment (one the collector may have scanned already)
+//!   logs the segment in the state's re-scan list; the next increment
+//!   re-scans it before declaring the sweep finished. Segment
+//!   granularity and idempotent forwarding make over-logging harmless.
+//! * **Allocation.** The to-space log stays live for the whole
+//!   collection, so mutator allocations between increments are swept
+//!   like to-space: their initializing stores (which bypass the write
+//!   barrier) are still traced.
+//!
+//! # Guardian atomicity
+//!
+//! The final increment runs the §4 guardian three-block pass, the
+//! finalizer pass, the weak pass, and the reclaim *atomically*, after
+//! the sweep fixpoint is proven global (roots re-forwarded, remembered
+//! set and re-scan list drained, sweep dry). No yield separates the
+//! guardian partition from the weak break, so guardian/weak observables
+//! are byte-identical to the serial engine; the cost is a pause floor —
+//! the final increment cannot be shorter than those passes (measured in
+//! experiment E18, argued in DESIGN.md §10).
+
+use super::{
+    emit_phase, finalizer_pass, forward, guardian_pass, remset, sweep_unit, weak_pass,
+    FromSpaceMap, Scratch,
+};
+use crate::heap::Heap;
+use crate::stats::CollectionReport;
+use crate::trace::{GcEvent, GcPhase};
+use guardians_segments::SegIndex;
+use std::time::{Duration, Instant};
+
+/// A collection suspended between increments.
+pub(crate) struct IncrementalState {
+    /// The collector scratch state, persisted across yields. The scan
+    /// queue, parked segments, and weak lists resume exactly where the
+    /// last increment left them.
+    pub(crate) s: Scratch,
+    /// Snapshot of the dirty index taken at the flip; scanned one
+    /// segment per yield check.
+    pub(crate) remset_pending: Vec<SegIndex>,
+    /// Progress through `remset_pending`.
+    pub(crate) remset_cursor: usize,
+    /// Segments the write barrier logged since the last increment
+    /// (deduplicated via `rescan_in`).
+    pub(crate) rescan: Vec<SegIndex>,
+    /// Membership bitset for `rescan`, grown on demand.
+    rescan_in: Vec<u64>,
+    /// Whether `roots_traced` has been counted (roots are re-forwarded
+    /// every increment, but counted once for serial counter parity).
+    roots_counted: bool,
+    /// Pause time from the begin (flip) that the first increment's pause
+    /// sample must absorb.
+    carry: Duration,
+}
+
+impl IncrementalState {
+    /// Logs a segment for re-scanning by the next increment (idempotent).
+    pub(crate) fn log_rescan(&mut self, seg: SegIndex) {
+        let i = seg.index();
+        let w = i >> 6;
+        if w >= self.rescan_in.len() {
+            self.rescan_in.resize(w + 1, 0);
+        }
+        if (self.rescan_in[w] >> (i & 63)) & 1 == 0 {
+            self.rescan_in[w] |= 1 << (i & 63);
+            self.rescan.push(seg);
+        }
+    }
+
+    /// Whether `seg` is covered by the collector's outstanding work — it
+    /// will (still) be scanned before the collection finishes. Used by
+    /// the verifier's barrier-coverage check: a from-space pointer in a
+    /// strong field of a non-from-space segment is only sound if the
+    /// segment is covered.
+    pub(crate) fn covered(&self, heap: &Heap, seg: SegIndex) -> bool {
+        if self.s.queue.iter().any(|&(q, _)| q == seg)
+            || self.s.parked.iter().any(|&(p, _)| p == seg)
+        {
+            return true;
+        }
+        if self.remset_pending[self.remset_cursor..].contains(&seg) {
+            return true;
+        }
+        let i = seg.index();
+        if (self.rescan_in.get(i >> 6).copied().unwrap_or(0) >> (i & 63)) & 1 == 1 {
+            return true;
+        }
+        // Logged but not yet drained into the queue.
+        heap.tospace_log
+            .as_ref()
+            .is_some_and(|log| log.contains(&seg))
+    }
+}
+
+/// Begins an incremental collection of generations `0..=g`: the serial
+/// engine's flip (phase 1), verbatim, plus a snapshot of the dirty index
+/// as the increment-sliced remembered-set work list. The caller
+/// ([`Heap::begin_incremental`]) stores the returned state and drives it
+/// with [`step`].
+pub(crate) fn begin(heap: &mut Heap, g: u8) -> Box<IncrementalState> {
+    let start = Instant::now();
+    let target = heap
+        .config
+        .promotion
+        .target(g, heap.config.max_generation());
+
+    let mut from_space = FromSpaceMap::with_capacity(heap.segs.segments_total());
+    let mut from_heads = Vec::new();
+    for gen in 0..=g {
+        for seg in heap.segs.drain_generation(gen) {
+            if from_space.contains(seg) {
+                continue;
+            }
+            from_space.insert(seg);
+            if heap.segs.info(seg).is_head() {
+                from_heads.push(seg);
+            }
+        }
+    }
+    heap.reset_cursors(g, target);
+    heap.tospace_log = Some(Vec::new());
+
+    let mut s = Scratch {
+        g,
+        target,
+        from_space,
+        from_heads,
+        queue: Vec::new(),
+        parked: Vec::new(),
+        pending: Vec::new(),
+        weak_tospace: Vec::new(),
+        old_weak_dirty: Vec::new(),
+        trace_on: heap.tracing_enabled(),
+        copied_per_gen: vec![0; heap.config.generations as usize],
+        report: CollectionReport {
+            collection_index: heap.collections,
+            collected_generation: g,
+            target_generation: target,
+            ..CollectionReport::default()
+        },
+    };
+    heap.trace_emit(|| GcEvent::CollectionBegin {
+        index: s.report.collection_index,
+        collected_generation: g,
+        target_generation: target,
+    });
+    // The remembered-set work list: the same dirty-index drain the serial
+    // engine performs, snapshotted so increments can walk it a segment at
+    // a time. Segments dirtied *after* this point belong to the next
+    // collection (their flags survive), exactly as in the serial engine,
+    // where the drain happens once in phase 3.
+    let remset_pending = heap.segs.take_dirty();
+
+    let flip = start.elapsed();
+    s.report.phases.flip = flip;
+    emit_phase(heap, GcPhase::Flip, flip);
+    s.report.duration += flip;
+
+    Box::new(IncrementalState {
+        s,
+        remset_pending,
+        remset_cursor: 0,
+        rescan: Vec::new(),
+        rescan_in: Vec::new(),
+        roots_counted: false,
+        carry: flip,
+    })
+}
+
+/// Runs one increment. Returns `true` when the collection completed (the
+/// report in `st.s.report` is final); `false` when it yielded with work
+/// remaining. The state is *out* of the heap while this runs, so the
+/// collector's own barriered stores (the guardian pass's tconc appends)
+/// do not log re-scans and the tconc trace correctly attributes them to
+/// the collector.
+pub(crate) fn step(heap: &mut Heap, st: &mut IncrementalState) -> bool {
+    let start = Instant::now();
+    let deadline = start + heap.config.pause_budget.unwrap_or(Duration::ZERO);
+    let mut mark = start;
+    let mut finished = false;
+
+    // Roots are re-forwarded at every increment: the mutator may have
+    // stored stale (since-forwarded) or from-space pointers into rooted
+    // cells. Re-forwarding an already-forwarded root is a no-op, so the
+    // counters only move on the first increment.
+    let mut roots = std::mem::take(&mut heap.roots);
+    let traced = roots.for_each_slot(|slot| {
+        let v = *slot;
+        if v.is_ptr() {
+            *slot = forward(heap, &mut st.s, v);
+        }
+    });
+    heap.roots = roots;
+    if !st.roots_counted {
+        st.s.report.roots_traced = traced;
+        st.roots_counted = true;
+    }
+    lap(heap, &mut st.s, &mut mark, GcPhase::Roots);
+
+    // Drain the write-barrier log: segments mutated since the last
+    // increment to hold from-space pointers. New copies land in the
+    // to-space log and are picked up by the sweep below.
+    if !st.rescan.is_empty() {
+        let segs = std::mem::take(&mut st.rescan);
+        for w in st.rescan_in.iter_mut() {
+            *w = 0;
+        }
+        for seg in segs {
+            remset::rescan_segment(heap, &mut st.s, seg);
+        }
+        lap(heap, &mut st.s, &mut mark, GcPhase::Remset);
+    }
+
+    // Remembered set, one segment per yield check.
+    let mut yielded = false;
+    if st.remset_cursor < st.remset_pending.len() {
+        while st.remset_cursor < st.remset_pending.len() {
+            let seg = st.remset_pending[st.remset_cursor];
+            st.remset_cursor += 1;
+            remset::scan_dirty_seg(heap, &mut st.s, seg);
+            if Instant::now() >= deadline {
+                yielded = true;
+                break;
+            }
+        }
+        lap(heap, &mut st.s, &mut mark, GcPhase::Remset);
+    }
+
+    // Kleene sweep, one unit per yield check. Reaching the unit fixpoint
+    // here is reaching the *global* fixpoint: no mutator ran since the
+    // re-scan drain above, the remembered set is exhausted, and roots
+    // are forwarded.
+    if !yielded {
+        loop {
+            if !sweep_unit(heap, &mut st.s) {
+                finished = true;
+                break;
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        lap(heap, &mut st.s, &mut mark, GcPhase::Sweep);
+    }
+
+    if finished {
+        // The terminal increment: guardian, finalizer, weak, and reclaim
+        // run unbounded — the guardian-atomicity pause floor. See the
+        // module docs.
+        if heap.config.ablate_weak_pass_first {
+            weak_pass::run(heap, &mut st.s);
+            lap(heap, &mut st.s, &mut mark, GcPhase::Weak);
+        }
+        guardian_pass::run(heap, &mut st.s);
+        lap(heap, &mut st.s, &mut mark, GcPhase::Guardian);
+        finalizer_pass(heap, &mut st.s);
+        lap(heap, &mut st.s, &mut mark, GcPhase::Finalizer);
+        weak_pass::run(heap, &mut st.s);
+        lap(heap, &mut st.s, &mut mark, GcPhase::Weak);
+
+        let heads = std::mem::take(&mut st.s.from_heads);
+        for head in heads {
+            let run = heap.segs.run_len(head) as u64;
+            st.s.report.segments_freed += run;
+            heap.segs.free(head);
+            heap.trace_emit(|| GcEvent::SegmentsReleased { count: run });
+        }
+        heap.tospace_log = None;
+        lap(heap, &mut st.s, &mut mark, GcPhase::Reclaim);
+
+        if st.s.trace_on {
+            for (generation, &words) in st.s.copied_per_gen.iter().enumerate() {
+                if words > 0 {
+                    heap.trace_emit(|| GcEvent::GenCopied {
+                        generation: generation as u8,
+                        words,
+                    });
+                }
+            }
+        }
+    }
+
+    st.s.report.increments += 1;
+    let pause = start.elapsed();
+    st.s.report.duration += pause;
+    heap.record_pause(pause + st.carry);
+    st.carry = Duration::ZERO;
+
+    if finished {
+        let r = &st.s.report;
+        let (index, words_copied, pairs_copied, objects_copied) = (
+            r.collection_index,
+            r.words_copied,
+            r.pairs_copied,
+            r.objects_copied,
+        );
+        let (guardian_entries_visited, weak_pairs_scanned, dur_ns) = (
+            r.guardian_entries_visited,
+            r.weak_pairs_scanned,
+            r.duration.as_nanos() as u64,
+        );
+        heap.trace_emit(|| GcEvent::CollectionEnd {
+            index,
+            words_copied,
+            pairs_copied,
+            objects_copied,
+            guardian_entries_visited,
+            weak_pairs_scanned,
+            dur_ns,
+        });
+    }
+    finished
+}
+
+/// Closes a timed section: accumulates the elapsed time into the matching
+/// phase of the report and emits the `PhaseEnd` event, so the trace's
+/// phase sum stays equal to `phases.total()` across any number of
+/// increments.
+fn lap(heap: &mut Heap, s: &mut Scratch, mark: &mut Instant, phase: GcPhase) {
+    let now = Instant::now();
+    let d = now - *mark;
+    *mark = now;
+    match phase {
+        GcPhase::Flip => s.report.phases.flip += d,
+        GcPhase::Roots => s.report.phases.roots += d,
+        GcPhase::Remset => s.report.phases.remset += d,
+        GcPhase::Sweep => s.report.phases.sweep += d,
+        GcPhase::Guardian => s.report.phases.guardian += d,
+        GcPhase::Finalizer => s.report.phases.finalizer += d,
+        GcPhase::Weak => s.report.phases.weak += d,
+        GcPhase::Reclaim => s.report.phases.reclaim += d,
+    }
+    emit_phase(heap, phase, d);
+}

@@ -50,6 +50,7 @@
 //! `counter_parity` regression test in the bench crate).
 
 pub(crate) mod guardian_pass;
+pub(crate) mod incremental;
 pub(crate) mod parallel;
 pub(crate) mod remset;
 pub(crate) mod weak_pass;
@@ -551,48 +552,54 @@ fn scan_segment(heap: &mut Heap, s: &mut Scratch, seg: SegIndex, mut off: usize)
 /// copies without being (re-)logged. Those are parked and re-checked when
 /// the queue runs dry, so the sweep never re-walks finished segments.
 pub(crate) fn kleene_sweep(heap: &mut Heap, s: &mut Scratch) {
-    loop {
-        for seg in heap.drain_tospace_log() {
-            s.report.segments_allocated += heap.segs.run_len(seg) as u64;
-            if heap.segs.info(seg).space == Space::WeakPair {
-                s.weak_tospace.push(seg);
-            }
-            s.queue.push((seg, 0));
+    while sweep_unit(heap, s) {}
+}
+
+/// One iteration of the Kleene sweep — the increment-shaped work unit the
+/// bounded-pause engine schedules between yields: drain the to-space log,
+/// then either scan one queued segment or re-check the parked cursor
+/// segments. Returns `false` exactly when the sweep has reached its
+/// fixpoint (nothing queued, nothing grew, log empty); calling it again
+/// after more copies (or a re-scan) resumes correctly.
+pub(crate) fn sweep_unit(heap: &mut Heap, s: &mut Scratch) -> bool {
+    for seg in heap.drain_tospace_log() {
+        s.report.segments_allocated += heap.segs.run_len(seg) as u64;
+        if heap.segs.info(seg).space == Space::WeakPair {
+            s.weak_tospace.push(seg);
         }
-        if let Some((seg, off)) = s.queue.pop() {
-            let new_off = scan_segment(heap, s, seg, off);
-            if heap.is_open_cursor(seg) {
-                s.parked.push((seg, new_off));
-            }
-            continue;
+        s.queue.push((seg, 0));
+    }
+    if let Some((seg, off)) = s.queue.pop() {
+        let new_off = scan_segment(heap, s, seg, off);
+        if heap.is_open_cursor(seg) {
+            s.parked.push((seg, new_off));
         }
-        // Queue dry: re-check parked cursor segments. One that grew is
-        // re-queued; one whose cursor moved on is frozen and retired.
-        let mut grew = false;
-        let mut i = 0;
-        while i < s.parked.len() {
-            let (seg, off) = s.parked[i];
-            if (heap.segs.info(seg).used as usize) > off {
-                s.parked.swap_remove(i);
-                s.queue.push((seg, off));
-                grew = true;
-            } else if !heap.is_open_cursor(seg) {
-                s.parked.swap_remove(i);
-            } else {
-                i += 1;
-            }
-        }
-        if !grew && heap.tospace_log_is_empty() {
-            return;
+        return true;
+    }
+    // Queue dry: re-check parked cursor segments. One that grew is
+    // re-queued; one whose cursor moved on is frozen and retired.
+    let mut grew = false;
+    let mut i = 0;
+    while i < s.parked.len() {
+        let (seg, off) = s.parked[i];
+        if (heap.segs.info(seg).used as usize) > off {
+            s.parked.swap_remove(i);
+            s.queue.push((seg, off));
+            grew = true;
+        } else if !heap.is_open_cursor(seg) {
+            s.parked.swap_remove(i);
+        } else {
+            i += 1;
         }
     }
+    grew || !heap.tospace_log_is_empty()
 }
 
 /// Processes the Dickey-baseline watch lists: dead objects are *not*
 /// preserved — their ids are reported so the embedding can run thunks.
 /// Runs after the guardian pass, so an object that is both guarded and
 /// watched is seen alive here (guardians win; documented in DESIGN.md).
-fn finalizer_pass(heap: &mut Heap, s: &mut Scratch) {
+pub(crate) fn finalizer_pass(heap: &mut Heap, s: &mut Scratch) {
     let mut migrated = Vec::new();
     for i in 0..=s.g as usize {
         for mut e in std::mem::take(&mut heap.finalize_watch[i]) {

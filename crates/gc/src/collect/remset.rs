@@ -37,38 +37,79 @@ use guardians_segments::{SegIndex, Space, SEGMENT_WORDS};
 
 pub(crate) fn scan_dirty(heap: &mut Heap, s: &mut Scratch) {
     for seg in heap.segs.take_dirty() {
-        // Stale entries: freed (possibly recycled) or already cleaned.
-        let Some(info) = heap.segs.try_info(seg) else {
-            continue;
-        };
-        if !info.dirty || !info.is_head() {
-            continue;
-        }
-        if info.generation <= s.g {
-            // From-space: about to be traced (and freed) wholesale; its
-            // flag dies with the segment.
-            continue;
-        }
-        let (space, gen) = (info.space, info.generation);
-        heap.segs.clear_dirty(seg);
-        s.report.dirty_segments_scanned += 1;
-        match space {
-            Space::Pair | Space::Typed => {
-                if scan_strong_segment(heap, s, seg, space, gen) {
-                    heap.segs.mark_dirty(seg);
-                }
+        scan_dirty_seg(heap, s, seg);
+    }
+}
+
+/// Scans one dirty-index entry — the per-segment body of [`scan_dirty`],
+/// exposed so the incremental engine can walk a drained dirty snapshot
+/// one segment per yield check.
+pub(crate) fn scan_dirty_seg(heap: &mut Heap, s: &mut Scratch, seg: SegIndex) {
+    // Stale entries: freed (possibly recycled) or already cleaned.
+    let Some(info) = heap.segs.try_info(seg) else {
+        return;
+    };
+    if !info.dirty || !info.is_head() {
+        return;
+    }
+    if info.generation <= s.g {
+        // From-space: about to be traced (and freed) wholesale; its
+        // flag dies with the segment.
+        return;
+    }
+    let (space, gen) = (info.space, info.generation);
+    heap.segs.clear_dirty(seg);
+    s.report.dirty_segments_scanned += 1;
+    match space {
+        Space::Pair | Space::Typed => {
+            if scan_strong_segment(heap, s, seg, space, gen) {
+                heap.segs.mark_dirty(seg);
             }
-            Space::WeakPair => {
-                // Trace the cdrs now; defer the cars (and the dirty-flag
-                // recomputation) to the weak pass.
-                scan_weak_cdrs(heap, s, seg);
+        }
+        Space::WeakPair => {
+            // Trace the cdrs now; defer the cars (and the dirty-flag
+            // recomputation) to the weak pass.
+            scan_weak_cdrs(heap, s, seg);
+            s.old_weak_dirty.push(seg);
+        }
+        Space::Pure => {
+            // No pointers: a pure segment cannot hold old->young
+            // edges; the (spurious) flag is already cleared.
+        }
+    }
+}
+
+/// Re-scans a segment the incremental write barrier logged: a mutator
+/// store landed a from-space pointer in a region the collector may have
+/// already scanned. Unlike [`scan_dirty_seg`] this applies to *any*
+/// non-from-space generation (including to-space and generation 0) and
+/// does not touch the remembered-set counters — the barrier log is a
+/// collection-internal work list, not a remembered set.
+pub(crate) fn rescan_segment(heap: &mut Heap, s: &mut Scratch, seg: SegIndex) {
+    let Some(info) = heap.segs.try_info(seg) else {
+        return;
+    };
+    if !info.is_head() || s.from_space.contains(seg) {
+        // From-space containers need no re-scan: an unforwarded object's
+        // stores travel with the wholesale copy if it is ever forwarded.
+        return;
+    }
+    let (space, gen) = (info.space, info.generation);
+    match space {
+        Space::Pair | Space::Typed => {
+            if scan_strong_segment(heap, s, seg, space, gen) {
+                heap.segs.mark_dirty(seg);
+            }
+        }
+        Space::WeakPair => {
+            scan_weak_cdrs(heap, s, seg);
+            // The weak pass settles the cars; queue the segment unless it
+            // is already queued as to-space or old-dirty.
+            if !s.weak_tospace.contains(&seg) && !s.old_weak_dirty.contains(&seg) {
                 s.old_weak_dirty.push(seg);
             }
-            Space::Pure => {
-                // No pointers: a pure segment cannot hold old->young
-                // edges; the (spurious) flag is already cleared.
-            }
         }
+        Space::Pure => {}
     }
 }
 

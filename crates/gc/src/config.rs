@@ -9,6 +9,7 @@
 //! protected lists.
 
 use guardians_segments::SEGMENT_BYTES;
+use std::time::Duration;
 
 /// Promotion strategy: where survivors of a collection go. The paper
 /// notes that "the number of generations and the promotion and tenure
@@ -99,6 +100,19 @@ pub struct GcConfig {
     /// in registration order); only scheduling-dependent telemetry such
     /// as segment counts and per-phase timings may differ.
     pub workers: usize,
+    /// Bounded-pause ("incremental") collection. `None` (the default)
+    /// keeps every collection a single stop-the-world pause. `Some(b)`
+    /// selects the incremental engine: a collection is split into
+    /// *increments*, each yielding back to the mutator once `b` of
+    /// wall-clock work has been done (always completing at least one work
+    /// unit, so `Duration::ZERO` gives the finest possible slicing).
+    /// Between increments the mutator runs against a forwarded-on-read
+    /// invariant and a write barrier that re-queues already-scanned
+    /// segments mutated to hold from-space pointers; the guardian and
+    /// weak passes stay atomic inside the final increment, so
+    /// guardian/weak observables are identical to the serial engine.
+    /// Takes precedence over `workers`: increments always run serially.
+    pub pause_budget: Option<Duration>,
 }
 
 impl GcConfig {
@@ -114,6 +128,7 @@ impl GcConfig {
             ablate_weak_pass_first: false,
             fail_acquisition_at: None,
             workers: 1,
+            pause_budget: None,
         }
     }
 

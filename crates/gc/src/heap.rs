@@ -58,8 +58,15 @@ pub struct Heap {
     /// Dickey-baseline watch lists, one per generation.
     pub(crate) finalize_watch: Vec<Vec<FinEntry>>,
     /// When a collection is running, newly allocated (to-space) segments
-    /// are logged here for the Cheney sweep.
+    /// are logged here for the Cheney sweep. For an incremental
+    /// collection it stays `Some` across all increments, so mutator
+    /// allocations between increments are swept too.
     pub(crate) tospace_log: Option<Vec<SegIndex>>,
+    /// A bounded-pause collection suspended between increments (see
+    /// [`GcConfig::pause_budget`] and `collect::incremental`). Taken out
+    /// of the heap while an increment runs, so accessor read/write
+    /// barriers see `None` exactly when the collector itself is running.
+    pub(crate) incremental: Option<Box<collect::incremental::IncrementalState>>,
     pub(crate) stats: HeapStats,
     last_report: Option<CollectionReport>,
     pub(crate) collections: u64,
@@ -98,6 +105,7 @@ impl Heap {
             protected: (0..lists).map(|_| Vec::new()).collect(),
             finalize_watch: (0..gens).map(|_| Vec::new()).collect(),
             tospace_log: None,
+            incremental: None,
             stats: HeapStats::default(),
             last_report: None,
             collections: 0,
@@ -538,7 +546,10 @@ impl Heap {
     /// the reservation exceeds the remaining budget.
     pub fn try_collect(&mut self, gen: u8) -> Result<&CollectionReport, GcError> {
         assert!(gen < self.config.generations, "no such generation: {gen}");
-        self.check_budget(collect::estimate_worst_case(self, gen))?;
+        // When resuming a suspended incremental collection, the bound is
+        // for *its* generation (`gen` applies to the next cycle).
+        let g = self.incremental.as_ref().map_or(gen, |st| st.s.g);
+        self.check_budget(collect::estimate_worst_case(self, g))?;
         Ok(self.collect(gen))
     }
 
@@ -636,8 +647,26 @@ impl Heap {
             !self.alloc_forbidden,
             "cannot collect while allocation is forbidden"
         );
+        if self.incremental.is_some() || self.config.pause_budget.is_some() {
+            // Bounded-pause engine, run synchronously to completion. If a
+            // collection is already in flight it is finished (its own
+            // generation choice wins; `gen` applies to the next cycle).
+            if self.incremental.is_none() {
+                self.begin_incremental(gen);
+            }
+            while self.gc_step().is_none() {}
+            return self.last_report.as_ref().expect("completing step set it");
+        }
         self.collections += 1;
         let report = collect::run(self, gen);
+        self.finish_collection(report)
+    }
+
+    /// Post-collection bookkeeping shared by every engine: fold the
+    /// report into the cumulative stats and the metrics registry, reset
+    /// the allocation trigger, take the end-of-collection census if the
+    /// tracer asked for one, and publish the report.
+    fn finish_collection(&mut self, report: CollectionReport) -> &CollectionReport {
         self.stats.absorb(&report);
         self.absorb_metrics(&report);
         self.bytes_since_gc = 0;
@@ -655,12 +684,97 @@ impl Heap {
     /// Collects if at least `trigger_bytes` have been allocated since the
     /// last collection, choosing the generation from the configured
     /// schedule. Call this at safe points (no unrooted live values).
+    ///
+    /// With [`GcConfig::pause_budget`] set this is the incremental
+    /// engine's driver: an in-flight collection advances by one bounded
+    /// increment per call (returning `Some` only on the completing one),
+    /// and a newly triggered collection begins and runs its first
+    /// increment.
     pub fn maybe_collect(&mut self) -> Option<&CollectionReport> {
+        if self.incremental.is_some() {
+            return self.gc_step();
+        }
         if self.bytes_since_gc < self.config.trigger_bytes {
             return None;
         }
         let gen = self.config.generation_for_collection(self.collections + 1);
+        if self.config.pause_budget.is_some() {
+            self.begin_incremental(gen);
+            return self.gc_step();
+        }
         Some(self.collect(gen))
+    }
+
+    /// Begins a bounded-pause collection of generations `0..=gen`
+    /// without running any increment: the flip runs, the from-space is
+    /// snapshotted, and the heap enters the between-increments regime
+    /// (forwarded-on-read, write barrier logging). Drive it with
+    /// [`Heap::gc_step`]. Ordinarily [`Heap::maybe_collect`] does both;
+    /// this entry point exists for embeddings (and tests) that schedule
+    /// increments themselves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gen` is invalid, allocation is forbidden, or a
+    /// collection is already in flight.
+    pub fn begin_incremental(&mut self, gen: u8) {
+        assert!(gen < self.config.generations, "no such generation: {gen}");
+        assert!(
+            !self.alloc_forbidden,
+            "cannot collect while allocation is forbidden"
+        );
+        assert!(
+            self.incremental.is_none(),
+            "an incremental collection is already in flight"
+        );
+        self.collections += 1;
+        let st = collect::incremental::begin(self, gen);
+        self.incremental = Some(st);
+    }
+
+    /// Runs one increment of the in-flight bounded-pause collection:
+    /// at least one work unit, then more until the
+    /// [`GcConfig::pause_budget`] deadline passes. Returns the final
+    /// report on the completing increment, `None` while work remains
+    /// *or* when no collection is in flight.
+    pub fn gc_step(&mut self) -> Option<&CollectionReport> {
+        let mut st = self.incremental.take()?;
+        let finished = collect::incremental::step(self, &mut st);
+        if finished {
+            let report = st.s.report;
+            Some(self.finish_collection(report))
+        } else {
+            self.incremental = Some(st);
+            None
+        }
+    }
+
+    /// Fallible [`Heap::gc_step`]: preflights a conservative bound on
+    /// the *remaining* collection's segment demand against the
+    /// acquisition budget before running the increment. On
+    /// [`GcError::Exhausted`] nothing ran — the collection stays
+    /// suspended and resumable (lift the fault and keep stepping).
+    ///
+    /// # Errors
+    ///
+    /// [`GcError::Exhausted`] if the bound exceeds the remaining budget.
+    pub fn try_gc_step(&mut self) -> Result<Option<&CollectionReport>, GcError> {
+        if let Some(st) = self.incremental.as_ref() {
+            let g = st.s.g;
+            // `estimate_worst_case` stays a sound bound mid-collection:
+            // the from-space segments are still in the table (freed only
+            // by the terminal increment), remaining survivors are a
+            // subset of from-space words, and protected entries are
+            // untouched until the terminal increment.
+            self.check_budget(collect::estimate_worst_case(self, g))?;
+        }
+        Ok(self.gc_step())
+    }
+
+    /// Whether a bounded-pause collection is suspended between
+    /// increments.
+    pub fn incremental_in_progress(&self) -> bool {
+        self.incremental.is_some()
     }
 
     /// Number of collections performed so far.
@@ -783,8 +897,16 @@ impl Heap {
         m.add_counter("gc.weak.scanned", r.weak_pairs_scanned);
         m.add_counter("gc.weak.broken", r.weak_cars_broken);
         m.add_counter("gc.weak.forwarded", r.weak_cars_forwarded);
-        m.histogram("gc.pause_ns")
-            .record(r.duration.as_nanos() as u64);
+        if r.increments == 0 {
+            // Stop-the-world: the whole collection is one pause. The
+            // incremental engine records each increment's pause as it
+            // happens ([`Heap::record_pause`]); recording the cumulative
+            // duration here too would double-count it.
+            m.histogram("gc.pause_ns")
+                .record(r.duration.as_nanos() as u64);
+        } else {
+            m.add_counter("gc.increments", r.increments);
+        }
         let p = &r.phases;
         for (name, d) in [
             ("gc.phase.flip_ns", p.flip),
@@ -798,6 +920,14 @@ impl Heap {
         ] {
             m.histogram(name).record(d.as_nanos() as u64);
         }
+    }
+
+    /// Records one mutator pause sample into the `gc.pause_ns`
+    /// histogram; the incremental engine calls this once per increment.
+    pub(crate) fn record_pause(&mut self, d: std::time::Duration) {
+        self.metrics
+            .histogram("gc.pause_ns")
+            .record(d.as_nanos() as u64);
     }
 
     /// The metrics registry, with mutator-side counters and gauges

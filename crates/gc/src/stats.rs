@@ -129,10 +129,17 @@ pub struct CollectionReport {
     pub segments_freed: u64,
     /// Segments allocated for the to-space during this collection.
     pub segments_allocated: u64,
-    /// Wall-clock duration of the collection.
+    /// Wall-clock duration of the collection. For an incremental
+    /// collection this is the *sum* of all increment pauses, not the
+    /// begin-to-end wall time (mutator time between increments is
+    /// excluded).
     pub duration: Duration,
     /// Per-phase breakdown of `duration`.
     pub phases: PhaseTimes,
+    /// Number of bounded-pause increments the collection ran in. `0`
+    /// means a single stop-the-world pause (the serial and parallel
+    /// engines); the incremental engine reports at least 1.
+    pub increments: u64,
 }
 
 impl CollectionReport {

@@ -65,7 +65,11 @@ impl Heap {
         self.set_cdr(tc, p);
         // The to-space log is live exactly while a collection runs, which
         // distinguishes the guardian pass's appends from mutator ones.
-        let during_collection = self.tospace_log.is_some();
+        // During an *incremental* cycle the log stays live between
+        // increments too, but the collector takes the `incremental` state
+        // out while it runs an increment — so `incremental` is `None`
+        // exactly when the caller is the collector.
+        let during_collection = self.tospace_log.is_some() && self.incremental.is_none();
         self.trace_emit(|| crate::trace::GcEvent::TconcAppend { during_collection });
     }
 

@@ -3,10 +3,11 @@
 //! at the moment they corrupt the heap rather than when the corruption is
 //! finally observed.
 
+use crate::collect::incremental::IncrementalState;
 use crate::header::Header;
 use crate::heap::Heap;
 use crate::value::{fwd, Value, TAG_MASK};
-use guardians_segments::{SegKind, Space, NO_OWNER};
+use guardians_segments::{SegIndex, SegKind, Space, NO_OWNER};
 use std::fmt;
 
 /// A heap invariant violation found by [`Heap::verify`].
@@ -46,10 +47,19 @@ impl Heap {
     ///   per-generation lists sound;
     /// * finalizer watch entries satisfy the same object invariant.
     ///
+    /// While an incremental collection is suspended between increments
+    /// the stop-the-world invariants do not all hold; the walk dispatches
+    /// to `Heap::verify_incremental`, which checks the between-increment
+    /// invariants instead (forwarded-on-read well-formedness and write-
+    /// barrier coverage).
+    ///
     /// # Errors
     ///
     /// Returns the first violation found.
     pub fn verify(&self) -> Result<(), VerifyError> {
+        if let Some(st) = self.incremental.as_ref() {
+            return self.verify_incremental(st);
+        }
         // 1. Per-segment object walks.
         for (seg, info) in self.segs.iter() {
             if !info.is_head() {
@@ -175,6 +185,155 @@ impl Heap {
         Ok(())
     }
 
+    /// The between-increment invariants of a suspended incremental
+    /// collection:
+    ///
+    /// * non-from-space segments still parse and their fields are
+    ///   well-formed, except that a pointer's referent may already have
+    ///   been copied (its first word is a forwarding mark, accepted by
+    ///   the relaxed target check);
+    /// * **barrier coverage**: a from-space pointer in a *strong* field
+    ///   of a non-from-space segment is sound only if the collector's
+    ///   remaining work ([`IncrementalState::covered`]) will re-visit the
+    ///   segment — otherwise terminal reclaim would leave it dangling.
+    ///   Weak cars are exempt (the terminal weak pass settles them);
+    /// * from-space segments are not walked (copied objects carry broken
+    ///   hearts in word 0 and are reclaimed wholesale at the end);
+    /// * a dirty flag may be backed by the state's remembered-set
+    ///   snapshot instead of the table's dirty index;
+    /// * roots, protected entries, and finalizer watches may hold
+    ///   from-space pointers (roots are re-forwarded at every increment;
+    ///   guardian/finalizer entries are settled by the terminal
+    ///   increment), so only well-formedness is checked, and the
+    ///   protected generation invariants — re-established by the
+    ///   terminal guardian pass — are skipped.
+    fn verify_incremental(&self, st: &IncrementalState) -> Result<(), VerifyError> {
+        // 1. Per-segment object walks, skipping the from-space.
+        for (seg, info) in self.segs.iter() {
+            if !info.is_head() || st.s.from_space.contains(seg) {
+                continue;
+            }
+            let base = self.segs.base_addr(seg);
+            let used = info.used as usize;
+            let mut off = 0;
+            while off < used {
+                match info.space {
+                    Space::Pair | Space::WeakPair => {
+                        let weak_car = info.space == Space::WeakPair;
+                        let car = Value(self.segs.word(base.add(off)));
+                        self.check_value_incremental(st, car, seg, weak_car, "car")?;
+                        let cdr = Value(self.segs.word(base.add(off + 1)));
+                        self.check_value_incremental(st, cdr, seg, false, "cdr")?;
+                        off += 2;
+                    }
+                    Space::Typed | Space::Pure => {
+                        let word = self.segs.word(base.add(off));
+                        let header = Header::decode(word).ok_or_else(|| {
+                            VerifyError::new(format!(
+                                "bad header {word:#x} at {seg:?}+{off} (space {:?})",
+                                info.space
+                            ))
+                        })?;
+                        for i in 0..header.traced_words() {
+                            let v = Value(self.segs.word(base.add(off + 1 + i)));
+                            self.check_value_incremental(st, v, seg, false, "object field")?;
+                        }
+                        off += header.total_words();
+                    }
+                }
+            }
+            if off != used {
+                return Err(VerifyError::new(format!(
+                    "object walk of {seg:?} overshot: used={used}, walked to {off}"
+                )));
+            }
+        }
+
+        // 2. Dirty-index coherence: mid-cycle, the flip's dirty snapshot
+        // (the unscanned tail of `remset_pending`) stands in for index
+        // membership — those segments keep their flags until scanned —
+        // and from-space flags are simply left to die with the segment
+        // at the terminal reclaim.
+        for (seg, info) in self.segs.iter() {
+            if info.dirty
+                && !st.s.from_space.contains(seg)
+                && !self.segs.dirty_index().contains(&seg)
+                && !st.remset_pending[st.remset_cursor..].contains(&seg)
+            {
+                return Err(VerifyError::new(format!(
+                    "{seg:?} is dirty but missing from the dirty index and the \
+                     suspended collection's remembered-set snapshot"
+                )));
+            }
+        }
+
+        // 2b/2c. Cursor and ownership coherence hold between increments
+        // exactly as between collections (increments run serially).
+        for (seg, info) in self.segs.iter() {
+            let in_table = self.cursors.contains(&Some(seg));
+            if info.open_cursor != in_table {
+                return Err(VerifyError::new(format!(
+                    "{seg:?} open_cursor flag is {} but cursor table says {}",
+                    info.open_cursor, in_table
+                )));
+            }
+            if info.owner != NO_OWNER {
+                return Err(VerifyError::new(format!(
+                    "{seg:?} is owned by collector worker {} during an incremental cycle",
+                    info.owner
+                )));
+            }
+        }
+
+        // 3. Roots, 4. protected lists, 5. finalizer watches: relaxed.
+        for v in self.roots.snapshot() {
+            self.check_value_relaxed(v, "root")?;
+        }
+        for list in self.protected.iter() {
+            for e in list {
+                self.check_value_relaxed(e.obj, "guarded object")?;
+                self.check_value_relaxed(e.rep, "guardian representative")?;
+                self.check_value_relaxed(e.tconc, "guardian tconc")?;
+                if !e.tconc.is_pair_ptr() {
+                    return Err(VerifyError::new(format!(
+                        "tconc is not a pair: {:?}",
+                        e.tconc
+                    )));
+                }
+            }
+        }
+        for list in self.finalize_watch.iter() {
+            for e in list {
+                self.check_value_relaxed(e.obj, "finalizer-watched object")?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Field check for [`Heap::verify_incremental`]: a from-space pointer
+    /// in a strong field must be covered by the suspended collection's
+    /// outstanding work; its referent is checked with the relaxed rules.
+    fn check_value_incremental(
+        &self,
+        st: &IncrementalState,
+        v: Value,
+        holder: SegIndex,
+        weak_car: bool,
+        what: &str,
+    ) -> Result<(), VerifyError> {
+        if v.is_ptr() && st.s.from_space.contains(v.addr().seg()) {
+            if !weak_car && !st.covered(self, holder) {
+                return Err(VerifyError::new(format!(
+                    "{what} in {holder:?} holds a from-space pointer {v:?} but the \
+                     segment is in none of the suspended collection's work lists \
+                     (write-barrier coverage violation)"
+                )));
+            }
+            return self.check_value_relaxed(v, what);
+        }
+        self.check_value(v, what)
+    }
+
     fn check_value(&self, v: Value, what: &str) -> Result<(), VerifyError> {
         if fwd::decode(v.raw()).is_some() {
             return Err(VerifyError::new(format!(
@@ -238,6 +397,83 @@ impl Heap {
                 if Header::decode(self.segs.word(addr)).is_none() {
                     return Err(VerifyError::new(format!(
                         "{what}: typed pointer does not target a header: {v:?}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Heap::check_value`] with one relaxation for suspended
+    /// incremental collections: a typed pointer's target word may be a
+    /// forwarding mark instead of a header (the referent was already
+    /// copied; readers chase the broken heart). From-space `used`
+    /// watermarks are frozen at the flip, so the range checks stay exact.
+    fn check_value_relaxed(&self, v: Value, what: &str) -> Result<(), VerifyError> {
+        if fwd::decode(v.raw()).is_some() {
+            return Err(VerifyError::new(format!(
+                "{what} holds a forwarding mark: {:#x}",
+                v.raw()
+            )));
+        }
+        if Header::decode(v.raw()).is_some() {
+            return Err(VerifyError::new(format!(
+                "{what} holds a header word: {:#x}",
+                v.raw()
+            )));
+        }
+        if v.raw() & TAG_MASK == 0b101 || v.raw() & TAG_MASK == 0b110 {
+            return Err(VerifyError::new(format!(
+                "{what} holds an undefined tag: {:#x}",
+                v.raw()
+            )));
+        }
+        if !v.is_ptr() {
+            return Ok(());
+        }
+        let addr = v.addr();
+        let Some(info) = self.segs.try_info(addr.seg()) else {
+            return Err(VerifyError::new(format!(
+                "{what} points into a freed segment: {v:?}"
+            )));
+        };
+        match info.kind {
+            SegKind::Head => {
+                if addr.offset() >= info.used as usize {
+                    return Err(VerifyError::new(format!(
+                        "{what} points past the used region: {v:?} (used {})",
+                        info.used
+                    )));
+                }
+            }
+            SegKind::Tail { .. } => {
+                return Err(VerifyError::new(format!(
+                    "{what} points into the middle of a large object run: {v:?}"
+                )));
+            }
+        }
+        match info.space {
+            Space::Pair | Space::WeakPair => {
+                if !v.is_pair_ptr() {
+                    return Err(VerifyError::new(format!(
+                        "{what}: non-pair pointer into a pair space: {v:?}"
+                    )));
+                }
+                if !addr.offset().is_multiple_of(2) {
+                    return Err(VerifyError::new(format!("{what}: misaligned pair: {v:?}")));
+                }
+            }
+            Space::Typed | Space::Pure => {
+                if !v.is_obj_ptr() {
+                    return Err(VerifyError::new(format!(
+                        "{what}: pair pointer into an object space: {v:?}"
+                    )));
+                }
+                let w = self.segs.word(addr);
+                if Header::decode(w).is_none() && fwd::decode(w).is_none() {
+                    return Err(VerifyError::new(format!(
+                        "{what}: typed pointer targets neither header nor \
+                         forwarding mark: {v:?}"
                     )));
                 }
             }

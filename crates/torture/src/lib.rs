@@ -50,6 +50,18 @@ pub fn check_seed_parallel(seed: u64, nops: usize, workers: usize) -> Result<Run
     run_trace(&trace)
 }
 
+/// [`check_seed`] under a bounded-pause budget (in microseconds): the
+/// unit of the incremental campaign. Like the parallel leg, the shadow
+/// oracle is engine-agnostic, so a pass here is the incremental engine's
+/// model-equivalence check — and because the event trace is checked per
+/// collection when enabled, guardian/weak observables must match the
+/// serial engine's exactly, whatever the budget slices the work into.
+pub fn check_seed_budget(seed: u64, nops: usize, budget_us: u64) -> Result<RunStats, Failure> {
+    let mut trace = generate(seed, nops);
+    trace.config.pause_budget = Some(budget_us);
+    run_trace(&trace)
+}
+
 /// [`check_seed`] with the GC event trace enabled and cross-checked
 /// against the shadow model after every collection; returns the full
 /// event stream for export (e.g. as a Chrome trace).

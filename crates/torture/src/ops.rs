@@ -347,6 +347,12 @@ pub struct TortureConfig {
     /// model is engine-agnostic, so a parallel campaign leg is the
     /// oracle-equivalence check the parallel engine's contract promises.
     pub workers: usize,
+    /// Bounded-pause budget in microseconds (`None` = stop-the-world).
+    /// `Some` selects the incremental engine; `Some(0)` is the finest
+    /// slicing (one work unit per increment). Like `workers`, the shadow
+    /// model is engine-agnostic: a budget leg checks the incremental
+    /// engine against the same oracle, observable for observable.
+    pub pause_budget: Option<u64>,
 }
 
 impl Default for TortureConfig {
@@ -358,6 +364,7 @@ impl Default for TortureConfig {
             ablate_weak_pass_first: false,
             fail_acquisition_at: None,
             workers: 1,
+            pause_budget: None,
         }
     }
 }
@@ -378,11 +385,15 @@ impl fmt::Display for TortureConfig {
             "config {} {promo} {} {} {fault}",
             self.generations, self.flat_protected as u8, self.ablate_weak_pass_first as u8
         )?;
-        // The workers token is optional (and omitted at the default) so
-        // pre-parallel traces keep parsing and serial traces keep their
-        // historical textual form.
-        if self.workers != 1 {
+        // The workers and pause-budget tokens are optional (and omitted
+        // at the defaults) so older traces keep parsing and default
+        // traces keep their historical textual form. The budget is the
+        // 7th token, so emitting it forces the 6th (workers) out too.
+        if self.workers != 1 || self.pause_budget.is_some() {
             write!(f, " {}", self.workers)?;
+        }
+        if let Some(us) = self.pause_budget {
+            write!(f, " {us}")?;
         }
         Ok(())
     }
@@ -430,6 +441,13 @@ impl FromStr for TortureConfig {
             }
             None => 1,
         };
+        let pause_budget = match it.next() {
+            Some(us) => Some(
+                us.parse()
+                    .map_err(|e| format!("config: bad pause budget: {e}"))?,
+            ),
+            None => None,
+        };
         Ok(TortureConfig {
             generations: gens,
             promotion: promo,
@@ -437,6 +455,7 @@ impl FromStr for TortureConfig {
             ablate_weak_pass_first: ablate,
             fail_acquisition_at: fault,
             workers,
+            pause_budget,
         })
     }
 }
@@ -608,6 +627,30 @@ mod tests {
             "config 4 next 0 0 -".parse::<TortureConfig>().unwrap(),
             serial
         );
+    }
+
+    #[test]
+    fn pause_budget_token_round_trips_and_defaults() {
+        // The budget is the 7th token: emitting it forces the workers
+        // token out even at its default.
+        let budgeted = TortureConfig {
+            pause_budget: Some(250),
+            ..TortureConfig::default()
+        };
+        let text = budgeted.to_string();
+        assert!(text.ends_with(" 1 250"), "both tokens emitted: {text}");
+        assert_eq!(text.parse::<TortureConfig>().unwrap(), budgeted);
+        // Zero (finest slicing) round-trips distinctly from None.
+        let finest = TortureConfig {
+            pause_budget: Some(0),
+            ..TortureConfig::default()
+        };
+        assert_eq!(finest.to_string().parse::<TortureConfig>().unwrap(), finest);
+        // Six-token (pre-incremental) and five-token (pre-parallel)
+        // lines still parse as stop-the-world.
+        for old in ["config 4 next 0 0 - 4", "config 4 next 0 0 -"] {
+            assert_eq!(old.parse::<TortureConfig>().unwrap().pause_budget, None);
+        }
     }
 
     #[test]

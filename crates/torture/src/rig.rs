@@ -190,6 +190,7 @@ impl Rig {
             ablate_weak_pass_first: cfg.ablate_weak_pass_first,
             fail_acquisition_at: cfg.fail_acquisition_at,
             workers: cfg.workers,
+            pause_budget: cfg.pause_budget.map(std::time::Duration::from_micros),
             ..GcConfig::default()
         };
         let mut heap = Heap::new(gc);

@@ -104,6 +104,86 @@ fn parallel_worker_matrix_agrees_with_the_oracle() {
     assert!(runs >= 50, "parallel campaign too small: {runs} runs");
 }
 
+/// The bounded-pause budget matrix: every seed replays stop-the-world,
+/// coarsely sliced (2 ms), and at the finest possible slicing (0 µs =
+/// one work unit per increment) with zero oracle divergences — and the
+/// deterministic observables, including finalized guardian entries and
+/// FIFO poll order (checked by the oracle) and weak-car outcomes, are
+/// identical across budgets. This is the incremental engine's
+/// guardian-atomicity acceptance check: however finely the copy/scan
+/// work is sliced, the §4 three-block pass and the weak break run
+/// unsliced in the terminal increment, so observables cannot move.
+#[test]
+fn pause_budget_matrix_agrees_with_the_oracle() {
+    let seeds = env_num("TORTURE_BUDGET_SEEDS", 12);
+    let ops = env_num("TORTURE_BUDGET_OPS", 300) as usize;
+    let mut runs = 0;
+    for seed in 0..seeds {
+        let mut baseline = None;
+        for budget_us in [None, Some(2_000u64), Some(0)] {
+            let stats = match budget_us {
+                None => guardians_torture::check_seed(seed, ops),
+                Some(us) => guardians_torture::check_seed_budget(seed, ops, us),
+            }
+            .unwrap_or_else(|f| panic!("seed {seed}, budget {budget_us:?}: {f}"));
+            runs += 1;
+            let key = (
+                stats.applied,
+                stats.collections,
+                stats.finalized,
+                stats.polled,
+                stats.live_nodes,
+            );
+            match &baseline {
+                None => baseline = Some(key),
+                Some(b) => assert_eq!(
+                    *b, key,
+                    "seed {seed}: budget {budget_us:?} changed the deterministic observables"
+                ),
+            }
+        }
+    }
+    assert!(runs >= 36, "budget campaign too small: {runs} runs");
+}
+
+/// The event-traced rig under the finest budget: per-collection event
+/// parity (phase sums, counter fields, tconc-append attribution) holds
+/// with the collection sliced into many increments.
+#[test]
+fn traced_budget_runs_agree_event_for_event() {
+    for seed in 0..4u64 {
+        let mut trace = generate(seed, 300);
+        trace.config.pause_budget = Some(0);
+        let (stats, _events) = guardians_torture::run_trace_traced(&trace)
+            .unwrap_or_else(|f| panic!("traced budget seed {seed}: {f}"));
+        assert!(stats.collections > 0, "seed {seed} never collected");
+    }
+}
+
+/// The acquisition fault swept across incremental runs: mid-cycle
+/// preflights must refuse cleanly (`GcError::Exhausted`, heap
+/// verify-valid, resumable) — never a tripwire panic from an increment
+/// crossing the limit, which would mean the worst-case reservation is
+/// unsound mid-collection.
+#[test]
+fn incremental_fault_injection_stays_clean() {
+    for seed in 0..2u64 {
+        let mut trace = generate(seed, 80);
+        trace.config.pause_budget = Some(0);
+        let base = run_trace(&trace)
+            .unwrap_or_else(|f| panic!("fault-free incremental run of seed {seed}: {f}"));
+        let mut fired = 0;
+        for offset in (0..=base.acquisitions).step_by(3) {
+            let mut t = trace.clone();
+            t.config.fail_acquisition_at = Some(offset);
+            let stats =
+                run_trace(&t).unwrap_or_else(|f| panic!("seed {seed}, fault@{offset}: {f}"));
+            fired += stats.faults_hit;
+        }
+        assert!(fired > 0, "seed {seed} never fired the fault");
+    }
+}
+
 /// The acquisition fault with racing workers: under `workers = 4` the
 /// fallible entry points must still refuse cleanly (`GcError::Exhausted`
 /// with the heap verify-valid, then recover) — never a tripwire panic
