@@ -9,6 +9,7 @@
 //! gcprof --scenario e11 --quick --out-dir gcprof-out
 //! gcprof --scenario e14 --quick --out-dir gcprof-out
 //! gcprof --scenario e18 --quick --out-dir gcprof-out
+//! gcprof --scenario e19 --quick --out-dir gcprof-out
 //! gcprof --scenario torture --seed 7 --ops 2000 --out-dir gcprof-out
 //! ```
 //!
@@ -34,7 +35,7 @@ fn main() {
     };
     let scenario = get("--scenario").unwrap_or_else(|| {
         eprintln!(
-            "usage: gcprof --scenario <e11|e14|e18|torture> [--quick] [--seed N] [--ops N] \
+            "usage: gcprof --scenario <e11|e14|e18|e19|torture> [--quick] [--seed N] [--ops N] \
              [--out-dir DIR]"
         );
         std::process::exit(2);
@@ -49,9 +50,12 @@ fn main() {
         "e11" => profile_e11(quick, &out_dir),
         "e14" => profile_e14(quick, &out_dir),
         "e18" => profile_e18(quick, &out_dir),
+        "e19" => profile_e19(quick, &out_dir),
         "torture" => profile_torture(seed, ops, &out_dir),
         other => {
-            eprintln!("error: unknown scenario {other:?} (expected e11, e14, e18, or torture)");
+            eprintln!(
+                "error: unknown scenario {other:?} (expected e11, e14, e18, e19, or torture)"
+            );
             std::process::exit(2);
         }
     }
@@ -252,6 +256,81 @@ fn profile_e14(quick: bool, out_dir: &str) {
     )
     .expect("write metrics");
     write_exports(out_dir, "e14", &events);
+}
+
+fn profile_e19(quick: bool, out_dir: &str) {
+    // E14's allocation-heavy programs run under the bytecode VM with site
+    // profiling on, which also arms the per-opcode dispatch counters: the
+    // profile shows where the words come from *and* where the dispatch
+    // loop spends its instructions.
+    let programs: [(&str, &str, &str, usize); 2] = [
+        (
+            "list-churn",
+            "(define (iota n) \
+               (let lp ((i 0) (acc '())) \
+                 (if (= i n) (reverse acc) (lp (+ i 1) (cons i acc))))) \
+             (define (filter p l) \
+               (cond ((null? l) '()) \
+                     ((p (car l)) (cons (car l) (filter p (cdr l)))) \
+                     (else (filter p (cdr l))))) \
+             (define (churn n) \
+               (length (map (lambda (x) (* x x)) (filter odd? (iota n)))))",
+            "(churn 250)",
+            if quick { 20 } else { 80 },
+        ),
+        (
+            "guardian-churn",
+            "(define (gchurn n) \
+               (let ((g (make-guardian))) \
+                 (let lp ((i 0)) \
+                   (unless (= i n) (g (cons i i)) (lp (+ i 1)))) \
+                 (collect 3) \
+                 (let drain ((k 0)) \
+                   (if (g) (drain (+ k 1)) k))))",
+            "(gchurn 500)",
+            if quick { 6 } else { 24 },
+        ),
+    ];
+    let mut it = Interp::with_interp_config(InterpConfig::vm());
+    it.heap_mut().enable_tracing(profile_trace_config());
+    it.heap_mut().enable_site_profile();
+    for (name, setup, driver, iters) in programs {
+        it.eval_str(setup).expect("setup evaluates");
+        for _ in 0..iters {
+            it.eval_to_string(driver).expect("driver evaluates");
+        }
+        println!("ran {name} x{iters}");
+    }
+    let events = it.heap_mut().drain_trace_events();
+    let sites = it.heap_mut().take_site_profile();
+
+    println!("== gcprof e19 (bytecode VM, site attribution + dispatch mix) ==");
+    println!("allocation sites by words (top 10):");
+    for (site, s) in sites.iter().take(10) {
+        println!(
+            "  {:>10} words  {:>8} allocs  {site}",
+            s.words, s.allocations
+        );
+    }
+    let mut dispatches: Vec<(&str, u64)> = it
+        .heap_mut()
+        .metrics()
+        .counters()
+        .filter(|(k, _)| k.starts_with("vm.dispatch."))
+        .collect();
+    dispatches.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    let total: u64 = dispatches.iter().map(|&(_, n)| n).sum();
+    println!("dispatch counters ({total} insns, top 10):");
+    for (key, n) in dispatches.iter().take(10) {
+        println!("  {n:>10}  {key}");
+    }
+    print_pause_report(it.heap_mut());
+    std::fs::write(
+        Path::new(out_dir).join("e19.metrics.json"),
+        it.heap_mut().metrics_json(),
+    )
+    .expect("write metrics");
+    write_exports(out_dir, "e19", &events);
 }
 
 fn profile_torture(seed: u64, ops: usize, out_dir: &str) {

@@ -25,6 +25,15 @@
 //!   --traced N       re-run the first N seeds with the GC event trace
 //!                    enabled and cross-checked against the shadow model
 //!                    after every collection      (default 0 = none)
+//!   --scheme-seeds N additionally run N seeds of the scheme-differential
+//!                    leg: the seed's guardian-heavy Scheme workload under
+//!                    the staged anchor vs the tier named by
+//!                    --scheme-interp, on the seed's rotated heap config
+//!                    (plus --workers / --pause-budget overrides)
+//!                    (default 0 = none)
+//!   --scheme-forms N top-level forms per scheme workload  (default 200)
+//!   --scheme-interp M the tier the scheme leg checks against the staged
+//!                    anchor: naive | vm                   (default vm)
 //!   --fail-out PATH  on divergence, also write the shrunken regression
 //!                    trace to PATH (CI uploads it as an artifact)
 
@@ -39,6 +48,9 @@ fn main() {
     let mut sweep_seeds: u64 = 0;
     let mut sweep_ops: usize = 150;
     let mut traced_seeds: u64 = 0;
+    let mut scheme_seeds: u64 = 0;
+    let mut scheme_forms: usize = 200;
+    let mut scheme_interp = guardians_torture::InterpMode::Vm;
     let mut fail_out: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,6 +70,15 @@ fn main() {
             "--fault-sweep" => sweep_seeds = val(i),
             "--sweep-ops" => sweep_ops = val(i) as usize,
             "--traced" => traced_seeds = val(i),
+            "--scheme-seeds" => scheme_seeds = val(i),
+            "--scheme-forms" => scheme_forms = val(i) as usize,
+            "--scheme-interp" => {
+                scheme_interp = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("--scheme-interp needs naive|vm"))
+                    .parse()
+                    .unwrap_or_else(|e| panic!("--scheme-interp: {e}"));
+            }
             "--fail-out" => {
                 fail_out = Some(
                     args.get(i + 1)
@@ -168,6 +189,40 @@ fn main() {
         println!(
             "PASS: traced soak, {events} events cross-checked, {:.1}s",
             t2.elapsed().as_secs_f64()
+        );
+    }
+
+    if scheme_seeds > 0 {
+        println!(
+            "scheme differential: {scheme_seeds} seeds x ~{scheme_forms} forms, \
+             {scheme_interp} tier vs the staged anchor"
+        );
+        let t3 = Instant::now();
+        let mut forms = 0usize;
+        let mut collections = 0u64;
+        let mut polled = 0u64;
+        for seed in start..start + scheme_seeds {
+            let mut cfg = guardians_torture::config_for_seed(seed);
+            cfg.interp = scheme_interp;
+            cfg.workers = workers;
+            cfg.pause_budget = pause_budget;
+            match guardians_torture::run_scheme_differential(seed, scheme_forms, &cfg) {
+                Ok(stats) => {
+                    forms += stats.forms;
+                    collections += stats.collections;
+                    polled += stats.polled;
+                }
+                Err(failure) => {
+                    eprintln!("{failure}");
+                    write_failure(fail_out.as_deref(), &format!("{failure}\n"));
+                    std::process::exit(1);
+                }
+            }
+        }
+        println!(
+            "PASS: scheme differential, {forms} forms, {collections} collections, \
+             {polled} polls, {:.1}s",
+            t3.elapsed().as_secs_f64()
         );
     }
 }

@@ -27,15 +27,15 @@ pub struct E14Row {
     pub identical: bool,
 }
 
-struct Workload {
-    name: &'static str,
+pub(super) struct Workload {
+    pub(super) name: &'static str,
     /// Definitions evaluated once per interpreter (untimed).
-    setup: &'static str,
+    pub(super) setup: &'static str,
     /// The expression evaluated `iters` times (timed).
-    driver: &'static str,
+    pub(super) driver: &'static str,
 }
 
-fn workloads(quick: bool) -> Vec<(Workload, usize)> {
+pub(super) fn workloads(quick: bool) -> Vec<(Workload, usize)> {
     let scale = if quick { 1 } else { 4 };
     vec![
         (
@@ -89,7 +89,7 @@ fn workloads(quick: bool) -> Vec<(Workload, usize)> {
     ]
 }
 
-fn time_mode(config: InterpConfig, w: &Workload, iters: usize) -> (f64, String) {
+pub(super) fn time_mode(config: InterpConfig, w: &Workload, iters: usize) -> (f64, String) {
     let mut it = Interp::with_interp_config(config);
     it.eval_str(w.setup).expect("workload setup evaluates");
     // One untimed evaluation to warm inline caches and the code table.

@@ -11,6 +11,7 @@ pub mod e12;
 pub mod e14;
 pub mod e17;
 pub mod e18;
+pub mod e19;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -38,6 +39,7 @@ pub fn run_all(quick: bool) -> Vec<guardians_workloads::Table> {
         e14::run(quick).0,
         e17::run(quick).0,
         e18::run(quick).0,
+        e19::run(quick).0,
     ]
 }
 

@@ -256,13 +256,17 @@ pub struct GateSpec {
 }
 
 /// The default gate: e11 copy throughput, e14 staged eval latency, e17
-/// serial-engine copy throughput, and e18 pause latency. E17's parallel
-/// columns are *not* gated — their values depend on the runner's core
-/// count — but the 1-worker column exercises the serial engine through
-/// the E17 workload mix and is host-shape independent. E18's p50/p99
-/// columns gate the incremental engine's reason to exist: the per-table
-/// geomean spans the serial row and every budget row, so a latency
-/// regression in either engine (or a budget that stops slicing) fails.
+/// serial-engine copy throughput, e18 pause latency, and e19 VM eval
+/// latency. E17's parallel columns are *not* gated — their values depend
+/// on the runner's core count — but the 1-worker column exercises the
+/// serial engine through the E17 workload mix and is host-shape
+/// independent. E18's p50/p99 columns gate the incremental engine's
+/// reason to exist: the per-table geomean spans the serial row and every
+/// budget row, so a latency regression in either engine (or a budget
+/// that stops slicing) fails. E19's `vm us/eval` column gates the
+/// bytecode tier's headline: the committed BENCH_e19.json baseline
+/// records the ≥1.8x-over-staged throughput, so a dispatch-loop or
+/// inline-cache regression that erodes it fails here.
 pub fn default_specs() -> Vec<GateSpec> {
     vec![
         GateSpec {
@@ -288,6 +292,11 @@ pub fn default_specs() -> Vec<GateSpec> {
         GateSpec {
             table: "e18",
             column: "pause p99 (us)",
+            direction: Direction::LowerIsBetter,
+        },
+        GateSpec {
+            table: "e19",
+            column: "vm us/eval",
             direction: Direction::LowerIsBetter,
         },
     ]
@@ -499,7 +508,9 @@ mod tests {
               \"rows\":[{mw}],\"notes\":[]}},\
              {{\"name\":\"e18\",\"title\":\"E18: w\",\"headers\":[\"pause budget\",\
               \"pause p50 (us)\",\"pause p99 (us)\"],\
-              \"rows\":[{wus}],\"notes\":[]}}]}}",
+              \"rows\":[{wus}],\"notes\":[]}},\
+             {{\"name\":\"e19\",\"title\":\"E19: v\",\"headers\":[\"workload\",\"vm us/eval\"],\
+              \"rows\":[{us}],\"notes\":[]}}]}}",
             mw = rows(mwps),
             us = rows(us),
             wus = wide_rows(us)
@@ -603,7 +614,13 @@ mod tests {
              \"rows\":[[\"a\",\"900.0\",\"900.0\"]],\"notes\":[]}]}",
         )
         .unwrap();
-        let merged = merge_docs(&[e11_only, e14_only.clone(), e17_only, e18_only]).unwrap();
+        let e19_only = Json::parse(
+            "{\"quick\":true,\"tables\":[{\"name\":\"e19\",\"headers\":[\"k\",\"vm us/eval\"],\
+             \"rows\":[[\"a\",\"900.0\"]],\"notes\":[]}]}",
+        )
+        .unwrap();
+        let merged =
+            merge_docs(&[e11_only, e14_only.clone(), e17_only, e18_only, e19_only]).unwrap();
         let lines = compare(&merged, &[both], &default_specs(), 0.15).unwrap();
         assert!(lines.iter().all(|l| l.pass && l.regression.abs() < 1e-9));
         let err = merge_docs(&[merged, doc(false, &[1.0], &[1.0])]).unwrap_err();

@@ -26,6 +26,7 @@ impl Heap {
     /// Whether `v` is a pair — ordinary *or* weak, matching the paper:
     /// "weak pairs are like normal pairs" and are manipulated with the
     /// normal list operations.
+    #[inline]
     pub fn is_pair(&self, v: Value) -> bool {
         v.is_pair_ptr()
     }
@@ -78,6 +79,7 @@ impl Heap {
     }
 
     /// Whether `v` is a record.
+    #[inline]
     pub fn is_record(&self, v: Value) -> bool {
         self.kind_of(v) == Some(ObjKind::Record)
     }
@@ -165,6 +167,7 @@ impl Heap {
 
     /// The car of a pair. For a weak pair whose referent was reclaimed,
     /// this is `#f` (the paper's broken-pointer value).
+    #[inline]
     pub fn car(&self, v: Value) -> Value {
         let v = self.resolve_read(v);
         self.expect_pair(v, "car");
@@ -172,6 +175,7 @@ impl Heap {
     }
 
     /// The cdr of a pair.
+    #[inline]
     pub fn cdr(&self, v: Value) -> Value {
         let v = self.resolve_read(v);
         self.expect_pair(v, "cdr");
@@ -371,6 +375,7 @@ impl Heap {
     // ------------------------------------------------------------------
 
     /// Reads a box.
+    #[inline]
     pub fn box_ref(&self, v: Value) -> Value {
         let v = self.resolve_read(v);
         self.expect_kind(v, ObjKind::Box, "unbox");
@@ -378,6 +383,7 @@ impl Heap {
     }
 
     /// Writes a box (barriered).
+    #[inline]
     pub fn box_set(&mut self, v: Value, x: Value) {
         let v = self.resolve_read(v);
         let x = self.resolve_read(x);
@@ -402,6 +408,7 @@ impl Heap {
     // ------------------------------------------------------------------
 
     /// A record's descriptor value.
+    #[inline]
     pub fn record_descriptor(&self, v: Value) -> Value {
         let v = self.resolve_read(v);
         self.expect_kind(v, ObjKind::Record, "record-descriptor");
@@ -409,6 +416,7 @@ impl Heap {
     }
 
     /// Number of fields (excluding the descriptor).
+    #[inline]
     pub fn record_len(&self, v: Value) -> usize {
         let v = self.resolve_read(v);
         self.expect_kind(v, ObjKind::Record, "record-length").len - 1
@@ -419,6 +427,7 @@ impl Heap {
     /// # Panics
     ///
     /// Panics if `i` is out of bounds.
+    #[inline]
     pub fn record_ref(&self, v: Value, i: usize) -> Value {
         let v = self.resolve_read(v);
         let h = self.expect_kind(v, ObjKind::Record, "record-ref");
@@ -435,6 +444,7 @@ impl Heap {
     /// # Panics
     ///
     /// Panics if `i` is out of bounds.
+    #[inline]
     pub fn record_set(&mut self, v: Value, i: usize, x: Value) {
         let v = self.resolve_read(v);
         let x = self.resolve_read(x);
@@ -448,12 +458,51 @@ impl Heap {
         self.barrier(v, x);
     }
 
+    /// Reads record field `i` with the dynamic kind/range checks demoted
+    /// to debug assertions, for callers whose layout is *statically
+    /// audited* — the bytecode VM's fixed frame layouts, where
+    /// `audit_frame_slots` has already proven every (depth, slot) pair in
+    /// range. Still resolves forwarded-on-read pointers, so it is safe
+    /// across incremental collections. Misuse cannot break memory safety
+    /// (segment reads stay bounds-checked); it returns a wrong word.
+    #[inline]
+    pub fn record_ref_audited(&self, v: Value, i: usize) -> Value {
+        let v = self.resolve_read(v);
+        debug_assert!(
+            {
+                let h = self.expect_kind(v, ObjKind::Record, "record-ref");
+                i + 1 < h.len
+            },
+            "record-ref (audited): field {i} out of range"
+        );
+        Value(self.segs.word(v.addr().add(2 + i)))
+    }
+
+    /// Writes record field `i` under the audited-layout contract of
+    /// [`Heap::record_ref_audited`]. The write barrier always runs — only
+    /// the kind/range checks are demoted to debug assertions.
+    #[inline]
+    pub fn record_set_audited(&mut self, v: Value, i: usize, x: Value) {
+        let v = self.resolve_read(v);
+        let x = self.resolve_read(x);
+        debug_assert!(
+            {
+                let h = self.expect_kind(v, ObjKind::Record, "record-set!");
+                i + 1 < h.len
+            },
+            "record-set! (audited): field {i} out of range"
+        );
+        self.segs.set_word(v.addr().add(2 + i), x.raw());
+        self.barrier(v, x);
+    }
+
     // ------------------------------------------------------------------
     // eqv?-style structural helpers
     // ------------------------------------------------------------------
 
     /// `eqv?`: pointer identity, plus value identity for fixnums,
     /// characters, immediates, and flonums.
+    #[inline]
     pub fn eqv(&self, a: Value, b: Value) -> bool {
         // Resolve both sides so a stale from-space pointer and the
         // forwarded copy of the same object stay `eqv?` mid-cycle.

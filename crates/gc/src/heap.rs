@@ -212,6 +212,7 @@ impl Heap {
     }
 
     /// Allocates a pair `(car . cdr)`.
+    #[inline]
     pub fn cons(&mut self, car: Value, cdr: Value) -> Value {
         let addr = self.alloc_mutator(Space::Pair, 2);
         self.stats.pairs_allocated += 1;
@@ -304,6 +305,7 @@ impl Heap {
     /// Allocates a record of `n_fields` copies of `fill` — the
     /// no-intermediate-buffer constructor for environment frames and
     /// other fixed-shape records whose fields are set immediately after.
+    #[inline]
     pub fn make_record_filled(&mut self, descriptor: Value, n_fields: usize, fill: Value) -> Value {
         let addr = self.alloc_typed(Header::new(ObjKind::Record, 1 + n_fields));
         self.segs.set_word(addr.add(1), descriptor.raw());
@@ -314,6 +316,7 @@ impl Heap {
     }
 
     /// Allocates a record with a descriptor and fields.
+    #[inline]
     pub fn make_record(&mut self, descriptor: Value, fields: &[Value]) -> Value {
         let addr = self.alloc_typed(Header::new(ObjKind::Record, 1 + fields.len()));
         self.segs.set_word(addr.add(1), descriptor.raw());
@@ -690,6 +693,7 @@ impl Heap {
     /// increment per call (returning `Some` only on the completing one),
     /// and a newly triggered collection begins and runs its first
     /// increment.
+    #[inline]
     pub fn maybe_collect(&mut self) -> Option<&CollectionReport> {
         if self.incremental.is_some() {
             return self.gc_step();
@@ -965,6 +969,15 @@ impl Heap {
         self.metrics().to_json()
     }
 
+    /// Mutable access to the metrics registry, for embedders recording
+    /// their own counters alongside the collector's (e.g. the Scheme
+    /// VM's per-opcode dispatch profile). Heap-derived counters are only
+    /// synced by [`Heap::metrics`]; embedder counters live here
+    /// unconditionally.
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
     /// Enables per-site allocation attribution (resets any previous
     /// profile). Until disabled, every mutator allocation is attributed
     /// to the site last set with [`Heap::set_alloc_site`].
@@ -975,6 +988,7 @@ impl Heap {
     /// Whether site profiling is enabled — embeddings use this to skip
     /// their per-operation [`Heap::set_alloc_site`] stores when nobody
     /// is listening.
+    #[inline]
     pub fn site_profile_enabled(&self) -> bool {
         self.site_profile.is_some()
     }

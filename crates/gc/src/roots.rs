@@ -23,11 +23,13 @@ pub struct Rooted {
 
 impl Rooted {
     /// The current (possibly relocated) value.
+    #[inline]
     pub fn get(&self) -> Value {
         *self.cell.borrow()
     }
 
     /// Replaces the rooted value.
+    #[inline]
     pub fn set(&self, v: Value) {
         *self.cell.borrow_mut() = v;
     }
@@ -43,6 +45,7 @@ pub struct RootedVec {
 
 impl RootedVec {
     /// Pushes a value; returns its index.
+    #[inline]
     pub fn push(&self, v: Value) -> usize {
         let mut cells = self.cells.borrow_mut();
         cells.push(v);
@@ -50,6 +53,7 @@ impl RootedVec {
     }
 
     /// Pops the most recent value.
+    #[inline]
     pub fn pop(&self) -> Option<Value> {
         self.cells.borrow_mut().pop()
     }
@@ -60,6 +64,7 @@ impl RootedVec {
     /// # Panics
     ///
     /// Panics if `index` is out of bounds.
+    #[inline]
     pub fn get(&self, index: usize) -> Value {
         self.cells.borrow()[index]
     }
@@ -69,21 +74,25 @@ impl RootedVec {
     /// # Panics
     ///
     /// Panics if `index` is out of bounds.
+    #[inline]
     pub fn set(&self, index: usize, v: Value) {
         self.cells.borrow_mut()[index] = v;
     }
 
     /// Current stack depth.
+    #[inline]
     pub fn len(&self) -> usize {
         self.cells.borrow().len()
     }
 
     /// Whether the stack is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.cells.borrow().is_empty()
     }
 
     /// Truncates the stack to `len` entries (for unwinding scopes).
+    #[inline]
     pub fn truncate(&self, len: usize) {
         self.cells.borrow_mut().truncate(len);
     }

@@ -1314,3 +1314,156 @@ fn seq_of(mut parts: Vec<CodeRef>) -> CodeRef {
         Rc::new(Code::Seq(parts))
     }
 }
+
+// ----------------------------------------------------------------------
+// Frame-slot audit
+// ----------------------------------------------------------------------
+
+/// Audits the frame-slot accounting of an analyzed tree against the
+/// static frame layouts in force at each position: every
+/// `LocalRef`/`LocalSet` must address a slot strictly inside the frame
+/// `depth` levels out, and `depth` must not escape the frames the tree
+/// itself introduces. The VM compiles fixed frame layouts straight from
+/// `n_slots`, so this is the proof obligation that lets it (and the
+/// staged evaluator's debug assertions) treat slot indices as exact.
+///
+/// `env` is the stack of static frame sizes, innermost last; lambdas
+/// reached through `Lambda`/`NamedLet` nodes are audited at their
+/// closure-creation point, where the enclosing static environment is
+/// exactly the runtime frame chain.
+pub(crate) fn audit_frame_slots(
+    code_tab: &[Rc<LambdaCode>],
+    code: &Code,
+    env: &mut Vec<usize>,
+) -> Result<(), String> {
+    fn check(env: &[usize], depth: usize, slot: usize, what: &str) -> Result<(), String> {
+        let Some(i) = env.len().checked_sub(depth + 1) else {
+            return Err(format!(
+                "{what}: depth {depth} escapes the {} static frames",
+                env.len()
+            ));
+        };
+        let n = env[i];
+        if slot >= n {
+            return Err(format!(
+                "{what}: slot {slot} outside its frame's {n} slots at depth {depth}"
+            ));
+        }
+        Ok(())
+    }
+    fn audit_lambda(
+        code_tab: &[Rc<LambdaCode>],
+        index: usize,
+        env: &mut Vec<usize>,
+    ) -> Result<(), String> {
+        let lc = code_tab
+            .get(index)
+            .ok_or_else(|| format!("lambda index {index} outside the code table"))?
+            .clone();
+        for clause in &lc.clauses {
+            env.push(clause.n_slots);
+            let r = audit_frame_slots(code_tab, &clause.body, env);
+            env.pop();
+            r?;
+        }
+        Ok(())
+    }
+    match code {
+        Code::Imm(_) | Code::Const(_) | Code::GlobalRef(_) => Ok(()),
+        Code::LocalRef { depth, slot, name } => check(env, *depth, *slot, name),
+        Code::LocalSet { depth, slot, value } => {
+            check(env, *depth, *slot, "set!")?;
+            audit_frame_slots(code_tab, value, env)
+        }
+        Code::GlobalSet { value, .. } | Code::GlobalDefine { value, .. } => {
+            audit_frame_slots(code_tab, value, env)
+        }
+        Code::If { test, then_, else_ } => {
+            audit_frame_slots(code_tab, test, env)?;
+            audit_frame_slots(code_tab, then_, env)?;
+            match else_ {
+                Some(e) => audit_frame_slots(code_tab, e, env),
+                None => Ok(()),
+            }
+        }
+        Code::Lambda { index, .. } => audit_lambda(code_tab, *index, env),
+        Code::Seq(parts) | Code::And(parts) | Code::Or(parts) => {
+            for p in parts {
+                audit_frame_slots(code_tab, p, env)?;
+            }
+            Ok(())
+        }
+        Code::Let {
+            n_slots,
+            inits,
+            body,
+        } => {
+            if inits.len() > *n_slots {
+                return Err(format!(
+                    "let: {} inits for a frame of {n_slots} slots",
+                    inits.len()
+                ));
+            }
+            for init in inits {
+                audit_frame_slots(code_tab, init, env)?;
+            }
+            env.push(*n_slots);
+            let r = audit_frame_slots(code_tab, body, env);
+            env.pop();
+            r
+        }
+        Code::NamedLet { index, args, .. } => {
+            for a in args {
+                audit_frame_slots(code_tab, a, env)?;
+            }
+            // The runtime name frame holds exactly one slot (the loop
+            // closure); the clause frame sits inside it.
+            env.push(1);
+            let r = audit_lambda(code_tab, *index, env);
+            env.pop();
+            r?;
+            let lc = &code_tab[*index];
+            for clause in &lc.clauses {
+                if clause.variadic || args.len() != clause.n_req {
+                    continue;
+                }
+                if clause.n_req > clause.n_slots {
+                    return Err(format!(
+                        "named let: {} params for a frame of {} slots",
+                        clause.n_req, clause.n_slots
+                    ));
+                }
+            }
+            Ok(())
+        }
+        Code::When { test, body, .. } => {
+            audit_frame_slots(code_tab, test, env)?;
+            audit_frame_slots(code_tab, body, env)
+        }
+        Code::CondArrow { test, recv, rest } => {
+            audit_frame_slots(code_tab, test, env)?;
+            audit_frame_slots(code_tab, recv, env)?;
+            audit_frame_slots(code_tab, rest, env)
+        }
+        Code::Case { key, clauses } => {
+            audit_frame_slots(code_tab, key, env)?;
+            for cl in clauses {
+                audit_frame_slots(code_tab, &cl.body, env)?;
+            }
+            Ok(())
+        }
+        Code::App { op, args } => {
+            audit_frame_slots(code_tab, op, env)?;
+            for a in args {
+                audit_frame_slots(code_tab, a, env)?;
+            }
+            Ok(())
+        }
+        Code::Quasi { sites, .. } => {
+            for s in sites {
+                audit_frame_slots(code_tab, s, env)?;
+            }
+            Ok(())
+        }
+    }
+}

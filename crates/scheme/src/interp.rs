@@ -14,6 +14,7 @@
 //! `let loop`) run in constant Rust stack.
 
 use crate::analyze::{self, Code, CodeRef, GlobalSite, LambdaCode};
+use crate::compile::VmLambda;
 use crate::error::{err, SResult};
 use crate::prims::{self, PrimEntry};
 use crate::reader;
@@ -51,6 +52,30 @@ pub(crate) struct SpecialForms {
     pub(crate) unquote_splicing: Rooted,
 }
 
+/// Which evaluation tier runs the program.
+///
+/// All three tiers share the reader, the analyzer-visible semantics,
+/// the primitives, and — critically — the safe-point discipline (a
+/// possible collection at every procedure application, and nowhere
+/// else), so guardian, weak-pair, and tconc observables are
+/// byte-identical across tiers at any [`GcConfig`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EvalMode {
+    /// The original cons-walking evaluator with association-list
+    /// environments; ablation baseline and differential oracle.
+    Naive,
+    /// One-time syntax analysis to an opcode tree with lexical
+    /// addressing, executed by a trampolined tree walker. The
+    /// differential anchor the other two tiers are compared against.
+    #[default]
+    Staged,
+    /// The staged tier's opcode tree lowered further into flat bytecode
+    /// (`compile.rs`) and run by the direct-threaded dispatch loop in
+    /// `vm.rs` with fused super-instructions and per-call-site inline
+    /// caches.
+    Vm,
+}
+
 /// Interpreter configuration: the heap configuration plus the evaluator
 /// mode.
 ///
@@ -59,15 +84,16 @@ pub(crate) struct SpecialForms {
 /// slot-indexed environment frames, then executes the tree. The
 /// **naive** evaluator re-walks the source cons structure on every
 /// evaluation and searches association-list environments; it is kept as
-/// an ablation baseline and as a differential-testing oracle. Both modes
-/// keep every program value on the collected heap with identical safe
+/// an ablation baseline and as a differential-testing oracle. The **VM**
+/// lowers the staged tier's tree to linear bytecode. All modes keep
+/// every program value on the collected heap with identical safe
 /// points, so guardian and weak-pair observables match.
 #[derive(Clone, Debug, Default)]
 pub struct InterpConfig {
     /// Heap (collector) configuration.
     pub gc: GcConfig,
-    /// Use the naive cons-walking evaluator instead of the staged one.
-    pub naive: bool,
+    /// Which evaluation tier to use.
+    pub mode: EvalMode,
 }
 
 impl InterpConfig {
@@ -79,7 +105,15 @@ impl InterpConfig {
     /// The naive cons-walking evaluator (ablation / differential mode).
     pub fn naive() -> InterpConfig {
         InterpConfig {
-            naive: true,
+            mode: EvalMode::Naive,
+            ..InterpConfig::default()
+        }
+    }
+
+    /// The bytecode VM tier.
+    pub fn vm() -> InterpConfig {
+        InterpConfig {
+            mode: EvalMode::Vm,
             ..InterpConfig::default()
         }
     }
@@ -99,22 +133,29 @@ pub struct Interp {
     /// (close-dropped-ports)))`, adapted: the handler runs *after* the
     /// collection `maybe_collect` performed.
     pub(crate) collect_handler: Option<Rooted>,
-    in_collect_handler: bool,
-    depth: usize,
+    pub(crate) in_collect_handler: bool,
+    pub(crate) depth: usize,
     /// Maximum non-tail eval nesting before a "recursion too deep" error
     /// (tail calls are unlimited — they loop). Guards the Rust stack.
     pub max_depth: usize,
     pub(crate) global: Rooted,
     pub(crate) sf: SpecialForms,
-    /// Whether the naive cons-walking evaluator is active.
-    pub(crate) naive: bool,
+    /// Which evaluation tier is active.
+    pub(crate) mode: EvalMode,
     /// Cached `heap.site_profile_enabled()`, refreshed at each staged
     /// top-level entry so the per-opcode dispatch pays one local bool
     /// test when profiling is off.
-    profile: bool,
+    pub(crate) profile: bool,
     /// Analyzed lambda bodies; compiled-closure records index into this
     /// table so closures remain plain heap values.
     pub(crate) code_tab: Vec<Rc<LambdaCode>>,
+    /// Compiled (VM) lambda bodies, parallel to `code_tab`; filled by
+    /// `compile_top` as closures are compiled in VM mode.
+    pub(crate) vm_tab: Vec<Option<Rc<VmLambda>>>,
+    /// Per-opcode dispatch counts, indexed by `Insn::op_index`; only
+    /// maintained while site profiling is enabled, flushed into the
+    /// metrics registry as `vm.dispatch.*` counters per top-level form.
+    pub(crate) vm_counters: Vec<u64>,
 }
 
 impl Interp {
@@ -123,7 +164,7 @@ impl Interp {
     pub fn with_config(config: GcConfig) -> Interp {
         Interp::with_interp_config(InterpConfig {
             gc: config,
-            naive: false,
+            mode: EvalMode::Staged,
         })
     }
 
@@ -178,9 +219,11 @@ impl Interp {
             max_depth: 400,
             global,
             sf,
-            naive: config.naive,
+            mode: config.mode,
             profile: false,
             code_tab: Vec::new(),
+            vm_tab: Vec::new(),
+            vm_counters: vec![0; crate::compile::OP_COUNT],
         };
         prims::register_all(&mut interp);
         interp
@@ -256,14 +299,22 @@ impl Interp {
             let form = self.heap.car(rest);
             let next = self.heap.cdr(rest);
             self.stack.set(base, next);
-            let outcome = if self.naive {
-                let env = self.global.get();
-                self.eval(form, env)
-            } else {
+            let outcome = match self.mode {
+                EvalMode::Naive => {
+                    let env = self.global.get();
+                    self.eval(form, env)
+                }
                 // Stage the form once, then run the opcode tree. Analysis
                 // allocates (expansions, rooted constants) but never
                 // collects, so the raw `form` stays valid throughout.
-                analyze::analyze_top(self, form).and_then(|code| self.exec_top(code))
+                EvalMode::Staged => {
+                    analyze::analyze_top(self, form).and_then(|code| self.exec_top(code))
+                }
+                // Stage, then lower the tree to bytecode (pure Rust-side
+                // work: no heap access, no collection) and dispatch.
+                EvalMode::Vm => {
+                    analyze::analyze_top(self, form).and_then(|code| self.vm_eval_top(&code))
+                }
             };
             match outcome {
                 Ok(v) => result = v,
@@ -330,7 +381,7 @@ impl Interp {
     /// evaluator uses: the global alist (naive) or the symbol's interned
     /// value cell (staged).
     pub(crate) fn define_global(&mut self, sym: Value, value: Value) {
-        if self.naive {
+        if self.mode == EvalMode::Naive {
             let env = self.global.get();
             self.define_var(env, sym, value);
         } else {
@@ -1457,39 +1508,44 @@ impl Interp {
     /// evaluated recursively.
     pub fn apply(&mut self, f: Value, args: &[Value]) -> SResult<Value> {
         let base = self.stack.len();
-        if self.naive {
-            // Fake expression/environment slots so the shared machinery
-            // works.
-            self.stack.push(Value::NIL);
-            self.stack.push(self.global_env());
-            let op_slot = self.stack.push(f);
-            let args_base = self.stack.len();
-            for &a in args {
-                self.stack.push(a);
+        match self.mode {
+            EvalMode::Naive => {
+                // Fake expression/environment slots so the shared
+                // machinery works.
+                self.stack.push(Value::NIL);
+                self.stack.push(self.global_env());
+                let op_slot = self.stack.push(f);
+                let args_base = self.stack.len();
+                for &a in args {
+                    self.stack.push(a);
+                }
+                let result = match self.apply_from_stack(base, op_slot, args_base, args.len()) {
+                    Ok(Some(v)) => Ok(v),
+                    Ok(None) => self.eval_loop(base), // closure: run the installed body
+                    Err(e) => Err(e),
+                };
+                self.stack.truncate(base);
+                result
             }
-            let result = match self.apply_from_stack(base, op_slot, args_base, args.len()) {
-                Ok(Some(v)) => Ok(v),
-                Ok(None) => self.eval_loop(base), // closure: run the installed body
-                Err(e) => Err(e),
-            };
-            self.stack.truncate(base);
-            return result;
+            EvalMode::Staged => {
+                // Slot `base` is the environment slot apply_staged fills
+                // with the callee's frame.
+                self.stack.push(Value::FALSE);
+                let op_slot = self.stack.push(f);
+                let args_base = self.stack.len();
+                for &a in args {
+                    self.stack.push(a);
+                }
+                let result = match self.apply_staged(base, op_slot, args_base, args.len()) {
+                    Ok(Applied::Value(v)) => Ok(v),
+                    Ok(Applied::Tail(code)) => self.exec_loop(code, base),
+                    Err(e) => Err(e),
+                };
+                self.stack.truncate(base);
+                result
+            }
+            EvalMode::Vm => self.vm_apply_values(f, args),
         }
-        // Staged: slot `base` is the environment slot apply_staged fills
-        // with the callee's frame.
-        self.stack.push(Value::FALSE);
-        let op_slot = self.stack.push(f);
-        let args_base = self.stack.len();
-        for &a in args {
-            self.stack.push(a);
-        }
-        let result = match self.apply_staged(base, op_slot, args_base, args.len()) {
-            Ok(Applied::Value(v)) => Ok(v),
-            Ok(Applied::Tail(code)) => self.exec_loop(code, base),
-            Err(e) => Err(e),
-        };
-        self.stack.truncate(base);
-        result
     }
 
     // ------------------------------------------------------------------
@@ -1537,7 +1593,7 @@ impl Interp {
     }
 
     /// The frame `depth` levels out from `env` (field 0 is the parent).
-    fn frame_at(&self, env: Value, depth: usize) -> Value {
+    pub(crate) fn frame_at(&self, env: Value, depth: usize) -> Value {
         let mut frame = env;
         for _ in 0..depth {
             frame = self.heap.record_ref(frame, 0);
@@ -1548,7 +1604,7 @@ impl Interp {
     /// The global value cell for a reference site, consulting and
     /// warming the site's one-entry inline cache. `None` means the
     /// symbol has never been defined.
-    fn try_site_cell(&mut self, site: &GlobalSite) -> Option<Value> {
+    pub(crate) fn try_site_cell(&mut self, site: &GlobalSite) -> Option<Value> {
         if let Some(r) = site.cell.borrow().as_ref() {
             return Some(r.get());
         }
@@ -1616,7 +1672,7 @@ impl Interp {
                 let t = template.get();
                 let sites = sites.clone();
                 let mut cursor = 0;
-                self.exec_quasi(base, t, 1, &sites, &mut cursor)
+                self.exec_quasi(base, t, 1, &QuasiSites::Tree(&sites), &mut cursor)
                     .map(Applied::Value)
             }
         }
@@ -1631,6 +1687,11 @@ impl Interp {
     ) -> SResult<Applied> {
         let env = self.stack.get(base);
         let frame = self.frame_at(env, depth);
+        debug_assert!(
+            1 + slot < self.heap.record_len(frame),
+            "frame-slot accounting: {name} resolved to slot {slot} in a frame of {} slots",
+            self.heap.record_len(frame) - 1
+        );
         let v = self.heap.record_ref(frame, 1 + slot);
         if v == Value::UNBOUND {
             return err(format!("variable {name} used before initialization"));
@@ -1660,6 +1721,11 @@ impl Interp {
         let v = self.exec_sub(value, base)?;
         let env = self.stack.get(base);
         let frame = self.frame_at(env, depth);
+        debug_assert!(
+            1 + slot < self.heap.record_len(frame),
+            "frame-slot accounting: set! target slot {slot} in a frame of {} slots",
+            self.heap.record_len(frame) - 1
+        );
         self.heap.record_set(frame, 1 + slot, v);
         Ok(Applied::Value(Value::VOID))
     }
@@ -2024,12 +2090,12 @@ impl Interp {
     /// `expand_quasiquote` walk exactly (same structure sharing, same
     /// splice semantics, same error messages) with site execution in
     /// place of `eval`.
-    fn exec_quasi(
+    pub(crate) fn exec_quasi(
         &mut self,
         base: usize,
         template: Value,
         depth_qq: usize,
-        sites: &[CodeRef],
+        sites: &QuasiSites<'_>,
         cursor: &mut usize,
     ) -> SResult<Value> {
         if self.depth >= self.max_depth {
@@ -2041,12 +2107,37 @@ impl Interp {
         result
     }
 
+    /// Runs the next pre-analyzed unquote site, in whichever form the
+    /// active tier carries it (opcode tree or bytecode), as a fresh
+    /// non-tail activation sharing the current environment.
+    fn run_quasi_site(
+        &mut self,
+        sites: &QuasiSites<'_>,
+        cursor: &mut usize,
+        base: usize,
+    ) -> SResult<Value> {
+        match sites {
+            QuasiSites::Tree(s) => {
+                let site = next_site(s, cursor)?;
+                self.exec_sub(&site, base)
+            }
+            QuasiSites::Vm(s) => {
+                let Some(site) = s.get(*cursor) else {
+                    return err("quasiquote: template changed since analysis");
+                };
+                *cursor += 1;
+                let site = site.clone();
+                self.vm_sub(&site, base)
+            }
+        }
+    }
+
     fn exec_quasi_inner(
         &mut self,
         base: usize,
         template: Value,
         depth_qq: usize,
-        sites: &[CodeRef],
+        sites: &QuasiSites<'_>,
         cursor: &mut usize,
     ) -> SResult<Value> {
         let mark = self.stack.len();
@@ -2075,8 +2166,7 @@ impl Interp {
                 if head == self.sf.unquote.get() {
                     let inner = self.nth(template, 1)?;
                     if depth_qq == 1 {
-                        let site = next_site(sites, cursor)?;
-                        return self.exec_sub(&site, base);
+                        return self.run_quasi_site(sites, cursor, base);
                     }
                     let e_slot = {
                         let v = self.exec_quasi(base, inner, depth_qq - 1, sites, cursor)?;
@@ -2127,8 +2217,7 @@ impl Interp {
                     && self.heap.is_symbol(self.heap.car(e))
                     && self.heap.car(e) == self.sf.unquote_splicing.get();
                 if is_splice {
-                    let site = next_site(sites, cursor)?;
-                    let spliced = self.exec_sub(&site, base)?;
+                    let spliced = self.run_quasi_site(sites, cursor, base)?;
                     let sp_slot = self.stack.push(spliced);
                     loop {
                         let sp = self.stack.get(sp_slot);
@@ -2176,6 +2265,17 @@ pub(crate) enum Applied {
     Value(Value),
     /// Run this body; the callee's frame is already installed at `base`.
     Tail(CodeRef),
+}
+
+/// The pre-analyzed unquote sites of a quasiquote template, in whichever
+/// lowered form the active tier executes: opcode subtrees (staged) or
+/// compiled code objects (VM). The runtime walk in `exec_quasi` is
+/// shared; only site execution differs.
+pub(crate) enum QuasiSites<'a> {
+    /// Staged tier: analyzed subtrees.
+    Tree(&'a [CodeRef]),
+    /// VM tier: compiled site bodies.
+    Vm(&'a [Rc<crate::compile::CodeObject>]),
 }
 
 /// Selects the clause matching `argc`, with the naive evaluator's error.

@@ -37,15 +37,17 @@
 //! ```
 
 mod analyze;
+mod compile;
 mod error;
 mod interp;
 mod lexer;
 mod prelude;
 mod prims;
 mod reader;
+mod vm;
 
 pub use error::{SResult, SchemeError};
-pub use interp::{Interp, InterpConfig};
+pub use interp::{EvalMode, Interp, InterpConfig};
 pub use lexer::{tokenize, Token};
 pub use prelude::PRELUDE;
 pub use reader::{read_all, read_one};

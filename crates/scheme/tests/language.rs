@@ -1,7 +1,7 @@
 //! Core language behaviour of the interpreter.
 
 use guardians_gc::GcConfig;
-use guardians_scheme::Interp;
+use guardians_scheme::{Interp, InterpConfig};
 
 fn eval(src: &str) -> String {
     let mut i = Interp::new();
@@ -338,4 +338,40 @@ fn staged_evaluator_attributes_allocation_sites() {
     // Turned off again by take_site_profile: later evals attribute nothing.
     i.eval_str("(cons 1 2)").unwrap();
     assert!(i.heap_mut().take_site_profile().is_empty());
+}
+
+#[test]
+fn vm_attributes_sites_and_counts_dispatches() {
+    let mut i = Interp::with_interp_config(InterpConfig::vm());
+    i.heap_mut().enable_site_profile();
+    i.eval_str(
+        "(define (build n acc)
+           (if (zero? n) acc (build (- n 1) (cons n acc))))
+         (build 50 '())
+         (let ([v (make-vector 8 0)]) v)
+         `(a ,(+ 1 2))",
+    )
+    .unwrap();
+    let profile = i.heap_mut().take_site_profile();
+    let words_of = |name: &str| {
+        profile
+            .iter()
+            .find(|(s, _)| *s == name)
+            .map(|(_, st)| st.words)
+            .unwrap_or(0)
+    };
+    // Same attribution labels as the staged evaluator's `site_of`.
+    assert!(words_of("scheme.app") >= 100, "{profile:?}");
+    assert!(words_of("scheme.let") > 0, "{profile:?}");
+    assert!(words_of("scheme.quasiquote") > 0, "{profile:?}");
+    // The per-opcode dispatch counters land in the metrics registry
+    // (only while the tracing flag is on; off by default).
+    let json = i.heap_mut().metrics_json();
+    assert!(json.contains("\"vm.dispatch.imm\""), "{json}");
+    assert!(json.contains("\"vm.dispatch.jmp-if-false\""), "{json}");
+
+    // Off by default: a fresh VM interp records no dispatch counters.
+    let mut cold = Interp::with_interp_config(InterpConfig::vm());
+    cold.eval_str("(+ 1 2)").unwrap();
+    assert!(!cold.heap_mut().metrics_json().contains("vm.dispatch."));
 }

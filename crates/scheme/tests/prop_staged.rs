@@ -1,8 +1,15 @@
-//! Differential tests: the staged evaluator and the naive cons-walking
-//! evaluator must be observationally identical — same results, same
-//! error messages, same printed output, and same guardian / weak-pair
-//! observables, since both place their collection safe point at every
-//! procedure application.
+//! Differential tests: the three evaluation tiers — naive cons-walking,
+//! staged opcode tree, and the bytecode VM — must be observationally
+//! identical: same results, same error messages, same printed output,
+//! and same guardian / weak-pair observables, since all three place
+//! their collection safe point at every procedure application.
+//!
+//! The staged and VM tiers additionally allocate *identically* (the
+//! bytecode compiler is pure, so lowering changes no allocation
+//! sequence), which is pinned down by comparing the heap's deterministic
+//! counters after every run. The naive tier allocates differently by
+//! design (association-list environments), so it is compared on
+//! observables only.
 //!
 //! Random programs are produced by a byte-driven builder that only emits
 //! well-formed, terminating forms with correct scoping (so the staged
@@ -14,21 +21,100 @@
 use guardians_scheme::{Interp, InterpConfig};
 use proptest::prelude::*;
 
+/// The deterministic (non-timing) heap counters: collections, alloc
+/// counts, guardian and weak-sweep totals. Wall-clock fields are
+/// excluded — they never repeat.
+#[derive(Debug, PartialEq, Eq)]
+struct GcCounters {
+    collections: u64,
+    pairs_allocated: u64,
+    objects_allocated: u64,
+    words_allocated: u64,
+    guardian_registrations: u64,
+    guardian_polls: u64,
+    total_words_copied: u64,
+    total_guardian_entries_visited: u64,
+    total_weak_pairs_scanned: u64,
+}
+
+fn counters(it: &Interp) -> GcCounters {
+    let s = it.heap().stats();
+    GcCounters {
+        collections: s.collections,
+        pairs_allocated: s.pairs_allocated,
+        objects_allocated: s.objects_allocated,
+        words_allocated: s.words_allocated,
+        guardian_registrations: s.guardian_registrations,
+        guardian_polls: s.guardian_polls,
+        total_words_copied: s.total_words_copied,
+        total_guardian_entries_visited: s.total_guardian_entries_visited,
+        total_weak_pairs_scanned: s.total_weak_pairs_scanned,
+    }
+}
+
 /// Evaluates `forms` one at a time, collecting each printed result or
-/// error string plus everything written to the simulated OS.
-fn run_mode(config: InterpConfig, forms: &[String]) -> (Vec<Result<String, String>>, String) {
+/// error string, everything written to the simulated OS, and the final
+/// deterministic GC counters.
+fn run_mode(
+    config: InterpConfig,
+    forms: &[String],
+) -> (Vec<Result<String, String>>, String, GcCounters) {
     let mut it = Interp::with_interp_config(config);
     let mut results = Vec::new();
     for f in forms {
         results.push(it.eval_to_string(f).map_err(|e| e.to_string()));
     }
-    (results, it.take_output())
+    let gc = counters(&it);
+    (results, it.take_output(), gc)
 }
 
+/// All three tiers agree on observables; staged and VM also agree on
+/// every deterministic GC counter.
 fn assert_identical(forms: &[String]) {
     let staged = run_mode(InterpConfig::staged(), forms);
     let naive = run_mode(InterpConfig::naive(), forms);
-    assert_eq!(staged, naive, "modes diverged on:\n{}", forms.join("\n"));
+    let vm = run_mode(InterpConfig::vm(), forms);
+    assert_eq!(
+        (&staged.0, &staged.1),
+        (&naive.0, &naive.1),
+        "staged/naive diverged on:\n{}",
+        forms.join("\n")
+    );
+    assert_eq!(
+        (&staged.0, &staged.1),
+        (&vm.0, &vm.1),
+        "staged/vm diverged on:\n{}",
+        forms.join("\n")
+    );
+    assert_eq!(
+        staged.2,
+        vm.2,
+        "staged/vm GC counters diverged on:\n{}",
+        forms.join("\n")
+    );
+}
+
+/// Observables only (no counter comparison): for programs that exhaust
+/// the non-tail depth budget *inside* an operand, where the staged
+/// tier's transient sub-expression depth bumps make it error a couple of
+/// recursion levels earlier than the VM (same message, same observables,
+/// slightly different allocation totals).
+fn assert_identical_observables(forms: &[String]) {
+    let staged = run_mode(InterpConfig::staged(), forms);
+    let naive = run_mode(InterpConfig::naive(), forms);
+    let vm = run_mode(InterpConfig::vm(), forms);
+    assert_eq!(
+        (&staged.0, &staged.1),
+        (&naive.0, &naive.1),
+        "staged/naive diverged on:\n{}",
+        forms.join("\n")
+    );
+    assert_eq!(
+        (&staged.0, &staged.1),
+        (&vm.0, &vm.1),
+        "staged/vm diverged on:\n{}",
+        forms.join("\n")
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -304,11 +390,91 @@ fn runtime_errors_match_byte_for_byte() {
 
 #[test]
 fn deep_recursion_error_matches() {
-    assert_identical(&[
+    assert_identical_observables(&[
         "(define (sum n) (if (zero? n) 0 (+ n (sum (- n 1)))))".into(),
         "(sum 100000)".into(),
         "(+ 1 2)".into(), // both interpreters recover
     ]);
+}
+
+/// The acceptance matrix for the VM tier: a guardian/weak/tconc-heavy
+/// transcript run by all three tiers under the serial engine, the
+/// 4-worker parallel engine, and the 100µs incremental engine, with
+/// byte-identical observables in every cell (and identical deterministic
+/// counters between staged and VM).
+#[test]
+fn three_tiers_agree_across_gc_engines() {
+    use guardians_gc::GcConfig;
+    use guardians_scheme::EvalMode;
+    use std::time::Duration;
+
+    let forms: Vec<String> = [
+        "(define G (make-guardian))",
+        "(define H (make-guardian))",
+        "(define W '())",
+        "(define (churn n) (if (zero? n) '() (cons (make-string 64 #\\x) (churn (- n 1)))))",
+        "(define keep '())",
+        "(let lp ((i 0)) (when (< i 24) \
+           (let ((x (cons i 'payload))) \
+             (G x) \
+             (when (even? i) (H x x)) \
+             (set! W (cons (weak-cons x i) W)) \
+             (when (zero? (modulo i 3)) (set! keep (cons x keep)))) \
+           (set! keep (cons (churn 40) keep)) \
+           (when (> (length keep) 4) (set! keep (list (car keep)))) \
+           (lp (+ i 1))))",
+        "(collect 3)",
+        "(let lp ((v (G))) (when v (display v) (display \" \") (lp (G))))",
+        "(let lp ((v (H))) (when v (display v) (display \" \") (lp (H))))",
+        "(for-each (lambda (w) (display (car w)) (display \" \")) W)",
+        "(collect 3)",
+        "(let lp ((v (G))) (when v (display v) (display \" \") (lp (G))))",
+        "(for-each (lambda (w) (display (car w)) (display \" \")) W)",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+
+    let engines: [(&str, GcConfig); 3] = [
+        ("serial", GcConfig::default()),
+        (
+            "workers=4",
+            GcConfig {
+                workers: 4,
+                ..GcConfig::default()
+            },
+        ),
+        (
+            "pause_budget=100us",
+            GcConfig {
+                pause_budget: Some(Duration::from_micros(100)),
+                ..GcConfig::default()
+            },
+        ),
+    ];
+    for (engine, gc) in engines {
+        let cfg = |mode: EvalMode| InterpConfig {
+            gc: gc.clone(),
+            mode,
+        };
+        let staged = run_mode(cfg(EvalMode::Staged), &forms);
+        let naive = run_mode(cfg(EvalMode::Naive), &forms);
+        let vm = run_mode(cfg(EvalMode::Vm), &forms);
+        assert_eq!(
+            (&staged.0, &staged.1),
+            (&naive.0, &naive.1),
+            "staged/naive diverged under {engine}"
+        );
+        assert_eq!(
+            (&staged.0, &staged.1),
+            (&vm.0, &vm.1),
+            "staged/vm diverged under {engine}"
+        );
+        assert_eq!(
+            staged.2, vm.2,
+            "staged/vm GC counters diverged under {engine}"
+        );
+    }
 }
 
 #[test]

@@ -325,6 +325,44 @@ impl FromStr for Op {
     }
 }
 
+/// Which interpreter tier a scheme-differential campaign leg runs the
+/// trace's companion program under (see `scheme_diff`). The heap-op rig
+/// itself never consults it — heap ops have no evaluator — but carrying
+/// it in the trace keeps a scheme-leg failure replayable from its text.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum InterpMode {
+    /// The cons-walking reference evaluator.
+    Naive,
+    /// The staged (analyzed opcode tree) evaluator — the differential
+    /// anchor, and the default so old traces keep their meaning.
+    #[default]
+    Staged,
+    /// The bytecode VM tier.
+    Vm,
+}
+
+impl fmt::Display for InterpMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            InterpMode::Naive => "naive",
+            InterpMode::Staged => "staged",
+            InterpMode::Vm => "vm",
+        })
+    }
+}
+
+impl FromStr for InterpMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<InterpMode, String> {
+        match s {
+            "naive" => Ok(InterpMode::Naive),
+            "staged" => Ok(InterpMode::Staged),
+            "vm" => Ok(InterpMode::Vm),
+            other => Err(format!("bad interp mode {other:?}")),
+        }
+    }
+}
+
 /// Heap configuration a trace runs under (a deterministic subset of
 /// [`guardians_gc::GcConfig`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -353,6 +391,8 @@ pub struct TortureConfig {
     /// model is engine-agnostic: a budget leg checks the incremental
     /// engine against the same oracle, observable for observable.
     pub pause_budget: Option<u64>,
+    /// Interpreter tier for the scheme-differential leg.
+    pub interp: InterpMode,
 }
 
 impl Default for TortureConfig {
@@ -365,6 +405,7 @@ impl Default for TortureConfig {
             fail_acquisition_at: None,
             workers: 1,
             pause_budget: None,
+            interp: InterpMode::Staged,
         }
     }
 }
@@ -385,15 +426,25 @@ impl fmt::Display for TortureConfig {
             "config {} {promo} {} {} {fault}",
             self.generations, self.flat_protected as u8, self.ablate_weak_pass_first as u8
         )?;
-        // The workers and pause-budget tokens are optional (and omitted
-        // at the defaults) so older traces keep parsing and default
-        // traces keep their historical textual form. The budget is the
-        // 7th token, so emitting it forces the 6th (workers) out too.
-        if self.workers != 1 || self.pause_budget.is_some() {
+        // The workers, pause-budget, and interp-mode tokens are optional
+        // (and omitted at the defaults) so older traces keep parsing and
+        // default traces keep their historical textual form. They are
+        // positional (6th, 7th, 8th), so emitting a later one forces all
+        // earlier ones out; a pause budget of `None` prints as the `-`
+        // placeholder when the interp token needs the slot filled.
+        let emit_interp = self.interp != InterpMode::Staged;
+        let emit_budget = self.pause_budget.is_some() || emit_interp;
+        if self.workers != 1 || emit_budget {
             write!(f, " {}", self.workers)?;
         }
-        if let Some(us) = self.pause_budget {
-            write!(f, " {us}")?;
+        if emit_budget {
+            match self.pause_budget {
+                Some(us) => write!(f, " {us}")?,
+                None => write!(f, " -")?,
+            }
+        }
+        if emit_interp {
+            write!(f, " {}", self.interp)?;
         }
         Ok(())
     }
@@ -442,11 +493,17 @@ impl FromStr for TortureConfig {
             None => 1,
         };
         let pause_budget = match it.next() {
+            // `-` is the placeholder a default budget prints as when the
+            // interp token behind it needs the slot filled.
+            Some("-") | None => None,
             Some(us) => Some(
                 us.parse()
                     .map_err(|e| format!("config: bad pause budget: {e}"))?,
             ),
-            None => None,
+        };
+        let interp = match it.next() {
+            Some(m) => m.parse()?,
+            None => InterpMode::Staged,
         };
         Ok(TortureConfig {
             generations: gens,
@@ -456,6 +513,7 @@ impl FromStr for TortureConfig {
             fail_acquisition_at: fault,
             workers,
             pause_budget,
+            interp,
         })
     }
 }
@@ -650,6 +708,44 @@ mod tests {
         // lines still parse as stop-the-world.
         for old in ["config 4 next 0 0 - 4", "config 4 next 0 0 -"] {
             assert_eq!(old.parse::<TortureConfig>().unwrap().pause_budget, None);
+        }
+    }
+
+    #[test]
+    fn interp_token_round_trips_and_defaults() {
+        // The interp mode is the 8th token: emitting it forces workers
+        // out and the default budget prints as the `-` placeholder.
+        let vm = TortureConfig {
+            interp: InterpMode::Vm,
+            ..TortureConfig::default()
+        };
+        let text = vm.to_string();
+        assert!(text.ends_with(" 1 - vm"), "placeholder chain: {text}");
+        assert_eq!(text.parse::<TortureConfig>().unwrap(), vm);
+        // All three modes round-trip, alone and with a real budget.
+        for interp in [InterpMode::Naive, InterpMode::Staged, InterpMode::Vm] {
+            for pause_budget in [None, Some(250u64)] {
+                let cfg = TortureConfig {
+                    interp,
+                    pause_budget,
+                    workers: 2,
+                    ..TortureConfig::default()
+                };
+                assert_eq!(cfg.to_string().parse::<TortureConfig>().unwrap(), cfg);
+            }
+        }
+        // The default (staged) stays token-free, and pre-VM lines of
+        // every historical arity still parse as the staged anchor.
+        assert!(!TortureConfig::default().to_string().contains("staged"));
+        for old in [
+            "config 4 next 0 0 -",
+            "config 4 next 0 0 - 4",
+            "config 4 next 0 0 - 1 250",
+        ] {
+            assert_eq!(
+                old.parse::<TortureConfig>().unwrap().interp,
+                InterpMode::Staged
+            );
         }
     }
 

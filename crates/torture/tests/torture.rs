@@ -146,6 +146,42 @@ fn pause_budget_matrix_agrees_with_the_oracle() {
     assert!(runs >= 36, "budget campaign too small: {runs} runs");
 }
 
+/// The scheme-differential interpreter matrix: every seed's
+/// guardian-heavy Scheme workload replays under the naive and VM tiers
+/// against the staged anchor, on the serial, parallel (4 workers), and
+/// bounded-pause (100 µs) engines — observables byte-identical
+/// everywhere, and the VM's deterministic heap counters identical to
+/// the anchor's. This is the bytecode tier's torture acceptance check.
+#[test]
+fn scheme_interp_matrix_agrees_across_tiers() {
+    use guardians_torture::{run_scheme_differential, InterpMode, TortureConfig};
+    let seeds = env_num("TORTURE_SCHEME_SEEDS", 3);
+    let forms = env_num("TORTURE_SCHEME_FORMS", 60) as usize;
+    let mut runs = 0;
+    let mut collections = 0;
+    for seed in 0..seeds {
+        for interp in [InterpMode::Naive, InterpMode::Vm] {
+            for (workers, budget_us) in [(1usize, None), (4, None), (1, Some(100u64))] {
+                let cfg = TortureConfig {
+                    interp,
+                    workers,
+                    pause_budget: budget_us,
+                    ..guardians_torture::config_for_seed(seed)
+                };
+                let stats = run_scheme_differential(seed, forms, &cfg).unwrap_or_else(|f| {
+                    panic!(
+                        "seed {seed}, {interp} tier, {workers} workers, budget {budget_us:?}: {f}"
+                    )
+                });
+                collections += stats.collections;
+                runs += 1;
+            }
+        }
+    }
+    assert!(runs >= 18, "scheme matrix too small: {runs} runs");
+    assert!(collections > 0, "scheme matrix never collected");
+}
+
 /// The event-traced rig under the finest budget: per-collection event
 /// parity (phase sums, counter fields, tconc-append attribution) holds
 /// with the collection sliced into many increments.

@@ -12,12 +12,49 @@
 //! guardians> (G)
 //! (a . b)
 //! ```
+//!
+//! With `--dump-bytecode [FILE]` the driver compiles the source (FILE,
+//! or stdin to EOF) through the bytecode tier and prints each form's
+//! disassembly — insns, operands, resolved pool entries, source sites —
+//! instead of evaluating it:
+//!
+//! ```text
+//! $ echo '(define (f x) (+ x 1))' | cargo run --example scheme_repl -- --dump-bytecode
+//! ;; form 0:
+//!    0  make-closure 0            ; code[0] f  ; scheme.lambda
+//!    ...
+//! ```
 
 use guardians::scheme::Interp;
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, Read, Write};
 
 fn main() {
     let mut interp = Interp::new();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--dump-bytecode") {
+        let src = match args.get(1) {
+            Some(path) => {
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+            }
+            None => {
+                let mut buf = String::new();
+                io::stdin().read_to_string(&mut buf).expect("reading stdin");
+                buf
+            }
+        };
+        match interp.dump_bytecode(&src) {
+            Ok(listing) => print!("{listing}"),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    } else if let Some(other) = args.first() {
+        eprintln!("unknown argument {other:?} (supported: --dump-bytecode [FILE])");
+        std::process::exit(2);
+    }
     let stdin = io::stdin();
     let mut stdout = io::stdout();
     println!("guardians scheme — the PLDI'93 reproduction. Ctrl-D to exit.");
