@@ -1,0 +1,79 @@
+//! Typed weak references over the heap's weak-pair machinery.
+
+use crate::ctx::ApiCtx;
+use crate::handle::{Gc, Root, RootSlot};
+use crate::trace::{expect_typed, Trace};
+use guardians_gc::{Heap, Value};
+use std::marker::PhantomData;
+
+/// A typed weak reference: observes the referent without keeping it
+/// alive.
+///
+/// Backed by a rooted weak pair whose car holds the referent weakly; the
+/// weak pass of each collection forwards the car when the referent moves
+/// and breaks it to `#f` when the referent is reclaimed. Per the paper's
+/// ordering (guardian pass *before* weak break), a weak reference to an
+/// object a guardian saved still upgrades — resurrection through a
+/// guardian never leaves dangling typed weaks.
+pub struct Weak<T: Trace> {
+    /// Shadow-stack slot rooting the weak *pair* (not the referent).
+    slot: RootSlot,
+    _marker: PhantomData<T>,
+}
+
+impl<T: Trace> Weak<T> {
+    /// Creates a weak reference to `target`. Allocates one weak pair.
+    pub fn new(heap: &mut Heap, ctx: &ApiCtx, target: &Root<T>) -> Weak<T> {
+        let pair = heap.weak_cons(target.value(), Value::NIL);
+        Weak {
+            slot: ctx.claim_slot(pair),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Rebuilds a typed view over an existing weak pair (raw-layer
+    /// interop); the pair's car must currently be a `T` or `#f`.
+    pub fn from_pair(heap: &Heap, ctx: &ApiCtx, pair: Value) -> Weak<T> {
+        let car = heap.car(pair);
+        if !car.is_false() {
+            expect_typed::<T>(heap, car);
+        }
+        Weak {
+            slot: ctx.claim_slot(pair),
+            _marker: PhantomData,
+        }
+    }
+
+    /// The underlying weak pair (raw-layer escape hatch).
+    pub fn pair(&self) -> Value {
+        self.slot_value()
+    }
+
+    fn slot_value(&self) -> Value {
+        self.slot.shadow.get(self.slot.index)
+    }
+
+    /// The referent, if it has not been reclaimed. The returned [`Gc`] is
+    /// a heap borrow like any other — root it to hold it across a safe
+    /// point.
+    pub fn upgrade<'gc>(&self, heap: &'gc Heap) -> Option<Gc<'gc, T>> {
+        let car = heap.car(self.slot_value());
+        if car.is_false() {
+            None
+        } else {
+            expect_typed::<T>(heap, car);
+            Some(Gc::from_value(car))
+        }
+    }
+
+    /// Whether the referent has been proven dead and the car broken.
+    pub fn is_broken(&self, heap: &Heap) -> bool {
+        heap.car(self.slot_value()).is_false()
+    }
+}
+
+impl<T: Trace> std::fmt::Debug for Weak<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Weak<{}>({:?})", T::NAME, self.slot_value())
+    }
+}

@@ -1,0 +1,23 @@
+//! Compile-fail suite pinning the typed layer's soundness boundaries.
+//!
+//! Each case under `tests/ui/` documents, as `//~ ERROR <substring>`
+//! annotations, exactly why it must not compile:
+//!
+//! * `gc_across_safe_point.rs` — a borrowed `Gc` handle cannot survive a
+//!   collection safe point (E0502: safe points take `&mut` the heap).
+//! * `non_send_off_thread.rs` — a type holding heap handles is `!Send`
+//!   and is rejected by the off-thread guardian drain (E0277).
+//! * `root_escapes_thread.rs` — a `Root` cannot leave the mutator
+//!   thread/stack region that owns the heap (E0277).
+//!
+//! Requires spawning `rustc`, so it is skipped under miri.
+
+#[test]
+#[cfg_attr(miri, ignore = "spawns rustc")]
+fn ui_compile_fail() {
+    trybuild::TestCases::new()
+        .extern_crate("guardians_gc_api")
+        .extern_crate("guardians_gc")
+        .compile_fail("tests/ui/*.rs")
+        .run();
+}

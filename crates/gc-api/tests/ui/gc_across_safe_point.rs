@@ -1,0 +1,21 @@
+//! Soundness boundary: a borrowed `Gc<'gc, T>` is a shared borrow of the
+//! heap, and every collection safe point takes the heap `&mut` — so an
+//! unrooted handle held across a safe point is a borrowck error, not a
+//! dangling pointer. Root it (`heap.root(gc)`) to cross.
+
+use guardians_gc_api::{impl_trace, GcHeap};
+
+impl_trace! {
+    pub struct Node {
+        pub id: i64,
+    }
+}
+
+fn main() {
+    let mut heap = GcHeap::default();
+    let root = heap.alloc(&Node { id: 1 });
+    let gc = heap.get(&root); // shared borrow of `heap` begins
+    heap.collect(0); //~ ERROR E0502
+    //~ ERROR cannot borrow `heap` as mutable because it is also borrowed as immutable
+    let _ = heap.load_gc(gc); // borrow still live here
+}

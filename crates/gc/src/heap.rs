@@ -428,6 +428,7 @@ impl Heap {
     /// # Errors
     ///
     /// [`GcError::Exhausted`] if the demand exceeds the remaining budget.
+    #[must_use = "a dropped Exhausted error silently skips the fault-injection path; handle or propagate it"]
     pub fn try_reserve(&self, segments: u64) -> Result<(), GcError> {
         self.check_budget(segments)
     }
@@ -547,6 +548,7 @@ impl Heap {
     ///
     /// [`GcError::Exhausted`] (heap untouched, no collection counted) if
     /// the reservation exceeds the remaining budget.
+    #[must_use = "a dropped Exhausted error silently skips the fault-injection path; handle or propagate it"]
     pub fn try_collect(&mut self, gen: u8) -> Result<&CollectionReport, GcError> {
         assert!(gen < self.config.generations, "no such generation: {gen}");
         // When resuming a suspended incremental collection, the bound is
@@ -762,6 +764,7 @@ impl Heap {
     /// # Errors
     ///
     /// [`GcError::Exhausted`] if the bound exceeds the remaining budget.
+    #[must_use = "a dropped Exhausted error silently skips the fault-injection path; handle or propagate it"]
     pub fn try_gc_step(&mut self) -> Result<Option<&CollectionReport>, GcError> {
         if let Some(st) = self.incremental.as_ref() {
             let g = st.s.g;

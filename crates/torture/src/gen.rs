@@ -34,8 +34,10 @@ pub fn generate(seed: u64, nops: usize) -> Trace {
         next_gi: 0,
         next_wid: 0,
         nodes: Vec::new(),
+        typed: Vec::new(),
         guardians: Vec::new(),
         weaks: Vec::new(),
+        typed_weaks: Vec::new(),
         rooted: Vec::new(),
     };
     // Seed the heap with a few rooted nodes so early ops have referents.
@@ -60,8 +62,14 @@ struct Gen {
     next_gi: u32,
     next_wid: u32,
     nodes: Vec<u32>,
+    /// The subset of `nodes` allocated through the typed API (typed edges
+    /// and typed weaks may only reference these).
+    typed: Vec<u32>,
     guardians: Vec<u32>,
     weaks: Vec<u32>,
+    /// The subset of `weaks` that are typed `Weak<T>`s (`tupgrade` picks
+    /// from these).
+    typed_weaks: Vec<u32>,
     rooted: Vec<u32>,
 }
 
@@ -93,15 +101,34 @@ impl Gen {
         }
     }
 
+    /// Picks a typed-node operand: `Null` sometimes, else a random typed
+    /// node (edges and weaks of typed nodes may only reference typed
+    /// nodes).
+    fn pick_typed_ref(&self, rng: &mut SmallRng) -> Ref {
+        if self.typed.is_empty() || rng.gen_range(0..4) == 0 {
+            Ref::Null
+        } else {
+            Ref::Node(self.typed[rng.gen_range(0..self.typed.len())])
+        }
+    }
+
     fn alloc(&mut self, rng: &mut SmallRng) {
         let id = self.next_id;
         self.next_id += 1;
         let op = match rng.gen_range(0..100) {
-            0..=55 => Op::AllocPair {
+            0..=47 => Op::AllocPair {
                 id,
                 left: self.pick_ref(rng),
                 right: self.pick_ref(rng),
             },
+            48..=55 => {
+                self.typed.push(id);
+                Op::AllocTyped {
+                    id,
+                    left: self.pick_typed_ref(rng),
+                    right: self.pick_typed_ref(rng),
+                }
+            }
             56..=79 => {
                 // Mostly small vectors; 1-in-12 is a multi-segment run.
                 let payload = if rng.gen_range(0..12) == 0 {
@@ -174,9 +201,16 @@ impl Gen {
                     });
                 }
             }
-            48..=52 => {
+            48..=50 => {
                 if let Some(node) = self.pick_node(rng) {
                     self.ops.push(Op::AddRoot { node });
+                    self.rooted.push(node);
+                }
+            }
+            51..=52 => {
+                if !self.typed.is_empty() {
+                    let node = self.typed[rng.gen_range(0..self.typed.len())];
+                    self.ops.push(Op::AddTypedRoot { node });
                     self.rooted.push(node);
                 }
             }
@@ -192,7 +226,7 @@ impl Gen {
                 self.ops.push(Op::MakeGuardian { g });
                 self.guardians.push(g);
             }
-            63..=71 => {
+            63..=69 => {
                 if !self.guardians.is_empty() {
                     let g = self.guardians[rng.gen_range(0..self.guardians.len())];
                     let target = self.pick_ref(rng);
@@ -201,10 +235,23 @@ impl Gen {
                     self.ops.push(Op::Register { g, target, agent });
                 }
             }
-            72..=77 => {
+            70..=71 => {
+                if !self.guardians.is_empty() && !self.typed.is_empty() {
+                    let g = self.guardians[rng.gen_range(0..self.guardians.len())];
+                    let node = self.typed[rng.gen_range(0..self.typed.len())];
+                    self.ops.push(Op::RegisterTyped { g, node });
+                }
+            }
+            72..=75 => {
                 if !self.guardians.is_empty() {
                     let g = self.guardians[rng.gen_range(0..self.guardians.len())];
                     self.ops.push(Op::Poll { g });
+                }
+            }
+            76..=77 => {
+                if !self.guardians.is_empty() {
+                    let g = self.guardians[rng.gen_range(0..self.guardians.len())];
+                    self.ops.push(Op::PollTyped { g });
                 }
             }
             78 => {
@@ -213,7 +260,7 @@ impl Gen {
                     self.ops.push(Op::DropGuardian { g });
                 }
             }
-            79..=82 => {
+            79..=81 => {
                 let wid = self.next_wid;
                 self.next_wid += 1;
                 self.ops.push(Op::AllocWeakPair {
@@ -222,13 +269,29 @@ impl Gen {
                 });
                 self.weaks.push(wid);
             }
-            83..=84 => {
+            82 => {
+                if !self.typed.is_empty() {
+                    let wid = self.next_wid;
+                    self.next_wid += 1;
+                    let node = self.typed[rng.gen_range(0..self.typed.len())];
+                    self.ops.push(Op::AllocTypedWeak { wid, node });
+                    self.weaks.push(wid);
+                    self.typed_weaks.push(wid);
+                }
+            }
+            83 => {
                 if !self.weaks.is_empty() {
                     let wid = self.weaks[rng.gen_range(0..self.weaks.len())];
                     self.ops.push(Op::SetWeakPair {
                         wid,
                         target: self.pick_ref(rng),
                     });
+                }
+            }
+            84 => {
+                if !self.typed_weaks.is_empty() {
+                    let wid = self.typed_weaks[rng.gen_range(0..self.typed_weaks.len())];
+                    self.ops.push(Op::UpgradeTypedWeak { wid });
                 }
             }
             85..=86 => {
@@ -277,5 +340,6 @@ mod tests {
         assert_eq!(Trace::parse(&t.to_text()).expect("parses"), t);
         assert!(t.ops.iter().any(|o| matches!(o, Op::Collect { .. })));
         assert!(t.ops.iter().any(|o| matches!(o, Op::Register { .. })));
+        assert!(t.ops.iter().any(|o| matches!(o, Op::AllocTyped { .. })));
     }
 }

@@ -68,6 +68,12 @@ pub enum NodeKind {
     Bytevector,
     /// An immutable string `"node-<id>"` plus deterministic padding.
     String,
+    /// A record `{id, left, right}` allocated and mutated through the
+    /// typed `guardians-gc-api` layer (`Gc<T>`/`Root<T>`): same two-edge
+    /// shape as [`NodeKind::Pair`], but every access goes through the
+    /// typed front-end's accessors and write barrier. Typed edges can
+    /// only reference typed nodes (the field type is `Option<Root<T>>`).
+    Typed,
 }
 
 /// One step of a torture trace.
@@ -184,6 +190,61 @@ pub enum Op {
         /// The unrooted weak pair.
         wid: u32,
     },
+    /// Allocate a typed node (a `{id, left, right}` record) through the
+    /// `guardians-gc-api` layer; edges are wired afterwards via
+    /// `set_field`, exercising the typed write-barrier path. Edge
+    /// operands that are not live typed nodes degrade to `Null` (the
+    /// field type is `Option<Root<T>>`).
+    AllocTyped {
+        /// Fresh node id.
+        id: u32,
+        /// Initial left edge (typed nodes only).
+        left: Ref,
+        /// Initial right edge (typed nodes only).
+        right: Ref,
+    },
+    /// Root typed node `node` through a typed `Root<T>` on the shadow
+    /// stack (the typed counterpart of `root`); dropped by the ordinary
+    /// `unroot` op. No-op on non-typed nodes.
+    AddTypedRoot {
+        /// The typed node to root.
+        node: u32,
+    },
+    /// Register typed node `node` with guardian `g` through the typed
+    /// `Guardian<T>` view. No-op if the rig no longer holds `g`'s handle
+    /// or `node` is not a live typed node.
+    RegisterTyped {
+        /// The guardian to register with.
+        g: u32,
+        /// The watched typed node.
+        node: u32,
+    },
+    /// Poll guardian `g` through the typed view: delivers (and re-roots,
+    /// via a typed `Root<T>`) when the queue front is a typed node;
+    /// checks emptiness when the queue is empty; degrades to a no-op when
+    /// the front is an untyped object (typed poll would reject it by
+    /// descriptor).
+    PollTyped {
+        /// The polled guardian.
+        g: u32,
+    },
+    /// Allocate typed weak reference `wid` (a `Weak<T>` over the weak-pair
+    /// machinery) watching typed node `node`. Shares the `wid` space with
+    /// raw weak pairs and is dropped by the ordinary `dropweak` op, but
+    /// cannot be re-aimed (`Weak<T>` has no re-aim API).
+    AllocTypedWeak {
+        /// Fresh weak id.
+        wid: u32,
+        /// The watched typed node.
+        node: u32,
+    },
+    /// Upgrade typed weak `wid` and check the result against the model:
+    /// `Some` with the right referent exactly when the model says the
+    /// target is still physical. No-op on raw weak ids.
+    UpgradeTypedWeak {
+        /// The upgraded weak.
+        wid: u32,
+    },
     /// Collect generations `0..=gen`.
     Collect {
         /// Highest generation collected.
@@ -234,6 +295,12 @@ impl fmt::Display for Op {
             Op::AllocWeakPair { wid, target } => write!(f, "weak {wid} {target}"),
             Op::SetWeakPair { wid, target } => write!(f, "reweak {wid} {target}"),
             Op::DropWeakPair { wid } => write!(f, "dropweak {wid}"),
+            Op::AllocTyped { id, left, right } => write!(f, "tnode {id} {left} {right}"),
+            Op::AddTypedRoot { node } => write!(f, "troot {node}"),
+            Op::RegisterTyped { g, node } => write!(f, "tregister {g} {node}"),
+            Op::PollTyped { g } => write!(f, "tpoll {g}"),
+            Op::AllocTypedWeak { wid, node } => write!(f, "tweak {wid} {node}"),
+            Op::UpgradeTypedWeak { wid } => write!(f, "tupgrade {wid}"),
             Op::Collect { gen } => write!(f, "collect {gen}"),
             Op::Churn { n } => write!(f, "churn {n}"),
             Op::Grow { bytes } => write!(f, "grow {bytes}"),
@@ -309,6 +376,23 @@ impl FromStr for Op {
                 Op::SetWeakPair { wid, target }
             }
             "dropweak" => Op::DropWeakPair { wid: num("wid")? },
+            "tnode" => {
+                let id = num("id")?;
+                let left: Ref = it.next().ok_or("tnode: missing left")?.parse()?;
+                let right: Ref = it.next().ok_or("tnode: missing right")?.parse()?;
+                Op::AllocTyped { id, left, right }
+            }
+            "troot" => Op::AddTypedRoot { node: num("node")? },
+            "tregister" => Op::RegisterTyped {
+                g: num("g")?,
+                node: num("node")?,
+            },
+            "tpoll" => Op::PollTyped { g: num("g")? },
+            "tweak" => Op::AllocTypedWeak {
+                wid: num("wid")?,
+                node: num("node")?,
+            },
+            "tupgrade" => Op::UpgradeTypedWeak { wid: num("wid")? },
             "collect" => Op::Collect {
                 gen: num("gen")? as u8,
             },
@@ -644,6 +728,16 @@ mod tests {
                 target: Ref::Null,
             },
             Op::DropWeakPair { wid: 0 },
+            Op::AllocTyped {
+                id: 4,
+                left: Ref::Node(0),
+                right: Ref::Null,
+            },
+            Op::AddTypedRoot { node: 4 },
+            Op::RegisterTyped { g: 0, node: 4 },
+            Op::PollTyped { g: 0 },
+            Op::AllocTypedWeak { wid: 1, node: 4 },
+            Op::UpgradeTypedWeak { wid: 1 },
             Op::Collect { gen: 2 },
             Op::Churn { n: 300 },
             Op::Grow { bytes: 9000 },
@@ -747,6 +841,47 @@ mod tests {
                 InterpMode::Staged
             );
         }
+    }
+
+    #[test]
+    fn typed_tokens_are_purely_additive() {
+        // The typed tokens parse and round-trip...
+        for (text, op) in [
+            (
+                "tnode 7 n2 null",
+                Op::AllocTyped {
+                    id: 7,
+                    left: Ref::Node(2),
+                    right: Ref::Null,
+                },
+            ),
+            ("troot 7", Op::AddTypedRoot { node: 7 }),
+            ("tregister 1 7", Op::RegisterTyped { g: 1, node: 7 }),
+            ("tpoll 1", Op::PollTyped { g: 1 }),
+            ("tweak 3 7", Op::AllocTypedWeak { wid: 3, node: 7 }),
+            ("tupgrade 3", Op::UpgradeTypedWeak { wid: 3 }),
+        ] {
+            assert_eq!(text.parse::<Op>().unwrap(), op, "{text}");
+            assert_eq!(op.to_string(), text);
+        }
+        // ...and a trace without them serialises exactly as before, so
+        // every committed pre-typed trace keeps its text and meaning.
+        let old = Trace {
+            seed: None,
+            config: TortureConfig::default(),
+            ops: vec![
+                Op::AllocPair {
+                    id: 0,
+                    left: Ref::Null,
+                    right: Ref::Null,
+                },
+                Op::AddRoot { node: 0 },
+                Op::Collect { gen: 0 },
+            ],
+        };
+        let text = old.to_text();
+        assert!(!text.contains("tnode"), "{text}");
+        assert_eq!(Trace::parse(&text).unwrap(), old);
     }
 
     #[test]

@@ -39,9 +39,26 @@ use crate::ops::{NodeKind, Op, Ref, Trace};
 use guardians_gc::{
     CollectionReport, GcConfig, GcEvent, Guardian, Heap, Rooted, TraceConfig, TracedEvent, Value,
 };
+use guardians_gc_api::{
+    impl_trace, ApiCtx, Guardian as TypedGuardian, Root as TypedRoot, Weak as TypedWeak,
+};
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+
+impl_trace! {
+    /// The typed-op node shape: the `guardians-gc-api` counterpart of a
+    /// [`NodeKind::Pair`] — an id plus two optional typed edges, accessed
+    /// exclusively through the typed layer's accessors and write barrier.
+    pub struct TNode {
+        /// The trace-assigned node id (mirrors the raw kinds' id slot).
+        pub id: i64,
+        /// First typed edge.
+        pub left: Option<TypedRoot<TNode>>,
+        /// Second typed edge.
+        pub right: Option<TypedRoot<TNode>>,
+    }
+}
 
 /// Counters from a successful run.
 #[derive(Clone, Debug, Default)]
@@ -159,11 +176,20 @@ pub fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
 struct Rig {
     heap: Heap,
     model: Model,
+    /// Typed-layer context (shadow stack + descriptor table) viewing the
+    /// same heap; typed ops root through it instead of raw `Rooted` cells.
+    ctx: ApiCtx,
     node_trackers: HashMap<u32, Rooted>,
     tconc_trackers: HashMap<u32, Rooted>,
     guardians: HashMap<u32, Guardian>,
     rooted: HashMap<u32, Rooted>,
+    /// Typed roots (`troot` / typed-poll revivals), the typed twin of
+    /// `rooted` over the same model root set.
+    typed_roots: HashMap<u32, TypedRoot<TNode>>,
     weak_handles: HashMap<u32, Rooted>,
+    /// Typed weak references, sharing the model's weak-id space with
+    /// `weak_handles` (an id lives in exactly one of the two maps).
+    typed_weaks: HashMap<u32, TypedWeak<TNode>>,
     stats: RunStats,
     /// Whether the heap's event trace is on; collections then cross-check
     /// the drained events against report and model.
@@ -200,14 +226,18 @@ impl Rig {
                 ..TraceConfig::default()
             });
         }
+        let ctx = ApiCtx::new(&mut heap);
         Rig {
             heap,
             model: Model::new(cfg.clone()),
+            ctx,
             node_trackers: HashMap::new(),
             tconc_trackers: HashMap::new(),
             guardians: HashMap::new(),
             rooted: HashMap::new(),
+            typed_roots: HashMap::new(),
             weak_handles: HashMap::new(),
+            typed_weaks: HashMap::new(),
             stats: RunStats::default(),
             traced,
             events: Vec::new(),
@@ -266,6 +296,21 @@ impl Rig {
             Ref::Null => Value::FALSE,
             _ => self.strong_value(r),
         }
+    }
+
+    /// Whether `id` names a live typed node.
+    fn is_typed(&self, id: u32) -> bool {
+        matches!(self.model.nodes.get(&id), Some(n) if n.kind == NodeKind::Typed)
+    }
+
+    /// A fresh typed root over live typed node `id`.
+    fn typed_root(&self, id: u32) -> TypedRoot<TNode> {
+        self.ctx.adopt(&self.heap, self.node_value(id))
+    }
+
+    /// The typed view over guardian `g`'s live handle.
+    fn typed_guardian(&self, g: u32) -> TypedGuardian<TNode> {
+        TypedGuardian::from_untyped(self.guardians[&g].clone())
     }
 
     // ---- fault handling ------------------------------------------------
@@ -444,7 +489,10 @@ impl Rig {
                 Ok(true)
             }
             Op::DropRoot { node } => {
-                if self.rooted.remove(&node).is_none() {
+                // A node is rooted through exactly one of the raw and
+                // typed maps; unrooting covers both.
+                let raw = self.rooted.remove(&node).is_some();
+                if !raw && self.typed_roots.remove(&node).is_none() {
                     return Ok(false);
                 }
                 self.model.roots.remove(&node);
@@ -560,8 +608,10 @@ impl Rig {
                 Ok(true)
             }
             Op::SetWeakPair { wid, target } => {
+                // Typed weaks cannot be re-aimed (`Weak<T>` has no re-aim
+                // API), so this op only applies to raw weak pairs.
                 match self.model.weaks.get(&wid) {
-                    Some(w) if w.rooted => {}
+                    Some(w) if w.rooted && self.weak_handles.contains_key(&wid) => {}
                     _ => return Ok(false),
                 }
                 let target = self.model.normalize(target);
@@ -572,10 +622,214 @@ impl Rig {
                 Ok(true)
             }
             Op::DropWeakPair { wid } => {
-                if self.weak_handles.remove(&wid).is_none() {
+                // Covers both raw handles and typed `Weak<T>`s (whose
+                // drop tombstones the shadow-stack slot, unrooting the
+                // pair exactly like dropping the raw handle).
+                let raw = self.weak_handles.remove(&wid).is_some();
+                if !raw && self.typed_weaks.remove(&wid).is_none() {
                     return Ok(false);
                 }
                 self.model.weaks.get_mut(&wid).expect("was rooted").rooted = false;
+                Ok(true)
+            }
+            Op::AllocTyped { id, left, right } => {
+                if self.model.nodes.contains_key(&id) {
+                    return Ok(false);
+                }
+                // Typed edge fields are `Option<Root<TNode>>`: operands
+                // that are not live typed nodes degrade to `Null` (the
+                // model-derived decision, so shrinking stays safe).
+                let norm = |r: Ref, rig: &Rig| match rig.model.normalize(r) {
+                    Ref::Node(n) if rig.is_typed(n) => Ref::Node(n),
+                    _ => Ref::Null,
+                };
+                let (left, right) = (norm(left, self), norm(right, self));
+                // Record + (first time) descriptor string/symbol +
+                // tracker weak pair.
+                self.reserve(3)?;
+                let node = TNode {
+                    id: id as i64,
+                    left: None,
+                    right: None,
+                };
+                let root = self.ctx.alloc(&mut self.heap, &node);
+                // Wire the edges through the typed write-barrier path.
+                for (slot, edge) in [(1usize, left), (2, right)] {
+                    if let Ref::Node(n) = edge {
+                        let e = Some(self.typed_root(n));
+                        self.ctx.set_field(&mut self.heap, &root, slot, &e);
+                    }
+                }
+                let v = root.value();
+                self.track_node(id, v);
+                self.model.nodes.insert(
+                    id,
+                    MNode {
+                        kind: NodeKind::Typed,
+                        gen: 0,
+                        left,
+                        right,
+                        weak_car: Ref::Null,
+                        payload: 0,
+                    },
+                );
+                Ok(true)
+            }
+            Op::AddTypedRoot { node } => {
+                if !self.is_typed(node) || self.model.roots.contains(&node) {
+                    return Ok(false);
+                }
+                let root = self.typed_root(node);
+                self.typed_roots.insert(node, root);
+                self.model.roots.insert(node);
+                Ok(true)
+            }
+            Op::RegisterTyped { g, node } => {
+                // Typed registration goes through the typed guardian
+                // view, which needs the live handle (unlike the raw op,
+                // which can append through the bare tconc address).
+                if !self.guardians.contains_key(&g) || !self.is_typed(node) {
+                    return Ok(false);
+                }
+                let view = self.typed_guardian(g);
+                let root = self.typed_root(node);
+                view.register(&mut self.heap, &root);
+                self.model.protected[0].push(MEntry {
+                    tconc: g,
+                    obj: Ref::Node(node),
+                    rep: Ref::Node(node),
+                });
+                Ok(true)
+            }
+            Op::PollTyped { g } => {
+                if !self.guardians.contains_key(&g) {
+                    return Ok(false);
+                }
+                let front = self
+                    .model
+                    .tconcs
+                    .get(&g)
+                    .expect("handle implies physical")
+                    .queue
+                    .front()
+                    .copied();
+                match front {
+                    None => {
+                        // Typed poll must agree the group is empty.
+                        let view = self.typed_guardian(g);
+                        let got = view.poll(&mut self.heap, &self.ctx);
+                        check!(
+                            self,
+                            got.is_none(),
+                            "tpoll t{g}: heap returned {:?}, model expected empty",
+                            got.map(|r| r.value())
+                        );
+                        Ok(true)
+                    }
+                    Some(Ref::Node(id)) if self.is_typed(id) => {
+                        self.model
+                            .tconcs
+                            .get_mut(&g)
+                            .expect("checked")
+                            .queue
+                            .pop_front();
+                        let view = self.typed_guardian(g);
+                        let got = view.poll(&mut self.heap, &self.ctx);
+                        check!(
+                            self,
+                            got.is_some(),
+                            "tpoll t{g}: heap returned None, model expected n{id}"
+                        );
+                        let root = got.expect("checked");
+                        let want = self.node_value(id);
+                        check!(
+                            self,
+                            root.value() == want,
+                            "tpoll t{g}: heap returned {:?}, model expected n{id} ({want:?})",
+                            root.value()
+                        );
+                        // The lifted mirror must carry the right id — the
+                        // typed round trip through lower/lift.
+                        let lifted_id = self.ctx.read(&self.heap, &root).id;
+                        check!(
+                            self,
+                            lifted_id == id as i64,
+                            "tpoll t{g}: lifted id {lifted_id}, expected {id}"
+                        );
+                        self.stats.polled += 1;
+                        // Resurrection is confined to the poll owner: the
+                        // delivered root re-enters the root set, typed.
+                        if !self.model.roots.contains(&id) {
+                            self.typed_roots.insert(id, root);
+                            self.model.roots.insert(id);
+                        }
+                        Ok(true)
+                    }
+                    // An untyped queue front would be rejected by the
+                    // typed poll's descriptor check — degrade instead.
+                    Some(_) => Ok(false),
+                }
+            }
+            Op::AllocTypedWeak { wid, node } => {
+                if self.model.weaks.contains_key(&wid) || !self.is_typed(node) {
+                    return Ok(false);
+                }
+                self.reserve(1)?;
+                let root = self.typed_root(node);
+                let w = TypedWeak::new(&mut self.heap, &self.ctx, &root);
+                self.typed_weaks.insert(wid, w);
+                self.model.weaks.insert(
+                    wid,
+                    MWeak {
+                        gen: 0,
+                        target: Ref::Node(node),
+                        rooted: true,
+                    },
+                );
+                Ok(true)
+            }
+            Op::UpgradeTypedWeak { wid } => {
+                if !self.typed_weaks.contains_key(&wid) {
+                    return Ok(false);
+                }
+                // Pull everything out of the borrowed upgrade before the
+                // checks (a live `Gc` is a shared heap borrow).
+                let upgraded = {
+                    let w = &self.typed_weaks[&wid];
+                    w.upgrade(&self.heap)
+                        .map(|gc| (gc.value(), self.ctx.field::<TNode, i64>(&self.heap, gc, 0)))
+                };
+                let target = self.model.weaks[&wid].target;
+                match target {
+                    Ref::Node(id) => {
+                        check!(
+                            self,
+                            upgraded.is_some(),
+                            "tupgrade w{wid}: heap broke, model expects n{id} alive"
+                        );
+                        let (v, lifted_id) = upgraded.expect("checked");
+                        let want = self.node_value(id);
+                        check!(
+                            self,
+                            v == want,
+                            "tupgrade w{wid}: heap {v:?}, model n{id} ({want:?})"
+                        );
+                        check!(
+                            self,
+                            lifted_id == id as i64,
+                            "tupgrade w{wid}: id field {lifted_id}, expected {id}"
+                        );
+                    }
+                    Ref::Null => {
+                        check!(
+                            self,
+                            upgraded.is_none(),
+                            "tupgrade w{wid}: heap upgraded {:?}, model says broken",
+                            upgraded
+                        );
+                    }
+                    Ref::Tconc(_) => unreachable!("typed weaks only watch typed nodes"),
+                }
                 Ok(true)
             }
             Op::Collect { gen } => {
@@ -968,6 +1222,39 @@ impl Rig {
             );
         }
 
+        // Typed roots (shadow-stack slots) track relocations identically.
+        for (&id, root) in &self.typed_roots {
+            let want = self.node_value(id);
+            let got = root.value();
+            check!(
+                self,
+                got == want,
+                "typed root for n{id}: {got:?} vs tracker {want:?}"
+            );
+        }
+
+        // Typed weak references: the rooted pair's car and generation per
+        // the model, same contract as the raw weak handles below.
+        for (&wid, w) in &self.typed_weaks {
+            let m = self.model.weaks[&wid].clone();
+            let pair = w.pair();
+            let car = self.heap.car(pair);
+            let want = self.weak_value(m.target);
+            check!(
+                self,
+                car == want,
+                "typed weak w{wid} car: heap {car:?}, model {} ({want:?})",
+                m.target
+            );
+            let gen = self.heap.generation_of(pair);
+            check!(
+                self,
+                gen == Some(m.gen),
+                "typed weak w{wid} generation: heap {gen:?}, model {}",
+                m.gen
+            );
+        }
+
         // Standalone weak pairs: car broken/forwarded per the model.
         for (&wid, handle) in &self.weak_handles {
             let m = self.model.weaks[&wid].clone();
@@ -1141,6 +1428,44 @@ impl Rig {
                 let s = self.heap.string_value(v);
                 let want = format!("node-{id}");
                 check!(self, s == want, "string n{id} content: {s:?}");
+            }
+            NodeKind::Typed => {
+                check!(self, self.heap.is_record(v), "node n{id} is not a record");
+                let len = self.heap.record_len(v);
+                check!(
+                    self,
+                    len == 3,
+                    "typed n{id} field count: heap {len}, want 3"
+                );
+                // The descriptor must still be the context's interned
+                // `TNode` symbol (relocated in lockstep by collections).
+                let desc = self.heap.record_descriptor(v);
+                let want_desc = self.ctx.descriptor::<TNode>(&mut self.heap);
+                check!(
+                    self,
+                    desc == want_desc,
+                    "typed n{id} descriptor: heap {desc:?}, interned {want_desc:?}"
+                );
+                let tag = self.heap.record_ref(v, 0);
+                check!(
+                    self,
+                    tag == Value::fixnum(id as i64),
+                    "typed n{id} id slot: {tag:?}"
+                );
+                let (l, r) = (self.heap.record_ref(v, 1), self.heap.record_ref(v, 2));
+                let (wl, wr) = (self.strong_value(m.left), self.strong_value(m.right));
+                check!(
+                    self,
+                    l == wl,
+                    "typed n{id} left edge: heap {l:?}, model {} ({wl:?})",
+                    m.left
+                );
+                check!(
+                    self,
+                    r == wr,
+                    "typed n{id} right edge: heap {r:?}, model {} ({wr:?})",
+                    m.right
+                );
             }
         }
         Ok(())

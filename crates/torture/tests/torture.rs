@@ -146,6 +146,95 @@ fn pause_budget_matrix_agrees_with_the_oracle() {
     assert!(runs >= 36, "budget campaign too small: {runs} runs");
 }
 
+/// The typed-API matrix: generated traces (which interleave typed-layer
+/// ops — `tnode`/`troot`/`tregister`/`tpoll`/`tweak`/`tupgrade` — with
+/// the raw ops) replay under the serial engine, 4 collector workers, and
+/// a 100 µs pause budget with zero oracle divergences, and the
+/// deterministic observables are identical across the three engines.
+/// This is the typed front-end's engine-agnosticism acceptance check:
+/// every typed accessor funnels through the same resolve/barrier paths
+/// the oracle already pins.
+#[test]
+fn typed_api_matrix_agrees_with_the_oracle() {
+    use guardians_torture::Op;
+    let seeds = env_num("TORTURE_TYPED_SEEDS", 10);
+    let ops = env_num("TORTURE_TYPED_OPS", 400) as usize;
+    // A fresh seed window when CI provides one (nightly soak); any
+    // window works — every generated trace mixes typed ops in.
+    let base = env_num("TORTURE_SEED_BASE", 0);
+    let mut runs = 0;
+    let mut typed_traces = 0;
+    for seed in base..base + seeds {
+        let trace = generate(seed, ops);
+        if trace.ops.iter().any(|o| {
+            matches!(
+                o,
+                Op::AllocTyped { .. } | Op::PollTyped { .. } | Op::UpgradeTypedWeak { .. }
+            )
+        }) {
+            typed_traces += 1;
+        }
+        let mut baseline = None;
+        for (workers, budget_us) in [(1usize, None), (4, None), (1, Some(100u64))] {
+            let mut t = trace.clone();
+            t.config.workers = workers;
+            t.config.pause_budget = budget_us;
+            let stats = run_trace(&t).unwrap_or_else(|f| {
+                panic!("typed matrix seed {seed}, {workers} workers, budget {budget_us:?}: {f}")
+            });
+            runs += 1;
+            let key = (
+                stats.applied,
+                stats.collections,
+                stats.finalized,
+                stats.polled,
+                stats.live_nodes,
+            );
+            match &baseline {
+                None => baseline = Some(key),
+                Some(b) => assert_eq!(
+                    *b, key,
+                    "seed {seed}: engine ({workers} workers, {budget_us:?}) moved observables"
+                ),
+            }
+        }
+    }
+    assert!(runs >= 30, "typed matrix too small: {runs} runs");
+    assert!(
+        typed_traces == seeds,
+        "typed ops missing from some traces ({typed_traces}/{seeds})"
+    );
+}
+
+/// A handwritten typed trace replayed from its text form, pinning the §4
+/// ordering through the typed surface: a typed node is guarded and
+/// weakly watched, dies, is salvaged by the guardian pass, and the typed
+/// weak still upgrades (weaks break *after* the guardian pass) — then
+/// `tpoll` resurrects it through a typed root.
+#[test]
+fn typed_trace_replays_from_text_and_pins_weak_ordering() {
+    let text = "\
+config 4 next 0 0 -
+tnode 0 null null
+troot 0
+tnode 1 n0 null
+guardian 0
+tregister 0 1
+tweak 0 1
+collect 0
+tupgrade 0
+tpoll 0
+tupgrade 0
+collect 0
+tupgrade 0
+";
+    let trace = Trace::parse(text).expect("parses");
+    let stats = run_trace(&trace).unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(stats.polled, 1, "the salvaged typed node is delivered once");
+    assert_eq!(stats.finalized, 1);
+    assert!(stats.checks > 0);
+}
+
 /// The scheme-differential interpreter matrix: every seed's
 /// guardian-heavy Scheme workload replays under the naive and VM tiers
 /// against the staged anchor, on the serial, parallel (4 workers), and

@@ -1,0 +1,268 @@
+//! Offline stand-in for the `trybuild` compile-fail test harness.
+//!
+//! The real trybuild builds a scratch cargo project per UI test; with no
+//! registry access this stand-in drives `rustc` directly instead,
+//! resolving `--extern` crates against the rlibs cargo already built for
+//! the host test binary (they live next to the binary, in
+//! `target/<profile>/deps`). Each `*.rs` case declares its expected
+//! diagnostics as `//~ ERROR <substring>` lines; the case passes when
+//! compilation *fails* and stderr contains every declared substring.
+//!
+//! API shape follows trybuild (`TestCases::new().compile_fail(glob)`,
+//! run-on-drop) with one addition: [`TestCases::extern_crate`] names the
+//! crates the cases link against, which the real harness infers from the
+//! host manifest.
+//!
+//! Caveat: the newest rlib per crate name wins. After toolchain or
+//! feature changes a stale `target/` can leave mismatched metadata; the
+//! resulting E0460-style diagnostics will not match any expected
+//! substring and the case fails loudly — `cargo clean` resolves it.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// A batch of compile-fail cases, executed on drop (as in trybuild).
+#[derive(Default)]
+pub struct TestCases {
+    externs: Vec<String>,
+    cases: Vec<PathBuf>,
+    ran: bool,
+}
+
+impl TestCases {
+    /// Creates an empty batch.
+    #[must_use]
+    pub fn new() -> TestCases {
+        TestCases::default()
+    }
+
+    /// Adds a crate (by its lib name, underscores) to `--extern` for
+    /// every case.
+    pub fn extern_crate(&mut self, name: &str) -> &mut TestCases {
+        self.externs.push(name.to_owned());
+        self
+    }
+
+    /// Adds every `.rs` file matching `glob` (a literal path, a
+    /// directory, or a single-`*` pattern like `tests/ui/*.rs`),
+    /// relative to `CARGO_MANIFEST_DIR`.
+    pub fn compile_fail(&mut self, glob: &str) -> &mut TestCases {
+        let base = std::env::var_os("CARGO_MANIFEST_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."));
+        let pattern = base.join(glob);
+        let mut matched = expand(&pattern);
+        matched.sort();
+        assert!(
+            !matched.is_empty(),
+            "no UI test cases match {}",
+            pattern.display()
+        );
+        self.cases.extend(matched);
+        self
+    }
+
+    /// Runs the batch now instead of on drop.
+    pub fn run(&mut self) {
+        self.ran = true;
+        let deps = deps_dir();
+        let mut failures = Vec::new();
+        for case in &self.cases {
+            if let Err(msg) = run_case(case, &self.externs, &deps) {
+                failures.push(msg);
+            }
+        }
+        assert!(
+            failures.is_empty(),
+            "{} of {} UI cases failed:\n\n{}",
+            failures.len(),
+            self.cases.len(),
+            failures.join("\n\n")
+        );
+    }
+}
+
+impl Drop for TestCases {
+    fn drop(&mut self) {
+        if !self.ran && !std::thread::panicking() {
+            self.run();
+        }
+    }
+}
+
+/// Expands the supported pattern forms into concrete `.rs` paths.
+fn expand(pattern: &Path) -> Vec<PathBuf> {
+    let s = pattern.to_string_lossy();
+    if !s.contains('*') {
+        if pattern.is_dir() {
+            return list_rs(pattern);
+        }
+        return vec![pattern.to_path_buf()];
+    }
+    let dir = pattern.parent().expect("pattern has a parent dir");
+    let file = pattern
+        .file_name()
+        .expect("pattern has a file part")
+        .to_string_lossy();
+    let (prefix, suffix) = file.split_once('*').expect("single-star pattern");
+    list_rs(dir)
+        .into_iter()
+        .filter(|p| {
+            let name = p
+                .file_name()
+                .unwrap_or_default()
+                .to_string_lossy()
+                .into_owned();
+            name.starts_with(prefix) && name.ends_with(suffix)
+        })
+        .collect()
+}
+
+fn list_rs(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    if let Ok(entries) = fs::read_dir(dir) {
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.extension().is_some_and(|x| x == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out
+}
+
+/// The directory holding the host test binary's dependency rlibs.
+fn deps_dir() -> PathBuf {
+    let exe = std::env::current_exe().expect("test binary path");
+    let dir = exe.parent().expect("test binary dir");
+    // Integration test binaries live in `deps/` directly; doctest-style
+    // layouts put the binary one level up.
+    if dir.file_name().is_some_and(|n| n == "deps") {
+        dir.to_path_buf()
+    } else {
+        dir.join("deps")
+    }
+}
+
+/// Newest rlib for `crate_name` in `deps`, if any.
+fn find_rlib(deps: &Path, crate_name: &str) -> Option<PathBuf> {
+    let prefix = format!("lib{crate_name}-");
+    let mut best: Option<(std::time::SystemTime, PathBuf)> = None;
+    for e in fs::read_dir(deps).ok()?.flatten() {
+        let p = e.path();
+        let name = p.file_name()?.to_string_lossy().into_owned();
+        if !name.starts_with(&prefix) || !name.ends_with(".rlib") {
+            continue;
+        }
+        let mtime = e.metadata().and_then(|m| m.modified()).ok()?;
+        if best.as_ref().is_none_or(|(t, _)| mtime > *t) {
+            best = Some((mtime, p));
+        }
+    }
+    best.map(|(_, p)| p)
+}
+
+/// `//~ ERROR <substring>` annotations in a case source.
+fn expected_errors(src: &str) -> Vec<String> {
+    src.lines()
+        .filter_map(|l| l.split("//~ ERROR").nth(1))
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn run_case(case: &Path, externs: &[String], deps: &Path) -> Result<(), String> {
+    let src =
+        fs::read_to_string(case).map_err(|e| format!("{}: unreadable: {e}", case.display()))?;
+    let expected = expected_errors(&src);
+    if expected.is_empty() {
+        return Err(format!(
+            "{}: no `//~ ERROR <substring>` annotations — a compile-fail case must document why it fails",
+            case.display()
+        ));
+    }
+
+    let stem = case
+        .file_stem()
+        .unwrap_or_default()
+        .to_string_lossy()
+        .into_owned();
+    let out_dir =
+        std::env::temp_dir().join(format!("guardians-trybuild-{}-{stem}", std::process::id()));
+    let _ = fs::create_dir_all(&out_dir);
+
+    let rustc = std::env::var_os("RUSTC").unwrap_or_else(|| "rustc".into());
+    let mut cmd = Command::new(rustc);
+    cmd.arg("--edition=2021")
+        .arg("--emit=metadata")
+        .arg("--crate-name")
+        .arg(format!("uitest_{stem}"))
+        .arg(case)
+        .arg("--out-dir")
+        .arg(&out_dir)
+        .arg("-L")
+        .arg(format!("dependency={}", deps.display()));
+    for name in externs {
+        let rlib = find_rlib(deps, name).ok_or_else(|| {
+            format!(
+                "{}: no rlib for `{name}` under {} — build the workspace first",
+                case.display(),
+                deps.display()
+            )
+        })?;
+        cmd.arg("--extern")
+            .arg(format!("{name}={}", rlib.display()));
+    }
+
+    let output = cmd
+        .output()
+        .map_err(|e| format!("{}: rustc failed to spawn: {e}", case.display()))?;
+    let stderr = String::from_utf8_lossy(&output.stderr).into_owned();
+    let _ = fs::remove_dir_all(&out_dir);
+
+    if output.status.success() {
+        return Err(format!(
+            "{}: expected a compile failure, but it compiled cleanly",
+            case.display()
+        ));
+    }
+    let missing: Vec<&String> = expected
+        .iter()
+        .filter(|e| !stderr.contains(e.as_str()))
+        .collect();
+    if !missing.is_empty() {
+        return Err(format!(
+            "{}: compile failed, but not for the documented reason.\nmissing substrings: {missing:?}\n--- rustc stderr ---\n{stderr}",
+            case.display()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annotations_parse() {
+        let src =
+            "fn main() {} //~ ERROR E0502\n// plain comment\nlet x; //~ ERROR cannot borrow\n";
+        assert_eq!(
+            expected_errors(src),
+            vec!["E0502".to_owned(), "cannot borrow".to_owned()]
+        );
+    }
+
+    #[test]
+    fn star_patterns_filter_by_affixes() {
+        let dir = std::env::temp_dir().join(format!("trybuild-glob-{}", std::process::id()));
+        let _ = fs::create_dir_all(&dir);
+        fs::write(dir.join("a_case.rs"), "").unwrap();
+        fs::write(dir.join("notes.txt"), "").unwrap();
+        let hits = expand(&dir.join("*.rs"));
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].ends_with("a_case.rs"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
