@@ -10,6 +10,7 @@
 //! gcprof --scenario e14 --quick --out-dir gcprof-out
 //! gcprof --scenario e18 --quick --out-dir gcprof-out
 //! gcprof --scenario e19 --quick --out-dir gcprof-out
+//! gcprof --scenario e21 --quick --out-dir gcprof-out
 //! gcprof --scenario torture --seed 7 --ops 2000 --out-dir gcprof-out
 //! ```
 //!
@@ -35,8 +36,8 @@ fn main() {
     };
     let scenario = get("--scenario").unwrap_or_else(|| {
         eprintln!(
-            "usage: gcprof --scenario <e11|e14|e18|e19|torture> [--quick] [--seed N] [--ops N] \
-             [--out-dir DIR]"
+            "usage: gcprof --scenario <e11|e14|e18|e19|e21|torture> [--quick] [--seed N] \
+             [--ops N] [--out-dir DIR]"
         );
         std::process::exit(2);
     });
@@ -51,10 +52,11 @@ fn main() {
         "e14" => profile_e14(quick, &out_dir),
         "e18" => profile_e18(quick, &out_dir),
         "e19" => profile_e19(quick, &out_dir),
+        "e21" => profile_e21(quick, &out_dir),
         "torture" => profile_torture(seed, ops, &out_dir),
         other => {
             eprintln!(
-                "error: unknown scenario {other:?} (expected e11, e14, e18, e19, or torture)"
+                "error: unknown scenario {other:?} (expected e11, e14, e18, e19, e21, or torture)"
             );
             std::process::exit(2);
         }
@@ -331,6 +333,102 @@ fn profile_e19(quick: bool, out_dir: &str) {
     )
     .expect("write metrics");
     write_exports(out_dir, "e19", &events);
+}
+
+fn profile_e21(quick: bool, out_dir: &str) {
+    use guardians_zones::{session_zone, Engine, Request, ZoneConfig, ZoneManager};
+
+    // E21's fleet shape — 8 zones alternating typed/Scheme over one shared
+    // segment pool, engines cycling through the zone matrix — but driven
+    // single-threaded through the manager so every zone's heap stays
+    // reachable for tracing. Each zone gets its own trace ring, census,
+    // and metrics snapshot; the fleet rollup lands in e21.fleet.json.
+    const ZONES: usize = 8;
+    let mut mgr = ZoneManager::new();
+    for id in 0..ZONES as u64 {
+        let base = if id % 2 == 0 {
+            ZoneConfig::typed()
+        } else {
+            ZoneConfig::scheme()
+        };
+        let cfg = base
+            .with_engine(Engine::MATRIX[(id % 3) as usize])
+            .with_trigger_bytes(1 << 16);
+        mgr.create_zone(id, &cfg)
+            .enable_tracing(profile_trace_config());
+    }
+    let sessions: u64 = if quick { 400 } else { 1_500 };
+    let rounds: u32 = if quick { 2 } else { 4 };
+    let start = std::time::Instant::now();
+    for s in 0..sessions {
+        mgr.dispatch(session_zone(s, ZONES), Request::Open { session: s });
+    }
+    for round in 0..rounds {
+        for s in 0..sessions {
+            mgr.dispatch(
+                session_zone(s, ZONES),
+                Request::Work {
+                    session: s,
+                    amount: 1 + (s as u32 + round) % 5,
+                },
+            );
+        }
+    }
+    for s in (0..sessions).step_by(2) {
+        mgr.dispatch(session_zone(s, ZONES), Request::Evict { session: s });
+    }
+    mgr.quiesce();
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+
+    println!("== gcprof e21 (multi-tenant zone fleet, shared segment pool) ==");
+    let pool_stats = mgr.pool_stats();
+    let mut snaps = Vec::new();
+    for id in mgr.zone_ids() {
+        let zone = mgr.zone_mut(id).expect("zone exists");
+        zone.verify().expect("zone heap valid after workload");
+        let events = zone.drain_trace_events();
+        assert_eq!(
+            zone.heap().trace_dropped(),
+            0,
+            "profiling ring sized to not drop"
+        );
+        let snap = zone.snapshot();
+        println!(
+            "zone {id} [{}/{}]: {} requests, {} collections, {} reclaimed, pause p99 {} us",
+            snap.engine,
+            snap.workload,
+            snap.obs.requests,
+            snap.obs.collections,
+            snap.obs.reclaimed_sessions,
+            snap.pause_p99_ns / 1_000
+        );
+        let census = zone.heap().census();
+        std::fs::write(
+            Path::new(out_dir).join(format!("e21.zone{id}.census.json")),
+            census.to_json(),
+        )
+        .expect("write zone census");
+        std::fs::write(
+            Path::new(out_dir).join(format!("e21.zone{id}.metrics.json")),
+            zone.heap_mut().metrics_json(),
+        )
+        .expect("write zone metrics");
+        write_exports(out_dir, &format!("e21.zone{id}"), &events);
+        snaps.push(snap);
+    }
+    let fleet = guardians_zones::fleet_stats_json(&snaps, &pool_stats, elapsed_ns);
+    let fleet_path = Path::new(out_dir).join("e21.fleet.json");
+    std::fs::write(&fleet_path, &fleet).expect("write fleet stats");
+    let agg = guardians_zones::FleetStats::aggregate(&snaps);
+    println!(
+        "fleet: {} zones, {} sessions, {} requests, {} reclaimed, worst zone p99 {} us",
+        agg.zones,
+        agg.sessions_opened,
+        agg.requests,
+        agg.reclaimed_sessions,
+        agg.worst_pause_p99_ns / 1_000
+    );
+    println!("wrote {}", fleet_path.display());
 }
 
 fn profile_torture(seed: u64, ops: usize, out_dir: &str) {

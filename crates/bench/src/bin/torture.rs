@@ -34,6 +34,14 @@
 //!   --scheme-forms N top-level forms per scheme workload  (default 200)
 //!   --scheme-interp M the tier the scheme leg checks against the staged
 //!                    anchor: naive | vm                   (default vm)
+//!   --zone-soak N    additionally run N seeds of the multi-zone soak:
+//!                    a randomized create/dispatch/evict/teardown schedule
+//!                    over a shared-pool zone fleet, every teardown
+//!                    private-replay oracle-checked; on divergence the
+//!                    schedule is ddmin-shrunk and written ready to
+//!                    commit                               (default 0 = none)
+//!   --zone-ops N     ops per zone-soak schedule           (default 400)
+//!   --zones N        max zones per zone-soak schedule     (default 6)
 //!   --fail-out PATH  on divergence, also write the shrunken regression
 //!                    trace to PATH (CI uploads it as an artifact)
 
@@ -51,6 +59,9 @@ fn main() {
     let mut scheme_seeds: u64 = 0;
     let mut scheme_forms: usize = 200;
     let mut scheme_interp = guardians_torture::InterpMode::Vm;
+    let mut zone_seeds: u64 = 0;
+    let mut zone_ops: usize = 400;
+    let mut max_zones: usize = 6;
     let mut fail_out: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -79,6 +90,9 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|e| panic!("--scheme-interp: {e}"));
             }
+            "--zone-soak" => zone_seeds = val(i),
+            "--zone-ops" => zone_ops = val(i) as usize,
+            "--zones" => max_zones = (val(i) as usize).max(1),
             "--fail-out" => {
                 fail_out = Some(
                     args.get(i + 1)
@@ -223,6 +237,57 @@ fn main() {
             "PASS: scheme differential, {forms} forms, {collections} collections, \
              {polled} polls, {:.1}s",
             t3.elapsed().as_secs_f64()
+        );
+    }
+
+    if zone_seeds > 0 {
+        println!(
+            "zone soak: {zone_seeds} seeds x {zone_ops} ops, up to {max_zones} zones \
+             on a shared pool, private-replay oracle at every teardown"
+        );
+        let t4 = Instant::now();
+        let mut soak_ops = 0u64;
+        let mut zones_checked = 0u64;
+        let mut requests = 0u64;
+        let mut reclaimed = 0u64;
+        for seed in start..start + zone_seeds {
+            let schedule = guardians_zones::soak::generate(seed, zone_ops, max_zones);
+            match guardians_zones::soak::run_schedule(&schedule) {
+                Ok(stats) => {
+                    soak_ops += stats.ops;
+                    zones_checked += stats.zones_checked;
+                    requests += stats.requests;
+                    reclaimed += stats.reclaimed;
+                }
+                Err(failure) => {
+                    eprintln!("{failure}");
+                    // Shrink the schedule to a locally minimal failing op
+                    // subsequence (skipped ops on dead zones keep every
+                    // subsequence a valid schedule), then print it ready
+                    // to commit as a regression.
+                    let minimal = guardians_torture::ddmin(&schedule.ops, |ops| {
+                        guardians_zones::soak::run_schedule(&guardians_zones::soak::SoakSchedule {
+                            seed,
+                            ops: ops.to_vec(),
+                        })
+                        .is_err()
+                    });
+                    let shrunk = guardians_zones::soak::SoakSchedule { seed, ops: minimal };
+                    let text = shrunk.to_text();
+                    eprintln!(
+                        "shrunken schedule ({} of {} ops):\n{text}",
+                        shrunk.ops.len(),
+                        schedule.ops.len()
+                    );
+                    write_failure(fail_out.as_deref(), &format!("{failure}\n{text}"));
+                    std::process::exit(1);
+                }
+            }
+        }
+        println!(
+            "PASS: zone soak, {soak_ops} ops, {zones_checked} zones oracle-checked, \
+             {requests} requests, {reclaimed} reclaimed, {:.1}s",
+            t4.elapsed().as_secs_f64()
         );
     }
 }

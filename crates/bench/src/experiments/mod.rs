@@ -14,6 +14,7 @@ pub mod e18;
 pub mod e19;
 pub mod e2;
 pub mod e20;
+pub mod e21;
 pub mod e3;
 pub mod e4;
 pub mod e5;
@@ -42,6 +43,7 @@ pub fn run_all(quick: bool) -> Vec<guardians_workloads::Table> {
         e18::run(quick).0,
         e19::run(quick).0,
         e20::run(quick).0,
+        e21::run(quick).0,
     ]
 }
 

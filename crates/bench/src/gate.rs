@@ -299,6 +299,16 @@ pub fn default_specs() -> Vec<GateSpec> {
             column: "vm us/eval",
             direction: Direction::LowerIsBetter,
         },
+        GateSpec {
+            table: "e21",
+            column: "fleet kreq/s",
+            direction: Direction::HigherIsBetter,
+        },
+        GateSpec {
+            table: "e21",
+            column: "worst zone p99 (us)",
+            direction: Direction::LowerIsBetter,
+        },
     ]
 }
 
@@ -510,10 +520,19 @@ mod tests {
               \"pause p50 (us)\",\"pause p99 (us)\"],\
               \"rows\":[{wus}],\"notes\":[]}},\
              {{\"name\":\"e19\",\"title\":\"E19: v\",\"headers\":[\"workload\",\"vm us/eval\"],\
-              \"rows\":[{us}],\"notes\":[]}}]}}",
+              \"rows\":[{us}],\"notes\":[]}},\
+             {{\"name\":\"e21\",\"title\":\"E21: f\",\"headers\":[\"engine\",\
+              \"fleet kreq/s\",\"worst zone p99 (us)\"],\
+              \"rows\":[{fleet}],\"notes\":[]}}]}}",
             mw = rows(mwps),
             us = rows(us),
-            wus = wide_rows(us)
+            wus = wide_rows(us),
+            fleet = mwps
+                .iter()
+                .zip(us)
+                .map(|(m, u)| format!("[\"cfg\",\"{m:.1}\",\"{u:.1}\"]"))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         Json::parse(&text).expect("test doc parses")
     }
@@ -619,8 +638,21 @@ mod tests {
              \"rows\":[[\"a\",\"900.0\"]],\"notes\":[]}]}",
         )
         .unwrap();
-        let merged =
-            merge_docs(&[e11_only, e14_only.clone(), e17_only, e18_only, e19_only]).unwrap();
+        let e21_only = Json::parse(
+            "{\"quick\":true,\"tables\":[{\"name\":\"e21\",\
+             \"headers\":[\"k\",\"fleet kreq/s\",\"worst zone p99 (us)\"],\
+             \"rows\":[[\"a\",\"60.0\",\"900.0\"]],\"notes\":[]}]}",
+        )
+        .unwrap();
+        let merged = merge_docs(&[
+            e11_only,
+            e14_only.clone(),
+            e17_only,
+            e18_only,
+            e19_only,
+            e21_only,
+        ])
+        .unwrap();
         let lines = compare(&merged, &[both], &default_specs(), 0.15).unwrap();
         assert!(lines.iter().all(|l| l.pass && l.regression.abs() < 1e-9));
         let err = merge_docs(&[merged, doc(false, &[1.0], &[1.0])]).unwrap_err();

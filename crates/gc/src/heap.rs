@@ -22,7 +22,8 @@ use crate::roots::{RootSet, Rooted, RootedVec};
 use crate::stats::{CollectionReport, HeapStats};
 use crate::trace::{GcEvent, SiteProfile, SiteStats, TraceConfig, TracedEvent, Tracer};
 use crate::value::Value;
-use guardians_segments::{SegIndex, SegmentTable, Space, WordAddr, SEGMENT_WORDS};
+use guardians_segments::{SegIndex, SegmentPool, SegmentTable, Space, WordAddr, SEGMENT_WORDS};
+use std::sync::Arc;
 
 /// A guardian protected-list entry: the paper's "object/guardian pair",
 /// extended with the Section 5 *agent* generalisation (`rep` is what gets
@@ -118,6 +119,47 @@ impl Heap {
             site_profile: None,
             config,
         }
+    }
+
+    /// Creates a heap whose segment storage comes from a shared
+    /// [`SegmentPool`] — the multi-tenant configuration, where many heaps
+    /// ("zones") draw on one fleet-level capacity budget. `max_segments`
+    /// is this heap's watermark: a per-tenant quota that both bounds the
+    /// tenant and, when the fleet's watermarks sum to at most the pool
+    /// capacity, guarantees its `try_*` preflights stay race-free against
+    /// concurrent tenants.
+    ///
+    /// Allocation behaviour (addresses, recycling, observables) is
+    /// byte-identical to [`Heap::new`]; pool exhaustion and the watermark
+    /// surface through the same budget discipline as acquisition faults —
+    /// `try_*` entry points return [`GcError::Exhausted`], infallible
+    /// paths treat an unpreflighted shortfall as a panic-worthy bug. All
+    /// segments return to the pool when the heap drops.
+    pub fn with_pool(
+        config: GcConfig,
+        pool: Arc<SegmentPool>,
+        max_segments: Option<usize>,
+    ) -> Heap {
+        let mut heap = Heap::new(config);
+        heap.segs = SegmentTable::with_pool(pool, max_segments);
+        heap
+    }
+
+    /// The shared segment pool this heap draws from, if any.
+    pub fn segment_pool(&self) -> Option<&Arc<SegmentPool>> {
+        self.segs.pool()
+    }
+
+    /// Segments the heap's table can still acquire before its zone
+    /// watermark or shared-pool capacity binds; `u64::MAX` when neither
+    /// does (see [`SegmentTable::acquirable`] for the conservative
+    /// contract). Quota sizing note: a copy collection transiently holds
+    /// from-space and to-space at once, so a zone watermark must leave
+    /// copy-reserve headroom (at least the live-data segment count)
+    /// above the mutator's working set, or collection at the watermark
+    /// trips the budget discipline.
+    pub fn segs_acquirable(&self) -> u64 {
+        self.segs.acquirable()
     }
 
     /// The heap's configuration.
@@ -433,9 +475,14 @@ impl Heap {
         self.check_budget(segments)
     }
 
-    /// Errors unless `needed` more segments can be acquired.
+    /// Errors unless `needed` more segments can be acquired. The budget
+    /// is the tightest of three bounds: the configured acquisition fault,
+    /// the heap's `max_segments` watermark, and the shared pool's spare
+    /// capacity (see [`SegmentTable::acquirable`] — deliberately
+    /// conservative, so a passing preflight can never strand an
+    /// infallible path on a tripwire).
     fn check_budget(&self, needed: u64) -> Result<(), GcError> {
-        let remaining = self.acquisitions_remaining();
+        let remaining = self.acquisitions_remaining().min(self.segs.acquirable());
         if needed > remaining {
             return Err(GcError::Exhausted { needed, remaining });
         }

@@ -99,3 +99,7 @@ pub use trace::{
 };
 pub use value::{Value, FIXNUM_MAX, FIXNUM_MIN};
 pub use verify::VerifyError;
+
+// The shared-capacity types, re-exported so multi-heap embedders (the
+// zone layer) need not depend on the segments crate directly.
+pub use guardians_segments::{PoolStats, SegmentPool};

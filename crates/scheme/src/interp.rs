@@ -170,7 +170,15 @@ impl Interp {
 
     /// An interpreter with the given full configuration.
     pub fn with_interp_config(config: InterpConfig) -> Interp {
-        let mut heap = Heap::new(config.gc);
+        Interp::with_heap(Heap::new(config.gc), config.mode)
+    }
+
+    /// An interpreter over a pre-built heap — the multi-tenant entry
+    /// point: a zone constructs its heap against a shared
+    /// [`guardians_gc::SegmentPool`] (via [`Heap::with_pool`]) and hands
+    /// it here; every interpreter structure (symbols, globals, prelude)
+    /// is built on top exactly as [`Interp::with_interp_config`] would.
+    pub fn with_heap(mut heap: Heap, mode: EvalMode) -> Interp {
         let mut symbols = SymbolTable::new();
         let stack = heap.root_vec();
         let nil_bindings = Value::NIL;
@@ -219,7 +227,7 @@ impl Interp {
             max_depth: 400,
             global,
             sf,
-            mode: config.mode,
+            mode,
             profile: false,
             code_tab: Vec::new(),
             vm_tab: Vec::new(),

@@ -33,10 +33,12 @@
 
 mod addr;
 mod info;
+mod pool;
 mod seg;
 mod table;
 
 pub use addr::{SegIndex, WordAddr, SEGMENT_BYTES, SEGMENT_WORDS, SEGMENT_WORDS_LOG2};
 pub use info::{SegInfo, SegKind, Space, NO_OWNER};
+pub use pool::{PoolStats, SegmentPool};
 pub use seg::Segment;
 pub use table::SegmentTable;

@@ -4,7 +4,9 @@
 
 use crate::addr::{SegIndex, WordAddr, SEGMENT_WORDS};
 use crate::info::{SegInfo, Space};
+use crate::pool::SegmentPool;
 use crate::seg::{Segment, POISON};
+use std::sync::Arc;
 
 /// Owner of all heap segments and their metadata.
 ///
@@ -29,10 +31,18 @@ pub struct SegmentTable {
     /// segment is freed or recycled into another generation;
     /// [`SegmentTable::drain_generation`] filters them out.
     by_gen: Vec<Vec<SegIndex>>,
+    /// Shared capacity source: when attached, fresh storage comes from the
+    /// pool (and all storage goes back on drop) instead of being created
+    /// privately. The local `free` list still recycles within the table —
+    /// pool traffic happens only on growth and teardown.
+    pool: Option<Arc<SegmentPool>>,
+    /// Per-table watermark on `allocated` (run tails included): the
+    /// zone-level quota that keeps one tenant from draining a shared pool.
+    max_segments: Option<usize>,
 }
 
 impl SegmentTable {
-    /// An empty table with no segments.
+    /// An empty table with no segments, backed by process-private storage.
     pub fn new() -> Self {
         SegmentTable {
             segs: Vec::new(),
@@ -41,7 +51,89 @@ impl SegmentTable {
             allocated: 0,
             dirty_list: Vec::new(),
             by_gen: Vec::new(),
+            pool: None,
+            max_segments: None,
         }
+    }
+
+    /// An empty table drawing fresh storage from `pool`, optionally capped
+    /// at `max_segments` allocated segments (the per-zone watermark).
+    ///
+    /// Allocation behaviour is byte-identical to a private table: fresh
+    /// pool storage is zeroed exactly as `Segment::new()` is, indices are
+    /// assigned in the same order, and the local free list recycles
+    /// identically. Only where the bytes come from — and where they go on
+    /// drop — differs.
+    pub fn with_pool(pool: Arc<SegmentPool>, max_segments: Option<usize>) -> Self {
+        pool.attach();
+        let mut table = SegmentTable::new();
+        table.pool = Some(pool);
+        table.max_segments = max_segments;
+        table
+    }
+
+    /// Fresh storage for a segment index about to be created: from the
+    /// shared pool when attached, else private.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an attached pool is at capacity — the same tripwire
+    /// discipline as the heap's acquisition budget: infallible allocation
+    /// entry points must be preflighted via [`SegmentTable::acquirable`].
+    fn fresh_storage(&mut self) -> Segment {
+        match &self.pool {
+            None => Segment::new(),
+            Some(pool) => pool.try_acquire().unwrap_or_else(|| {
+                panic!(
+                    "shared segment pool exhausted on an infallible allocation path \
+                     (preflight with a try_* entry point)"
+                )
+            }),
+        }
+    }
+
+    /// Watermark tripwire: about to raise `allocated` by `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table's `max_segments` watermark would be exceeded —
+    /// again, infallible paths must be preflighted.
+    fn charge_watermark(&self, n: usize) {
+        if let Some(max) = self.max_segments {
+            assert!(
+                self.allocated + n <= max,
+                "zone watermark of {max} segments exceeded on an infallible allocation \
+                 path (preflight with a try_* entry point)"
+            );
+        }
+    }
+
+    /// Segments this table can still acquire before hitting its watermark
+    /// or the shared pool's capacity; `u64::MAX` when neither bounds it.
+    ///
+    /// Deliberately conservative on the pool side: the local free list is
+    /// not credited (multi-segment runs can never use it), so a demand of
+    /// `n <= acquirable()` segments is guaranteed not to trip either
+    /// tripwire — the soundness contract `Heap::check_budget` relies on.
+    /// Under concurrent tenants the pool figure is a snapshot; zones that
+    /// need a hard guarantee carry a `max_segments` watermark sized so the
+    /// fleet's watermarks sum to at most the pool capacity.
+    pub fn acquirable(&self) -> u64 {
+        let watermark = self
+            .max_segments
+            .map_or(u64::MAX, |max| max.saturating_sub(self.allocated) as u64);
+        let pool = self.pool.as_ref().map_or(u64::MAX, |p| p.remaining());
+        watermark.min(pool)
+    }
+
+    /// The shared pool this table draws from, if any.
+    pub fn pool(&self) -> Option<&Arc<SegmentPool>> {
+        self.pool.as_ref()
+    }
+
+    /// The table's `max_segments` watermark, if any.
+    pub fn max_segments(&self) -> Option<usize> {
+        self.max_segments
     }
 
     fn note_generation(&mut self, seg: SegIndex, generation: u8) {
@@ -54,6 +146,7 @@ impl SegmentTable {
 
     /// Allocates one segment belonging to `space` / `generation`.
     pub fn allocate(&mut self, space: Space, generation: u8) -> SegIndex {
+        self.charge_watermark(1);
         let idx = match self.free.pop() {
             Some(idx) => {
                 self.segs[idx.index()].fill(0);
@@ -61,7 +154,8 @@ impl SegmentTable {
             }
             None => {
                 let idx = SegIndex(self.segs.len() as u32);
-                self.segs.push(Segment::new());
+                let storage = self.fresh_storage();
+                self.segs.push(storage);
                 self.info.push(None);
                 idx
             }
@@ -86,10 +180,12 @@ impl SegmentTable {
         // Contiguity in index space is required, so runs always come from
         // fresh indices at the end of the table; singleton free segments
         // cannot be stitched together.
+        self.charge_watermark(n);
         let head = SegIndex(self.segs.len() as u32);
         for i in 0..n {
             let idx = SegIndex(head.0 + i as u32);
-            self.segs.push(Segment::new());
+            let storage = self.fresh_storage();
+            self.segs.push(storage);
             let info = if i == 0 {
                 let mut info = SegInfo::head(space, generation);
                 info.run = n as u32;
@@ -380,6 +476,19 @@ impl Default for SegmentTable {
     }
 }
 
+impl Drop for SegmentTable {
+    /// Teardown returns *all* storage — allocated segments and the local
+    /// free list alike — to the shared pool, so a zone's capacity is fully
+    /// reusable the moment its heap drops. Private tables free storage as
+    /// before.
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.release_all(self.segs.drain(..));
+            pool.detach();
+        }
+    }
+}
+
 impl std::fmt::Debug for SegmentTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SegmentTable")
@@ -580,6 +689,85 @@ mod tests {
         assert_eq!(t.drain_generation(0), Vec::<SegIndex>::new(), "drained");
         assert_eq!(t.drain_generation(1), vec![c, a2]);
         assert_eq!(t.drain_generation(9), Vec::<SegIndex>::new());
+    }
+
+    #[test]
+    fn pooled_table_matches_private_allocation_behaviour() {
+        let pool = SegmentPool::unbounded();
+        let mut pooled = SegmentTable::with_pool(pool.clone(), None);
+        let mut private = SegmentTable::new();
+        for t in [&mut pooled, &mut private] {
+            let a = t.allocate(Space::Pair, 0);
+            let b = t.allocate(Space::Typed, 1);
+            t.set_word(t.base_addr(a).add(3), 7);
+            t.free(b);
+            let c = t.allocate(Space::WeakPair, 0);
+            assert_eq!(c, b, "free-list recycling identical");
+            assert_eq!(t.word(t.base_addr(c)), 0, "recycled storage zeroed");
+            let run = t.allocate_run(Space::Typed, 2, 3);
+            assert_eq!(t.run_len(run), 3);
+        }
+        assert_eq!(pool.outstanding(), pooled.segments_total());
+        assert_eq!(pool.attached_tables(), 1);
+    }
+
+    #[test]
+    fn dropping_a_pooled_table_returns_every_segment() {
+        let pool = SegmentPool::with_capacity(16);
+        {
+            let mut t = SegmentTable::with_pool(pool.clone(), None);
+            let a = t.allocate(Space::Pair, 0);
+            let _b = t.allocate_run(Space::Typed, 1, 3);
+            t.free(a); // free-listed storage must come back too
+            assert_eq!(pool.outstanding(), 4);
+        }
+        assert_eq!(pool.outstanding(), 0, "teardown returns all storage");
+        assert_eq!(pool.attached_tables(), 0, "no lingering owners");
+        assert_eq!(pool.stats().releases, 4);
+    }
+
+    #[test]
+    fn acquirable_reflects_watermark_and_pool() {
+        let pool = SegmentPool::with_capacity(8);
+        let mut a = SegmentTable::with_pool(pool.clone(), Some(3));
+        let mut b = SegmentTable::with_pool(pool.clone(), None);
+        assert_eq!(a.acquirable(), 3, "watermark binds before pool");
+        a.allocate(Space::Pair, 0);
+        a.allocate(Space::Pair, 0);
+        assert_eq!(a.acquirable(), 1);
+        for _ in 0..5 {
+            b.allocate(Space::Typed, 0);
+        }
+        assert_eq!(pool.remaining(), 1);
+        assert_eq!(a.acquirable(), 1, "min(watermark 1, pool 1)");
+        assert_eq!(b.acquirable(), 1, "pool binds the unmarked sibling");
+        b.allocate(Space::Typed, 0);
+        assert_eq!(a.acquirable(), 0, "pool drained by the sibling");
+        // Freeing locally restores watermark headroom but (deliberately)
+        // not pool-side credit: the free list is not counted.
+        let first = SegIndex(0);
+        a.free(first);
+        assert_eq!(a.acquirable(), 0);
+        assert!(SegmentTable::new().acquirable() == u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "watermark of 2 segments exceeded")]
+    fn watermark_tripwire_fires_on_unpreflighted_allocation() {
+        let pool = SegmentPool::unbounded();
+        let mut t = SegmentTable::with_pool(pool, Some(2));
+        t.allocate(Space::Pair, 0);
+        t.allocate(Space::Pair, 0);
+        t.allocate(Space::Pair, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool exhausted")]
+    fn pool_tripwire_fires_on_unpreflighted_allocation() {
+        let pool = SegmentPool::with_capacity(1);
+        let mut t = SegmentTable::with_pool(pool, None);
+        t.allocate(Space::Pair, 0);
+        t.allocate(Space::Pair, 0);
     }
 
     #[test]

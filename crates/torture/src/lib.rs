@@ -34,7 +34,7 @@ pub use gen::{config_for_seed, generate};
 pub use ops::{InterpMode, NodeKind, Op, Ref, TortureConfig, Trace};
 pub use rig::{quiet_panics, run_trace, run_trace_traced, Failure, RunStats};
 pub use scheme_diff::{run_scheme_differential, SchemeDiffStats};
-pub use shrink::{explain, shrink};
+pub use shrink::{ddmin, explain, shrink};
 
 /// Generates and runs one seed: the basic unit of a torture campaign.
 pub fn check_seed(seed: u64, nops: usize) -> Result<RunStats, Failure> {

@@ -16,13 +16,23 @@ pub fn shrink(trace: &Trace) -> Trace {
 /// [`shrink`] with an explicit failure predicate (used by the shrinker's
 /// own tests; `fails` must hold for `trace` itself).
 pub fn shrink_with(trace: &Trace, fails: impl Fn(&Trace) -> bool) -> Trace {
-    assert!(fails(trace), "shrink called on a passing trace");
-    let mut ops = trace.ops.clone();
     let candidate = |ops: &[crate::ops::Op]| Trace {
         seed: trace.seed,
         config: trace.config.clone(),
         ops: ops.to_vec(),
     };
+    let ops = ddmin(&trace.ops, |ops| fails(&candidate(ops)));
+    candidate(&ops)
+}
+
+/// The generic delta-debugging core: shrinks any failing op sequence to a
+/// locally minimal failing subsequence (removing any single remaining
+/// element makes `fails` return false). `fails` must hold for `items`
+/// itself. Shared by [`shrink_with`] and by other schedule-driven rigs
+/// (the multi-zone soak) whose op types are not this crate's [`Trace`].
+pub fn ddmin<T: Clone>(items: &[T], fails: impl Fn(&[T]) -> bool) -> Vec<T> {
+    assert!(fails(items), "ddmin called on a passing sequence");
+    let mut ops = items.to_vec();
     let mut chunk = (ops.len() / 2).max(1);
     loop {
         let mut progressed = false;
@@ -30,7 +40,7 @@ pub fn shrink_with(trace: &Trace, fails: impl Fn(&Trace) -> bool) -> Trace {
         while i < ops.len() {
             let mut attempt = ops.clone();
             attempt.drain(i..(i + chunk).min(attempt.len()));
-            if fails(&candidate(&attempt)) {
+            if fails(&attempt) {
                 ops = attempt;
                 progressed = true;
                 // Re-test from the same index: the next chunk slid down.
@@ -46,7 +56,7 @@ pub fn shrink_with(trace: &Trace, fails: impl Fn(&Trace) -> bool) -> Trace {
             chunk = (chunk / 2).max(1);
         }
     }
-    candidate(&ops)
+    ops
 }
 
 /// Formats a failure as a committable artifact: the one-line failure

@@ -1,0 +1,127 @@
+//! Fleet roll-up: aggregates per-zone snapshots and shared-pool
+//! accounting into one deterministic JSON document (the `fleet_stats`
+//! export consumed by gcprof and experiment E21).
+
+use crate::zone::ZoneSnapshot;
+use guardians_gc::PoolStats;
+
+/// Fleet-wide aggregate over a set of zone snapshots.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Zones summarized.
+    pub zones: u64,
+    /// Total requests dispatched.
+    pub requests: u64,
+    /// Total sessions opened.
+    pub sessions_opened: u64,
+    /// Total sessions evicted.
+    pub sessions_evicted: u64,
+    /// Total sessions whose resources the guardian path reclaimed.
+    pub reclaimed_sessions: u64,
+    /// Total fds closed by reclamation.
+    pub fds_closed: u64,
+    /// Total arena blocks freed by reclamation.
+    pub blocks_freed: u64,
+    /// Sessions still live across the fleet.
+    pub live_sessions: u64,
+    /// Fds still open across the fleet.
+    pub open_fds: u64,
+    /// Arena blocks still live across the fleet.
+    pub ext_live_blocks: u64,
+    /// Total collections across all zone heaps.
+    pub collections: u64,
+    /// Total words allocated across all zone heaps.
+    pub words_allocated: u64,
+    /// Worst per-zone pause p99 (ns) — the fleet's tail-latency figure.
+    pub worst_pause_p99_ns: u64,
+    /// Worst per-zone pause max (ns).
+    pub worst_pause_max_ns: u64,
+    /// Segments held across all zone heaps.
+    pub segments: u64,
+    /// Live words across all zone heaps (census).
+    pub live_words: u64,
+}
+
+impl FleetStats {
+    /// Aggregates `snaps` (any order; the result is order-independent).
+    pub fn aggregate(snaps: &[ZoneSnapshot]) -> FleetStats {
+        let mut f = FleetStats {
+            zones: snaps.len() as u64,
+            ..FleetStats::default()
+        };
+        for s in snaps {
+            f.requests += s.obs.requests;
+            f.sessions_opened += s.obs.sessions_opened;
+            f.sessions_evicted += s.obs.sessions_evicted;
+            f.reclaimed_sessions += s.obs.reclaimed_sessions;
+            f.fds_closed += s.obs.fds_closed;
+            f.blocks_freed += s.obs.blocks_freed;
+            f.live_sessions += s.obs.live_sessions;
+            f.open_fds += s.obs.open_fds;
+            f.ext_live_blocks += s.obs.ext_live_blocks;
+            f.collections += s.obs.collections;
+            f.words_allocated += s.obs.words_allocated;
+            f.worst_pause_p99_ns = f.worst_pause_p99_ns.max(s.pause_p99_ns);
+            f.worst_pause_max_ns = f.worst_pause_max_ns.max(s.pause_max_ns);
+            f.segments += s.segments;
+            f.live_words += s.live_words;
+        }
+        f
+    }
+}
+
+/// Renders the full fleet document: a `fleet` aggregate object, a
+/// `pool` accounting object, and a `zones` array of per-zone snapshots
+/// sorted by zone id. `elapsed_ns` (wall-clock for the run, 0 if not
+/// timed) yields the `requests_per_sec` throughput figure.
+pub fn fleet_stats_json(snaps: &[ZoneSnapshot], pool: &PoolStats, elapsed_ns: u64) -> String {
+    let mut snaps: Vec<&ZoneSnapshot> = snaps.iter().collect();
+    snaps.sort_by_key(|s| s.zone);
+    let f = FleetStats::aggregate(&snaps.iter().map(|s| (*s).clone()).collect::<Vec<_>>());
+    let throughput = if elapsed_ns == 0 {
+        0.0
+    } else {
+        f.requests as f64 * 1e9 / elapsed_ns as f64
+    };
+    let capacity = match pool.capacity {
+        Some(n) => n.to_string(),
+        None => "null".to_string(),
+    };
+    let zones: Vec<String> = snaps.iter().map(|s| s.to_json()).collect();
+    format!(
+        "{{\n  \"fleet\": {{\"zones\":{},\"requests\":{},\"requests_per_sec\":{:.1},\
+         \"sessions_opened\":{},\"sessions_evicted\":{},\"reclaimed_sessions\":{},\
+         \"fds_closed\":{},\"blocks_freed\":{},\"live_sessions\":{},\"open_fds\":{},\
+         \"ext_live_blocks\":{},\"collections\":{},\"words_allocated\":{},\
+         \"worst_pause_p99_ns\":{},\"worst_pause_max_ns\":{},\"segments\":{},\
+         \"live_words\":{},\"elapsed_ns\":{}}},\n  \"pool\": {{\"capacity\":{},\
+         \"outstanding\":{},\"free\":{},\"peak_outstanding\":{},\"acquires\":{},\
+         \"releases\":{},\"attached_tables\":{}}},\n  \"zones\": [\n    {}\n  ]\n}}",
+        f.zones,
+        f.requests,
+        throughput,
+        f.sessions_opened,
+        f.sessions_evicted,
+        f.reclaimed_sessions,
+        f.fds_closed,
+        f.blocks_freed,
+        f.live_sessions,
+        f.open_fds,
+        f.ext_live_blocks,
+        f.collections,
+        f.words_allocated,
+        f.worst_pause_p99_ns,
+        f.worst_pause_max_ns,
+        f.segments,
+        f.live_words,
+        elapsed_ns,
+        capacity,
+        pool.outstanding,
+        pool.free,
+        pool.peak_outstanding,
+        pool.acquires,
+        pool.releases,
+        pool.attached_tables,
+        zones.join(",\n    "),
+    )
+}

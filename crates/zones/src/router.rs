@@ -1,0 +1,211 @@
+//! Thread-per-core request router: a fixed set of worker threads, each
+//! owning the zones assigned to it, fed over per-worker FIFO channels.
+//!
+//! [`Heap`](guardians_gc::Heap) is `!Send` (its root set is `Rc`-based),
+//! so zones never migrate: each worker *constructs* its zones locally and
+//! only plain data — the shared [`SegmentPool`] handle, [`Request`]s, and
+//! [`ZoneSnapshot`]s — crosses threads. Zone `i` lives on worker
+//! `i % workers`; each worker drains its channel in FIFO order, so the
+//! per-zone request order equals the order of `dispatch` calls — which
+//! makes a fleet run's per-zone observables reproducible by replaying the
+//! same per-zone subsequence on a single-threaded [`ZoneManager`].
+//!
+//! Sessions are mapped to zones by [`session_zone`], a fixed-key
+//! SplitMix64 hash, so a front-end can route by session id alone.
+
+use crate::zone::{Request, ZoneConfig, ZoneSnapshot};
+use crate::ZoneManager;
+use guardians_gc::{PoolStats, SegmentPool};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Maps a session id onto one of `n_zones` zones (deterministic hash).
+pub fn session_zone(session: u64, n_zones: usize) -> u64 {
+    assert!(n_zones > 0, "session_zone over an empty fleet");
+    // SplitMix64 finalizer: full-avalanche, so consecutive session ids
+    // spread across zones.
+    let mut z = session.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    z % n_zones as u64
+}
+
+enum Msg {
+    Create(u64, ZoneConfig),
+    Dispatch(u64, Request),
+    Teardown(u64, Sender<Option<ZoneSnapshot>>),
+    Quiesce(Sender<()>),
+    Snapshot(Sender<Vec<ZoneSnapshot>>),
+}
+
+/// The thread-per-core front end over a fleet of zones.
+pub struct ZoneRouter {
+    pool: Arc<SegmentPool>,
+    senders: Vec<Sender<Msg>>,
+    workers: Vec<JoinHandle<Vec<ZoneSnapshot>>>,
+}
+
+impl ZoneRouter {
+    /// Starts `workers` worker threads over a shared `pool`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize, pool: Arc<SegmentPool>) -> ZoneRouter {
+        assert!(workers > 0, "router needs at least one worker");
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = channel::<Msg>();
+            let pool = Arc::clone(&pool);
+            let handle = std::thread::Builder::new()
+                .name(format!("zone-worker-{w}"))
+                .spawn(move || {
+                    let mut mgr = ZoneManager::with_pool(pool);
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            Msg::Create(id, config) => {
+                                mgr.create_zone(id, &config);
+                            }
+                            Msg::Dispatch(id, req) => mgr.dispatch(id, req),
+                            Msg::Teardown(id, reply) => {
+                                let _ = reply.send(mgr.teardown_zone(id));
+                            }
+                            Msg::Quiesce(reply) => {
+                                mgr.quiesce();
+                                let _ = reply.send(());
+                            }
+                            Msg::Snapshot(reply) => {
+                                let _ = reply.send(mgr.snapshots());
+                            }
+                        }
+                    }
+                    // Channel closed: report the final state as-is.
+                    // Deliberately no implicit quiesce — collections are
+                    // part of each zone's observable history, so shutdown
+                    // must not add any; callers wanting quiesced finals
+                    // call `quiesce()` first.
+                    mgr.snapshots()
+                })
+                .expect("spawn router worker");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        ZoneRouter {
+            pool,
+            senders,
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The shared pool.
+    pub fn pool(&self) -> &Arc<SegmentPool> {
+        &self.pool
+    }
+
+    /// Shared-pool accounting.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    fn worker_for(&self, zone: u64) -> &Sender<Msg> {
+        &self.senders[(zone % self.senders.len() as u64) as usize]
+    }
+
+    /// Creates zone `zone` on its home worker (`zone % workers`).
+    pub fn create_zone(&self, zone: u64, config: ZoneConfig) {
+        self.worker_for(zone)
+            .send(Msg::Create(zone, config))
+            .expect("router worker alive");
+    }
+
+    /// Enqueues `req` for zone `zone`; the worker dispatches it at the
+    /// zone's next safe point. Per-zone FIFO order is the send order.
+    pub fn dispatch(&self, zone: u64, req: Request) {
+        self.worker_for(zone)
+            .send(Msg::Dispatch(zone, req))
+            .expect("router worker alive");
+    }
+
+    /// Routes `req` by its session id across `n_zones` zones.
+    pub fn dispatch_by_session(&self, n_zones: usize, req: Request) {
+        self.dispatch(session_zone(req.session(), n_zones), req);
+    }
+
+    /// Tears zone `zone` down on its worker; blocks for the final
+    /// snapshot (segments are back in the pool when this returns).
+    pub fn teardown_zone(&self, zone: u64) -> Option<ZoneSnapshot> {
+        let (tx, rx) = channel();
+        self.worker_for(zone)
+            .send(Msg::Teardown(zone, tx))
+            .expect("router worker alive");
+        rx.recv().expect("router worker replies")
+    }
+
+    /// Quiesces every zone on every worker; blocks until done.
+    pub fn quiesce(&self) {
+        let replies: Vec<_> = self
+            .senders
+            .iter()
+            .map(|s| {
+                let (tx, rx) = channel();
+                s.send(Msg::Quiesce(tx)).expect("router worker alive");
+                rx
+            })
+            .collect();
+        for rx in replies {
+            rx.recv().expect("router worker replies");
+        }
+    }
+
+    /// Snapshots every live zone across all workers, sorted by zone id.
+    pub fn snapshots(&self) -> Vec<ZoneSnapshot> {
+        let replies: Vec<_> = self
+            .senders
+            .iter()
+            .map(|s| {
+                let (tx, rx) = channel();
+                s.send(Msg::Snapshot(tx)).expect("router worker alive");
+                rx
+            })
+            .collect();
+        let mut all: Vec<ZoneSnapshot> = replies
+            .into_iter()
+            .flat_map(|rx| rx.recv().expect("router worker replies"))
+            .collect();
+        all.sort_by_key(|s| s.zone);
+        all
+    }
+
+    /// Shuts the router down: closes every channel, joins every worker,
+    /// and returns the final snapshots sorted by zone id. No implicit
+    /// quiesce happens (call [`ZoneRouter::quiesce`] first if wanted);
+    /// zones still live at shutdown are dropped on their workers, so
+    /// their segments return to the pool before this returns.
+    pub fn shutdown(self) -> Vec<ZoneSnapshot> {
+        drop(self.senders);
+        let mut all: Vec<ZoneSnapshot> = self
+            .workers
+            .into_iter()
+            .flat_map(|h| h.join().expect("router worker exits cleanly"))
+            .collect();
+        all.sort_by_key(|s| s.zone);
+        all
+    }
+}
+
+impl std::fmt::Debug for ZoneRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ZoneRouter")
+            .field("workers", &self.senders.len())
+            .field("pool", &self.pool.stats())
+            .finish()
+    }
+}
