@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1..E12, E14, E17..E21) —
+//! Regenerates every experiment table (E1..E12, E14, E17..E22) —
 //! the artifact behind EXPERIMENTS.md.
 //!
 //! Usage:
@@ -37,13 +37,13 @@ fn main() {
             .collect(),
         None => Vec::new(),
     };
-    const NAMES: [&str; 18] = [
+    const NAMES: [&str; 19] = [
         "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e14", "e17",
-        "e18", "e19", "e20", "e21",
+        "e18", "e19", "e20", "e21", "e22",
     ];
     for o in &only {
         if !NAMES.contains(&o.as_str()) {
-            eprintln!("error: unknown experiment {o:?} (expected one of e1..e12, e14, e17..e21)");
+            eprintln!("error: unknown experiment {o:?} (expected one of e1..e12, e14, e17..e22)");
             std::process::exit(2);
         }
     }
@@ -76,6 +76,7 @@ fn main() {
         ("e19", |q| ex::e19::run(q).0),
         ("e20", |q| ex::e20::run(q).0),
         ("e21", |q| ex::e21::run(q).0),
+        ("e22", |q| ex::e22::run(q).0),
     ];
     let mut json_tables: Vec<String> = Vec::new();
     for (name, run) in suite {

@@ -15,6 +15,7 @@ pub mod e19;
 pub mod e2;
 pub mod e20;
 pub mod e21;
+pub mod e22;
 pub mod e3;
 pub mod e4;
 pub mod e5;
@@ -44,6 +45,7 @@ pub fn run_all(quick: bool) -> Vec<guardians_workloads::Table> {
         e19::run(quick).0,
         e20::run(quick).0,
         e21::run(quick).0,
+        e22::run(quick).0,
     ]
 }
 
@@ -66,4 +68,12 @@ pub fn env_note(workers: usize, pause_budget: Option<std::time::Duration>) -> St
         if workers == 1 { "" } else { "s" },
         budget
     )
+}
+
+/// A policy footnote: the policy-relevant [`guardians_gc::GcConfig`]
+/// knobs as JSON, with the *effective* frequency ladder materialized
+/// (missing entries filled by the 4× rule) — so a table measured under a
+/// retuned or non-default ladder records exactly the schedule that ran.
+pub fn config_note(cfg: &guardians_gc::GcConfig) -> String {
+    format!("policy: {}", cfg.to_json())
 }

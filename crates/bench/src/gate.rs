@@ -266,7 +266,12 @@ pub struct GateSpec {
 /// that stops slicing) fails. E19's `vm us/eval` column gates the
 /// bytecode tier's headline: the committed BENCH_e19.json baseline
 /// records the ≥1.8x-over-staged throughput, so a dispatch-loop or
-/// inline-cache regression that erodes it fails here.
+/// inline-cache regression that erodes it fails here. E22's GC-work
+/// geomean column is a *deterministic* proxy (words copied + guardian
+/// entries visited — no wall clock), so its gate is noise-free: the
+/// per-table geomean spans the static sweep and both autotuner rows, and
+/// a controller change that worsens any configuration's policy outcome
+/// shifts it.
 pub fn default_specs() -> Vec<GateSpec> {
     vec![
         GateSpec {
@@ -307,6 +312,11 @@ pub fn default_specs() -> Vec<GateSpec> {
         GateSpec {
             table: "e21",
             column: "worst zone p99 (us)",
+            direction: Direction::LowerIsBetter,
+        },
+        GateSpec {
+            table: "e22",
+            column: "work geomean (kw)",
             direction: Direction::LowerIsBetter,
         },
     ]
@@ -523,7 +533,10 @@ mod tests {
               \"rows\":[{us}],\"notes\":[]}},\
              {{\"name\":\"e21\",\"title\":\"E21: f\",\"headers\":[\"engine\",\
               \"fleet kreq/s\",\"worst zone p99 (us)\"],\
-              \"rows\":[{fleet}],\"notes\":[]}}]}}",
+              \"rows\":[{fleet}],\"notes\":[]}},\
+             {{\"name\":\"e22\",\"title\":\"E22: g\",\"headers\":[\"config\",\
+              \"work geomean (kw)\"],\
+              \"rows\":[{us}],\"notes\":[]}}]}}",
             mw = rows(mwps),
             us = rows(us),
             wus = wide_rows(us),
@@ -644,6 +657,12 @@ mod tests {
              \"rows\":[[\"a\",\"60.0\",\"900.0\"]],\"notes\":[]}]}",
         )
         .unwrap();
+        let e22_only = Json::parse(
+            "{\"quick\":true,\"tables\":[{\"name\":\"e22\",\
+             \"headers\":[\"k\",\"work geomean (kw)\"],\
+             \"rows\":[[\"a\",\"900.0\"]],\"notes\":[]}]}",
+        )
+        .unwrap();
         let merged = merge_docs(&[
             e11_only,
             e14_only.clone(),
@@ -651,6 +670,7 @@ mod tests {
             e18_only,
             e19_only,
             e21_only,
+            e22_only,
         ])
         .unwrap();
         let lines = compare(&merged, &[both], &default_specs(), 0.15).unwrap();

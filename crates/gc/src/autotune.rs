@@ -1,0 +1,836 @@
+//! Online GC policy autotuning: a feedback controller that retunes the
+//! live [`GcConfig`] between collections.
+//!
+//! The paper leaves "the number of generations and the promotion and
+//! tenure strategies ... under programmer control". This module takes
+//! that control back at runtime: a [`PolicyController`] runs at the end
+//! of every completed collection (inside `Heap::finish_collection`, the
+//! one safe point every engine funnels through), consumes deterministic
+//! sensors derived from the [`CollectionReport`](crate::CollectionReport)
+//! counters and per-generation occupancy, and proposes bounded policy
+//! steps:
+//!
+//! * **`trigger_bytes`** — driven by the *young survivor ratio* (words
+//!   copied out of a nursery collection relative to bytes allocated since
+//!   the previous one). A high ratio means collections land while data is
+//!   still in flight, so the trigger doubles; a very low ratio means the
+//!   heap could be kept smaller, so it halves. Both moves are clamped to
+//!   a configured range.
+//! * **`frequency` ladder** — driven by *old-generation survival* (words
+//!   copied by a generation ≥ 1 collection relative to the collected
+//!   generations' live words at collection start). Survival near 1 means
+//!   old collections recopy a stable live set for nothing, so the ladder
+//!   for generations ≥ 1 stretches by 2×; low survival folds the stretch
+//!   back.
+//! * **tenure ceiling** ([`Promotion::Capped`]) — driven by *guardian
+//!   drag*: protected-list entries parked beyond generation 1, where only
+//!   rare old-generation collections can prove their objects dead.
+//!   Sustained drag lowers the tenure ceiling to `Capped(1)` so guarded
+//!   objects stay where frequent collections see them; a capped heap that
+//!   keeps recopying held entries without finalizing anything reverts.
+//!
+//! Per-zone `max_segments` rebalancing is the fourth actuator; it needs
+//! fleet-wide visibility, so it lives in the zone layer
+//! (`ZoneManager::rebalance_quotas`) and flows through the same
+//! [`Heap::set_max_segments`](crate::Heap::set_max_segments) safe
+//! reconfiguration path.
+//!
+//! # Stability guards
+//!
+//! Oscillation is damped three ways: sensors are exponentially-weighted
+//! moving averages (integer parts-per-million, no floats, so decisions
+//! are bit-reproducible), every knob has a per-knob cooldown counted in
+//! collections, and every step is bounded (×2/÷2 within a clamped range)
+//! so a single noisy sample can never slam a knob across its range.
+//! After an applied change the knob's sensor history is reset: samples
+//! taken under the old policy do not argue about the new one.
+//!
+//! # Determinism
+//!
+//! With the default configuration every sensor is a deterministic
+//! function of the mutation history: report counters, occupancy words,
+//! and protected-list lengths. Wall-clock pause feedback exists but only
+//! behind the opt-in [`AutotuneConfig::pause_ceiling`], which defaults to
+//! `None` — so `Observe`- and `Active`-mode runs replay identically, and
+//! the torture rig can shadow an autotuned heap with its oracle.
+
+use crate::config::{GcConfig, Promotion};
+use std::time::Duration;
+
+/// Parts-per-million denominator used by every ratio sensor.
+const PPM: u64 = 1_000_000;
+
+/// Whether, and how strongly, the policy controller acts.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AutotuneMode {
+    /// No controller at all: the heap behaves bit-identically to one that
+    /// never heard of autotuning.
+    Off,
+    /// The controller runs, logs decisions, and emits events/metrics, but
+    /// never touches the live policy — a dry run for studying what it
+    /// *would* do.
+    Observe,
+    /// Decisions are applied to the live configuration between
+    /// collections.
+    Active,
+}
+
+impl std::fmt::Display for AutotuneMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AutotuneMode::Off => "off",
+            AutotuneMode::Observe => "observe",
+            AutotuneMode::Active => "active",
+        })
+    }
+}
+
+impl std::str::FromStr for AutotuneMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<AutotuneMode, String> {
+        match s {
+            "off" => Ok(AutotuneMode::Off),
+            "observe" => Ok(AutotuneMode::Observe),
+            "active" => Ok(AutotuneMode::Active),
+            other => Err(format!("unknown autotune mode: {other:?}")),
+        }
+    }
+}
+
+/// Configuration for the [`PolicyController`]. All ratio thresholds are
+/// integer parts-per-million so the controller never does float
+/// arithmetic (decisions must be bit-reproducible).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AutotuneConfig {
+    /// Controller mode (see [`AutotuneMode`]).
+    pub mode: AutotuneMode,
+    /// Young survivor-ratio target, ppm of bytes allocated since the last
+    /// collection.
+    pub survivor_target_ppm: u64,
+    /// Dead band around the target; the trigger moves only when the EWMA
+    /// leaves `target ± band`.
+    pub survivor_band_ppm: u64,
+    /// Lower clamp for `trigger_bytes`.
+    pub min_trigger_bytes: usize,
+    /// Upper clamp for `trigger_bytes`.
+    pub max_trigger_bytes: usize,
+    /// Old-generation survival (ppm of pre-collection live words) above
+    /// which the frequency ladder stretches.
+    pub stretch_survival_ppm: u64,
+    /// Old-generation survival below which a stretched ladder folds back.
+    pub shrink_survival_ppm: u64,
+    /// Upper clamp on the ladder stretch factor (powers of two up to
+    /// this).
+    pub max_frequency_scale: u64,
+    /// Guardian-drag threshold: EWMA of protected entries parked beyond
+    /// generation 1 above which the tenure ceiling drops to `Capped(1)`.
+    pub drag_entries_threshold: u64,
+    /// Held-entry churn above which a capped heap that finalizes almost
+    /// nothing reverts to [`Promotion::NextGeneration`].
+    pub held_revert_threshold: u64,
+    /// Collections a knob stays quiet after deciding (applied or not).
+    pub cooldown: u64,
+    /// EWMA weight of the newest sample, ppm.
+    pub ewma_new_ppm: u64,
+    /// Samples a sensor needs before its knob may act.
+    pub min_samples: u64,
+    /// Optional wall-clock pause ceiling: a completed collection whose
+    /// pause exceeds it counts as an immediate trigger-shrink vote.
+    /// `None` (the default) keeps the controller fully deterministic.
+    pub pause_ceiling: Option<Duration>,
+}
+
+impl AutotuneConfig {
+    /// The default thresholds in [`AutotuneMode::Observe`].
+    pub fn observe() -> AutotuneConfig {
+        AutotuneConfig {
+            mode: AutotuneMode::Observe,
+            survivor_target_ppm: 100_000,
+            survivor_band_ppm: 60_000,
+            min_trigger_bytes: 64 * guardians_segments::SEGMENT_BYTES,
+            max_trigger_bytes: 8192 * guardians_segments::SEGMENT_BYTES,
+            stretch_survival_ppm: 550_000,
+            shrink_survival_ppm: 150_000,
+            max_frequency_scale: 16,
+            drag_entries_threshold: 64,
+            held_revert_threshold: 4096,
+            cooldown: 3,
+            ewma_new_ppm: 400_000,
+            min_samples: 2,
+            pause_ceiling: None,
+        }
+    }
+
+    /// The default thresholds in [`AutotuneMode::Active`].
+    pub fn active() -> AutotuneConfig {
+        AutotuneConfig {
+            mode: AutotuneMode::Active,
+            ..AutotuneConfig::observe()
+        }
+    }
+}
+
+impl Default for AutotuneConfig {
+    /// Defaults to [`AutotuneConfig::observe`]: enabling autotuning never
+    /// changes behaviour unless `Active` is asked for explicitly.
+    fn default() -> AutotuneConfig {
+        AutotuneConfig::observe()
+    }
+}
+
+/// The deterministic sensor snapshot the controller sees after one
+/// completed collection. Every field (except `pause_ns`, consulted only
+/// under the opt-in pause ceiling) is a pure function of the mutation
+/// history.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PolicySensors {
+    /// 1-based index of the collection that just completed.
+    pub collection_index: u64,
+    /// Highest generation collected.
+    pub collected_generation: u8,
+    /// Bytes the mutator allocated since the previous collection.
+    pub bytes_allocated: u64,
+    /// Words the collection copied (its work, and the survivors).
+    pub words_copied: u64,
+    /// Live words of the collected *old* generations (1..=collected) at
+    /// collection start; the denominator of the old-generation survival
+    /// ratio. Generation 0 is excluded — its occupancy is mostly dead
+    /// nursery churn and would dilute the ratio. Zero when the
+    /// pre-collection snapshot was unavailable (disables the frequency
+    /// knob for this step).
+    pub pre_used_words: u64,
+    /// Guardian protected-list entries visited.
+    pub guardian_visited: u64,
+    /// Guardian entries finalized (enqueued for the mutator).
+    pub guardian_finalized: u64,
+    /// Guardian entries held (object still live, entry recopied).
+    pub guardian_held: u64,
+    /// Protected-list entries parked beyond generation 1 after the
+    /// collection — the guardian-drag sensor.
+    pub parked_old_entries: u64,
+    /// Live words across all generations after the collection.
+    pub live_words: u64,
+    /// Segments allocated after the collection.
+    pub segments: u64,
+    /// Wall-clock pause of the collection, nanoseconds (sum of increments
+    /// for the incremental engine). Consulted only when
+    /// [`AutotuneConfig::pause_ceiling`] is set.
+    pub pause_ns: u64,
+}
+
+/// One controller decision: a proposed (and, in `Active` mode, applied)
+/// policy step, with the sensor snapshot that justified it.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PolicyDecision {
+    /// Collection after which the decision was made.
+    pub collection_index: u64,
+    /// Knob name: `"trigger_bytes"`, `"frequency_scale"`, `"tenure_cap"`,
+    /// or (from the zone layer) `"max_segments"`.
+    pub knob: &'static str,
+    /// Old knob value (trigger bytes, ladder scale, or effective tenure
+    /// cap).
+    pub from: u64,
+    /// New knob value.
+    pub to: u64,
+    /// Whether the change was applied (`Active`) or only logged
+    /// (`Observe`).
+    pub applied: bool,
+    /// The headline sensor value that justified the step (EWMA ppm for
+    /// ratio knobs, EWMA entry count for the tenure knob).
+    pub sensor: u64,
+    /// Full sensor snapshot at decision time.
+    pub sensors: PolicySensors,
+}
+
+/// A policy step for the heap to apply (only produced in `Active` mode).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PolicyUpdate {
+    /// Set [`GcConfig::trigger_bytes`].
+    TriggerBytes(usize),
+    /// Set [`GcConfig::promotion`].
+    Promotion(Promotion),
+    /// Replace the [`GcConfig::frequency`] ladder.
+    Frequency(Vec<u64>),
+}
+
+/// The result of one controller step.
+#[derive(Clone, Debug, Default)]
+pub struct StepOutcome {
+    /// Decisions made this step (also appended to the controller's log).
+    pub decisions: Vec<PolicyDecision>,
+    /// Updates the heap should apply; empty unless the mode is `Active`.
+    pub updates: Vec<PolicyUpdate>,
+}
+
+/// Integer EWMA with a sample counter (for warmup gating).
+#[derive(Copy, Clone, Debug, Default)]
+struct Ewma {
+    value: u64,
+    samples: u64,
+}
+
+impl Ewma {
+    fn observe(&mut self, sample: u64, new_weight_ppm: u64) {
+        if self.samples == 0 {
+            self.value = sample;
+        } else {
+            let w = new_weight_ppm.min(PPM);
+            self.value = (self.value * (PPM - w) + sample * w) / PPM;
+        }
+        self.samples += 1;
+    }
+
+    fn reset(&mut self) {
+        *self = Ewma::default();
+    }
+}
+
+/// Integer ratio in parts-per-million; zero when the denominator is zero.
+fn ppm(num: u64, den: u64) -> u64 {
+    num.saturating_mul(PPM).checked_div(den).unwrap_or(0)
+}
+
+/// The feedback controller. Owned by the heap (behind an `Option`, so a
+/// heap that never enables autotuning pays one null test per collection)
+/// and stepped from `finish_collection`.
+pub struct PolicyController {
+    cfg: AutotuneConfig,
+    /// The ladder the heap was configured with at enable time,
+    /// materialized for every generation — the fixed point the stretch
+    /// factor multiplies.
+    base_frequency: Vec<u64>,
+    /// Current ladder stretch factor (a power of two).
+    frequency_scale: u64,
+    young_survival: Ewma,
+    old_survival: Ewma,
+    parked_old: Ewma,
+    held: Ewma,
+    finalized: Ewma,
+    cooldown_trigger: u64,
+    cooldown_frequency: u64,
+    cooldown_tenure: u64,
+    /// Live words of the collected generations, captured at collection
+    /// start by `Heap`.
+    pending_pre_words: Option<u64>,
+    log: Vec<PolicyDecision>,
+}
+
+impl PolicyController {
+    /// A controller over `base` (the configuration at enable time).
+    pub fn new(cfg: AutotuneConfig, base: &GcConfig) -> PolicyController {
+        let base_frequency = base.effective_frequency();
+        PolicyController {
+            cfg,
+            base_frequency,
+            frequency_scale: 1,
+            young_survival: Ewma::default(),
+            old_survival: Ewma::default(),
+            parked_old: Ewma::default(),
+            held: Ewma::default(),
+            finalized: Ewma::default(),
+            cooldown_trigger: 0,
+            cooldown_frequency: 0,
+            cooldown_tenure: 0,
+            pending_pre_words: None,
+            log: Vec::new(),
+        }
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &AutotuneConfig {
+        &self.cfg
+    }
+
+    /// The controller's mode.
+    pub fn mode(&self) -> AutotuneMode {
+        self.cfg.mode
+    }
+
+    /// The current ladder stretch factor.
+    pub fn frequency_scale(&self) -> u64 {
+        self.frequency_scale
+    }
+
+    /// Records the collected generations' live words at collection start
+    /// (the old-survival denominator). Called by the heap from its
+    /// collection entry points.
+    pub fn note_collection_begin(&mut self, pre_used_words: u64) {
+        self.pending_pre_words = Some(pre_used_words);
+    }
+
+    /// The cumulative decision log.
+    pub fn decisions(&self) -> &[PolicyDecision] {
+        &self.log
+    }
+
+    /// Drains the cumulative decision log.
+    pub fn take_decisions(&mut self) -> Vec<PolicyDecision> {
+        std::mem::take(&mut self.log)
+    }
+
+    /// Runs one controller step after a completed collection: folds the
+    /// sensors into the EWMAs and proposes at most one step per knob.
+    pub fn step(&mut self, current: &GcConfig, mut s: PolicySensors) -> StepOutcome {
+        s.pre_used_words = self.pending_pre_words.take().unwrap_or(0);
+        let mut out = StepOutcome::default();
+        // Decrement before the knob checks; decisions store `cooldown + 1`
+        // so a knob stays quiet for exactly `cooldown` collections.
+        self.cooldown_trigger = self.cooldown_trigger.saturating_sub(1);
+        self.cooldown_frequency = self.cooldown_frequency.saturating_sub(1);
+        self.cooldown_tenure = self.cooldown_tenure.saturating_sub(1);
+        self.step_trigger(current, &s, &mut out);
+        self.step_frequency(current, &s, &mut out);
+        self.step_tenure(current, &s, &mut out);
+        self.log.extend(out.decisions.iter().copied());
+        out
+    }
+
+    fn active(&self) -> bool {
+        self.cfg.mode == AutotuneMode::Active
+    }
+
+    fn decide(
+        &self,
+        out: &mut StepOutcome,
+        s: &PolicySensors,
+        knob: &'static str,
+        from: u64,
+        to: u64,
+        sensor: u64,
+    ) {
+        out.decisions.push(PolicyDecision {
+            collection_index: s.collection_index,
+            knob,
+            from,
+            to,
+            applied: self.active(),
+            sensor,
+            sensors: *s,
+        });
+    }
+
+    /// Trigger knob: young survivor ratio vs. the target band, sampled on
+    /// nursery (generation-0) collections only so old-generation copies
+    /// never pollute the signal.
+    fn step_trigger(&mut self, current: &GcConfig, s: &PolicySensors, out: &mut StepOutcome) {
+        if s.collected_generation != 0 || s.bytes_allocated == 0 {
+            return;
+        }
+        self.young_survival.observe(
+            ppm(s.words_copied * 8, s.bytes_allocated),
+            self.cfg.ewma_new_ppm,
+        );
+        if self.cooldown_trigger > 0 || self.young_survival.samples < self.cfg.min_samples {
+            return;
+        }
+        let cur = current.trigger_bytes;
+        let ewma = self.young_survival.value;
+        let hi = self.cfg.survivor_target_ppm + self.cfg.survivor_band_ppm;
+        let lo = self
+            .cfg
+            .survivor_target_ppm
+            .saturating_sub(self.cfg.survivor_band_ppm);
+        let pause_hot = self
+            .cfg
+            .pause_ceiling
+            .is_some_and(|c| s.pause_ns > c.as_nanos() as u64);
+        let new = if pause_hot && cur > self.cfg.min_trigger_bytes {
+            (cur / 2).max(self.cfg.min_trigger_bytes)
+        } else if ewma > hi && cur < self.cfg.max_trigger_bytes {
+            (cur * 2).min(self.cfg.max_trigger_bytes)
+        } else if ewma < lo && cur > self.cfg.min_trigger_bytes {
+            (cur / 2).max(self.cfg.min_trigger_bytes)
+        } else {
+            return;
+        };
+        self.cooldown_trigger = self.cfg.cooldown.saturating_add(1);
+        self.decide(out, s, "trigger_bytes", cur as u64, new as u64, ewma);
+        if self.active() {
+            self.young_survival.reset();
+            out.updates.push(PolicyUpdate::TriggerBytes(new));
+        }
+    }
+
+    /// Frequency knob: old-generation survival decides whether the ladder
+    /// for generations ≥ 1 stretches (stable old data is being recopied
+    /// for nothing) or folds back (old collections are productive again).
+    /// The ratio's numerator is the collection's total copied words (the
+    /// nursery's survivors included, so it can exceed unity); the
+    /// denominator is old-generation occupancy only — the question the
+    /// knob answers is whether collecting the old generations paid for
+    /// the copying the collection did.
+    fn step_frequency(&mut self, current: &GcConfig, s: &PolicySensors, out: &mut StepOutcome) {
+        if s.collected_generation == 0 || s.pre_used_words == 0 {
+            return;
+        }
+        self.old_survival
+            .observe(ppm(s.words_copied, s.pre_used_words), self.cfg.ewma_new_ppm);
+        if self.cooldown_frequency > 0 || self.old_survival.samples < self.cfg.min_samples {
+            return;
+        }
+        let ewma = self.old_survival.value;
+        let scale = self.frequency_scale;
+        let new_scale =
+            if ewma > self.cfg.stretch_survival_ppm && scale < self.cfg.max_frequency_scale {
+                scale * 2
+            } else if ewma < self.cfg.shrink_survival_ppm && scale > 1 {
+                scale / 2
+            } else {
+                return;
+            };
+        self.cooldown_frequency = self.cfg.cooldown.saturating_add(1);
+        self.decide(out, s, "frequency_scale", scale, new_scale, ewma);
+        if self.active() {
+            self.frequency_scale = new_scale;
+            self.old_survival.reset();
+            let ladder = self.ladder_for_scale(new_scale, current.generations);
+            out.updates.push(PolicyUpdate::Frequency(ladder));
+        }
+    }
+
+    /// The base ladder with generations ≥ 1 stretched by `scale`.
+    fn ladder_for_scale(&self, scale: u64, generations: u8) -> Vec<u64> {
+        self.base_frequency
+            .iter()
+            .take(generations as usize)
+            .enumerate()
+            .map(|(g, &f)| if g == 0 { f } else { f.saturating_mul(scale) })
+            .collect()
+    }
+
+    /// Tenure knob: sustained guardian drag (entries parked beyond
+    /// generation 1) lowers the ceiling to `Capped(1)`; a capped heap that
+    /// keeps recopying held entries while finalizing almost nothing
+    /// reverts to the paper's advance-by-one policy.
+    fn step_tenure(&mut self, current: &GcConfig, s: &PolicySensors, out: &mut StepOutcome) {
+        self.parked_old
+            .observe(s.parked_old_entries, self.cfg.ewma_new_ppm);
+        self.held.observe(s.guardian_held, self.cfg.ewma_new_ppm);
+        self.finalized
+            .observe(s.guardian_finalized, self.cfg.ewma_new_ppm);
+        if self.cooldown_tenure > 0
+            || self.parked_old.samples < self.cfg.min_samples
+            || current.generations < 3
+        {
+            return;
+        }
+        let max_gen = current.max_generation();
+        let eff_cap = |p: Promotion| -> u64 {
+            match p {
+                Promotion::NextGeneration => max_gen as u64,
+                Promotion::Capped(c) => (c.min(max_gen)) as u64,
+                Promotion::SameGeneration => max_gen as u64,
+            }
+        };
+        match current.promotion {
+            Promotion::SameGeneration => {}
+            Promotion::Capped(1) => {
+                // Revert guard: lots of held-entry recopying, almost no
+                // finalization — the cap is taxing a pinned guarded set.
+                let churn = self.held.value;
+                if churn > self.cfg.held_revert_threshold && self.finalized.value * 20 < churn {
+                    self.cooldown_tenure = self.cfg.cooldown.saturating_add(1);
+                    self.decide(out, s, "tenure_cap", 1, max_gen as u64, churn);
+                    if self.active() {
+                        self.held.reset();
+                        self.finalized.reset();
+                        out.updates
+                            .push(PolicyUpdate::Promotion(Promotion::NextGeneration));
+                    }
+                }
+            }
+            p => {
+                if self.parked_old.value > self.cfg.drag_entries_threshold {
+                    self.cooldown_tenure = self.cfg.cooldown.saturating_add(1);
+                    self.decide(out, s, "tenure_cap", eff_cap(p), 1, self.parked_old.value);
+                    if self.active() {
+                        self.parked_old.reset();
+                        out.updates
+                            .push(PolicyUpdate::Promotion(Promotion::Capped(1)));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Renders a decision log as one JSON object per line (deterministic key
+/// order), each carrying the full sensor snapshot that justified it —
+/// the `gcprof --scenario e22` decision-trace format.
+pub fn decisions_jsonl(decisions: &[PolicyDecision]) -> String {
+    let mut out = String::new();
+    for d in decisions {
+        let s = &d.sensors;
+        out.push_str(&format!(
+            "{{\"collection\":{},\"knob\":\"{}\",\"from\":{},\"to\":{},\"applied\":{},\
+             \"sensor\":{},\"sensors\":{{\"collected_generation\":{},\"bytes_allocated\":{},\
+             \"words_copied\":{},\"pre_used_words\":{},\"guardian_visited\":{},\
+             \"guardian_finalized\":{},\"guardian_held\":{},\"parked_old_entries\":{},\
+             \"live_words\":{},\"segments\":{},\"pause_ns\":{}}}}}\n",
+            d.collection_index,
+            d.knob,
+            d.from,
+            d.to,
+            d.applied,
+            d.sensor,
+            s.collected_generation,
+            s.bytes_allocated,
+            s.words_copied,
+            s.pre_used_words,
+            s.guardian_visited,
+            s.guardian_finalized,
+            s.guardian_held,
+            s.parked_old_entries,
+            s.live_words,
+            s.segments,
+            s.pause_ns,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn active_cfg() -> AutotuneConfig {
+        AutotuneConfig {
+            cooldown: 0,
+            min_samples: 1,
+            ..AutotuneConfig::active()
+        }
+    }
+
+    fn gen0_sensors(index: u64, bytes: u64, copied_words: u64) -> PolicySensors {
+        PolicySensors {
+            collection_index: index,
+            collected_generation: 0,
+            bytes_allocated: bytes,
+            words_copied: copied_words,
+            ..PolicySensors::default()
+        }
+    }
+
+    #[test]
+    fn mode_parses_and_displays() {
+        for m in [
+            AutotuneMode::Off,
+            AutotuneMode::Observe,
+            AutotuneMode::Active,
+        ] {
+            assert_eq!(m.to_string().parse::<AutotuneMode>().unwrap(), m);
+        }
+        assert!("loud".parse::<AutotuneMode>().is_err());
+    }
+
+    #[test]
+    fn high_young_survival_doubles_the_trigger() {
+        let base = GcConfig::new();
+        let mut c = PolicyController::new(active_cfg(), &base);
+        // 50% of allocated bytes survive the nursery: way above the band.
+        let out = c.step(&base, gen0_sensors(1, 1 << 20, (1 << 20) / 16));
+        assert_eq!(out.decisions.len(), 1);
+        let d = out.decisions[0];
+        assert_eq!(d.knob, "trigger_bytes");
+        assert_eq!(d.from, base.trigger_bytes as u64);
+        assert_eq!(d.to, base.trigger_bytes as u64 * 2);
+        assert!(d.applied);
+        assert_eq!(
+            out.updates,
+            vec![PolicyUpdate::TriggerBytes(base.trigger_bytes * 2)]
+        );
+    }
+
+    #[test]
+    fn low_young_survival_halves_the_trigger() {
+        let base = GcConfig::new();
+        let mut c = PolicyController::new(active_cfg(), &base);
+        // ~0.8% survival: below target - band.
+        let out = c.step(&base, gen0_sensors(1, 1 << 20, 1 << 10));
+        assert_eq!(out.decisions.len(), 1);
+        assert_eq!(out.decisions[0].to, base.trigger_bytes as u64 / 2);
+    }
+
+    #[test]
+    fn in_band_survival_leaves_the_trigger_alone() {
+        let base = GcConfig::new();
+        let mut c = PolicyController::new(active_cfg(), &base);
+        // 10% survival == target.
+        let out = c.step(&base, gen0_sensors(1, 1 << 20, (1 << 20) / 80));
+        assert!(out.decisions.is_empty());
+        assert!(out.updates.is_empty());
+    }
+
+    #[test]
+    fn trigger_respects_the_clamp() {
+        let base = GcConfig::new();
+        let cfg = AutotuneConfig {
+            max_trigger_bytes: base.trigger_bytes,
+            ..active_cfg()
+        };
+        let mut c = PolicyController::new(cfg, &base);
+        let out = c.step(&base, gen0_sensors(1, 1 << 20, (1 << 20) / 16));
+        assert!(out.decisions.is_empty(), "already at the max: no decision");
+    }
+
+    #[test]
+    fn cooldown_spaces_consecutive_changes() {
+        let base = GcConfig::new();
+        let cfg = AutotuneConfig {
+            cooldown: 2,
+            min_samples: 1,
+            ..AutotuneConfig::active()
+        };
+        let mut c = PolicyController::new(cfg, &base);
+        let hot = |i| gen0_sensors(i, 1 << 20, (1 << 20) / 16);
+        assert_eq!(c.step(&base, hot(1)).decisions.len(), 1);
+        let mut bumped = base.clone();
+        bumped.trigger_bytes *= 2;
+        assert!(c.step(&bumped, hot(2)).decisions.is_empty(), "cooling");
+        assert!(c.step(&bumped, hot(3)).decisions.is_empty(), "cooling");
+        assert_eq!(c.step(&bumped, hot(4)).decisions.len(), 1, "cooled down");
+    }
+
+    #[test]
+    fn observe_mode_logs_without_updates() {
+        let base = GcConfig::new();
+        let cfg = AutotuneConfig {
+            cooldown: 0,
+            min_samples: 1,
+            ..AutotuneConfig::observe()
+        };
+        let mut c = PolicyController::new(cfg, &base);
+        let out = c.step(&base, gen0_sensors(1, 1 << 20, (1 << 20) / 16));
+        assert_eq!(out.decisions.len(), 1);
+        assert!(!out.decisions[0].applied);
+        assert!(out.updates.is_empty());
+        assert_eq!(c.decisions().len(), 1, "logged either way");
+    }
+
+    #[test]
+    fn old_survival_stretches_the_ladder() {
+        let base = GcConfig::new();
+        let mut c = PolicyController::new(active_cfg(), &base);
+        let mut s = PolicySensors {
+            collection_index: 4,
+            collected_generation: 1,
+            words_copied: 90_000,
+            ..PolicySensors::default()
+        };
+        c.note_collection_begin(100_000); // 90% of old data survived
+        let out = c.step(&base, s);
+        assert_eq!(out.decisions.len(), 1);
+        let d = out.decisions[0];
+        assert_eq!(d.knob, "frequency_scale");
+        assert_eq!((d.from, d.to), (1, 2));
+        assert_eq!(
+            out.updates,
+            vec![PolicyUpdate::Frequency(vec![1, 8, 32, 128])],
+            "generations >= 1 stretch; the nursery does not"
+        );
+        // Mass extinction folds it back (the applied change reset the
+        // EWMA, so the low-survival sample speaks for itself).
+        s.collection_index = 8;
+        s.words_copied = 5_000;
+        c.note_collection_begin(100_000);
+        let mut stretched = base.clone();
+        stretched.frequency = vec![1, 8, 32, 128];
+        let out = c.step(&stretched, s);
+        assert_eq!(out.decisions.len(), 1);
+        assert_eq!((out.decisions[0].from, out.decisions[0].to), (2, 1));
+        assert_eq!(
+            out.updates,
+            vec![PolicyUpdate::Frequency(vec![1, 4, 16, 64])]
+        );
+    }
+
+    #[test]
+    fn guardian_drag_caps_tenure_and_churn_reverts_it() {
+        let base = GcConfig::new();
+        let mut c = PolicyController::new(active_cfg(), &base);
+        let drag = PolicySensors {
+            collection_index: 3,
+            collected_generation: 0,
+            parked_old_entries: 500,
+            ..PolicySensors::default()
+        };
+        let out = c.step(&base, drag);
+        let d = out
+            .decisions
+            .iter()
+            .find(|d| d.knob == "tenure_cap")
+            .expect("drag decision");
+        assert_eq!((d.from, d.to), (3, 1), "effective cap drops to 1");
+        assert!(out
+            .updates
+            .contains(&PolicyUpdate::Promotion(Promotion::Capped(1))));
+
+        // Now capped, but the guarded set is pinned: pure recopy churn.
+        let mut capped = base.clone();
+        capped.promotion = Promotion::Capped(1);
+        // Held churn heavy enough that even one EWMA-weighted sample
+        // (the drag step observed held=0 first) clears the threshold.
+        let churn = PolicySensors {
+            collection_index: 5,
+            collected_generation: 1,
+            guardian_held: 50_000,
+            guardian_finalized: 1,
+            ..PolicySensors::default()
+        };
+        let out = c.step(&capped, churn);
+        let d = out
+            .decisions
+            .iter()
+            .find(|d| d.knob == "tenure_cap")
+            .expect("revert decision");
+        assert_eq!((d.from, d.to), (1, 3));
+        assert!(out
+            .updates
+            .contains(&PolicyUpdate::Promotion(Promotion::NextGeneration)));
+    }
+
+    #[test]
+    fn few_generations_disable_the_tenure_knob() {
+        let base = GcConfig::with_generations(2);
+        let mut c = PolicyController::new(active_cfg(), &base);
+        let drag = PolicySensors {
+            collection_index: 1,
+            parked_old_entries: 500,
+            ..PolicySensors::default()
+        };
+        assert!(c.step(&base, drag).decisions.is_empty());
+    }
+
+    #[test]
+    fn pause_ceiling_shrinks_the_trigger() {
+        let base = GcConfig::new();
+        let cfg = AutotuneConfig {
+            pause_ceiling: Some(Duration::from_micros(50)),
+            ..active_cfg()
+        };
+        let mut c = PolicyController::new(cfg, &base);
+        // Survival right on target (no ratio vote), but the pause blew
+        // through the ceiling.
+        let mut s = gen0_sensors(1, 1 << 20, (1 << 20) / 80);
+        s.pause_ns = 200_000;
+        let out = c.step(&base, s);
+        assert_eq!(out.decisions.len(), 1);
+        assert_eq!(out.decisions[0].to, base.trigger_bytes as u64 / 2);
+    }
+
+    #[test]
+    fn decisions_jsonl_is_one_object_per_line() {
+        let base = GcConfig::new();
+        let mut c = PolicyController::new(active_cfg(), &base);
+        let _ = c.step(&base, gen0_sensors(1, 1 << 20, (1 << 20) / 16));
+        let _ = c.step(&base, gen0_sensors(2, 1 << 20, 1 << 10));
+        let text = decisions_jsonl(c.decisions());
+        assert_eq!(text.lines().count(), c.decisions().len());
+        for line in text.lines() {
+            assert!(line.starts_with("{\"collection\":"), "{line}");
+            assert!(line.contains("\"sensors\":{"), "{line}");
+            assert!(line.ends_with("}}"), "{line}");
+        }
+    }
+}

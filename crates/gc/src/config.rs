@@ -173,6 +173,39 @@ impl GcConfig {
         }
         pick
     }
+
+    /// The frequency ladder materialized for every generation, with the
+    /// missing-entry defaulting rule ("4× the previous one") and the
+    /// zero-means-one rule applied. This is the ladder `maybe_collect`
+    /// actually runs, and the form benchmark tables and the autotuner
+    /// report so retuned ladders are visible.
+    pub fn effective_frequency(&self) -> Vec<u64> {
+        (0..self.generations)
+            .map(|g| self.frequency_of(g))
+            .collect()
+    }
+
+    /// A compact, deterministic JSON rendering of the policy-relevant
+    /// knobs (generation count, *effective* frequency ladder, trigger,
+    /// promotion), used by benchmark tables and experiment notes so a
+    /// retuned configuration is visible wherever results are reported.
+    pub fn to_json(&self) -> String {
+        let ladder = self
+            .effective_frequency()
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        let promotion = match self.promotion {
+            Promotion::NextGeneration => "next".to_string(),
+            Promotion::Capped(c) => format!("cap{c}"),
+            Promotion::SameGeneration => "same".to_string(),
+        };
+        format!(
+            "{{\"generations\":{},\"frequency\":[{}],\"trigger_bytes\":{},\"promotion\":\"{}\"}}",
+            self.generations, ladder, self.trigger_bytes, promotion
+        )
+    }
 }
 
 impl Default for GcConfig {
@@ -231,6 +264,61 @@ mod tests {
         };
         assert_eq!(c.frequency_of(0), 1);
         assert_eq!(c.generation_for_collection(3), 1);
+    }
+
+    #[test]
+    fn empty_ladder_defaults_from_one() {
+        let c = GcConfig {
+            generations: 4,
+            frequency: vec![],
+            ..GcConfig::new()
+        };
+        assert_eq!(c.frequency_of(0), 1);
+        assert_eq!(c.frequency_of(1), 4, "4x the implied 1");
+        assert_eq!(c.frequency_of(2), 16);
+        assert_eq!(c.effective_frequency(), vec![1, 4, 16, 64]);
+    }
+
+    #[test]
+    fn quadrupling_saturates_instead_of_overflowing() {
+        let c = GcConfig {
+            generations: 40,
+            frequency: vec![1],
+            ..GcConfig::new()
+        };
+        assert_eq!(c.frequency_of(39), u64::MAX, "saturates, never panics");
+    }
+
+    #[test]
+    fn effective_frequency_materializes_defaults_and_zero_rule() {
+        let c = GcConfig {
+            generations: 4,
+            frequency: vec![0, 4],
+            ..GcConfig::new()
+        };
+        assert_eq!(c.effective_frequency(), vec![1, 4, 16, 64]);
+    }
+
+    #[test]
+    fn to_json_shows_the_effective_ladder() {
+        let c = GcConfig {
+            generations: 4,
+            frequency: vec![1, 8],
+            promotion: Promotion::Capped(2),
+            ..GcConfig::new()
+        };
+        assert_eq!(
+            c.to_json(),
+            format!(
+                "{{\"generations\":4,\"frequency\":[1,8,32,128],\
+                 \"trigger_bytes\":{},\"promotion\":\"cap2\"}}",
+                c.trigger_bytes
+            )
+        );
+        assert!(GcConfig::new().to_json().contains("\"promotion\":\"next\""));
+        let mut same = GcConfig::new();
+        same.promotion = Promotion::SameGeneration;
+        assert!(same.to_json().contains("\"promotion\":\"same\""));
     }
 }
 

@@ -67,6 +67,7 @@
 //! ```
 
 mod access;
+mod autotune;
 mod census;
 mod collect;
 mod config;
@@ -83,6 +84,10 @@ mod trace;
 mod value;
 mod verify;
 
+pub use autotune::{
+    decisions_jsonl, AutotuneConfig, AutotuneMode, PolicyController, PolicyDecision, PolicySensors,
+    PolicyUpdate, StepOutcome,
+};
 pub use census::{GenCensus, HeapCensus, KindCensus};
 pub use config::{GcConfig, Promotion};
 pub use error::GcError;

@@ -136,6 +136,26 @@ impl SegmentTable {
         self.max_segments
     }
 
+    /// Resets the `max_segments` watermark — the zone layer's quota
+    /// rebalancing actuator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new watermark is below the segments already
+    /// allocated: a quota the table is already past would make every
+    /// earlier `acquirable()` preflight retroactively unsound, so
+    /// rebalancers must never shrink below occupancy.
+    pub fn set_max_segments(&mut self, max: Option<usize>) {
+        if let Some(max) = max {
+            assert!(
+                self.allocated <= max,
+                "cannot set a watermark of {max} segments below the {} already allocated",
+                self.allocated
+            );
+        }
+        self.max_segments = max;
+    }
+
     fn note_generation(&mut self, seg: SegIndex, generation: u8) {
         let g = generation as usize;
         if self.by_gen.len() <= g {

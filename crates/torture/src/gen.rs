@@ -307,7 +307,22 @@ impl Gen {
                     .expect("in range");
                 self.ops.push(Op::Collect { gen });
             }
-            94..=97 => {
+            94 => {
+                // An occasional mid-trace promotion retune: the same
+                // between-collections path the autotuner's tenure knob
+                // uses, here exercised against the oracle with all four
+                // policies.
+                let promotion = *[
+                    Promotion::NextGeneration,
+                    Promotion::Capped(1),
+                    Promotion::Capped(2),
+                    Promotion::SameGeneration,
+                ]
+                .get(rng.gen_range(0..4usize))
+                .expect("in range");
+                self.ops.push(Op::SetPromotion { promotion });
+            }
+            95..=97 => {
                 self.ops.push(Op::Churn {
                     n: rng.gen_range(20..400),
                 });

@@ -8,9 +8,32 @@
 //! on *both* sides), and round-trips through a line-oriented text format
 //! ready to be committed as a regression test.
 
-use guardians_gc::Promotion;
+use guardians_gc::{AutotuneMode, Promotion};
 use std::fmt;
 use std::str::FromStr;
+
+/// The textual form of a promotion policy, shared by the config line's
+/// mandatory second token and the `setpromo` op.
+fn promotion_text(p: Promotion) -> String {
+    match p {
+        Promotion::NextGeneration => "next".to_string(),
+        Promotion::Capped(c) => format!("cap{c}"),
+        Promotion::SameGeneration => "same".to_string(),
+    }
+}
+
+fn parse_promotion(s: &str) -> Result<Promotion, String> {
+    match s {
+        "next" => Ok(Promotion::NextGeneration),
+        "same" => Ok(Promotion::SameGeneration),
+        s if s.starts_with("cap") => Ok(Promotion::Capped(
+            s[3..]
+                .parse()
+                .map_err(|e| format!("bad promotion cap: {e}"))?,
+        )),
+        other => Err(format!("bad promotion {other:?}")),
+    }
+}
 
 /// A reference operand: nothing, a node by id, or a guardian's tconc by
 /// guardian index.
@@ -245,6 +268,15 @@ pub enum Op {
         /// The upgraded weak.
         wid: u32,
     },
+    /// Retune the survivor promotion policy mid-trace through the heap's
+    /// between-collections reconfiguration path ([`guardians_gc::Heap::
+    /// set_promotion`]). The shadow model switches in lockstep, so the
+    /// oracle checks that a policy change is exactly a policy change —
+    /// survivor placement follows the new rule, nothing else moves.
+    SetPromotion {
+        /// The policy every later collection promotes under.
+        promotion: Promotion,
+    },
     /// Collect generations `0..=gen`.
     Collect {
         /// Highest generation collected.
@@ -301,6 +333,7 @@ impl fmt::Display for Op {
             Op::PollTyped { g } => write!(f, "tpoll {g}"),
             Op::AllocTypedWeak { wid, node } => write!(f, "tweak {wid} {node}"),
             Op::UpgradeTypedWeak { wid } => write!(f, "tupgrade {wid}"),
+            Op::SetPromotion { promotion } => write!(f, "setpromo {}", promotion_text(*promotion)),
             Op::Collect { gen } => write!(f, "collect {gen}"),
             Op::Churn { n } => write!(f, "churn {n}"),
             Op::Grow { bytes } => write!(f, "grow {bytes}"),
@@ -393,6 +426,10 @@ impl FromStr for Op {
                 node: num("node")?,
             },
             "tupgrade" => Op::UpgradeTypedWeak { wid: num("wid")? },
+            "setpromo" => Op::SetPromotion {
+                promotion: parse_promotion(it.next().ok_or("setpromo: missing promotion")?)
+                    .map_err(|e| format!("setpromo: {e}"))?,
+            },
             "collect" => Op::Collect {
                 gen: num("gen")? as u8,
             },
@@ -477,6 +514,13 @@ pub struct TortureConfig {
     pub pause_budget: Option<u64>,
     /// Interpreter tier for the scheme-differential leg.
     pub interp: InterpMode,
+    /// Autotuner mode for the real heap (`Off` = the historical fixed
+    /// policy). `Active` lets the controller retune promotion between
+    /// collections — the rig syncs the shadow model's promotion rule from
+    /// the heap after every collection, so the oracle still pins every
+    /// observable. `trigger_bytes` / `frequency` retunes are inert here:
+    /// torture collections happen only at explicit `collect` safe points.
+    pub autotune: AutotuneMode,
 }
 
 impl Default for TortureConfig {
@@ -490,17 +534,14 @@ impl Default for TortureConfig {
             workers: 1,
             pause_budget: None,
             interp: InterpMode::Staged,
+            autotune: AutotuneMode::Off,
         }
     }
 }
 
 impl fmt::Display for TortureConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let promo = match self.promotion {
-            Promotion::NextGeneration => "next".to_string(),
-            Promotion::Capped(c) => format!("cap{c}"),
-            Promotion::SameGeneration => "same".to_string(),
-        };
+        let promo = promotion_text(self.promotion);
         let fault = match self.fail_acquisition_at {
             Some(n) => n.to_string(),
             None => "-".to_string(),
@@ -510,13 +551,15 @@ impl fmt::Display for TortureConfig {
             "config {} {promo} {} {} {fault}",
             self.generations, self.flat_protected as u8, self.ablate_weak_pass_first as u8
         )?;
-        // The workers, pause-budget, and interp-mode tokens are optional
-        // (and omitted at the defaults) so older traces keep parsing and
-        // default traces keep their historical textual form. They are
-        // positional (6th, 7th, 8th), so emitting a later one forces all
-        // earlier ones out; a pause budget of `None` prints as the `-`
-        // placeholder when the interp token needs the slot filled.
-        let emit_interp = self.interp != InterpMode::Staged;
+        // The workers, pause-budget, interp-mode, and autotune tokens are
+        // optional (and omitted at the defaults) so older traces keep
+        // parsing and default traces keep their historical textual form.
+        // They are positional (6th, 7th, 8th, 9th), so emitting a later
+        // one forces all earlier ones out; a pause budget of `None`
+        // prints as the `-` placeholder (and a default interp mode as
+        // `staged`) when a later token needs the slot filled.
+        let emit_autotune = self.autotune != AutotuneMode::Off;
+        let emit_interp = self.interp != InterpMode::Staged || emit_autotune;
         let emit_budget = self.pause_budget.is_some() || emit_interp;
         if self.workers != 1 || emit_budget {
             write!(f, " {}", self.workers)?;
@@ -529,6 +572,9 @@ impl fmt::Display for TortureConfig {
         }
         if emit_interp {
             write!(f, " {}", self.interp)?;
+        }
+        if emit_autotune {
+            write!(f, " {}", self.autotune)?;
         }
         Ok(())
     }
@@ -546,16 +592,8 @@ impl FromStr for TortureConfig {
             .ok_or("config: missing generations")?
             .parse()
             .map_err(|e| format!("config: bad generations: {e}"))?;
-        let promo = match it.next().ok_or("config: missing promotion")? {
-            "next" => Promotion::NextGeneration,
-            "same" => Promotion::SameGeneration,
-            s if s.starts_with("cap") => Promotion::Capped(
-                s[3..]
-                    .parse()
-                    .map_err(|e| format!("config: bad promotion cap: {e}"))?,
-            ),
-            other => return Err(format!("config: bad promotion {other:?}")),
-        };
+        let promo = parse_promotion(it.next().ok_or("config: missing promotion")?)
+            .map_err(|e| format!("config: {e}"))?;
         let flag = |s: Option<&str>, what: &str| -> Result<bool, String> {
             match s {
                 Some("0") => Ok(false),
@@ -589,6 +627,10 @@ impl FromStr for TortureConfig {
             Some(m) => m.parse()?,
             None => InterpMode::Staged,
         };
+        let autotune = match it.next() {
+            Some(m) => m.parse().map_err(|e| format!("config: {e}"))?,
+            None => AutotuneMode::Off,
+        };
         Ok(TortureConfig {
             generations: gens,
             promotion: promo,
@@ -598,6 +640,7 @@ impl FromStr for TortureConfig {
             workers,
             pause_budget,
             interp,
+            autotune,
         })
     }
 }
@@ -738,6 +781,9 @@ mod tests {
             Op::PollTyped { g: 0 },
             Op::AllocTypedWeak { wid: 1, node: 4 },
             Op::UpgradeTypedWeak { wid: 1 },
+            Op::SetPromotion {
+                promotion: Promotion::Capped(1),
+            },
             Op::Collect { gen: 2 },
             Op::Churn { n: 300 },
             Op::Grow { bytes: 9000 },
@@ -841,6 +887,64 @@ mod tests {
                 InterpMode::Staged
             );
         }
+    }
+
+    #[test]
+    fn autotune_token_round_trips_and_defaults() {
+        // The autotune mode is the 9th token: emitting it forces the
+        // whole placeholder chain out, including a literal `staged`.
+        let active = TortureConfig {
+            autotune: AutotuneMode::Active,
+            ..TortureConfig::default()
+        };
+        let text = active.to_string();
+        assert!(text.ends_with(" 1 - staged active"), "chain: {text}");
+        assert_eq!(text.parse::<TortureConfig>().unwrap(), active);
+        // Both non-off modes round-trip against every earlier-token shape.
+        for autotune in [AutotuneMode::Observe, AutotuneMode::Active] {
+            for pause_budget in [None, Some(250u64)] {
+                for interp in [InterpMode::Staged, InterpMode::Vm] {
+                    let cfg = TortureConfig {
+                        autotune,
+                        pause_budget,
+                        interp,
+                        workers: 2,
+                        ..TortureConfig::default()
+                    };
+                    assert_eq!(cfg.to_string().parse::<TortureConfig>().unwrap(), cfg);
+                }
+            }
+        }
+        // The default (off) stays token-free, and every historical config
+        // arity still parses with the autotuner off.
+        assert!(!TortureConfig::default().to_string().contains("off"));
+        for old in [
+            "config 4 next 0 0 -",
+            "config 4 next 0 0 - 4",
+            "config 4 next 0 0 - 1 250",
+            "config 4 next 0 0 - 1 - vm",
+        ] {
+            assert_eq!(
+                old.parse::<TortureConfig>().unwrap().autotune,
+                AutotuneMode::Off
+            );
+        }
+    }
+
+    #[test]
+    fn setpromo_token_round_trips() {
+        for (text, promotion) in [
+            ("setpromo next", Promotion::NextGeneration),
+            ("setpromo cap1", Promotion::Capped(1)),
+            ("setpromo cap2", Promotion::Capped(2)),
+            ("setpromo same", Promotion::SameGeneration),
+        ] {
+            let op = text.parse::<Op>().unwrap();
+            assert_eq!(op, Op::SetPromotion { promotion }, "{text}");
+            assert_eq!(op.to_string(), text);
+        }
+        assert!("setpromo sideways".parse::<Op>().is_err());
+        assert!("setpromo".parse::<Op>().is_err());
     }
 
     #[test]

@@ -206,6 +206,125 @@ fn typed_api_matrix_agrees_with_the_oracle() {
     );
 }
 
+/// The promotion-strategy matrix: every seed replays under all four
+/// promotion policies — `next`, `cap1`, `cap2`, `same` — on each of the
+/// three engines (serial, 4 workers, 100 µs budget) with zero oracle
+/// divergences, and the deterministic observables are identical across
+/// engines within each policy. Generated traces also interleave
+/// `setpromo` retunes, so the between-collections reconfiguration path
+/// is exercised against the oracle on every engine.
+#[test]
+fn promotion_strategy_matrix_agrees_with_the_oracle() {
+    use guardians_gc::Promotion;
+    use guardians_torture::Op;
+    let seeds = env_num("TORTURE_PROMO_SEEDS", 5);
+    let ops = env_num("TORTURE_PROMO_OPS", 300) as usize;
+    let mut runs = 0;
+    let mut retuned_traces = 0;
+    for seed in 0..seeds {
+        let trace = generate(seed, ops);
+        if trace
+            .ops
+            .iter()
+            .any(|o| matches!(o, Op::SetPromotion { .. }))
+        {
+            retuned_traces += 1;
+        }
+        for promotion in [
+            Promotion::NextGeneration,
+            Promotion::Capped(1),
+            Promotion::Capped(2),
+            Promotion::SameGeneration,
+        ] {
+            let mut baseline = None;
+            for (workers, budget_us) in [(1usize, None), (4, None), (1, Some(100u64))] {
+                let mut t = trace.clone();
+                t.config.promotion = promotion;
+                t.config.workers = workers;
+                t.config.pause_budget = budget_us;
+                let stats = run_trace(&t).unwrap_or_else(|f| {
+                    panic!(
+                        "promotion matrix seed {seed}, {promotion:?}, {workers} workers, \
+                         budget {budget_us:?}: {f}"
+                    )
+                });
+                runs += 1;
+                let key = (
+                    stats.applied,
+                    stats.collections,
+                    stats.finalized,
+                    stats.polled,
+                    stats.live_nodes,
+                );
+                match &baseline {
+                    None => baseline = Some(key),
+                    Some(b) => assert_eq!(
+                        *b, key,
+                        "seed {seed}, {promotion:?}: engine ({workers} workers, \
+                         {budget_us:?}) moved observables"
+                    ),
+                }
+            }
+        }
+    }
+    assert!(runs >= 60, "promotion matrix too small: {runs} runs");
+    assert!(
+        retuned_traces > 0,
+        "no generated trace exercised setpromo ({retuned_traces}/{seeds})"
+    );
+}
+
+/// The autotuner under the oracle: generated traces replay with the
+/// policy controller in `Observe` and `Active` mode on all three
+/// engines, with zero divergences — and because every controller sensor
+/// is deterministic and engine-agnostic, the observables (and hence the
+/// controller's decisions) are identical across engines. In `Active`
+/// mode the tenure knob may retune promotion mid-run; the rig replays
+/// the model against the heap's current policy after every collection,
+/// so survivor placement stays pinned observable-for-observable.
+#[test]
+fn autotune_matrix_agrees_with_the_oracle() {
+    use guardians_gc::AutotuneMode;
+    let seeds = env_num("TORTURE_AUTOTUNE_SEEDS", 4);
+    let ops = env_num("TORTURE_AUTOTUNE_OPS", 300) as usize;
+    let mut runs = 0;
+    for seed in 0..seeds {
+        let trace = generate(seed, ops);
+        for autotune in [AutotuneMode::Observe, AutotuneMode::Active] {
+            let mut baseline = None;
+            for (workers, budget_us) in [(1usize, None), (4, None), (1, Some(100u64))] {
+                let mut t = trace.clone();
+                t.config.autotune = autotune;
+                t.config.workers = workers;
+                t.config.pause_budget = budget_us;
+                let stats = run_trace(&t).unwrap_or_else(|f| {
+                    panic!(
+                        "autotune matrix seed {seed}, {autotune} mode, {workers} workers, \
+                         budget {budget_us:?}: {f}"
+                    )
+                });
+                runs += 1;
+                let key = (
+                    stats.applied,
+                    stats.collections,
+                    stats.finalized,
+                    stats.polled,
+                    stats.live_nodes,
+                );
+                match &baseline {
+                    None => baseline = Some(key),
+                    Some(b) => assert_eq!(
+                        *b, key,
+                        "seed {seed}, {autotune} mode: engine ({workers} workers, \
+                         {budget_us:?}) moved observables"
+                    ),
+                }
+            }
+        }
+    }
+    assert!(runs >= 24, "autotune matrix too small: {runs} runs");
+}
+
 /// A handwritten typed trace replayed from its text form, pinning the §4
 /// ordering through the typed surface: a typed node is guarded and
 /// weakly watched, dies, is salvaged by the guardian pass, and the typed

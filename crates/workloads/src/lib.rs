@@ -12,11 +12,16 @@
 pub mod churn;
 pub mod keys;
 pub mod lifetime;
+pub mod policy;
 pub mod report;
 
 pub use churn::{table_script, ChurnParams, TableOp};
 pub use keys::KeyGen;
 pub use lifetime::{run_lifetime_workload, LifetimeParams, LifetimeStats};
+pub use policy::{
+    run_burst_workload, run_cache_workload, run_pool_workload, BurstParams, CacheParams,
+    PolicyStats, PoolParams,
+};
 pub use report::Table;
 
 use rand::rngs::SmallRng;

@@ -9,7 +9,8 @@
 //! and experiment E21 pin.
 
 use guardians_gc::{
-    GcConfig, Guardian as RawGuardian, Heap, Rooted, SegmentPool, TraceConfig, TracedEvent, Value,
+    AutotuneConfig, AutotuneMode, GcConfig, Guardian as RawGuardian, Heap, Rooted, SegmentPool,
+    TraceConfig, TracedEvent, Value,
 };
 use guardians_gc_api::{impl_trace, GcHeap, Guardian as TypedGuardian, Root};
 use guardians_runtime::{BlockId, ExtArena, Fd, SimOs};
@@ -115,6 +116,11 @@ pub struct ZoneConfig {
     pub max_segments: Option<usize>,
     /// Simulated-OS fd table size for this tenant.
     pub fd_limit: usize,
+    /// Per-zone GC policy autotuner mode. Each zone's controller is
+    /// private — it tunes that tenant's heap to that tenant's workload;
+    /// `Observe` logs decisions without applying them (asserted
+    /// bit-identical to `Off`).
+    pub autotune: AutotuneMode,
 }
 
 impl ZoneConfig {
@@ -126,6 +132,7 @@ impl ZoneConfig {
             workload: WorkloadKind::Typed,
             max_segments: None,
             fd_limit: 4096,
+            autotune: AutotuneMode::Off,
         }
     }
 
@@ -153,6 +160,12 @@ impl ZoneConfig {
     /// collections).
     pub fn with_trigger_bytes(mut self, bytes: usize) -> ZoneConfig {
         self.gc.trigger_bytes = bytes;
+        self
+    }
+
+    /// Sets the per-zone autotuner mode.
+    pub fn with_autotune(mut self, mode: AutotuneMode) -> ZoneConfig {
+        self.autotune = mode;
         self
     }
 }
@@ -376,10 +389,15 @@ impl Zone {
 
     fn build(id: u64, config: &ZoneConfig, pool: Option<Arc<SegmentPool>>) -> Zone {
         let gc = config.engine.apply(config.gc.clone());
-        let heap = match pool {
+        let mut heap = match pool {
             Some(p) => Heap::with_pool(gc, p, config.max_segments),
             None => Heap::new(gc),
         };
+        match config.autotune {
+            AutotuneMode::Off => {}
+            AutotuneMode::Observe => heap.enable_autotune(AutotuneConfig::observe()),
+            AutotuneMode::Active => heap.enable_autotune(AutotuneConfig::active()),
+        }
         let backend = match config.workload {
             WorkloadKind::Typed => {
                 let mut heap = Box::new(GcHeap::from_heap(heap));
@@ -441,6 +459,23 @@ impl Zone {
             Backend::Typed { heap, .. } => heap.raw_mut(),
             Backend::Scheme { interp, .. } => interp.heap_mut(),
         }
+    }
+
+    /// Segments the zone's heap currently holds against the shared pool
+    /// (or its private backing) — the demand signal quota rebalancing
+    /// divides the pool by.
+    pub fn segments_held(&self) -> usize {
+        self.heap()
+            .generation_usage()
+            .iter()
+            .map(|u| u.segments)
+            .sum()
+    }
+
+    /// Replaces the zone's segment quota (watermark against the shared
+    /// pool). `None` removes the watermark.
+    pub fn set_quota(&mut self, max: Option<usize>) {
+        self.heap_mut().set_max_segments(max);
     }
 
     /// The tenant's simulated OS (fd accounting).
@@ -684,12 +719,7 @@ impl Zone {
             }
         };
         let census = self.heap().census();
-        let segments: usize = self
-            .heap()
-            .generation_usage()
-            .iter()
-            .map(|u| u.segments)
-            .sum();
+        let segments = self.segments_held();
         ZoneSnapshot {
             zone: self.id,
             engine: self.engine.label(),

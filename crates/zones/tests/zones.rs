@@ -2,7 +2,7 @@
 //! accounting, guardian-driven eviction reclamation, cross-engine
 //! identity, router determinism, and the soak harness.
 
-use guardians_gc::SegmentPool;
+use guardians_gc::{AutotuneMode, SegmentPool};
 use guardians_zones::soak::{self, SoakOp, SoakSchedule};
 use guardians_zones::{
     session_zone, Engine, Request, Zone, ZoneConfig, ZoneManager, ZoneObservables, ZoneRouter,
@@ -350,6 +350,131 @@ fn soak_skips_ops_on_dead_zones() {
 }
 
 #[test]
+fn observe_autotune_is_bit_identical_to_off() {
+    // A per-zone controller in observe mode logs the decisions it would
+    // have made but applies none: every observable — collections
+    // included — matches the untuned zone exactly.
+    for base in [ZoneConfig::typed(), ZoneConfig::scheme()] {
+        let reqs = script(24, 8);
+        let off = solo(3, &small_trigger(base.clone()), &reqs);
+        let observed = solo(
+            3,
+            &small_trigger(base.clone()).with_autotune(AutotuneMode::Observe),
+            &reqs,
+        );
+        assert_eq!(observed, off, "observe == off ({:?})", base.workload);
+    }
+}
+
+#[test]
+fn active_autotune_zone_is_deterministic_and_reclaims() {
+    // An actively autotuned zone stays deterministic (pooled == private
+    // for the same script), still reclaims every evicted session through
+    // its guardian, and its controller actually acts. The script is
+    // heavy enough (~6 MB of allocation against a 64 KB trigger) that
+    // old generations are collected repeatedly, giving the frequency
+    // knob the stable-survivor samples it decides on.
+    let heavy_script = || {
+        let mut reqs = Vec::new();
+        for s in 0..16u64 {
+            reqs.push(Request::Open { session: s });
+        }
+        for r in 0..80u32 {
+            for s in 0..16u64 {
+                reqs.push(Request::Work {
+                    session: s,
+                    amount: 48,
+                });
+            }
+            if r % 20 == 19 {
+                for s in 0..16u64 {
+                    reqs.push(Request::Evict { session: s });
+                    reqs.push(Request::Open { session: s });
+                }
+            }
+        }
+        reqs
+    };
+    for base in [ZoneConfig::typed(), ZoneConfig::scheme()] {
+        let cfg = small_trigger(base.clone()).with_autotune(AutotuneMode::Active);
+        let reqs = heavy_script();
+        let want = solo(5, &cfg, &reqs);
+        let mut mgr = ZoneManager::new();
+        mgr.create_zone(5, &cfg);
+        for &r in &reqs {
+            mgr.dispatch(5, r);
+        }
+        mgr.quiesce();
+        let zone = mgr.zone_mut(5).unwrap();
+        assert_eq!(
+            zone.observables(),
+            want,
+            "active-mode pooled == active-mode private ({:?})",
+            base.workload
+        );
+        assert_eq!(
+            zone.observables().sessions_evicted,
+            zone.observables().reclaimed_sessions,
+            "every evicted session reclaimed"
+        );
+        assert!(
+            !zone.heap_mut().autotune_decisions().is_empty(),
+            "the per-zone controller acted ({:?})",
+            base.workload
+        );
+        zone.verify().expect("autotuned zone verifies");
+    }
+}
+
+#[test]
+fn rebalance_quotas_divides_capacity_without_stranding_zones() {
+    const CAPACITY: usize = 2048;
+    let mut mgr = ZoneManager::with_capacity(CAPACITY);
+    // One busy tenant, one light tenant, one idle tenant.
+    mgr.create_zone(0, &small_trigger(ZoneConfig::typed()));
+    mgr.create_zone(1, &small_trigger(ZoneConfig::typed()));
+    mgr.create_zone(2, &small_trigger(ZoneConfig::typed()));
+    for &r in &script(48, 10) {
+        mgr.dispatch(0, r);
+    }
+    for &r in &script(6, 2) {
+        mgr.dispatch(1, r);
+    }
+    let quotas = mgr.rebalance_quotas();
+    assert_eq!(quotas.len(), 3);
+    let total: usize = quotas.iter().map(|&(_, q)| q).sum();
+    assert!(
+        total <= CAPACITY,
+        "quotas are collectively admissible ({total} <= {CAPACITY})"
+    );
+    for &(id, q) in &quotas {
+        let held = mgr.zone(id).unwrap().segments_held();
+        assert!(q >= held, "zone {id}: quota {q} covers holdings {held}");
+    }
+    let q = |id: u64| quotas.iter().find(|&&(z, _)| z == id).unwrap().1;
+    assert!(
+        q(0) > q(2),
+        "the busy zone outbids the idle one ({} vs {})",
+        q(0),
+        q(2)
+    );
+    // Every zone keeps working under its new watermark.
+    for id in 0..3 {
+        for &r in &script(8, 3) {
+            mgr.dispatch(id, r);
+        }
+    }
+    mgr.quiesce();
+    for id in mgr.zone_ids() {
+        mgr.zone(id).unwrap().verify().expect("zone verifies");
+    }
+    // An unbounded pool has no capacity to divide.
+    let mut unbounded = ZoneManager::new();
+    unbounded.create_zone(0, &ZoneConfig::typed());
+    assert!(unbounded.rebalance_quotas().is_empty());
+}
+
+#[test]
 fn engine_labels_roundtrip() {
     for engine in [
         Engine::Serial,
@@ -387,14 +512,22 @@ fn fleet_stats_json_is_well_formed() {
 fn ci_matrix_engine_leg() {
     // The zone-matrix CI job runs this test once per engine with
     // ZONE_ENGINE=<label> pinning every zone in the fleet to that
-    // engine; without the variable the whole matrix runs. Each leg is a
-    // router fleet whose per-zone observables must match a private solo
-    // replay — the cross-engine identity check, scoped to one engine so
-    // a CI failure names the engine that broke.
+    // engine; without the variable the whole matrix runs. The
+    // autotune-matrix job additionally sets ZONE_AUTOTUNE=observe|active
+    // to run the same fleet with every zone's policy controller enabled.
+    // Each leg is a router fleet whose per-zone observables must match a
+    // private solo replay — the cross-engine identity check, scoped to
+    // one engine so a CI failure names the engine that broke.
     let engines: Vec<Engine> = match std::env::var("ZONE_ENGINE") {
         Ok(label) => vec![Engine::from_label(&label)
             .unwrap_or_else(|| panic!("ZONE_ENGINE={label:?} is not an engine label"))],
         Err(_) => Engine::MATRIX.to_vec(),
+    };
+    let autotune: AutotuneMode = match std::env::var("ZONE_AUTOTUNE") {
+        Ok(label) => label
+            .parse()
+            .unwrap_or_else(|e| panic!("ZONE_AUTOTUNE: {e}")),
+        Err(_) => AutotuneMode::Off,
     };
     const ZONES: usize = 4;
     for engine in engines {
@@ -406,7 +539,9 @@ fn ci_matrix_engine_leg() {
                 } else {
                     ZoneConfig::scheme()
                 };
-                small_trigger(base).with_engine(engine)
+                small_trigger(base)
+                    .with_engine(engine)
+                    .with_autotune(autotune)
             })
             .collect();
         for (id, cfg) in configs.iter().enumerate() {
